@@ -1,0 +1,44 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the rendered artifact (so ``pytest benchmarks/ --benchmark-only -s`` or
+the captured output file doubles as the reproduction record), and
+asserts the *shape* claims the paper makes.
+
+Batch sizes default to a few hundred runs per cell — enough for stable
+shapes in minutes; set ``REPRO_BENCH_SIMS`` to scale toward the paper's
+80 000.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Runs per (setting, planner) cell; the sweep benches use a third.
+BENCH_SIMS = int(os.environ.get("REPRO_BENCH_SIMS", "120"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The calibrated experiment configuration at benchmark batch size."""
+    return ExperimentConfig().with_sims(BENCH_SIMS)
+
+
+@pytest.fixture(scope="session")
+def sweep_config(bench_config) -> ExperimentConfig:
+    """Reduced batch for the per-point figure sweeps."""
+    return bench_config.with_sims(max(40, BENCH_SIMS // 3))
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Helper: time a single execution of an expensive experiment."""
+
+    def _run(benchmark, fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,40 @@
+"""Benchmark: the DESIGN.md ablation (filter vs aggressive window).
+
+Decomposes the ultimate planner's gain over the basic one into its two
+techniques (Fig. 1d and 1e of the paper).  Shape assertions:
+
+* all four variants are 100 % safe (the monitor is common to all);
+* the ultimate variant attains the best mean eta;
+* each single-technique variant scores at least the basic variant's
+  mean eta (neither technique hurts, within noise).
+"""
+
+import pytest
+
+from repro.experiments.ablation import VARIANTS, render_ablation, run_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("setting", ["no_disturbance", "messages_lost"])
+def test_ablation_conservative(benchmark, sweep_config, run_once, setting):
+    variants = run_once(
+        benchmark,
+        lambda: run_ablation("conservative", setting, sweep_config),
+    )
+    print()
+    print(render_ablation({setting: variants}, "conservative"))
+
+    assert set(variants) == set(VARIANTS)
+    for name, stats in variants.items():
+        assert stats.safe_rate == 1.0, name
+    best = max(stats.mean_eta for stats in variants.values())
+    assert variants["ultimate"].mean_eta == pytest.approx(best, abs=0.01)
+    tolerance = 0.01
+    assert (
+        variants["filter_only"].mean_eta
+        >= variants["basic"].mean_eta - tolerance
+    )
+    assert (
+        variants["aggressive_only"].mean_eta
+        >= variants["basic"].mean_eta - tolerance
+    )

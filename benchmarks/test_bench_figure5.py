@@ -1,0 +1,76 @@
+"""Benchmark: regenerate Figure 5 (disturbance sweeps, conservative family).
+
+Shape assertions:
+
+* 5a/5b — reaching time and emergency frequency grow as the
+  transmission/sensing period grows;
+* 5c/5d — same under increasing message drop probability;
+* 5e/5f — same under increasing sensor uncertainty with messages lost;
+* in every sweep the ultimate compound planner's reaching time stays at
+  or below the pure planner's.
+
+Grids are subsampled from the paper's 20-point sweeps to keep the bench
+in minutes; the module constants carry the full grids.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import (
+    render_sweep,
+    sweep_drop,
+    sweep_sensor,
+    sweep_transmission,
+)
+
+TRANSMISSION_POINTS = (0.1, 0.4, 1.6)
+DROP_POINTS = (0.0, 0.45, 0.9)
+SENSOR_POINTS = (1.0, 2.8, 4.6)
+
+
+def _assert_shapes(sweep, n_points):
+    reaching = sweep["reaching_time"]
+    emergency = sweep["emergency_frequency"]
+    for name in ("pure", "basic", "ultimate"):
+        assert len(reaching[name]) == n_points
+    # More disturbance, slower pure planner (endpoints comparison).
+    assert reaching["pure"][-1] >= reaching["pure"][0] - 0.05
+    # The ultimate planner stays at or below the pure planner.
+    for i in range(n_points):
+        assert reaching["ultimate"][i] <= reaching["pure"][i] + 0.05
+    # Emergency frequency responds to disturbance for the ultimate.
+    assert emergency["ultimate"][-1] >= emergency["ultimate"][0] - 0.01
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_transmission(benchmark, sweep_config, run_once):
+    sweep = run_once(
+        benchmark,
+        lambda: sweep_transmission(sweep_config, TRANSMISSION_POINTS),
+    )
+    print()
+    print(
+        render_sweep(
+            "Fig. 5a/5b", "dt_m=dt_s (s)", TRANSMISSION_POINTS, sweep
+        )
+    )
+    _assert_shapes(sweep, len(TRANSMISSION_POINTS))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_drop(benchmark, sweep_config, run_once):
+    sweep = run_once(
+        benchmark, lambda: sweep_drop(sweep_config, DROP_POINTS)
+    )
+    print()
+    print(render_sweep("Fig. 5c/5d", "drop prob", DROP_POINTS, sweep))
+    _assert_shapes(sweep, len(DROP_POINTS))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_sensor(benchmark, sweep_config, run_once):
+    sweep = run_once(
+        benchmark, lambda: sweep_sensor(sweep_config, SENSOR_POINTS)
+    )
+    print()
+    print(render_sweep("Fig. 5e/5f", "sensor delta", SENSOR_POINTS, sweep))
+    _assert_shapes(sweep, len(SENSOR_POINTS))

@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Figure 6 (filter and window effectiveness).
+
+Shape assertions:
+
+* 6a — the information filter reduces both position and velocity RMSE
+  substantially over 200 sampled trajectories (the paper reports 69 %
+  and 76 % reductions);
+* 6b — the aggressive passing window is nested inside the conservative
+  one, is much more compact, and both bracket the true passing times
+  at the start of the episode.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import (
+    render_filter_study,
+    render_window_study,
+    run_filter_study,
+    run_window_study,
+)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6a_rmse(benchmark, bench_config, run_once):
+    study = run_once(
+        benchmark,
+        lambda: run_filter_study(bench_config, n_trajectories=200),
+    )
+    print()
+    print(render_filter_study(study))
+
+    # Large reductions in both channels (paper: 69 % / 76 %).
+    assert study.position_reduction > 0.40
+    assert study.velocity_reduction > 0.40
+    assert study.rmse_position_filtered < study.rmse_position_raw
+    assert study.rmse_velocity_filtered < study.rmse_velocity_raw
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6b_windows(benchmark, bench_config, run_once):
+    study = run_once(benchmark, lambda: run_window_study(bench_config))
+    print()
+    print(render_window_study(study))
+
+    series = study["series"]
+    n = len(study["times"])
+    assert n > 5
+    cons_width = aggr_width = 0.0
+    for i in range(n):
+        # Nesting: aggressive inside conservative.
+        assert series["cons_lo"][i] <= series["aggr_lo"][i] + 1e-6
+        assert series["aggr_hi"][i] <= series["cons_hi"][i] + 1e-6
+        cons_width += series["cons_hi"][i] - series["cons_lo"][i]
+        aggr_width += series["aggr_hi"][i] - series["aggr_lo"][i]
+    # Compactness: the aggressive window is much tighter on average.
+    assert aggr_width < 0.5 * cons_width
+
+    # Both bracket the true passing interval at episode start.
+    entry, exit_ = study["true_entry"], study["true_exit"]
+    assert entry is not None and exit_ is not None
+    assert series["cons_lo"][0] <= entry + 1e-6
+    assert series["cons_hi"][0] >= exit_ - 1e-6

@@ -1,0 +1,41 @@
+"""Benchmark: knob sensitivity of the ultimate compound planner.
+
+Shape assertions:
+
+* safety is flat at 100 % over the whole buffer and n_sigma grids — the
+  monitor owns safety, the knobs only trade efficiency;
+* every cell's mean eta stays within a narrow band of the default
+  configuration's (the framework is not knife-edge tuned).
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    BUFFER_GRID,
+    N_SIGMA_GRID,
+    render_sensitivity,
+    sweep_buffers,
+    sweep_n_sigma,
+)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_sensitivity(benchmark, sweep_config, run_once):
+    def run():
+        return (
+            sweep_buffers(sweep_config),
+            sweep_n_sigma(sweep_config),
+        )
+
+    buffers, sigmas = run_once(benchmark, run)
+    print()
+    print(render_sensitivity(buffers, sigmas))
+
+    assert set(buffers) == set(BUFFER_GRID)
+    assert set(sigmas) == set(N_SIGMA_GRID)
+    for stats in list(buffers.values()) + list(sigmas.values()):
+        assert stats.safe_rate == 1.0
+
+    default_eta = buffers[(0.5, 1.0)].mean_eta
+    for stats in list(buffers.values()) + list(sigmas.values()):
+        assert stats.mean_eta == pytest.approx(default_eta, abs=0.02)

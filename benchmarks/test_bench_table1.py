@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Table I (conservative planner family).
+
+Shape assertions (the paper's claims):
+
+* every configuration is 100 % safe;
+* the basic compound planner's reaching time matches the pure NN
+  planner's (monitor alone costs nothing for a conservative planner);
+* the ultimate compound planner is faster than both and achieves the
+  best mean eta in every communication setting;
+* reaching time degrades monotonically from no-disturbance to
+  messages-lost for the pure planner.
+"""
+
+import pytest
+
+from repro.experiments.config import SETTING_NAMES
+from repro.experiments.table1 import render, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, bench_config, run_once):
+    table = run_once(benchmark, lambda: run_table1(bench_config))
+    print()
+    print(render(table))
+
+    by = {
+        setting: {row.planner_type: row for row in rows}
+        for setting, rows in table.items()
+    }
+    for setting in SETTING_NAMES:
+        rows = by[setting]
+        # 100 % safe everywhere.
+        for row in rows.values():
+            assert row.stats.safe_rate == 1.0, (setting, row.planner_type)
+        # Basic tracks pure closely (same estimator, same windows).
+        assert rows["basic"].stats.mean_reaching_time == pytest.approx(
+            rows["pure"].stats.mean_reaching_time, rel=0.05
+        )
+        # Ultimate is the fastest and has the best eta.
+        assert (
+            rows["ultimate"].stats.mean_reaching_time
+            < rows["pure"].stats.mean_reaching_time
+        )
+        assert rows["ultimate"].stats.mean_eta == max(
+            r.stats.mean_eta for r in rows.values()
+        )
+        # The ultimate planner actually uses the monitor.
+        assert rows["ultimate"].stats.mean_emergency_frequency > 0.0
+
+    # Disturbance slows the pure planner down monotonically across the
+    # three settings (no_disturbance -> delayed -> lost).
+    pure_times = [
+        by[s]["pure"].stats.mean_reaching_time for s in SETTING_NAMES
+    ]
+    assert pure_times[0] <= pure_times[1] <= pure_times[2]

@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Table II (aggressive planner family).
+
+Shape assertions (the paper's claims):
+
+* the pure aggressive NN planner collides in a large fraction of runs
+  (the paper reports 38-44 % collisions) while staying the fastest over
+  its safe runs;
+* both compound planners are 100 % safe in every setting;
+* the ultimate compound planner reaches faster than the basic one and
+  attains the best mean eta;
+* the compound planners' emergency frequency is substantial (the
+  aggressive planner rides the monitor).
+"""
+
+import pytest
+
+from repro.experiments.config import SETTING_NAMES
+from repro.experiments.table2 import render, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark, bench_config, run_once):
+    table = run_once(benchmark, lambda: run_table2(bench_config))
+    print()
+    print(render(table))
+
+    by = {
+        setting: {row.planner_type: row for row in rows}
+        for setting, rows in table.items()
+    }
+    for setting in SETTING_NAMES:
+        rows = by[setting]
+        # The pure planner is meaningfully unsafe...
+        assert 0.30 <= rows["pure"].stats.safe_rate <= 0.85, setting
+        # ...and negative in mean eta as a result.
+        assert rows["pure"].stats.mean_eta < 0.0
+        # The compound planners are fully safe.
+        assert rows["basic"].stats.safe_rate == 1.0
+        assert rows["ultimate"].stats.safe_rate == 1.0
+        # Ultimate beats basic on both reaching time and eta.
+        assert (
+            rows["ultimate"].stats.mean_reaching_time
+            <= rows["basic"].stats.mean_reaching_time + 1e-9
+        )
+        assert (
+            rows["ultimate"].stats.mean_eta
+            >= rows["basic"].stats.mean_eta - 1e-9
+        )
+        # Aggressive riding: double-digit emergency frequencies.
+        assert rows["ultimate"].stats.mean_emergency_frequency > 0.10
+        # Paired winning percentage against the unsafe pure planner is
+        # at least the pure planner's collision rate (the ultimate wins
+        # every crashed run outright).
+        assert (
+            rows["pure"].ultimate_wins
+            >= 1.0 - rows["pure"].stats.safe_rate - 1e-9
+        )

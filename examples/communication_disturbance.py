@@ -1,0 +1,58 @@
+"""How communication disturbance degrades planning (Figure 5 style).
+
+Sweeps the message drop probability and the sensor uncertainty and
+prints, for the conservative planner family, the reaching-time and
+emergency-frequency series — the qualitative content of the paper's
+Figure 5.
+
+Run: ``python examples/communication_disturbance.py [--sims N]``
+"""
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure5 import (
+    render_sweep,
+    sweep_drop,
+    sweep_sensor,
+)
+from repro.planners.training_data import DemonstrationConfig
+
+DROPS = (0.0, 0.3, 0.6, 0.9)
+DELTAS = (1.0, 2.2, 3.4, 4.6)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=40)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        n_sims=args.sims,
+        demo_config=DemonstrationConfig(n_random=3000, n_rollouts=50),
+        epochs=150,
+    )
+
+    print("sweeping message drop probability (delay fixed at 0.25 s)...")
+    drop = sweep_drop(config, DROPS)
+    print(render_sweep("Fig. 5c/5d", "drop prob", DROPS, drop))
+
+    print("\nsweeping sensor uncertainty (messages always lost)...")
+    sensor = sweep_sensor(config, DELTAS)
+    print(render_sweep("Fig. 5e/5f", "sensor delta", DELTAS, sensor))
+
+    # The paper's qualitative takeaways, checked live:
+    r = drop["reaching_time"]
+    assert r["ultimate"][-1] <= r["pure"][-1] + 0.05, (
+        "the ultimate compound planner should stay ahead under severe "
+        "disturbance"
+    )
+    print(
+        "\nTakeaway: disturbance slows every planner, but the information "
+        "filter + aggressive unsafe set keep the ultimate compound planner "
+        "ahead of the pure NN planner across the sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

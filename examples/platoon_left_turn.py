@@ -1,0 +1,93 @@
+"""Left turn against a platoon of oncoming vehicles (extension).
+
+The paper's system model is n-vehicle but its case study uses one
+oncoming car; this example runs the framework against a platoon of
+three, using the gap-acceptance expert: the ego either beats the whole
+platoon, threads a gap between merged conflict windows, or waits out
+the last vehicle — and the disjunctive runtime monitor guarantees
+safety against *every* platoon member simultaneously.
+
+Run: ``python examples/platoon_left_turn.py [--sims N] [--vehicles K]``
+"""
+
+import argparse
+
+from repro import (
+    AggregateStats,
+    BatchRunner,
+    CommSetup,
+    CompoundPlanner,
+    EstimatorKind,
+    NoiseBounds,
+    RuntimeMonitor,
+    SimulationConfig,
+    SimulationEngine,
+    messages_delayed,
+)
+from repro.analysis.batch import summarize_batch
+from repro.scenarios.left_turn.multi import MultiOncomingLeftTurnScenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=40)
+    parser.add_argument("--vehicles", type=int, default=3)
+    args = parser.parse_args()
+
+    scenario = MultiOncomingLeftTurnScenario(n_oncoming=args.vehicles)
+    engine = SimulationEngine(
+        scenario,
+        CommSetup(
+            dt_m=0.1,
+            dt_s=0.1,
+            disturbance=messages_delayed(0.25, 0.3),
+            sensor_bounds=NoiseBounds.uniform_all(1.0),
+        ),
+        SimulationConfig(max_time=40.0),
+    )
+
+    shielded_aggressive = CompoundPlanner(
+        nn_planner=scenario.gap_expert(aggressive=True),
+        emergency_planner=scenario.emergency_planner(),
+        monitor=RuntimeMonitor(scenario.safety_model()),
+        limits=scenario.ego_limits,
+    )
+
+    rows = (
+        ("pure aggressive gap expert", scenario.gap_expert(aggressive=True),
+         EstimatorKind.RAW),
+        ("shielded aggressive       ", shielded_aggressive,
+         EstimatorKind.FILTERED),
+    )
+    print(
+        f"unprotected left turn against {args.vehicles} oncoming vehicles "
+        f"({args.sims} simulations each)\n"
+    )
+    batches = {}
+    for label, planner, kind in rows:
+        results = BatchRunner(engine, kind).run_batch(
+            planner, args.sims, seed=29
+        )
+        batches[label] = results
+        stats = AggregateStats.from_results(results)
+        print(
+            f"{label} safe: {stats.safe_rate:6.1%}  reaching: "
+            f"{stats.mean_reaching_time:6.2f}s  eta: {stats.mean_eta:+.3f}  "
+            f"emergency: {stats.mean_emergency_frequency:5.1%}"
+        )
+
+    print("\nshielded batch, in depth:")
+    print(summarize_batch(batches["shielded aggressive       "]).render())
+
+    shielded_stats = AggregateStats.from_results(
+        batches["shielded aggressive       "]
+    )
+    assert shielded_stats.safe_rate == 1.0
+    print(
+        "\nThe disjunctive monitor protects against every platoon member "
+        "at once; gap acceptance preserves efficiency."
+    )
+
+
+if __name__ == "__main__":
+    main()

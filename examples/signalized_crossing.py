@@ -1,0 +1,101 @@
+"""Signalized intersection: shielding against a deterministic schedule.
+
+A third scenario family: the conflict "window" is the traffic light's
+red phase — a schedule known exactly in advance, with no messages or
+sensors involved.  The same monitor algebra that guards the left turn
+guards the red phase; this example sweeps the light's phase offset and
+compares:
+
+* a GLOSA green-wave planner (paces its approach to hit the green);
+* a red-light runner (cruises through regardless) — the unsafe baseline;
+* the red-light runner wrapped in the compound planner — safe at every
+  phase, held at the line by the monitor exactly while the red lasts.
+
+Run: ``python examples/signalized_crossing.py``
+"""
+
+from repro import (
+    CommSetup,
+    CompoundPlanner,
+    EstimatorKind,
+    Outcome,
+    RuntimeMonitor,
+    SimulationConfig,
+    SimulationEngine,
+)
+from repro.analysis.text_plot import line_chart
+from repro.scenarios.signalized import SignalizedCrossingScenario
+from repro.sim.runner import BatchRunner
+
+OFFSETS = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+
+
+def main() -> None:
+    base = SignalizedCrossingScenario()
+    print(
+        f"crossing a {base.light.green:.0f}s-green / "
+        f"{base.light.red:.0f}s-red intersection, sweeping the phase "
+        f"offset\n"
+    )
+
+    series = {"glosa": [], "shielded runner": []}
+    violations = 0
+    header = f"{'offset':>7} {'glosa':>10} {'runner':>12} {'shielded':>10}"
+    print(header)
+    print("-" * len(header))
+    for offset in OFFSETS:
+        scenario = base.with_offset(offset)
+        engine = SimulationEngine(
+            scenario,
+            CommSetup.perfect(),
+            SimulationConfig(max_time=40.0, record_trajectories=False),
+        )
+        runner = BatchRunner(engine, EstimatorKind.RAW)
+
+        glosa = runner.run_one(scenario.green_wave_planner(), seed=0)
+        naive = runner.run_one(scenario.red_light_runner(), seed=0)
+        shielded = runner.run_one(
+            CompoundPlanner(
+                nn_planner=scenario.red_light_runner(),
+                emergency_planner=scenario.emergency_planner(),
+                monitor=RuntimeMonitor(scenario.safety_model()),
+                limits=scenario.ego_limits,
+            ),
+            seed=0,
+        )
+        assert glosa.outcome is Outcome.REACHED
+        assert shielded.outcome is Outcome.REACHED
+        if naive.outcome is Outcome.COLLISION:
+            violations += 1
+        series["glosa"].append(glosa.reaching_time)
+        series["shielded runner"].append(shielded.reaching_time)
+        naive_cell = (
+            f"{naive.reaching_time:.2f}s"
+            if naive.outcome is Outcome.REACHED
+            else "RED VIOLATION"
+        )
+        print(
+            f"{offset:>7.1f} {glosa.reaching_time:>9.2f}s "
+            f"{naive_cell:>12} {shielded.reaching_time:>9.2f}s"
+        )
+
+    print()
+    print(
+        line_chart(
+            OFFSETS,
+            series,
+            width=52,
+            height=10,
+            title="reaching time vs light phase offset",
+            y_label="seconds",
+        )
+    )
+    print(
+        f"\nThe naive runner violated the red at {violations}/{len(OFFSETS)} "
+        f"offsets; both the GLOSA planner and the shielded runner crossed "
+        f"safely at every phase."
+    )
+
+
+if __name__ == "__main__":
+    main()

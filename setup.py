@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs on
+older setuptools; this offline-friendly shim lets
+``python setup.py develop`` (or ``pip install -e . --no-use-pep517``)
+work from the metadata in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Command-line dispatcher: ``python -m repro <experiment> [args]``.
+
+A thin front door over the experiment harnesses so the whole
+reproduction is reachable from one command:
+
+.. code-block:: console
+
+    $ python -m repro table1 --sims 300
+    $ python -m repro table2
+    $ python -m repro figure5 --sims 100
+    $ python -m repro figure6 --trajectories 200
+    $ python -m repro ablation --style conservative
+    $ python -m repro sensitivity
+    $ python -m repro all          # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import ablation, figure5, figure6, sensitivity
+from repro.experiments import table1, table2
+
+_COMMANDS: Dict[str, Callable] = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "figure5": figure5.main,
+    "figure6": figure6.main,
+    "ablation": ablation.main,
+    "sensitivity": sensitivity.main,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Dispatch to an experiment harness; 0 on success."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("commands:", ", ".join([*_COMMANDS, "all"]))
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "all":
+        for name in ("table1", "table2", "figure5", "figure6", "ablation"):
+            print(f"\n===== {name} =====")
+            _COMMANDS[name](rest)
+        return 0
+    if command not in _COMMANDS:
+        print(f"unknown command {command!r}; expected one of "
+              f"{', '.join([*_COMMANDS, 'all'])}")
+        return 2
+    _COMMANDS[command](rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Trajectory and batch analysis: comfort, separation, distributions."""
+
+from repro.analysis.metrics import (
+    ComfortMetrics,
+    SeparationMetrics,
+    comfort_metrics,
+    minimum_separation,
+    speed_statistics,
+)
+from repro.analysis.batch import BatchSummary, summarize_batch
+
+__all__ = [
+    "ComfortMetrics",
+    "SeparationMetrics",
+    "comfort_metrics",
+    "minimum_separation",
+    "speed_statistics",
+    "BatchSummary",
+    "summarize_batch",
+]

@@ -1,0 +1,142 @@
+"""Batch-level analysis beyond the paper's table columns.
+
+:func:`summarize_batch` folds per-run records into distributional
+summaries (reaching-time percentiles, eta histogram buckets, emergency
+usage distribution, comfort over the ego trajectories when recorded) —
+the diagnostics a practitioner looks at before trusting the headline
+means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import ComfortMetrics, comfort_metrics
+from repro.errors import SimulationError
+from repro.sim.results import Outcome, SimulationResult
+
+__all__ = ["BatchSummary", "summarize_batch"]
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Distributional summary of one batch.
+
+    Attributes
+    ----------
+    n_runs, n_collisions, n_timeouts:
+        Outcome counts.
+    reaching_percentiles:
+        ``{5, 25, 50, 75, 95}`` percentiles of the reaching time over
+        completed safe runs (empty dict when none completed).
+    eta_mean, eta_std:
+        Moments of the eta distribution.
+    emergency_percentiles:
+        Percentiles of the per-run emergency frequency.
+    comfort:
+        Mean comfort metrics over the recorded ego trajectories
+        (``None`` when trajectories were not recorded).
+    """
+
+    n_runs: int
+    n_collisions: int
+    n_timeouts: int
+    reaching_percentiles: Dict[int, float]
+    eta_mean: float
+    eta_std: float
+    emergency_percentiles: Dict[int, float]
+    comfort: Optional[ComfortMetrics] = None
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"runs: {self.n_runs}  collisions: {self.n_collisions}  "
+            f"timeouts: {self.n_timeouts}",
+            f"eta: {self.eta_mean:+.4f} ± {self.eta_std:.4f}",
+        ]
+        if self.reaching_percentiles:
+            cells = "  ".join(
+                f"p{p}={v:.2f}s"
+                for p, v in sorted(self.reaching_percentiles.items())
+            )
+            lines.append(f"reaching time: {cells}")
+        cells = "  ".join(
+            f"p{p}={100 * v:.1f}%"
+            for p, v in sorted(self.emergency_percentiles.items())
+        )
+        lines.append(f"emergency frequency: {cells}")
+        if self.comfort is not None:
+            lines.append(
+                f"comfort (mean over runs): peak accel "
+                f"{self.comfort.peak_acceleration:+.2f}, peak decel "
+                f"{self.comfort.peak_deceleration:+.2f}, rms jerk "
+                f"{self.comfort.rms_jerk:.2f}"
+            )
+        return "\n".join(lines)
+
+
+_PERCENTILES = (5, 25, 50, 75, 95)
+
+
+def summarize_batch(results: Sequence[SimulationResult]) -> BatchSummary:
+    """Fold a batch of results into a :class:`BatchSummary`."""
+    if not results:
+        raise SimulationError("cannot summarize an empty batch")
+    etas = np.array([r.eta for r in results])
+    reached = [
+        r.reaching_time
+        for r in results
+        if r.outcome is Outcome.REACHED and r.reaching_time is not None
+    ]
+    emergency = np.array([r.emergency_frequency for r in results])
+
+    comfort = _mean_comfort(results)
+    return BatchSummary(
+        n_runs=len(results),
+        n_collisions=sum(
+            1 for r in results if r.outcome is Outcome.COLLISION
+        ),
+        n_timeouts=sum(1 for r in results if r.outcome is Outcome.TIMEOUT),
+        reaching_percentiles=(
+            {
+                p: float(np.percentile(reached, p))
+                for p in _PERCENTILES
+            }
+            if reached
+            else {}
+        ),
+        eta_mean=float(np.mean(etas)),
+        eta_std=float(np.std(etas)),
+        emergency_percentiles={
+            p: float(np.percentile(emergency, p)) for p in _PERCENTILES
+        },
+        comfort=comfort,
+    )
+
+
+def _mean_comfort(
+    results: Sequence[SimulationResult],
+) -> Optional[ComfortMetrics]:
+    """Mean per-field comfort metrics over recorded ego trajectories."""
+    metrics: List[ComfortMetrics] = []
+    for result in results:
+        if result.trajectories and len(result.trajectories[0]) >= 2:
+            metrics.append(comfort_metrics(result.trajectories[0]))
+    if not metrics:
+        return None
+    return ComfortMetrics(
+        peak_acceleration=float(
+            np.mean([m.peak_acceleration for m in metrics])
+        ),
+        peak_deceleration=float(
+            np.mean([m.peak_deceleration for m in metrics])
+        ),
+        rms_acceleration=float(
+            np.mean([m.rms_acceleration for m in metrics])
+        ),
+        peak_jerk=float(np.mean([m.peak_jerk for m in metrics])),
+        rms_jerk=float(np.mean([m.rms_jerk for m in metrics])),
+    )

@@ -1,0 +1,181 @@
+"""Per-trajectory quality metrics.
+
+The paper's evaluation function ``eta`` scores only safety and reaching
+time; a deployable planner also cares about ride quality and how close
+calls actually got.  This module computes the standard secondary
+metrics from recorded trajectories:
+
+* **comfort** — peak/RMS acceleration and jerk (the derivative of the
+  applied acceleration across control steps);
+* **separation** — the minimum spatial/temporal separation between the
+  ego and another vehicle over a run (for the left turn, the margin by
+  which the unsafe area was shared; for car following, the minimum gap);
+* **speed statistics** — time-weighted mean and peak speed.
+
+All functions operate on :class:`repro.dynamics.trajectory.Trajectory`
+objects as recorded by the simulation engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.trajectory import Trajectory
+from repro.errors import SimulationError
+
+__all__ = [
+    "ComfortMetrics",
+    "SeparationMetrics",
+    "comfort_metrics",
+    "minimum_separation",
+    "speed_statistics",
+    "SpeedStatistics",
+]
+
+
+@dataclass(frozen=True)
+class ComfortMetrics:
+    """Acceleration/jerk summary of one trajectory.
+
+    Attributes
+    ----------
+    peak_acceleration, peak_deceleration:
+        Most positive and most negative applied commands, m/s².
+    rms_acceleration:
+        Root-mean-square of the applied command, m/s².
+    peak_jerk:
+        Largest |step-to-step change of the command| / dt, m/s³.
+    rms_jerk:
+        RMS jerk, m/s³.
+    """
+
+    peak_acceleration: float
+    peak_deceleration: float
+    rms_acceleration: float
+    peak_jerk: float
+    rms_jerk: float
+
+    @property
+    def comfortable(self) -> bool:
+        """Rule-of-thumb comfort: |a| <= 3 m/s², jerk <= 30 m/s³.
+
+        Emergency interventions intentionally violate this; the metric
+        exists to *measure* how often, not to forbid it.
+        """
+        return (
+            self.peak_acceleration <= 3.0
+            and self.peak_deceleration >= -3.0
+            and self.peak_jerk <= 30.0
+        )
+
+
+def comfort_metrics(trajectory: Trajectory) -> ComfortMetrics:
+    """Compute :class:`ComfortMetrics` from one recorded trajectory."""
+    if len(trajectory) < 2:
+        raise SimulationError(
+            "comfort metrics need at least two trajectory samples"
+        )
+    accel = trajectory.accelerations()
+    times = trajectory.times()
+    dts = np.diff(times)
+    jerk = np.diff(accel) / dts
+    return ComfortMetrics(
+        peak_acceleration=float(np.max(accel)),
+        peak_deceleration=float(np.min(accel)),
+        rms_acceleration=float(np.sqrt(np.mean(accel**2))),
+        peak_jerk=float(np.max(np.abs(jerk))) if len(jerk) else 0.0,
+        rms_jerk=float(np.sqrt(np.mean(jerk**2))) if len(jerk) else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class SeparationMetrics:
+    """Closest approach between two trajectories.
+
+    Attributes
+    ----------
+    min_distance:
+        Minimum |p_a - p_b| over common samples (coordinate distance;
+        for vehicles on different paths interpret per scenario).
+    time_of_min:
+        When the minimum occurred.
+    min_time_headway:
+        Minimum ``distance / ego_speed`` over samples with the ego
+        moving (``inf`` if it never moved).
+    """
+
+    min_distance: float
+    time_of_min: float
+    min_time_headway: float
+
+
+def minimum_separation(
+    ego: Trajectory, other: Trajectory
+) -> SeparationMetrics:
+    """Closest coordinate approach between two recorded trajectories.
+
+    Samples are matched on the ego's timestamps (the engine records all
+    vehicles on the same schedule; the other trajectory's latest sample
+    at or before each ego time is used, so mismatched lengths at episode
+    end are tolerated).
+    """
+    if ego.is_empty or other.is_empty:
+        raise SimulationError("separation needs non-empty trajectories")
+    min_distance = math.inf
+    time_of_min = ego.start_time
+    min_headway = math.inf
+    for point in ego:
+        if point.time < other.start_time:
+            continue
+        q = other.at_or_before(point.time)
+        distance = abs(q.position - point.position)
+        if distance < min_distance:
+            min_distance = distance
+            time_of_min = point.time
+        if point.velocity > 1e-6:
+            min_headway = min(min_headway, distance / point.velocity)
+    return SeparationMetrics(
+        min_distance=min_distance,
+        time_of_min=time_of_min,
+        min_time_headway=min_headway,
+    )
+
+
+@dataclass(frozen=True)
+class SpeedStatistics:
+    """Time-weighted speed summary of one trajectory."""
+
+    mean_speed: float
+    peak_speed: float
+    stopped_fraction: float
+
+    @property
+    def kept_moving(self) -> bool:
+        """Whether the vehicle never (measurably) stopped."""
+        return self.stopped_fraction == 0.0
+
+
+def speed_statistics(
+    trajectory: Trajectory, stopped_threshold: float = 0.1
+) -> SpeedStatistics:
+    """Time-weighted mean/peak speed and the fraction of time stopped."""
+    if len(trajectory) < 2:
+        raise SimulationError(
+            "speed statistics need at least two trajectory samples"
+        )
+    speeds = np.abs(trajectory.velocities())
+    times = trajectory.times()
+    dts = np.diff(times)
+    # Piecewise-constant weighting by the interval each sample opens.
+    weighted = speeds[:-1]
+    total = float(np.sum(dts))
+    return SpeedStatistics(
+        mean_speed=float(np.sum(weighted * dts) / total),
+        peak_speed=float(np.max(speeds)),
+        stopped_fraction=float(
+            np.sum(dts[weighted < stopped_threshold]) / total
+        ),
+    )

@@ -1,0 +1,170 @@
+"""Terminal plotting: line charts and sparklines without matplotlib.
+
+The reproduction is deliberately dependency-light; these helpers render
+the figure series as Unicode charts so the examples can *show* a trend,
+not just print a table.
+
+* :func:`line_chart` — a multi-series scatter/line chart on a character
+  grid with axes and a legend;
+* :func:`sparkline` — a one-line eight-level bar summary of a series;
+* :func:`histogram` — a horizontal-bar distribution view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "sparkline", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level bar summary of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    finite = [v for v in series if math.isfinite(v)]
+    if not finite:
+        return " " * len(series)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in series:
+        if not math.isfinite(v):
+            out.append(" ")
+        elif span == 0.0:
+            out.append(_SPARK_LEVELS[0])
+        else:
+            level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+            out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 14,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """A multi-series character chart with axes and a legend.
+
+    Parameters
+    ----------
+    xs:
+        Shared x values (need not be evenly spaced).
+    series:
+        Mapping of series name to y values (same length as ``xs``).
+    width, height:
+        Plot-area size in characters.
+    title, y_label:
+        Decorations.
+    """
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart area too small")
+    xs = [float(x) for x in xs]
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} length {len(ys)} != {len(xs)}"
+            )
+
+    all_y = [
+        float(y)
+        for ys in series.values()
+        for y in ys
+        if math.isfinite(float(y))
+    ]
+    if not all_y:
+        raise ConfigurationError("no finite values to plot")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            y = float(y)
+            if not math.isfinite(y):
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:>{label_width}.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:>{label_width}.3g}"
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{'':>{label_width}} +{'-' * width}+"
+    lines.append(x_axis)
+    lines.append(
+        f"{'':>{label_width}}  {x_lo:<{width // 2}.3g}{x_hi:>{width // 2}.3g}"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    if y_label:
+        lines.append(f"{'':>{label_width}}  y: {y_label}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal-bar histogram of a sample.
+
+    NaNs are dropped; the bin edges are printed per row.
+    """
+    if bins < 1:
+        raise ConfigurationError("bins must be >= 1")
+    sample = [float(v) for v in values if math.isfinite(float(v))]
+    if not sample:
+        raise ConfigurationError("no finite values to histogram")
+    lo, hi = min(sample), max(sample)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in sample:
+        index = min(int((v - lo) / (hi - lo) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        edge_lo = lo + (hi - lo) * i / bins
+        edge_hi = lo + (hi - lo) * (i + 1) / bins
+        bar = "█" * (0 if peak == 0 else round(width * count / peak))
+        lines.append(
+            f"[{edge_lo:8.3g}, {edge_hi:8.3g}) {bar} {count}"
+        )
+    return "\n".join(lines)

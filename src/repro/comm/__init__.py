@@ -1,0 +1,20 @@
+"""V2V communication substrate: messages, disturbed channels, presets."""
+
+from repro.comm.message import Message
+from repro.comm.channel import Channel, ChannelStats
+from repro.comm.disturbance import (
+    DisturbanceModel,
+    messages_delayed,
+    messages_lost,
+    no_disturbance,
+)
+
+__all__ = [
+    "Message",
+    "Channel",
+    "ChannelStats",
+    "DisturbanceModel",
+    "no_disturbance",
+    "messages_delayed",
+    "messages_lost",
+]

@@ -1,0 +1,172 @@
+"""The disturbed V2V channel.
+
+A :class:`Channel` connects one broadcasting vehicle to the ego receiver.
+Every ``dt_m`` seconds the simulation engine offers the sender's exact
+state to the channel; the channel applies its
+:class:`~repro.comm.disturbance.DisturbanceModel` (drop, then fixed delay)
+and queues surviving messages for delivery.  The receiver polls
+:meth:`Channel.receive` each control step and gets every message whose
+delivery time has passed, in delivery order.
+
+The channel also keeps delivery statistics (:class:`ChannelStats`) used by
+tests and by the experiment reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.comm.disturbance import DisturbanceModel, no_disturbance
+from repro.comm.message import Message
+from repro.dynamics.state import VehicleState
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["Channel", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Counters of what happened on a channel during a simulation."""
+
+    sent: int = 0
+    dropped: int = 0
+    delivered: int = 0
+    #: Total delay accumulated over delivered messages (for the mean).
+    total_delay: float = field(default=0.0, repr=False)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered."""
+        return self.sent - self.dropped - self.delivered
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of sent messages that were dropped (0 if none sent)."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean delivery delay over delivered messages (0 if none)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.total_delay / self.delivered
+
+
+class Channel:
+    """Unidirectional message channel from one sender to the ego vehicle.
+
+    Parameters
+    ----------
+    period:
+        Transmission period ``dt_m``: the sender broadcasts at
+        ``t = 0, dt_m, 2*dt_m, ...``.
+    disturbance:
+        Drop/delay model; defaults to perfect communication.
+    rng:
+        Stream used for drop decisions.  Required whenever the
+        disturbance has ``0 < p_d < 1``.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        disturbance: Optional[DisturbanceModel] = None,
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        self._period = check_positive(period, "period")
+        self._disturbance = disturbance if disturbance is not None else no_disturbance()
+        needs_rng = 0.0 < self._disturbance.drop_probability < 1.0
+        if needs_rng and rng is None:
+            raise ConfigurationError(
+                "a Channel with probabilistic drops requires an rng stream"
+            )
+        self._rng = rng
+        self._queue: List[Tuple[float, int, Message]] = []
+        self._tiebreak = itertools.count()
+        self._stats = ChannelStats()
+        self._next_send_index = 0
+
+    @property
+    def period(self) -> float:
+        """Transmission period ``dt_m``."""
+        return self._period
+
+    @property
+    def disturbance(self) -> DisturbanceModel:
+        """The channel's disturbance model."""
+        return self._disturbance
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Delivery statistics accumulated so far."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def is_transmission_time(self, time: float, tol: float = 1e-9) -> bool:
+        """Whether ``time`` falls on the broadcast schedule.
+
+        The engine drives the schedule by control-step index, so this is a
+        convenience mainly for tests and standalone use.
+        """
+        ratio = time / self._period
+        return abs(ratio - round(ratio)) <= tol * max(1.0, abs(ratio))
+
+    def send(self, sender: int, time: float, state: VehicleState) -> bool:
+        """Offer a broadcast to the channel.
+
+        Applies the drop decision; surviving messages are queued for
+        delivery at ``time + dt_d``.
+
+        Returns
+        -------
+        bool
+            ``True`` if the message was accepted (will eventually be
+            delivered), ``False`` if it was dropped.
+        """
+        self._stats.sent += 1
+        if self._disturbance.always_drops:
+            self._stats.dropped += 1
+            return False
+        if self._disturbance.drop_probability > 0.0:
+            assert self._rng is not None  # enforced in __init__
+            if self._disturbance.is_dropped(self._rng):
+                self._stats.dropped += 1
+                return False
+        message = Message(sender=sender, stamp=float(time), state=state)
+        delivery_time = float(time) + self._disturbance.delivery_delay()
+        heapq.heappush(
+            self._queue, (delivery_time, next(self._tiebreak), message)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def receive(self, now: float) -> List[Message]:
+        """Pop every message whose delivery time is at or before ``now``.
+
+        Messages are returned in delivery order (FIFO among equal delivery
+        times).
+        """
+        delivered: List[Message] = []
+        while self._queue and self._queue[0][0] <= float(now) + 1e-12:
+            delivery_time, _, message = heapq.heappop(self._queue)
+            self._stats.delivered += 1
+            self._stats.total_delay += delivery_time - message.stamp
+            delivered.append(message)
+        return delivered
+
+    def peek_next_delivery(self) -> Optional[float]:
+        """Delivery time of the next queued message, or ``None``."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]

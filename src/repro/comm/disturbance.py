@@ -1,0 +1,106 @@
+"""Communication disturbance models and the paper's three presets.
+
+Section V of the paper evaluates three communication settings:
+
+* **no disturbance** — every message arrives immediately;
+* **messages delayed** — each message is independently dropped with
+  probability ``p_d``; surviving messages are delivered after a fixed
+  delay ``dt_d`` (the paper uses ``dt_d = 0.25 s`` and sweeps
+  ``p_d in {0, 0.05, ..., 0.95}``);
+* **messages lost** — every message is dropped, so the ego must rely on
+  its noisy onboard sensors alone.
+
+A :class:`DisturbanceModel` decides, per message, whether it is dropped
+and how long its delivery is delayed.  Randomness comes from the stream
+passed at decision time so one model instance can serve many seeded
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_nonnegative, check_probability
+
+__all__ = [
+    "DisturbanceModel",
+    "no_disturbance",
+    "messages_delayed",
+    "messages_lost",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DisturbanceModel:
+    """Per-message drop probability and delivery delay.
+
+    Attributes
+    ----------
+    delay:
+        Fixed delivery delay ``dt_d`` (seconds) applied to every message
+        that is not dropped.
+    drop_probability:
+        Independent probability ``p_d`` that a message never arrives.
+        ``1.0`` models the paper's "messages lost" setting.
+    """
+
+    delay: float = 0.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "delay", check_nonnegative(self.delay, "delay"))
+        object.__setattr__(
+            self,
+            "drop_probability",
+            check_probability(self.drop_probability, "drop_probability"),
+        )
+
+    @property
+    def always_drops(self) -> bool:
+        """Whether no message ever gets through (``p_d == 1``)."""
+        return self.drop_probability >= 1.0
+
+    def is_dropped(self, rng: RngStream) -> bool:
+        """Draw the drop decision for one message."""
+        return rng.bernoulli(self.drop_probability)
+
+    def delivery_delay(self) -> float:
+        """Delay applied to a message that survives the drop decision."""
+        return self.delay
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in reports)."""
+        if self.always_drops:
+            return "messages lost (always dropped)"
+        if self.delay == 0.0 and self.drop_probability == 0.0:
+            return "no disturbance"
+        return (
+            f"delay={self.delay:g}s, drop probability={self.drop_probability:g}"
+        )
+
+
+def no_disturbance() -> DisturbanceModel:
+    """The paper's "no disturbance" setting: immediate, lossless delivery."""
+    return DisturbanceModel(delay=0.0, drop_probability=0.0)
+
+
+def messages_delayed(
+    delay: float = 0.25, drop_probability: float = 0.0
+) -> DisturbanceModel:
+    """The paper's "messages delayed" setting.
+
+    Parameters
+    ----------
+    delay:
+        Fixed delay ``dt_d``; the paper uses 0.25 s.
+    drop_probability:
+        Independent drop probability ``p_d``; the paper sweeps
+        ``{0.05 j | j = 0..19}``.
+    """
+    return DisturbanceModel(delay=delay, drop_probability=drop_probability)
+
+
+def messages_lost() -> DisturbanceModel:
+    """The paper's "messages lost" setting: communication is unavailable."""
+    return DisturbanceModel(delay=0.0, drop_probability=1.0)

@@ -1,0 +1,55 @@
+"""V2V message content.
+
+Per the paper's system model (Section II-A, "Message"), every ``dt_m``
+seconds each connected vehicle broadcasts its exact state
+``(p_i(t), v_i(t), a_i(t))`` stamped with the sampling time ``t``.  The
+*content* is accurate; only its *delivery* may be delayed or dropped,
+which the :mod:`repro.comm.channel` module models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ConfigurationError
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A stamped state broadcast by one vehicle.
+
+    Attributes
+    ----------
+    sender:
+        Index of the broadcasting vehicle (1..n-1; the ego does not send
+        to itself).
+    stamp:
+        The timestamp ``t_k`` at which ``state`` was sampled.  The
+        receiver uses ``stamp`` for reachability analysis and for the
+        Kalman-filter message replay.
+    state:
+        The exact ``(p, v, a)`` of the sender at ``stamp``.
+    """
+
+    sender: int
+    stamp: float
+    state: VehicleState
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ConfigurationError(
+                f"Message.sender must be >= 0, got {self.sender}"
+            )
+        if math.isnan(float(self.stamp)):
+            raise ConfigurationError("Message.stamp must not be NaN")
+
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the message content was sampled."""
+        return float(now) - self.stamp
+
+    def __str__(self) -> str:
+        return f"msg[C{self.sender} @ t={self.stamp:.3f}s: {self.state}]"

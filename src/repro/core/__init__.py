@@ -1,0 +1,17 @@
+"""The paper's primary contribution: monitor, emergency switch, compound planner."""
+
+from repro.core.unsafe_set import SafetyModel
+from repro.core.monitor import MonitorDecision, RuntimeMonitor
+from repro.core.aggressive import AggressiveConfig
+from repro.core.compound import CompoundPlanner
+from repro.core.verification import CertificationReport, certify
+
+__all__ = [
+    "SafetyModel",
+    "RuntimeMonitor",
+    "MonitorDecision",
+    "AggressiveConfig",
+    "CompoundPlanner",
+    "certify",
+    "CertificationReport",
+]

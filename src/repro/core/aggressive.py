@@ -1,0 +1,47 @@
+"""Configuration of the aggressive unsafe-set estimation (Section III-C).
+
+The aggressive estimation replaces the physical limits in the passing-
+window computation by small buffers around the observed behaviour.  The
+buffers are "user-defined" in the paper; this dataclass carries them plus
+the on/off switch that distinguishes the *ultimate* compound planner
+(aggressive estimation on) from the *basic* one (off — the NN planner
+sees the same conservative window as the monitor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["AggressiveConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggressiveConfig:
+    """Buffers of Eq. (8) and the enable switch.
+
+    Attributes
+    ----------
+    enabled:
+        Whether the NN planner is fed the aggressive (reduced) unsafe
+        set.  The runtime monitor always keeps the conservative set
+        regardless.
+    a_buf:
+        Acceleration buffer around the observed acceleration, m/s².
+    v_buf:
+        Velocity buffer around the observed velocity, m/s.
+    """
+
+    enabled: bool = True
+    a_buf: float = 0.5
+    v_buf: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.a_buf, "a_buf")
+        check_nonnegative(self.v_buf, "v_buf")
+
+    @classmethod
+    def disabled(cls) -> "AggressiveConfig":
+        """The basic compound planner's configuration."""
+        return cls(enabled=False)

@@ -1,0 +1,105 @@
+"""The compound planner ``kappa_c`` (Section III-A).
+
+A :class:`CompoundPlanner` embeds any NN-based (or other) planner and
+wraps it with the runtime monitor and the emergency planner:
+
+* each step the monitor evaluates the boundary-safe-set / unsafe-set
+  predicates on the fused estimates;
+* when the monitor flags danger, the emergency planner commands the
+  step — safety is guaranteed by the Eq. (4) property of that planner;
+* otherwise the embedded planner commands the step, and its raw output
+  is sanitised (NaN/inf rejected, clipped to the actuation limits), so a
+  pathological network cannot break the safety argument.
+
+The planner also exposes per-run telemetry (emergency step count, last
+decision) that the experiment harness turns into the paper's "emergency
+frequency" column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.monitor import MonitorDecision, RuntimeMonitor
+from repro.dynamics.vehicle import VehicleLimits
+from repro.planners.base import Planner, PlanningContext, clipped
+
+__all__ = ["CompoundPlanner"]
+
+
+class CompoundPlanner:
+    """Monitor-guarded composition of an NN planner and an emergency planner.
+
+    Parameters
+    ----------
+    nn_planner:
+        The embedded planner (``kappa_n``); any object satisfying the
+        :class:`~repro.planners.base.Planner` protocol.
+    emergency_planner:
+        The scenario's emergency planner (``kappa_e``); must satisfy the
+        Eq. (4) invariant for the monitor's safety model.
+    monitor:
+        The runtime monitor, built on the scenario's conservative safety
+        model.
+    limits:
+        Ego actuation limits used to sanitise commands.
+    """
+
+    def __init__(
+        self,
+        nn_planner: Planner,
+        emergency_planner: Planner,
+        monitor: RuntimeMonitor,
+        limits: VehicleLimits,
+    ) -> None:
+        self._nn = nn_planner
+        self._emergency = emergency_planner
+        self._monitor = monitor
+        self._limits = limits
+        self._last_decision: Optional[MonitorDecision] = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def nn_planner(self) -> Planner:
+        """The embedded NN-based planner."""
+        return self._nn
+
+    @property
+    def emergency_planner(self) -> Planner:
+        """The emergency planner."""
+        return self._emergency
+
+    @property
+    def monitor(self) -> RuntimeMonitor:
+        """The runtime monitor (carries the per-run counters)."""
+        return self._monitor
+
+    @property
+    def last_decision(self) -> Optional[MonitorDecision]:
+        """The decision taken at the most recent step, if any."""
+        return self._last_decision
+
+    @property
+    def emergency_frequency(self) -> float:
+        """Fraction of steps commanded by the emergency planner."""
+        return self._monitor.emergency_frequency
+
+    # ------------------------------------------------------------------
+    # Planner protocol
+    # ------------------------------------------------------------------
+    def plan(self, context: PlanningContext) -> float:
+        """One monitored control step."""
+        decision = self._monitor.evaluate(context)
+        self._last_decision = decision
+        if decision.use_emergency:
+            command = self._emergency.plan(context)
+        else:
+            command = self._nn.plan(context)
+        return clipped(command, self._limits)
+
+    def reset(self) -> None:
+        """Clear per-run telemetry (engine calls this between runs)."""
+        self._monitor.reset()
+        self._last_decision = None

@@ -1,0 +1,55 @@
+"""The scenario-agnostic safety-model protocol.
+
+The runtime monitor of Section III-C needs two predicates over the
+information available at a control step (the ego's own state plus fused
+estimates of the other vehicles):
+
+* membership in the (conservatively estimated) **unsafe set** ``X_u`` —
+  states where a safety violation can no longer be ruled out;
+* membership in the **boundary safe set** ``X_b`` (Eq. (3)) — safe
+  states from which some admissible one-step evolution lands in ``X_u``.
+
+Scenario packages (e.g. :mod:`repro.scenarios.left_turn.unsafe_set`)
+implement this protocol from their geometry; everything in
+:mod:`repro.core` is generic over it, which is what makes the framework
+applicable "to any NN-based planner" and any scenario, as the paper
+claims.
+
+Soundness contract: both predicates must be evaluated against
+*over-approximating* estimates of the other vehicles (the conservative
+window in the left turn).  The safety theorem — a compound planner never
+enters the true unsafe set — holds exactly when the estimated ``X_u``
+contains the true one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.dynamics.state import VehicleState
+from repro.filtering.fusion import FusedEstimate
+
+__all__ = ["SafetyModel"]
+
+
+@runtime_checkable
+class SafetyModel(Protocol):
+    """Predicates the runtime monitor consults every control step."""
+
+    def in_estimated_unsafe_set(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> bool:
+        """Whether the current information cannot rule out a violation."""
+        ...
+
+    def in_boundary_safe_set(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> bool:
+        """Whether some admissible next step may enter the unsafe set."""
+        ...

@@ -1,0 +1,30 @@
+"""Vehicle dynamics substrate: states, the kinematic model, trajectories."""
+
+from repro.dynamics.state import SystemState, VehicleState
+from repro.dynamics.vehicle import VehicleLimits, VehicleModel
+from repro.dynamics.trajectory import Trajectory, TrajectoryPoint
+from repro.dynamics.profiles import (
+    AccelerationProfile,
+    BrakeThenGoProfile,
+    ConstantProfile,
+    PiecewiseProfile,
+    RandomWalkProfile,
+    RandomSequenceProfile,
+    SinusoidProfile,
+)
+
+__all__ = [
+    "VehicleState",
+    "SystemState",
+    "VehicleLimits",
+    "VehicleModel",
+    "Trajectory",
+    "TrajectoryPoint",
+    "AccelerationProfile",
+    "ConstantProfile",
+    "PiecewiseProfile",
+    "RandomWalkProfile",
+    "RandomSequenceProfile",
+    "SinusoidProfile",
+    "BrakeThenGoProfile",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters.
+
+    Examples: a negative time step, a sensor period that is not a multiple
+    of the control period, velocity bounds with ``v_min > v_max``.
+    """
+
+
+class IntervalError(ReproError):
+    """An interval operation received or produced an invalid interval."""
+
+
+class EmptyIntervalError(IntervalError):
+    """An operation that requires a non-empty interval got an empty one."""
+
+
+class FilterError(ReproError):
+    """The information filter reached an inconsistent internal state."""
+
+
+class ReplayError(FilterError):
+    """Message replay referenced a checkpoint that is not in the store."""
+
+
+class PlannerError(ReproError):
+    """A planner failed to produce a usable control decision."""
+
+
+class TrainingError(ReproError):
+    """Neural-network training could not complete."""
+
+
+class SerializationError(ReproError):
+    """Saving or loading a model or result record failed."""
+
+
+class SimulationError(ReproError):
+    """The closed-loop simulation engine reached an invalid state."""
+
+
+class ScenarioError(ReproError):
+    """A scenario definition is inconsistent (e.g. unsafe area reversed)."""
+
+
+class SafetyViolationError(SimulationError):
+    """Raised (optionally) when a planner that promised safety entered X_u.
+
+    The simulation engine normally *records* violations rather than raising
+    so that unsafe baselines (the pure aggressive NN planner of Table II)
+    can be evaluated.  Strict mode turns a violation by a compound planner
+    into this exception, because that would falsify the paper's theorem and
+    indicates a bug in the monitor or emergency planner.
+    """

@@ -1,0 +1,11 @@
+"""Paper reproduction harnesses: one module per table/figure.
+
+Every module is runnable (``python -m repro.experiments.table1``) and is
+also what the pytest benchmarks call, so the numbers in EXPERIMENTS.md
+can be regenerated either way.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER
+from repro.experiments.harness import PlannerTrio, run_setting
+
+__all__ = ["ExperimentConfig", "PAPER", "PlannerTrio", "run_setting"]

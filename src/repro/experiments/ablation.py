@@ -1,0 +1,131 @@
+"""Ablation: decompose the ultimate planner's gain into its two techniques.
+
+Figure 1 of the paper sketches four compound designs between "basic" and
+"ultimate":
+
+* **basic** — raw estimates, conservative window to the NN (Fig. 1c);
+* **filter-only** — information filter on, conservative window (Fig. 1d);
+* **aggressive-only** — raw estimates, aggressive window (Fig. 1e);
+* **ultimate** — both techniques (Fig. 1f).
+
+The paper evaluates only the endpoints; this harness fills in the
+middle so the contribution of each technique is measurable.  Expected
+shape: both single-technique variants land between basic and ultimate
+on mean eta, with the aggressive window dominating when communication
+is good (estimates are tight anyway) and the filter dominating when it
+is poor.
+
+Run with ``python -m repro.experiments.ablation [--sims N]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.core.compound import CompoundPlanner
+from repro.core.monitor import RuntimeMonitor
+from repro.experiments.config import SETTING_NAMES, ExperimentConfig
+from repro.experiments.harness import trained_spec
+from repro.experiments.reporting import format_value
+from repro.scenarios.left_turn.passing_time import PassingWindowEstimator
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.results import AggregateStats
+from repro.sim.runner import BatchRunner, EstimatorKind
+
+__all__ = ["VARIANTS", "run_ablation", "render_ablation", "main"]
+
+#: Variant name -> (information filter on?, aggressive window on?).
+VARIANTS: Dict[str, tuple] = {
+    "basic": (False, False),
+    "filter_only": (True, False),
+    "aggressive_only": (False, True),
+    "ultimate": (True, True),
+}
+
+
+def run_ablation(
+    style: str,
+    setting: str,
+    config: ExperimentConfig,
+) -> Dict[str, AggregateStats]:
+    """Run the four variants on identical workloads; aggregate each."""
+    scenario = config.scenario()
+    spec = trained_spec(style, config)
+    engine = SimulationEngine(
+        scenario,
+        config.comm_setting(setting),
+        SimulationConfig(max_time=config.max_time, record_trajectories=False),
+    )
+
+    results: Dict[str, AggregateStats] = {}
+    for name, (use_filter, use_aggressive) in VARIANTS.items():
+        estimator = PassingWindowEstimator(
+            geometry=scenario.geometry,
+            limits=scenario.oncoming_limits,
+            aggressive=use_aggressive,
+            a_buf=config.a_buf,
+            v_buf=config.v_buf,
+        )
+        planner = CompoundPlanner(
+            nn_planner=spec.build_planner(estimator, scenario.ego_limits),
+            emergency_planner=scenario.emergency_planner(),
+            monitor=RuntimeMonitor(scenario.safety_model()),
+            limits=scenario.ego_limits,
+        )
+        kind = EstimatorKind.FILTERED if use_filter else EstimatorKind.RAW
+        batch = BatchRunner(engine, kind).run_batch(
+            planner, config.n_sims, seed=config.seed
+        )
+        results[name] = AggregateStats.from_results(batch)
+    return results
+
+
+def render_ablation(
+    by_setting: Dict[str, Dict[str, AggregateStats]], style: str
+) -> str:
+    """The ablation grid as a text table."""
+    header = (
+        f"{'setting':<18} {'variant':<16} {'reaching':>9} {'safe':>8} "
+        f"{'eta':>7} {'emergency':>10}"
+    )
+    lines = [
+        f"Ablation ({style} NN planner): information filter vs "
+        f"aggressive window",
+        header,
+        "-" * len(header),
+    ]
+    for setting, variants in by_setting.items():
+        for name, stats in variants.items():
+            lines.append(
+                f"{setting:<18} {name:<16} "
+                f"{format_value(stats.mean_reaching_time, 'seconds'):>9} "
+                f"{format_value(stats.safe_rate, 'percent'):>8} "
+                f"{format_value(stats.mean_eta, 'eta'):>7} "
+                f"{format_value(stats.mean_emergency_frequency, 'percent'):>10}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> str:
+    """CLI entry point: the full ablation grid for both styles."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=None)
+    parser.add_argument(
+        "--style", default="conservative", choices=("conservative", "aggressive")
+    )
+    args = parser.parse_args(argv)
+    config = ExperimentConfig()
+    if args.sims is not None:
+        config = config.with_sims(args.sims)
+    by_setting = {
+        setting: run_ablation(args.style, setting, config)
+        for setting in SETTING_NAMES
+    }
+    text = render_ablation(by_setting, args.style)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

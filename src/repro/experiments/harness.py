@@ -1,0 +1,201 @@
+"""Shared experiment harness: build the planner trio, run paired batches.
+
+Tables I and II compare three configurations built around one trained
+NN planner:
+
+* **pure NN** (``kappa_n``) — the planner alone, on raw (unfiltered)
+  estimates, consulting the window estimator it was trained with;
+* **basic compound** (``kappa_cb``) — monitor + emergency planner, no
+  information filter, the NN fed the *conservative* window;
+* **ultimate compound** (``kappa_cu``) — monitor + emergency planner +
+  information filter, the NN fed the *aggressive* window.
+
+:func:`run_setting` executes all three on identical seeded workloads and
+returns per-configuration rows with the paper's columns (reaching time
+over safe runs, safe rate, mean eta, winning percentage of the ultimate,
+emergency frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.compound import CompoundPlanner
+from repro.core.monitor import RuntimeMonitor
+from repro.experiments.config import ExperimentConfig
+from repro.planners.base import Planner
+from repro.planners.factory import TrainedPlannerSpec, train_left_turn_planner
+from repro.scenarios.left_turn.passing_time import PassingWindowEstimator
+from repro.scenarios.left_turn.scenario import LeftTurnScenario
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.results import (
+    AggregateStats,
+    SimulationResult,
+    winning_percentage,
+)
+from repro.sim.runner import BatchRunner, EstimatorKind
+
+__all__ = ["PlannerTrio", "SettingRow", "run_setting", "trained_spec"]
+
+#: Process-wide cache of trained planners, keyed by (style, seed).
+_SPEC_CACHE: Dict[tuple, TrainedPlannerSpec] = {}
+
+
+def trained_spec(style: str, config: ExperimentConfig) -> TrainedPlannerSpec:
+    """Train (or fetch from the in-process cache) a planner of a style."""
+    key = (
+        style,
+        config.training_seed,
+        config.epochs,
+        config.hidden,
+        config.demo_config,
+        config.a_buf,
+        config.v_buf,
+    )
+    if key not in _SPEC_CACHE:
+        scenario = config.scenario()
+        _SPEC_CACHE[key] = train_left_turn_planner(
+            style,
+            scenario.geometry,
+            scenario.ego_limits,
+            scenario.oncoming_limits,
+            seed=config.training_seed,
+            demo_config=config.demo_config,
+            epochs=config.epochs,
+            hidden=config.hidden,
+            a_buf=config.a_buf,
+            v_buf=config.v_buf,
+        )
+    return _SPEC_CACHE[key]
+
+
+@dataclass
+class PlannerTrio:
+    """The three configurations of one table, ready to run."""
+
+    style: str
+    pure: Planner
+    basic: Planner
+    ultimate: Planner
+
+    #: Estimator kind per configuration (paper design: the information
+    #: filter belongs to the ultimate compound planner only).
+    KINDS = {
+        "pure": EstimatorKind.RAW,
+        "basic": EstimatorKind.RAW,
+        "ultimate": EstimatorKind.FILTERED,
+    }
+
+    def named(self) -> Dict[str, Planner]:
+        """The trio as an ordered name -> planner mapping."""
+        return {"pure": self.pure, "basic": self.basic, "ultimate": self.ultimate}
+
+
+def build_trio(
+    spec: TrainedPlannerSpec,
+    scenario: LeftTurnScenario,
+    config: ExperimentConfig,
+) -> PlannerTrio:
+    """Assemble the pure / basic / ultimate configurations of one spec."""
+    conservative = PassingWindowEstimator(
+        geometry=scenario.geometry,
+        limits=scenario.oncoming_limits,
+        aggressive=False,
+    )
+    aggressive = PassingWindowEstimator(
+        geometry=scenario.geometry,
+        limits=scenario.oncoming_limits,
+        aggressive=True,
+        a_buf=config.a_buf,
+        v_buf=config.v_buf,
+    )
+
+    def compound(window_estimator: PassingWindowEstimator) -> CompoundPlanner:
+        return CompoundPlanner(
+            nn_planner=spec.build_planner(window_estimator, scenario.ego_limits),
+            emergency_planner=scenario.emergency_planner(),
+            monitor=RuntimeMonitor(scenario.safety_model()),
+            limits=scenario.ego_limits,
+        )
+
+    return PlannerTrio(
+        style=spec.style,
+        pure=spec.natural_planner(scenario.ego_limits),
+        basic=compound(conservative),
+        ultimate=compound(aggressive),
+    )
+
+
+@dataclass
+class SettingRow:
+    """One table row: a configuration's aggregate under one setting."""
+
+    setting: str
+    planner_type: str
+    stats: AggregateStats
+    #: Fraction of paired runs the ultimate beats this configuration on
+    #: eta (``None`` on the ultimate's own row, as in the paper).
+    ultimate_wins: Optional[float]
+    results: List[SimulationResult]
+
+
+def run_trio(
+    style: str,
+    comm,
+    config: ExperimentConfig,
+    record_trajectories: bool = False,
+) -> Dict[str, List[SimulationResult]]:
+    """Run pure/basic/ultimate on an explicit communication setup.
+
+    All three run on identical workloads (same batch seed), so paired
+    statistics are exact.  This is the primitive behind both the table
+    settings and the figure-5 sweeps.
+    """
+    scenario = config.scenario()
+    spec = trained_spec(style, config)
+    trio = build_trio(spec, scenario, config)
+    engine = SimulationEngine(
+        scenario,
+        comm,
+        SimulationConfig(
+            max_time=config.max_time,
+            record_trajectories=record_trajectories,
+        ),
+    )
+    batches: Dict[str, List[SimulationResult]] = {}
+    for name, planner in trio.named().items():
+        runner = BatchRunner(engine, PlannerTrio.KINDS[name])
+        batches[name] = runner.run_batch(planner, config.n_sims, seed=config.seed)
+    return batches
+
+
+def run_setting(
+    style: str,
+    setting: str,
+    config: ExperimentConfig,
+    record_trajectories: bool = False,
+) -> List[SettingRow]:
+    """Run pure/basic/ultimate on one of the named table settings."""
+    batches = run_trio(
+        style,
+        config.comm_setting(setting),
+        config,
+        record_trajectories=record_trajectories,
+    )
+    rows: List[SettingRow] = []
+    for name, results in batches.items():
+        rows.append(
+            SettingRow(
+                setting=setting,
+                planner_type=name,
+                stats=AggregateStats.from_results(results),
+                ultimate_wins=(
+                    None
+                    if name == "ultimate"
+                    else winning_percentage(batches["ultimate"], results)
+                ),
+                results=results,
+            )
+        )
+    return rows

@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's artifacts are regenerated as aligned text tables (one row
+per configuration, one block per setting) and as x/y series tables for
+the figures, so the whole reproduction is legible in a terminal and in
+EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.harness import SettingRow
+
+__all__ = ["format_value", "render_table_rows", "render_series"]
+
+
+def format_value(value: Optional[float], kind: str) -> str:
+    """One cell: seconds, percentage, eta, or missing."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "n/a"
+    if kind == "seconds":
+        return f"{value:.3f}s"
+    if kind == "percent":
+        return f"{100.0 * value:.2f}%"
+    if kind == "eta":
+        return f"{value:+.3f}"
+    raise ValueError(f"unknown cell kind {kind!r}")
+
+
+def render_table_rows(rows: Sequence[SettingRow], title: str) -> str:
+    """Render table rows in the paper's column layout."""
+    header = (
+        f"{'setting':<18} {'planner':<9} {'reaching':>9} {'safe':>8} "
+        f"{'eta':>7} {'winning':>8} {'emergency':>10}"
+    )
+    lines: List[str] = [title, header, "-" * len(header)]
+    for row in rows:
+        stats = row.stats
+        lines.append(
+            f"{row.setting:<18} {row.planner_type:<9} "
+            f"{format_value(stats.mean_reaching_time, 'seconds'):>9} "
+            f"{format_value(stats.safe_rate, 'percent'):>8} "
+            f"{format_value(stats.mean_eta, 'eta'):>7} "
+            f"{format_value(row.ultimate_wins, 'percent'):>8} "
+            f"{format_value(stats.mean_emergency_frequency, 'percent'):>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Iterable[float],
+    columns: dict,
+) -> str:
+    """Render a figure as an x/series table.
+
+    Parameters
+    ----------
+    title:
+        Heading line.
+    x_label:
+        Name of the swept parameter.
+    xs:
+        The sweep values.
+    columns:
+        Mapping of series name to list of y values (same length as
+        ``xs``).
+    """
+    xs = list(xs)
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(columns[name])} points, "
+                f"expected {len(xs)}"
+            )
+    header = f"{x_label:>12} " + " ".join(f"{name:>12}" for name in names)
+    lines = [title, header, "-" * len(header)]
+    for i, x in enumerate(xs):
+        cells = " ".join(
+            f"{columns[name][i]:>12.4f}"
+            if not math.isnan(columns[name][i])
+            else f"{'n/a':>12}"
+            for name in names
+        )
+        lines.append(f"{x:>12.4g} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Table I: the conservative NN planner and its compound planners.
+
+Paper claims this harness must reproduce in *shape*:
+
+* all three configurations are 100 % safe;
+* the basic compound planner's reaching time matches the pure NN
+  planner's (no efficiency degradation from the monitor alone);
+* the ultimate compound planner is distinctly faster (information
+  filter + aggressive unsafe set) and wins the paired eta comparison in
+  nearly every simulation;
+* reaching time degrades and emergency frequency rises as the
+  communication setting worsens.
+
+Run with ``python -m repro.experiments.table1 [--sims N] [--seed S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.experiments.config import SETTING_NAMES, ExperimentConfig
+from repro.experiments.harness import SettingRow, run_setting
+from repro.experiments.reporting import render_table_rows
+
+__all__ = ["run_table1", "main"]
+
+
+def run_table1(config: ExperimentConfig) -> Dict[str, List[SettingRow]]:
+    """All three communication settings for the conservative family."""
+    return {
+        setting: run_setting("conservative", setting, config)
+        for setting in SETTING_NAMES
+    }
+
+
+def render(table: Dict[str, List[SettingRow]]) -> str:
+    """The full table as text."""
+    rows = [row for setting_rows in table.values() for row in setting_rows]
+    return render_table_rows(
+        rows,
+        "Table I - conservative NN planner vs its compound planners",
+    )
+
+
+def main(argv=None) -> str:
+    """CLI entry point; prints and returns the rendered table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=None, help="runs per cell")
+    parser.add_argument("--seed", type=int, default=None, help="batch seed")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig()
+    if args.sims is not None:
+        config = config.with_sims(args.sims)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    text = render(run_table1(config))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Table II: the aggressive NN planner and its compound planners.
+
+Paper claims this harness must reproduce in *shape*:
+
+* the pure aggressive NN planner is fast but collides in a large
+  fraction of simulations (the paper reports ~40-44 % collisions);
+* both compound planners are 100 % safe;
+* the ultimate compound planner is faster than the basic one and wins
+  the paired eta comparison in the great majority of simulations;
+* emergency frequency is much higher than in the conservative family
+  (the aggressive planner rides the monitor).
+
+The reaching-time column counts *safe* runs only (the paper's ``*``
+convention), so the pure planner is not rewarded for fast crashes.
+
+Run with ``python -m repro.experiments.table2 [--sims N] [--seed S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.experiments.config import SETTING_NAMES, ExperimentConfig
+from repro.experiments.harness import SettingRow, run_setting
+from repro.experiments.reporting import render_table_rows
+
+__all__ = ["run_table2", "main"]
+
+
+def run_table2(config: ExperimentConfig) -> Dict[str, List[SettingRow]]:
+    """All three communication settings for the aggressive family."""
+    return {
+        setting: run_setting("aggressive", setting, config)
+        for setting in SETTING_NAMES
+    }
+
+
+def render(table: Dict[str, List[SettingRow]]) -> str:
+    """The full table as text."""
+    rows = [row for setting_rows in table.values() for row in setting_rows]
+    return render_table_rows(
+        rows,
+        "Table II - aggressive NN planner vs its compound planners "
+        "(reaching time over safe runs only)",
+    )
+
+
+def main(argv=None) -> str:
+    """CLI entry point; prints and returns the rendered table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=None, help="runs per cell")
+    parser.add_argument("--seed", type=int, default=None, help="batch seed")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig()
+    if args.sims is not None:
+        config = config.with_sims(args.sims)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    text = render(run_table2(config))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""A small from-scratch neural-network library (numpy only).
+
+The paper wraps "any NN-based planner"; this subpackage provides the
+substrate to build, train, save and load the multilayer perceptrons used
+as planners.  It deliberately contains only what the reproduction needs —
+dense layers, standard activations, regression losses, SGD/Adam, a
+minibatch trainer and npz serialization — implemented with explicit
+forward/backward passes so the library has no dependency beyond numpy.
+"""
+
+from repro.nn.layers import Dense, Identity, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.losses import HuberLoss, MAELoss, MSELoss
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import TrainingHistory, Trainer
+from repro.nn.serialization import load_model, save_model
+from repro.nn import schedules
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Sequential",
+    "MSELoss",
+    "MAELoss",
+    "HuberLoss",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingHistory",
+    "save_model",
+    "load_model",
+    "schedules",
+]

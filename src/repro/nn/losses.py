@@ -1,0 +1,91 @@
+"""Regression losses with analytic gradients.
+
+Each loss exposes ``value`` (mean over the batch) and ``gradient`` (the
+derivative of that mean with respect to the predictions, ready to feed
+into ``Sequential.backward``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor_ops import check_2d
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "HuberLoss"]
+
+
+class Loss:
+    """Base class for losses over ``(batch, outputs)`` arrays."""
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Mean loss over the batch."""
+        raise NotImplementedError
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Derivative of :meth:`value` with respect to ``predicted``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(predicted: np.ndarray, target: np.ndarray):
+        p = check_2d(predicted, "predicted")
+        t = check_2d(target, "target")
+        if p.shape != t.shape:
+            raise ConfigurationError(
+                f"prediction shape {p.shape} != target shape {t.shape}"
+            )
+        return p, t
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        p, t = self._validate(predicted, target)
+        return float(np.mean((p - t) ** 2))
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p, t = self._validate(predicted, target)
+        return 2.0 * (p - t) / p.size
+
+
+class MAELoss(Loss):
+    """Mean absolute error (subgradient 0 at exact zero residual)."""
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        p, t = self._validate(predicted, target)
+        return float(np.mean(np.abs(p - t)))
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p, t = self._validate(predicted, target)
+        return np.sign(p - t) / p.size
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Parameters
+    ----------
+    delta:
+        Residual magnitude where the loss switches from quadratic to
+        linear.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0.0:
+            raise ConfigurationError(f"delta must be > 0, got {delta}")
+        self.delta = float(delta)
+
+    def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        p, t = self._validate(predicted, target)
+        residual = p - t
+        abs_r = np.abs(residual)
+        quad = 0.5 * residual**2
+        lin = self.delta * (abs_r - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_r <= self.delta, quad, lin)))
+
+    def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p, t = self._validate(predicted, target)
+        residual = p - t
+        clipped = np.clip(residual, -self.delta, self.delta)
+        return clipped / p.size

@@ -1,0 +1,182 @@
+"""First-order optimizers.
+
+Optimizers hold references to the model's parameter arrays and update
+them *in place* from the gradient arrays — the same convention as the
+mainstream frameworks, scaled down to what the planner training needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class tying a model's parameters to an update rule.
+
+    Parameters
+    ----------
+    model:
+        The network whose parameters are updated in place.
+    learning_rate:
+        Step size (mutable: learning-rate schedules assign to
+        :attr:`learning_rate` between steps).
+    weight_decay:
+        Decoupled L2 regularisation: each step first shrinks every
+        parameter by ``learning_rate * weight_decay * param`` (AdamW
+        style), independent of the gradient statistics.
+    grad_clip:
+        If set, gradients are clipped to this global L2 norm before the
+        update — the standard guard against exploding steps on the
+        expert's discontinuous GO/YIELD labels.
+    """
+
+    def __init__(
+        self,
+        model: Layer,
+        learning_rate: float,
+        weight_decay: float = 0.0,
+        grad_clip: float = None,
+    ) -> None:
+        if learning_rate <= 0.0:
+            raise ConfigurationError(
+                f"learning_rate must be > 0, got {learning_rate}"
+            )
+        if weight_decay < 0.0:
+            raise ConfigurationError(
+                f"weight_decay must be >= 0, got {weight_decay}"
+            )
+        if grad_clip is not None and grad_clip <= 0.0:
+            raise ConfigurationError(
+                f"grad_clip must be > 0, got {grad_clip}"
+            )
+        self._model = model
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.grad_clip = grad_clip
+
+    def step(self) -> None:
+        """Apply one update from the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear the model's accumulated gradients."""
+        self._model.zero_grad()
+
+    def _prepare(self) -> None:
+        """Apply decay and clipping before the rule-specific update."""
+        if self.weight_decay > 0.0:
+            for param in self._model.parameters().values():
+                param -= self.learning_rate * self.weight_decay * param
+        if self.grad_clip is not None:
+            grads = self._model.gradients()
+            total = float(
+                np.sqrt(
+                    sum(float(np.sum(g * g)) for g in grads.values())
+                )
+            )
+            if total > self.grad_clip and total > 0.0:
+                scale = self.grad_clip / total
+                for grad in grads.values():
+                    grad *= scale
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        model: Layer,
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        grad_clip: float = None,
+    ) -> None:
+        super().__init__(
+            model, learning_rate, weight_decay=weight_decay,
+            grad_clip=grad_clip,
+        )
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}"
+            )
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {
+            name: np.zeros_like(param)
+            for name, param in model.parameters().items()
+        }
+
+    def step(self) -> None:
+        self._prepare()
+        params = self._model.parameters()
+        grads = self._model.gradients()
+        for name, param in params.items():
+            grad = grads[name]
+            if self.momentum > 0.0:
+                v = self._velocity[name]
+                v *= self.momentum
+                v -= self.learning_rate * grad
+                param += v
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        model: Layer,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: float = None,
+    ) -> None:
+        super().__init__(
+            model, learning_rate, weight_decay=weight_decay,
+            grad_clip=grad_clip,
+        )
+        if not 0.0 <= beta1 < 1.0:
+            raise ConfigurationError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"beta2 must be in [0, 1), got {beta2}")
+        if eps <= 0.0:
+            raise ConfigurationError(f"eps must be > 0, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._t = 0
+        params = model.parameters()
+        self._m: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p) for name, p in params.items()
+        }
+        self._v: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p) for name, p in params.items()
+        }
+
+    def step(self) -> None:
+        self._prepare()
+        self._t += 1
+        params = self._model.parameters()
+        grads = self._model.gradients()
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, param in params.items():
+            grad = grads[name]
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

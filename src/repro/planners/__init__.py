@@ -1,0 +1,36 @@
+"""Planners: the protocol, rule-based experts, and NN-based planners."""
+
+from repro.planners.base import Planner, PlanningContext, clipped
+from repro.planners.constant import (
+    ConstantPlanner,
+    FullBrakePlanner,
+    FullThrottlePlanner,
+)
+from repro.planners.expert import ExpertConfig, LeftTurnExpertPlanner
+from repro.planners.idm import GapChaserPlanner, IDMPlanner
+from repro.planners.nn_planner import FeatureScaler, NNPlanner, planner_features
+from repro.planners.training_data import DemonstrationConfig, generate_demonstrations
+from repro.planners.factory import (
+    TrainedPlannerSpec,
+    train_left_turn_planner,
+)
+
+__all__ = [
+    "Planner",
+    "PlanningContext",
+    "clipped",
+    "ConstantPlanner",
+    "FullBrakePlanner",
+    "FullThrottlePlanner",
+    "ExpertConfig",
+    "LeftTurnExpertPlanner",
+    "IDMPlanner",
+    "GapChaserPlanner",
+    "NNPlanner",
+    "FeatureScaler",
+    "planner_features",
+    "DemonstrationConfig",
+    "generate_demonstrations",
+    "TrainedPlannerSpec",
+    "train_left_turn_planner",
+]

@@ -1,0 +1,86 @@
+"""The planner protocol and shared helpers.
+
+A planner (Section II-A, "Planner") maps the information available at a
+timestamp to the ego's acceleration command:
+``a_0(t) = kappa(x(t))``.  In this library the "state" a planner sees is
+a :class:`PlanningContext` — the ego's own (exactly known) state plus the
+fused estimates of the other vehicles — because under communication
+disturbance nobody has the true joint state.
+
+Planners are deliberately *pure* per step: all memory lives in the
+estimators and the simulation engine, so a planner instance can be shared
+across simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleLimits
+from repro.errors import PlannerError
+from repro.filtering.fusion import FusedEstimate
+
+__all__ = ["PlanningContext", "Planner", "clipped"]
+
+
+@dataclass(frozen=True)
+class PlanningContext:
+    """Everything a planner may consult at one control step.
+
+    Attributes
+    ----------
+    time:
+        Current timestamp ``t``.
+    ego:
+        The ego vehicle's own state (assumed exactly known — the ego
+        knows itself).
+    estimates:
+        Fused estimates of the other vehicles, keyed by vehicle index.
+    """
+
+    time: float
+    ego: VehicleState
+    estimates: Mapping[int, FusedEstimate] = field(default_factory=dict)
+
+    def estimate_of(self, index: int) -> FusedEstimate:
+        """The estimate of vehicle ``index``.
+
+        Raises
+        ------
+        PlannerError
+            If no estimate for that vehicle is available.
+        """
+        try:
+            return self.estimates[index]
+        except KeyError as exc:
+            raise PlannerError(
+                f"no estimate available for vehicle {index}"
+            ) from exc
+
+
+@runtime_checkable
+class Planner(Protocol):
+    """Protocol every planner implements."""
+
+    def plan(self, context: PlanningContext) -> float:
+        """Return the ego acceleration command for the coming step."""
+        ...
+
+
+def clipped(acceleration: float, limits: VehicleLimits) -> float:
+    """Sanitize a planner output: reject non-finite values, clip to limits.
+
+    The compound planner applies this to the embedded NN planner's raw
+    output so that a pathological network (NaN/inf) degrades to a bounded
+    command instead of corrupting the simulation.  A NaN maps to full
+    braking — the conservative default.
+    """
+    a = float(acceleration)
+    if math.isnan(a):
+        return limits.a_min
+    if math.isinf(a):
+        return limits.a_max if a > 0 else limits.a_min
+    return limits.clip_acceleration(a)

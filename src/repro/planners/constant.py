@@ -1,0 +1,45 @@
+"""Trivial planners: constant command, full brake, full throttle.
+
+Used as test fixtures, as degenerate baselines, and as building blocks
+(the left-turn emergency planner's "escape" branch is full throttle).
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.vehicle import VehicleLimits
+from repro.planners.base import PlanningContext
+
+__all__ = ["ConstantPlanner", "FullBrakePlanner", "FullThrottlePlanner"]
+
+
+class ConstantPlanner:
+    """Always command the same acceleration."""
+
+    def __init__(self, acceleration: float) -> None:
+        self._acceleration = float(acceleration)
+
+    def plan(self, context: PlanningContext) -> float:
+        """Return the fixed acceleration, whatever the context."""
+        return self._acceleration
+
+
+class FullBrakePlanner:
+    """Always command the strongest braking the vehicle supports."""
+
+    def __init__(self, limits: VehicleLimits) -> None:
+        self._limits = limits
+
+    def plan(self, context: PlanningContext) -> float:
+        """Return the strongest braking command."""
+        return self._limits.a_min
+
+
+class FullThrottlePlanner:
+    """Always command the strongest acceleration the vehicle supports."""
+
+    def __init__(self, limits: VehicleLimits) -> None:
+        self._limits = limits
+
+    def plan(self, context: PlanningContext) -> float:
+        """Return the strongest acceleration command."""
+        return self._limits.a_max

@@ -1,0 +1,222 @@
+"""Building and training the conservative/aggressive NN planners.
+
+One call — :func:`train_left_turn_planner` — goes from a style name to a
+trained :class:`TrainedPlannerSpec` (network + feature scaler + the expert
+that taught it).  Specs can be saved to and loaded from disk so the
+experiment harness trains each planner once per machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.dynamics.vehicle import VehicleLimits
+from repro.errors import ConfigurationError, SerializationError
+from repro.nn.layers import Dense, ReLU, Sequential, Tanh
+from repro.nn.optimizers import Adam
+from repro.nn.serialization import load_model, save_model
+from repro.nn.training import Trainer, TrainingHistory
+from repro.planners.expert import ExpertConfig, LeftTurnExpertPlanner
+from repro.planners.nn_planner import FeatureScaler, NNPlanner
+from repro.planners.training_data import (
+    DemonstrationConfig,
+    generate_demonstrations,
+)
+from repro.scenarios.left_turn.geometry import LeftTurnGeometry
+from repro.scenarios.left_turn.passing_time import PassingWindowEstimator
+from repro.utils.rng import RngStream
+
+__all__ = ["TrainedPlannerSpec", "train_left_turn_planner"]
+
+_STYLES = ("conservative", "aggressive")
+
+
+@dataclass
+class TrainedPlannerSpec:
+    """A trained planner, ready to be wired into any configuration.
+
+    Attributes
+    ----------
+    style:
+        ``"conservative"`` or ``"aggressive"``.
+    model:
+        The trained regression network.
+    scaler:
+        Feature scaler fitted on the demonstrations.
+    expert:
+        The rule-based teacher (kept for baselines and inspection).
+    history:
+        Training curves (``None`` for a spec loaded from disk).
+    """
+
+    style: str
+    model: Sequential
+    scaler: FeatureScaler
+    expert: LeftTurnExpertPlanner
+    history: Optional[TrainingHistory] = None
+
+    def build_planner(
+        self,
+        window_estimator: PassingWindowEstimator,
+        limits: VehicleLimits,
+        oncoming_index: int = 1,
+    ) -> NNPlanner:
+        """Wire the trained network behind a given window estimator."""
+        return NNPlanner(
+            model=self.model,
+            scaler=self.scaler,
+            window_estimator=window_estimator,
+            limits=limits,
+            oncoming_index=oncoming_index,
+        )
+
+    def natural_planner(self, limits: VehicleLimits) -> NNPlanner:
+        """The planner with the estimator it was trained against.
+
+        This is the *pure NN planner* of the paper's tables: the
+        conservative network consults conservative windows, the
+        aggressive network aggressive windows.
+        """
+        return self.build_planner(self.expert.window_estimator, limits)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Save the network, scaler and style under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_model(self.model, directory / "model.npz")
+        meta = {"style": self.style, "scaler": self.scaler.to_dict()}
+        (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        expert: LeftTurnExpertPlanner,
+    ) -> "TrainedPlannerSpec":
+        """Load a spec saved by :meth:`save`.
+
+        The expert is re-supplied by the caller (it is cheap to rebuild
+        and carries no learned state).
+        """
+        directory = Path(directory)
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            raise SerializationError(f"no planner spec at {directory}")
+        meta = json.loads(meta_path.read_text())
+        return cls(
+            style=str(meta["style"]),
+            model=load_model(directory / "model.npz"),
+            scaler=FeatureScaler.from_dict(meta["scaler"]),
+            expert=expert,
+            history=None,
+        )
+
+
+def build_expert(
+    style: str,
+    geometry: LeftTurnGeometry,
+    ego_limits: VehicleLimits,
+    oncoming_limits: VehicleLimits,
+    a_buf: float = 0.5,
+    v_buf: float = 1.0,
+) -> LeftTurnExpertPlanner:
+    """The rule-based teacher for a style.
+
+    The conservative expert consults sound Eq. (7) windows; the
+    aggressive one consults compact Eq. (8) windows with the given
+    buffers.
+    """
+    if style not in _STYLES:
+        raise ConfigurationError(
+            f"style must be one of {_STYLES}, got {style!r}"
+        )
+    aggressive = style == "aggressive"
+    estimator = PassingWindowEstimator(
+        geometry=geometry,
+        limits=oncoming_limits,
+        aggressive=aggressive,
+        a_buf=a_buf,
+        v_buf=v_buf,
+    )
+    config = (
+        ExpertConfig.aggressive() if aggressive else ExpertConfig.conservative()
+    )
+    return LeftTurnExpertPlanner(
+        geometry=geometry,
+        limits=ego_limits,
+        window_estimator=estimator,
+        config=config,
+    )
+
+
+def build_network(rng: np.random.Generator, hidden: int = 64) -> Sequential:
+    """The planner architecture: a 5-h-h-1 tanh/ReLU MLP."""
+    return Sequential(
+        [
+            Dense(5, hidden, rng, init="xavier"),
+            Tanh(),
+            Dense(hidden, hidden, rng, init="he"),
+            ReLU(),
+            Dense(hidden, 1, rng, init="xavier"),
+        ]
+    )
+
+
+def train_left_turn_planner(
+    style: str,
+    geometry: LeftTurnGeometry,
+    ego_limits: VehicleLimits,
+    oncoming_limits: VehicleLimits,
+    seed: int = 0,
+    demo_config: Optional[DemonstrationConfig] = None,
+    epochs: int = 150,
+    hidden: int = 64,
+    a_buf: float = 0.5,
+    v_buf: float = 1.0,
+) -> TrainedPlannerSpec:
+    """Train a planner of the requested style from scratch.
+
+    Generates demonstrations from the style's expert, fits the scaler,
+    trains the MLP with Adam + early stopping and returns the spec.
+    Deterministic for a fixed seed.
+    """
+    expert = build_expert(
+        style, geometry, ego_limits, oncoming_limits, a_buf=a_buf, v_buf=v_buf
+    )
+    rng = RngStream(seed)
+    demo_config = demo_config if demo_config is not None else DemonstrationConfig()
+    features, labels = generate_demonstrations(expert, demo_config, rng.child())
+    scaler = FeatureScaler.fit(features)
+    scaled = scaler.transform(features)
+
+    net_rng = rng.child().generator
+    model = build_network(net_rng, hidden=hidden)
+    trainer = Trainer(
+        model,
+        optimizer=Adam(model, learning_rate=1e-3),
+        batch_size=128,
+        rng=rng.child().generator,
+    )
+    history = trainer.fit(
+        scaled,
+        labels,
+        epochs=epochs,
+        validation_fraction=0.1,
+        patience=15,
+    )
+    return TrainedPlannerSpec(
+        style=style,
+        model=model,
+        scaler=scaler,
+        expert=expert,
+        history=history,
+    )

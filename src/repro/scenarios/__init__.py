@@ -1,0 +1,21 @@
+"""Scenario instantiations of the safety framework."""
+
+from repro.scenarios.base import Scenario
+from repro.scenarios.car_following import (
+    CarFollowingSafetyModel,
+    CarFollowingScenario,
+)
+from repro.scenarios.left_turn.scenario import LeftTurnScenario
+from repro.scenarios.signalized import (
+    SignalizedCrossingScenario,
+    TrafficLight,
+)
+
+__all__ = [
+    "Scenario",
+    "LeftTurnScenario",
+    "CarFollowingScenario",
+    "CarFollowingSafetyModel",
+    "SignalizedCrossingScenario",
+    "TrafficLight",
+]

@@ -1,0 +1,177 @@
+"""Passing-time-window estimation for the oncoming vehicle.
+
+Section IV of the paper estimates the absolute time window
+``[tau_{1,min}(t), tau_{1,max}(t)]`` during which the oncoming vehicle
+``C_1`` may occupy the unsafe area:
+
+* the **conservative** estimate (Eq. (7)) assumes the physical limits —
+  ``C_1`` may floor the throttle up to ``v_max`` (earliest entry) or
+  brake to ``v_min`` (latest exit) — evaluated over the *whole* fused
+  uncertainty band, so the window is a sound over-approximation;
+* the **aggressive** estimate (Eq. (8)) replaces the physical limits by a
+  small buffer around the vehicle's *currently observed* behaviour
+  (``a_est = min(a_1(t) + a_buf, a_max)``, ``v_est = min(v_1(t) + v_buf,
+  v_max)``) evaluated at the nominal point estimate, producing the
+  compact window that lets the NN planner act efficiently.
+
+Coordinate convention: the oncoming vehicle's *global* coordinate
+decreases along its direction of travel (it approaches from positive
+positions, as in the paper's experiments where ``p_1(0) ≈ 50–60 m`` and
+the area sits at ``[5, 15] m``).  All window algebra below works in
+*speed* terms — speed ``= -velocity``, acceleration-toward-the-area
+``= -a`` — so the shared kinematic primitives of
+:mod:`repro.scenarios.left_turn.geometry` apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamics.vehicle import VehicleLimits
+from repro.filtering.fusion import FusedEstimate
+from repro.scenarios.left_turn.geometry import (
+    NEVER,
+    LeftTurnGeometry,
+    arrival_time_under,
+    earliest_arrival_time,
+    latest_arrival_time,
+)
+from repro.utils.intervals import Interval
+from repro.utils.validation import check_nonnegative
+
+__all__ = [
+    "conservative_window",
+    "aggressive_window",
+    "PassingWindowEstimator",
+]
+
+
+def _speed_quantities(limits: VehicleLimits):
+    """Map the oncoming vehicle's raw limits into speed terms.
+
+    Raw velocities are negative (coordinate decreases along travel), so
+    raw ``v_min = -max_speed`` and ``v_max = -min_speed``; raw ``a_min``
+    is the strongest speed-up and raw ``a_max`` the strongest braking.
+    """
+    max_speed = -limits.v_min
+    min_speed = -limits.v_max
+    max_speedup = -limits.a_min
+    max_brake = -limits.a_max  # negative number in speed terms
+    return max_speed, min_speed, max_speedup, max_brake
+
+
+def conservative_window(
+    estimate: FusedEstimate,
+    geometry: LeftTurnGeometry,
+    limits: VehicleLimits,
+) -> Interval:
+    """Sound occupancy window of the unsafe area (Eq. (7) over the band).
+
+    The earliest entry combines the band edge *closest* to the area with
+    the *fastest* possible speed and full physical acceleration; the
+    latest exit combines the farthest edge, slowest speed and full
+    braking down to the speed floor.  The result contains the true
+    passing window whenever the fused band contains the true state.
+
+    Returns an *absolute-time* interval; empty when the whole band has
+    already cleared the area.
+    """
+    max_speed, min_speed, max_speedup, max_brake = _speed_quantities(limits)
+
+    # Pessimistic clearance check: the farthest band edge must be past
+    # the back line for the window to be closed for good.
+    d_back_far = geometry.oncoming_distance_to_back(estimate.position.hi)
+    if d_back_far <= 0.0:
+        return Interval.EMPTY
+
+    d_front_near = geometry.oncoming_distance_to_front(estimate.position.lo)
+    fastest_speed = -estimate.velocity.lo
+    slowest_speed = -estimate.velocity.hi
+
+    entry = earliest_arrival_time(
+        d_front_near, fastest_speed, max_speed, max_speedup
+    )
+    exit_ = latest_arrival_time(d_back_far, slowest_speed, min_speed, max_brake)
+    if entry == NEVER:
+        return Interval.EMPTY
+    return Interval(estimate.time + entry, estimate.time + max(exit_, entry))
+
+
+def aggressive_window(
+    estimate: FusedEstimate,
+    geometry: LeftTurnGeometry,
+    limits: VehicleLimits,
+    a_buf: float,
+    v_buf: float,
+) -> Interval:
+    """Compact occupancy window from buffered nominal behaviour (Eq. (8)).
+
+    Evaluated at the nominal point estimate with assumed acceleration and
+    speed within ``a_buf``/``v_buf`` of the currently observed values
+    (clipped at the physical limits).  The window is *not* sound — that
+    is the point: the runtime monitor retains the conservative window, so
+    feeding this one to the NN planner trades no safety for efficiency.
+    """
+    check_nonnegative(a_buf, "a_buf")
+    check_nonnegative(v_buf, "v_buf")
+    max_speed, min_speed, max_speedup, max_brake = _speed_quantities(limits)
+
+    nominal = estimate.nominal
+    d_back = geometry.oncoming_distance_to_back(nominal.position)
+    if d_back <= 0.0:
+        return Interval.EMPTY
+    d_front = geometry.oncoming_distance_to_front(nominal.position)
+    speed = -nominal.velocity
+    accel = -nominal.acceleration
+
+    # Entry: at most a_buf more acceleration and v_buf more speed than
+    # currently observed (Eq. (8)).
+    a_entry = min(accel + a_buf, max_speedup)
+    v_entry_cap = min(speed + v_buf, max_speed)
+    entry = arrival_time_under(
+        d_front, speed, a_entry, max(v_entry_cap, min_speed), min_speed
+    )
+    if entry == NEVER:
+        return Interval.EMPTY
+
+    # Exit: at most a_buf more braking and v_buf less speed.
+    a_exit = max(accel - a_buf, max_brake)
+    v_exit_floor = max(speed - v_buf, min_speed)
+    exit_ = arrival_time_under(
+        d_back, speed, a_exit, max_speed, min(v_exit_floor, max_speed)
+    )
+    return Interval(estimate.time + entry, estimate.time + max(exit_, entry))
+
+
+@dataclass(frozen=True, slots=True)
+class PassingWindowEstimator:
+    """Bundles geometry, limits and mode into a single window callable.
+
+    Attributes
+    ----------
+    geometry:
+        The left-turn geometry.
+    limits:
+        *Physical* limits of the oncoming vehicle (raw coordinates).
+    aggressive:
+        Whether to produce the Eq. (8) buffered window instead of the
+        sound Eq. (7) window.
+    a_buf, v_buf:
+        Buffers for the aggressive mode (ignored otherwise).  The paper
+        leaves the values user-defined; the experiment defaults live in
+        :mod:`repro.experiments.config`.
+    """
+
+    geometry: LeftTurnGeometry
+    limits: VehicleLimits
+    aggressive: bool = False
+    a_buf: float = 0.5
+    v_buf: float = 1.0
+
+    def window(self, estimate: FusedEstimate) -> Interval:
+        """Absolute-time occupancy window for the given estimate."""
+        if self.aggressive:
+            return aggressive_window(
+                estimate, self.geometry, self.limits, self.a_buf, self.v_buf
+            )
+        return conservative_window(estimate, self.geometry, self.limits)

@@ -1,0 +1,6 @@
+"""Onboard sensing substrate: uniform noise models and periodic sensors."""
+
+from repro.sensing.noise import NoiseBounds, UniformNoise
+from repro.sensing.sensor import Sensor, SensorReading
+
+__all__ = ["NoiseBounds", "UniformNoise", "Sensor", "SensorReading"]

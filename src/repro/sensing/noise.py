@@ -1,0 +1,111 @@
+"""Sensor noise models.
+
+The paper assumes each sensed quantity is uniformly distributed within
+``±delta`` of the true value (Section II-A, "Sensor"): position within
+``delta_p``, velocity within ``delta_v``, acceleration within ``delta_a``.
+The Kalman filter's measurement covariance ``R`` uses the variance of that
+uniform distribution, ``delta^2 / 3`` — exactly the matrices printed in
+Section III-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.intervals import Interval
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["NoiseBounds", "UniformNoise"]
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseBounds:
+    """Half-width noise bounds ``(delta_p, delta_v, delta_a)``.
+
+    The paper's sensor-uncertainty sweep sets all three equal
+    (``delta in {1 + 0.2 j}``); :meth:`uniform_all` builds that case.
+    """
+
+    delta_p: float
+    delta_v: float
+    delta_a: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "delta_p", check_nonnegative(self.delta_p, "delta_p"))
+        object.__setattr__(self, "delta_v", check_nonnegative(self.delta_v, "delta_v"))
+        object.__setattr__(self, "delta_a", check_nonnegative(self.delta_a, "delta_a"))
+
+    @classmethod
+    def uniform_all(cls, delta: float) -> "NoiseBounds":
+        """Equal bounds on all three channels, as in the paper's sweep."""
+        return cls(delta_p=delta, delta_v=delta, delta_a=delta)
+
+    @classmethod
+    def noiseless(cls) -> "NoiseBounds":
+        """Perfect sensing (zero bounds) — used in unit tests."""
+        return cls(delta_p=0.0, delta_v=0.0, delta_a=0.0)
+
+    @property
+    def position_variance(self) -> float:
+        """Variance of the uniform position error: ``delta_p^2 / 3``."""
+        return self.delta_p * self.delta_p / 3.0
+
+    @property
+    def velocity_variance(self) -> float:
+        """Variance of the uniform velocity error: ``delta_v^2 / 3``."""
+        return self.delta_v * self.delta_v / 3.0
+
+    @property
+    def acceleration_variance(self) -> float:
+        """Variance of the uniform acceleration error: ``delta_a^2 / 3``."""
+        return self.delta_a * self.delta_a / 3.0
+
+    def position_band(self, measured: float) -> Interval:
+        """Interval guaranteed to contain the true position."""
+        return Interval.around(measured, self.delta_p)
+
+    def velocity_band(self, measured: float) -> Interval:
+        """Interval guaranteed to contain the true velocity."""
+        return Interval.around(measured, self.delta_v)
+
+    def acceleration_band(self, measured: float) -> Interval:
+        """Interval guaranteed to contain the true acceleration."""
+        return Interval.around(measured, self.delta_a)
+
+
+class UniformNoise:
+    """Draws uniform measurement errors within :class:`NoiseBounds`."""
+
+    def __init__(self, bounds: NoiseBounds, rng: RngStream) -> None:
+        self._bounds = bounds
+        self._rng = rng
+
+    @property
+    def bounds(self) -> NoiseBounds:
+        """The bounds errors are drawn within."""
+        return self._bounds
+
+    def perturb_position(self, true_value: float) -> float:
+        """True position plus a uniform error in ``±delta_p``."""
+        if self._bounds.delta_p == 0.0:
+            return true_value
+        return true_value + float(
+            self._rng.uniform(-self._bounds.delta_p, self._bounds.delta_p)
+        )
+
+    def perturb_velocity(self, true_value: float) -> float:
+        """True velocity plus a uniform error in ``±delta_v``."""
+        if self._bounds.delta_v == 0.0:
+            return true_value
+        return true_value + float(
+            self._rng.uniform(-self._bounds.delta_v, self._bounds.delta_v)
+        )
+
+    def perturb_acceleration(self, true_value: float) -> float:
+        """True acceleration plus a uniform error in ``±delta_a``."""
+        if self._bounds.delta_a == 0.0:
+            return true_value
+        return true_value + float(
+            self._rng.uniform(-self._bounds.delta_a, self._bounds.delta_a)
+        )

@@ -1,0 +1,133 @@
+"""Periodic onboard sensor of remote vehicles.
+
+Per the paper's system model, every ``dt_s`` seconds the ego vehicle
+obtains a *delay-free but inaccurate* measurement ``(p_s, v_s, a_s)`` of
+each other vehicle, each component uniformly perturbed within its noise
+bound.  A :class:`Sensor` observes one remote vehicle; the simulation
+engine holds one per (ego, other) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dynamics.state import VehicleState
+from repro.sensing.noise import NoiseBounds, UniformNoise
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["SensorReading", "Sensor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SensorReading:
+    """One noisy measurement of a remote vehicle.
+
+    Attributes
+    ----------
+    target:
+        Index of the measured vehicle.
+    time:
+        Measurement timestamp (measurements are delay-free, so this is
+        also the time the reading becomes available).
+    position, velocity, acceleration:
+        Measured values, each within its uniform noise bound of the truth.
+    """
+
+    target: int
+    time: float
+    position: float
+    velocity: float
+    acceleration: float
+
+    def as_state(self) -> VehicleState:
+        """The reading repackaged as a (noisy) :class:`VehicleState`."""
+        return VehicleState(
+            position=self.position,
+            velocity=self.velocity,
+            acceleration=self.acceleration,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"sense[C{self.target} @ t={self.time:.3f}s: "
+            f"p={self.position:.3f} v={self.velocity:.3f} "
+            f"a={self.acceleration:.3f}]"
+        )
+
+
+class Sensor:
+    """Periodic noisy observer of one remote vehicle.
+
+    Parameters
+    ----------
+    target:
+        Index of the observed vehicle.
+    period:
+        Sensing period ``dt_s``; samples occur at ``t = 0, dt_s, ...``.
+    bounds:
+        Uniform noise bounds for the three measured channels.
+    rng:
+        Stream the measurement errors are drawn from.
+    """
+
+    def __init__(
+        self,
+        target: int,
+        period: float,
+        bounds: NoiseBounds,
+        rng: RngStream,
+    ) -> None:
+        self._target = int(target)
+        self._period = check_positive(period, "period")
+        self._noise = UniformNoise(bounds, rng)
+        self._history: List[SensorReading] = []
+
+    @property
+    def target(self) -> int:
+        """Index of the observed vehicle."""
+        return self._target
+
+    @property
+    def period(self) -> float:
+        """Sensing period ``dt_s``."""
+        return self._period
+
+    @property
+    def bounds(self) -> NoiseBounds:
+        """The sensor's noise bounds."""
+        return self._noise.bounds
+
+    @property
+    def history(self) -> List[SensorReading]:
+        """All readings taken so far (oldest first)."""
+        return list(self._history)
+
+    def is_sample_time(self, time: float, tol: float = 1e-9) -> bool:
+        """Whether ``time`` falls on the sensing schedule."""
+        ratio = time / self._period
+        return abs(ratio - round(ratio)) <= tol * max(1.0, abs(ratio))
+
+    def measure(self, time: float, true_state: VehicleState) -> SensorReading:
+        """Take a measurement of ``true_state`` at ``time``.
+
+        The caller (the simulation engine) is responsible for calling this
+        only at schedule instants; the sensor itself just perturbs and
+        records.
+        """
+        reading = SensorReading(
+            target=self._target,
+            time=float(time),
+            position=self._noise.perturb_position(true_state.position),
+            velocity=self._noise.perturb_velocity(true_state.velocity),
+            acceleration=self._noise.perturb_acceleration(true_state.acceleration),
+        )
+        self._history.append(reading)
+        return reading
+
+    def latest(self) -> Optional[SensorReading]:
+        """The most recent reading, or ``None`` before the first sample."""
+        if not self._history:
+            return None
+        return self._history[-1]

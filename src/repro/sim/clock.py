@@ -1,0 +1,73 @@
+"""Multi-rate schedule over the control step.
+
+The system model runs three periodic activities: control at ``dt_c``,
+message transmission at ``dt_m`` and sensing at ``dt_s``.  The engine
+advances in control steps; this clock answers, per step index, whether a
+transmission or a sensing sample falls on that step.  Both periods must
+be integer multiples of the control period (checked at construction) so
+the schedule is exact integer arithmetic — no drifting float comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_multiple, check_positive
+
+__all__ = ["MultiRateClock"]
+
+
+class MultiRateClock:
+    """Integer-exact alignment of the control/message/sensor schedules.
+
+    Parameters
+    ----------
+    dt_c:
+        Control period (the base rate).
+    dt_m:
+        Message transmission period; multiple of ``dt_c``.
+    dt_s:
+        Sensing period; multiple of ``dt_c``.
+    """
+
+    def __init__(self, dt_c: float, dt_m: float, dt_s: float) -> None:
+        self._dt_c = check_positive(dt_c, "dt_c")
+        check_multiple(dt_m, dt_c, "dt_m", "dt_c")
+        check_multiple(dt_s, dt_c, "dt_s", "dt_c")
+        self._message_every = int(round(dt_m / dt_c))
+        self._sensor_every = int(round(dt_s / dt_c))
+
+    @property
+    def dt_c(self) -> float:
+        """Control period."""
+        return self._dt_c
+
+    @property
+    def dt_m(self) -> float:
+        """Message period (exact multiple of ``dt_c``)."""
+        return self._message_every * self._dt_c
+
+    @property
+    def dt_s(self) -> float:
+        """Sensing period (exact multiple of ``dt_c``)."""
+        return self._sensor_every * self._dt_c
+
+    @property
+    def message_every(self) -> int:
+        """Control steps between transmissions."""
+        return self._message_every
+
+    @property
+    def sensor_every(self) -> int:
+        """Control steps between sensor samples."""
+        return self._sensor_every
+
+    def time_of(self, step: int) -> float:
+        """Timestamp of control step ``step``."""
+        return step * self._dt_c
+
+    def is_message_step(self, step: int) -> bool:
+        """Whether a transmission happens at this control step."""
+        return step % self._message_every == 0
+
+    def is_sensor_step(self, step: int) -> bool:
+        """Whether a sensor sample happens at this control step."""
+        return step % self._sensor_every == 0

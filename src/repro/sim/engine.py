@@ -1,0 +1,309 @@
+"""The closed-loop simulation engine.
+
+One engine instance binds a scenario to a communication setup; each
+:meth:`SimulationEngine.run` executes a full episode with fresh channels,
+sensors, estimators and behaviour profiles drawn from the run's seed
+stream, so batches are embarrassingly parallel over seeds.
+
+Per control step the engine follows the system model of Section II-A:
+
+1. every non-ego vehicle picks its acceleration for the coming step
+   (its profile), which also stamps the message/sensor content ``a_i(t)``;
+2. on the sensing schedule, each sensor takes a noisy reading that goes
+   straight to that vehicle's estimator (sensing is delay-free);
+3. on the transmission schedule, each vehicle broadcasts its exact state
+   into its channel (which may drop or delay it);
+4. any messages whose delivery time has arrived reach the estimator;
+5. terminal conditions (ground-truth collision, target reached, horizon)
+   are checked on the *true* joint state;
+6. the ego planner is invoked on its own state plus the fused estimates;
+7. all vehicles step their saturating double-integrator dynamics.
+
+Collision detection samples the true state once per control step; at the
+paper's parameters (``dt_c = 0.05 s``, speeds <= 20 m/s, a 10 m unsafe
+area) a vehicle moves at most 1 m per step, so overlap cannot be stepped
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.comm.channel import Channel
+from repro.comm.disturbance import DisturbanceModel, no_disturbance
+from repro.dynamics.state import SystemState, VehicleState
+from repro.dynamics.trajectory import Trajectory
+from repro.dynamics.vehicle import VehicleModel
+from repro.errors import SafetyViolationError, SimulationError
+from repro.filtering.info_filter import EstimateProvider
+from repro.planners.base import Planner, PlanningContext
+from repro.scenarios.base import Scenario
+from repro.sensing.noise import NoiseBounds
+from repro.sensing.sensor import Sensor
+from repro.sim.clock import MultiRateClock
+from repro.sim.results import Outcome, SimulationResult
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["CommSetup", "SimulationConfig", "SimulationEngine"]
+
+#: Builds a fresh estimator for one observed vehicle at the start of a run.
+EstimatorFactory = Callable[[int], EstimateProvider]
+
+
+@dataclass(frozen=True)
+class CommSetup:
+    """Communication and sensing parameters of one experiment setting.
+
+    Attributes
+    ----------
+    dt_m, dt_s:
+        Transmission and sensing periods (multiples of the control
+        period; the paper sets ``dt_m = dt_s``).
+    disturbance:
+        The channel's drop/delay model.
+    sensor_bounds:
+        Uniform noise bounds of the onboard sensor.
+    """
+
+    dt_m: float
+    dt_s: float
+    disturbance: DisturbanceModel
+    sensor_bounds: NoiseBounds
+
+    @classmethod
+    def perfect(cls, dt_m: float = 0.1) -> "CommSetup":
+        """Lossless, immediate messages and noiseless sensing."""
+        return cls(
+            dt_m=dt_m,
+            dt_s=dt_m,
+            disturbance=no_disturbance(),
+            sensor_bounds=NoiseBounds.noiseless(),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine-level knobs.
+
+    Attributes
+    ----------
+    max_time:
+        Horizon; a run that neither collides nor reaches by then scores
+        ``eta = 0``.
+    strict_safety:
+        Raise :class:`~repro.errors.SafetyViolationError` on a collision
+        instead of recording it.  Used when simulating compound planners
+        whose safety the theorem guarantees — a violation then means a
+        bug, not a data point.
+    record_trajectories:
+        Disable to save memory in very large batches.
+    """
+
+    max_time: float = 30.0
+    strict_safety: bool = False
+    record_trajectories: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_time, "max_time")
+
+
+class SimulationEngine:
+    """Runs closed-loop episodes of a scenario under one comm setup."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        comm: CommSetup,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self._scenario = scenario
+        self._comm = comm
+        self._config = config if config is not None else SimulationConfig()
+        self._clock = MultiRateClock(scenario.dt_c, comm.dt_m, comm.dt_s)
+        self._models = {
+            i: VehicleModel(scenario.vehicle_limits(i))
+            for i in range(scenario.n_vehicles)
+        }
+
+    @property
+    def scenario(self) -> Scenario:
+        """The scenario being simulated."""
+        return self._scenario
+
+    @property
+    def comm(self) -> CommSetup:
+        """The communication setup."""
+        return self._comm
+
+    @property
+    def clock(self) -> MultiRateClock:
+        """The multi-rate schedule."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # One episode
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        planner: Planner,
+        estimator_factory: EstimatorFactory,
+        rng: RngStream,
+    ) -> SimulationResult:
+        """Execute one full episode.
+
+        Parameters
+        ----------
+        planner:
+            The ego planner; if it exposes ``reset()`` (the compound
+            planner does) it is reset first, and if it exposes
+            ``last_decision`` the emergency step counter is derived from
+            it.
+        estimator_factory:
+            Builds one fresh estimator per observed vehicle.
+        rng:
+            The run's seed stream; all stochastic components draw from
+            independent children of it.
+        """
+        scenario = self._scenario
+        n = scenario.n_vehicles
+        others = range(1, n)
+
+        init_rng, profile_rng, channel_rng, sensor_rng = rng.spawn(4)
+        profile_streams = profile_rng.spawn(n)
+        channel_streams = channel_rng.spawn(n)
+        sensor_streams = sensor_rng.spawn(n)
+
+        state = scenario.initial_state(init_rng)
+        profiles = {i: scenario.profile_for(i, profile_streams[i]) for i in others}
+        channels = {
+            i: Channel(
+                period=self._comm.dt_m,
+                disturbance=self._comm.disturbance,
+                rng=channel_streams[i],
+            )
+            for i in others
+        }
+        sensors = {
+            i: Sensor(
+                target=i,
+                period=self._comm.dt_s,
+                bounds=self._comm.sensor_bounds,
+                rng=sensor_streams[i],
+            )
+            for i in others
+        }
+        estimators = {i: estimator_factory(i) for i in others}
+
+        if hasattr(planner, "reset"):
+            planner.reset()
+
+        trajectories = (
+            [Trajectory() for _ in range(n)]
+            if self._config.record_trajectories
+            else []
+        )
+        emergency_steps = 0
+        planned_steps = 0
+        outcome = Outcome.TIMEOUT
+        collision_time: Optional[float] = None
+        reaching_time: Optional[float] = None
+
+        dt = self._clock.dt_c
+        n_steps = int(round(self._config.max_time / dt))
+
+        for step in range(n_steps + 1):
+            t = self._clock.time_of(step)
+
+            # 1. Non-ego commands for the coming step stamp the content
+            #    of this step's messages and sensor readings.
+            commands: Dict[int, float] = {}
+            stamped: Dict[int, VehicleState] = {}
+            for i in others:
+                commands[i] = profiles[i](step, t, state.vehicle(i))
+                stamped[i] = state.vehicle(i).with_acceleration(commands[i])
+
+            # 2-4. Sensing, transmission, delivery.
+            if self._clock.is_sensor_step(step):
+                for i in others:
+                    reading = sensors[i].measure(t, stamped[i])
+                    estimators[i].on_sensor_reading(reading)
+            if self._clock.is_message_step(step):
+                for i in others:
+                    channels[i].send(i, t, stamped[i])
+            for i in others:
+                for message in channels[i].receive(t):
+                    estimators[i].on_message(message, t)
+
+            # 5. Terminal checks on the true joint state.
+            if scenario.is_collision(state):
+                collision_time = t
+                outcome = Outcome.COLLISION
+                self._record(trajectories, t, state.ego, stamped, terminal=True)
+                if self._config.strict_safety:
+                    raise SafetyViolationError(
+                        f"planner entered the unsafe set at t={t:.3f}s"
+                    )
+                break
+            if scenario.reached_target(state):
+                reaching_time = t
+                outcome = Outcome.REACHED
+                self._record(trajectories, t, state.ego, stamped, terminal=True)
+                break
+            if step == n_steps:
+                self._record(trajectories, t, state.ego, stamped, terminal=True)
+                break
+
+            # 6. Plan.
+            estimates = {i: estimators[i].estimate(t) for i in others}
+            context = PlanningContext(time=t, ego=state.ego, estimates=estimates)
+            ego_command = planner.plan(context)
+            planned_steps += 1
+            decision = getattr(planner, "last_decision", None)
+            if decision is not None and decision.use_emergency:
+                emergency_steps += 1
+
+            self._record(
+                trajectories,
+                t,
+                state.ego.with_acceleration(ego_command),
+                stamped,
+                terminal=False,
+            )
+
+            # 7. Step the dynamics.
+            new_vehicles = [self._models[0].step(state.ego, ego_command, dt)]
+            for i in others:
+                new_vehicles.append(
+                    self._models[i].step(state.vehicle(i), commands[i], dt)
+                )
+            state = SystemState(time=t + dt, vehicles=tuple(new_vehicles))
+
+        if planned_steps == 0 and outcome is Outcome.TIMEOUT:
+            raise SimulationError("simulation ended without planning any step")
+
+        return SimulationResult(
+            outcome=outcome,
+            reaching_time=reaching_time,
+            collision_time=collision_time,
+            steps=planned_steps,
+            emergency_steps=emergency_steps,
+            trajectories=trajectories,
+            channel_stats={i: channels[i].stats for i in others},
+        )
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        trajectories,
+        t: float,
+        ego: VehicleState,
+        stamped: Dict[int, VehicleState],
+        terminal: bool,
+    ) -> None:
+        if not self._config.record_trajectories:
+            return
+        trajectories[0].append(t, ego)
+        for i, vehicle_state in stamped.items():
+            trajectories[i].append(t, vehicle_state)

@@ -1,0 +1,50 @@
+"""The evaluation function ``eta`` (Section II-A).
+
+.. math::
+
+    \\eta(\\kappa) = \\begin{cases}
+        -1, & \\text{a violation happened before reaching the target};\\\\
+        1/t_r, & \\text{the target was reached safely at } t_r;\\\\
+        0, & \\text{otherwise (horizon expired).}
+    \\end{cases}
+
+Safety dominates: any violation scores ``-1`` regardless of speed, and
+among safe runs faster completion scores higher.  :func:`eta` evaluates a
+result record; :func:`eta_from_events` evaluates raw event times, which
+the property tests use to cross-check the engine's classification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.results import Outcome, SimulationResult
+
+__all__ = ["Outcome", "eta", "eta_from_events"]
+
+
+def eta(result: SimulationResult) -> float:
+    """The eta value of a recorded simulation."""
+    return result.eta
+
+
+def eta_from_events(
+    collision_time: Optional[float], reaching_time: Optional[float]
+) -> float:
+    """Eta from raw event times.
+
+    A collision only counts if it happened before the target was reached
+    (the paper's ``forall t < t_k: x(t) not in X_t`` side condition).
+    """
+    if collision_time is not None and (
+        reaching_time is None or collision_time <= reaching_time
+    ):
+        return -1.0
+    if reaching_time is not None:
+        if reaching_time <= 0.0:
+            raise SimulationError(
+                f"reaching time must be positive, got {reaching_time}"
+            )
+        return 1.0 / reaching_time
+    return 0.0

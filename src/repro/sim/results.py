@@ -1,0 +1,167 @@
+"""Result records and aggregate statistics.
+
+:class:`SimulationResult` is the per-run record the engine produces;
+:class:`AggregateStats` summarises a batch the way the paper's tables do
+(mean reaching time over safe runs, safe rate, mean eta, mean emergency
+frequency); :func:`winning_percentage` implements the tables' pairwise
+comparison column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.dynamics.trajectory import Trajectory
+from repro.errors import SimulationError
+
+__all__ = [
+    "Outcome",
+    "SimulationResult",
+    "AggregateStats",
+    "winning_percentage",
+]
+
+
+class Outcome(str, Enum):
+    """How a simulation ended."""
+
+    #: The ego entered the true unsafe set before reaching the target.
+    COLLISION = "collision"
+    #: The ego reached the target set without a violation.
+    REACHED = "reached"
+    #: The horizon expired with neither event.
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded about one closed-loop run.
+
+    Attributes
+    ----------
+    outcome:
+        Terminal classification.
+    reaching_time:
+        Time the target set was entered (``None`` unless ``REACHED``).
+    collision_time:
+        Time of the violation (``None`` unless ``COLLISION``).
+    steps:
+        Control steps executed.
+    emergency_steps:
+        Steps commanded by the emergency planner (0 for pure planners).
+    trajectories:
+        Per-vehicle trajectories, indexed like the scenario's vehicles.
+    channel_stats:
+        Per-sender message statistics (sent/dropped/delivered).
+    """
+
+    outcome: Outcome
+    reaching_time: Optional[float] = None
+    collision_time: Optional[float] = None
+    steps: int = 0
+    emergency_steps: int = 0
+    trajectories: List[Trajectory] = field(default_factory=list)
+    channel_stats: Dict[int, object] = field(default_factory=dict)
+
+    @property
+    def eta(self) -> float:
+        """The paper's evaluation function ``eta`` (Section II-A)."""
+        if self.outcome is Outcome.COLLISION:
+            return -1.0
+        if self.outcome is Outcome.REACHED:
+            if self.reaching_time is None or self.reaching_time <= 0.0:
+                raise SimulationError(
+                    "REACHED outcome requires a positive reaching time"
+                )
+            return 1.0 / self.reaching_time
+        return 0.0
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether no violation occurred."""
+        return self.outcome is not Outcome.COLLISION
+
+    @property
+    def emergency_frequency(self) -> float:
+        """Fraction of control steps commanded by the emergency planner."""
+        if self.steps == 0:
+            return 0.0
+        return self.emergency_steps / self.steps
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Batch summary in the shape of the paper's table rows.
+
+    ``mean_reaching_time`` averages *safe, completed* runs only —
+    Table II's ``*`` convention — so an unsafe planner is not rewarded
+    for fast crashes.
+    """
+
+    n_runs: int
+    n_safe: int
+    n_reached: int
+    mean_reaching_time: float
+    mean_eta: float
+    mean_emergency_frequency: float
+
+    @property
+    def safe_rate(self) -> float:
+        """Fraction of runs without a violation."""
+        if self.n_runs == 0:
+            return 0.0
+        return self.n_safe / self.n_runs
+
+    @classmethod
+    def from_results(cls, results: Sequence[SimulationResult]) -> "AggregateStats":
+        """Summarise a batch of results."""
+        n = len(results)
+        if n == 0:
+            raise SimulationError("cannot aggregate an empty result list")
+        safe = [r for r in results if r.is_safe]
+        reached = [
+            r
+            for r in results
+            if r.outcome is Outcome.REACHED and r.reaching_time is not None
+        ]
+        mean_rt = (
+            sum(r.reaching_time for r in reached) / len(reached)
+            if reached
+            else float("nan")
+        )
+        return cls(
+            n_runs=n,
+            n_safe=len(safe),
+            n_reached=len(reached),
+            mean_reaching_time=mean_rt,
+            mean_eta=sum(r.eta for r in results) / n,
+            mean_emergency_frequency=(
+                sum(r.emergency_frequency for r in results) / n
+            ),
+        )
+
+
+def winning_percentage(
+    challenger: Sequence[SimulationResult],
+    incumbent: Sequence[SimulationResult],
+) -> float:
+    """Fraction of paired runs where the challenger's eta is higher.
+
+    The paper's "winning percentage" column compares the ultimate
+    compound planner against each alternative on identical workloads
+    (same seeds), counting the simulations where it achieves the
+    strictly higher eta value.
+    """
+    if len(challenger) != len(incumbent):
+        raise SimulationError(
+            f"paired comparison needs equal-length batches: "
+            f"{len(challenger)} vs {len(incumbent)}"
+        )
+    if not challenger:
+        raise SimulationError("cannot compare empty batches")
+    wins = sum(
+        1 for a, b in zip(challenger, incumbent) if a.eta > b.eta
+    )
+    return wins / len(challenger)

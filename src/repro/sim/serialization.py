@@ -1,0 +1,139 @@
+"""JSON archiving of simulation results.
+
+Campaign outputs (thousands of :class:`SimulationResult` records) need
+to outlive the process that produced them — for EXPERIMENTS.md-style
+reporting, cross-machine comparison, and regression tracking.  This
+module serialises result batches to a single JSON document (optionally
+with trajectories) and restores them with full fidelity for everything
+the aggregate statistics consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.comm.channel import ChannelStats
+from repro.dynamics.state import VehicleState
+from repro.dynamics.trajectory import Trajectory
+from repro.errors import SerializationError
+from repro.sim.results import Outcome, SimulationResult
+
+__all__ = ["save_results", "load_results", "result_to_dict", "result_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(
+    result: SimulationResult, include_trajectories: bool = False
+) -> dict:
+    """One result as a JSON-serialisable dict."""
+    record = {
+        "outcome": result.outcome.value,
+        "reaching_time": result.reaching_time,
+        "collision_time": result.collision_time,
+        "steps": result.steps,
+        "emergency_steps": result.emergency_steps,
+        "channel_stats": {
+            str(index): {
+                "sent": stats.sent,
+                "dropped": stats.dropped,
+                "delivered": stats.delivered,
+                "total_delay": stats.total_delay,
+            }
+            for index, stats in result.channel_stats.items()
+            if isinstance(stats, ChannelStats)
+        },
+    }
+    if include_trajectories and result.trajectories:
+        record["trajectories"] = [
+            [
+                [p.time, p.position, p.velocity, p.acceleration]
+                for p in trajectory
+            ]
+            for trajectory in result.trajectories
+        ]
+    return record
+
+
+def result_from_dict(record: dict) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    try:
+        outcome = Outcome(record["outcome"])
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"invalid result record: {exc}") from exc
+    trajectories: List[Trajectory] = []
+    for rows in record.get("trajectories", []):
+        trajectory = Trajectory()
+        for t, p, v, a in rows:
+            trajectory.append(
+                t, VehicleState(position=p, velocity=v, acceleration=a)
+            )
+        trajectories.append(trajectory)
+    channel_stats: Dict[int, ChannelStats] = {}
+    for index, stats in record.get("channel_stats", {}).items():
+        channel_stats[int(index)] = ChannelStats(
+            sent=int(stats["sent"]),
+            dropped=int(stats["dropped"]),
+            delivered=int(stats["delivered"]),
+            total_delay=float(stats.get("total_delay", 0.0)),
+        )
+    return SimulationResult(
+        outcome=outcome,
+        reaching_time=record.get("reaching_time"),
+        collision_time=record.get("collision_time"),
+        steps=int(record.get("steps", 0)),
+        emergency_steps=int(record.get("emergency_steps", 0)),
+        trajectories=trajectories,
+        channel_stats=channel_stats,
+    )
+
+
+def save_results(
+    results: Sequence[SimulationResult],
+    path: Union[str, Path],
+    metadata: Optional[dict] = None,
+    include_trajectories: bool = False,
+) -> Path:
+    """Write a batch (plus free-form metadata) to a JSON file.
+
+    Returns the path written (``.json`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "results": [
+            result_to_dict(r, include_trajectories=include_trajectories)
+            for r in results
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document))
+    return path
+
+
+def load_results(
+    path: Union[str, Path],
+) -> tuple:
+    """Load a batch saved by :func:`save_results`.
+
+    Returns ``(results, metadata)``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no results file at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt results file {path}: {exc}") from exc
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported results format version {version!r}"
+        )
+    results = [result_from_dict(r) for r in document.get("results", [])]
+    return results, document.get("metadata", {})

@@ -1,0 +1,22 @@
+"""Shared low-level utilities: intervals, RNG streams, validation."""
+
+from repro.utils.intervals import Interval
+from repro.utils.rng import RngStream, spawn_streams
+from repro.utils.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+__all__ = [
+    "Interval",
+    "RngStream",
+    "spawn_streams",
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_range",
+]

@@ -1,0 +1,83 @@
+"""Physical constants and unit helpers.
+
+The library works in SI units throughout: metres, seconds, m/s, m/s².
+These helpers exist for readability at configuration sites and in examples
+(``kmh(50)`` is clearer than ``13.888...``), plus a couple of kinematics
+one-liners shared by the geometry and planner modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "kmh",
+    "to_kmh",
+    "mph",
+    "braking_distance",
+    "stopping_time",
+    "GRAVITY",
+]
+
+#: Standard gravity, m/s².  Used to express accelerations in g's in docs.
+GRAVITY = 9.80665
+
+
+def kmh(value: float) -> float:
+    """Convert km/h to m/s."""
+    return value / 3.6
+
+
+def to_kmh(value: float) -> float:
+    """Convert m/s to km/h."""
+    return value * 3.6
+
+
+def mph(value: float) -> float:
+    """Convert miles/h to m/s."""
+    return value * 0.44704
+
+
+def braking_distance(speed: float, decel: float) -> float:
+    """Distance covered while braking from ``speed`` to rest.
+
+    Parameters
+    ----------
+    speed:
+        Current speed, m/s (nonnegative).
+    decel:
+        Braking deceleration magnitude, m/s² (strictly positive).
+
+    Returns
+    -------
+    float
+        ``speed**2 / (2 * decel)``.
+
+    Raises
+    ------
+    ValueError
+        If ``decel`` is not strictly positive or ``speed`` is negative.
+    """
+    if decel <= 0.0:
+        raise ValueError(f"decel must be > 0, got {decel}")
+    if speed < 0.0:
+        raise ValueError(f"speed must be >= 0, got {speed}")
+    return speed * speed / (2.0 * decel)
+
+
+def stopping_time(speed: float, decel: float) -> float:
+    """Time to brake from ``speed`` to rest at constant ``decel``."""
+    if decel <= 0.0:
+        raise ValueError(f"decel must be > 0, got {decel}")
+    if speed < 0.0:
+        raise ValueError(f"speed must be >= 0, got {speed}")
+    return speed / decel
+
+
+def isclose_time(a: float, b: float, tol: float = 1e-9) -> bool:
+    """Compare two timestamps with an absolute tolerance.
+
+    Simulation timestamps are sums of many ``dt_c`` increments; exact float
+    equality is unreliable, so schedule checks use this helper.
+    """
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=tol)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Trained NN planners are expensive (seconds each), so a session-scoped
+*tiny* spec (small demonstration set, few epochs) is shared by every
+test that only needs "some trained planner" rather than a calibrated
+one.  Tests of calibrated behaviour (the table shapes) live in the
+benchmarks, not here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planners.factory import TrainedPlannerSpec, train_left_turn_planner
+from repro.planners.training_data import DemonstrationConfig
+from repro.scenarios.left_turn.scenario import LeftTurnScenario
+from repro.utils.rng import RngStream
+
+TINY_DEMO = DemonstrationConfig(n_random=300, n_rollouts=4)
+
+
+@pytest.fixture(scope="session")
+def scenario() -> LeftTurnScenario:
+    """The default left-turn scenario."""
+    return LeftTurnScenario()
+
+
+@pytest.fixture(scope="session")
+def tiny_conservative_spec(scenario) -> TrainedPlannerSpec:
+    """A cheaply trained conservative planner (seconds, not calibrated)."""
+    return train_left_turn_planner(
+        "conservative",
+        scenario.geometry,
+        scenario.ego_limits,
+        scenario.oncoming_limits,
+        seed=11,
+        demo_config=TINY_DEMO,
+        epochs=15,
+        hidden=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_aggressive_spec(scenario) -> TrainedPlannerSpec:
+    """A cheaply trained aggressive planner (seconds, not calibrated)."""
+    return train_left_turn_planner(
+        "aggressive",
+        scenario.geometry,
+        scenario.ego_limits,
+        scenario.oncoming_limits,
+        seed=12,
+        demo_config=TINY_DEMO,
+        epochs=15,
+        hidden=16,
+    )
+
+
+@pytest.fixture()
+def rng() -> RngStream:
+    """A fresh deterministic stream per test."""
+    return RngStream(1234)

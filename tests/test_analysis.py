@@ -1,0 +1,165 @@
+"""Tests for the analysis subpackage."""
+
+import math
+
+import pytest
+
+from repro.analysis.batch import summarize_batch
+from repro.analysis.metrics import (
+    comfort_metrics,
+    minimum_separation,
+    speed_statistics,
+)
+from repro.dynamics.state import VehicleState
+from repro.dynamics.trajectory import Trajectory
+from repro.errors import SimulationError
+from repro.sim.results import Outcome, SimulationResult
+
+
+def _trajectory(samples):
+    """Build a trajectory from (t, p, v, a) tuples."""
+    traj = Trajectory()
+    for t, p, v, a in samples:
+        traj.append(
+            t, VehicleState(position=p, velocity=v, acceleration=a)
+        )
+    return traj
+
+
+class TestComfortMetrics:
+    def test_constant_acceleration_zero_jerk(self):
+        traj = _trajectory(
+            [(i * 0.1, i * 0.1, 1.0, 2.0) for i in range(10)]
+        )
+        m = comfort_metrics(traj)
+        assert m.peak_acceleration == 2.0
+        assert m.peak_deceleration == 2.0
+        assert m.peak_jerk == 0.0
+        assert m.rms_acceleration == pytest.approx(2.0)
+
+    def test_jerk_computed_from_command_changes(self):
+        traj = _trajectory(
+            [(0.0, 0.0, 1.0, 0.0), (0.1, 0.1, 1.0, 2.0), (0.2, 0.2, 1.0, 2.0)]
+        )
+        m = comfort_metrics(traj)
+        assert m.peak_jerk == pytest.approx(20.0)  # 2.0 change over 0.1 s
+
+    def test_comfortable_flag(self):
+        gentle = _trajectory(
+            [(i * 0.1, 0.0, 1.0, 1.0) for i in range(5)]
+        )
+        harsh = _trajectory(
+            [(0.0, 0.0, 1.0, 0.0), (0.1, 0.0, 1.0, -6.0)]
+        )
+        assert comfort_metrics(gentle).comfortable
+        assert not comfort_metrics(harsh).comfortable
+
+    def test_single_sample_rejected(self):
+        traj = _trajectory([(0.0, 0.0, 0.0, 0.0)])
+        with pytest.raises(SimulationError):
+            comfort_metrics(traj)
+
+
+class TestSeparation:
+    def test_min_distance_and_time(self):
+        ego = _trajectory([(t * 1.0, t * 10.0, 10.0, 0.0) for t in range(5)])
+        other = _trajectory([(t * 1.0, 25.0, 0.0, 0.0) for t in range(5)])
+        sep = minimum_separation(ego, other)
+        # Ego passes 25 m between t=2 (20 m) and t=3 (30 m); samples at
+        # 20 and 30 -> min |d| = 5 at either; first hit at t=2.
+        assert sep.min_distance == pytest.approx(5.0)
+        assert sep.time_of_min in (2.0, 3.0)
+
+    def test_headway(self):
+        ego = _trajectory([(0.0, 0.0, 10.0, 0.0), (1.0, 10.0, 10.0, 0.0)])
+        other = _trajectory([(0.0, 30.0, 0.0, 0.0), (1.0, 30.0, 0.0, 0.0)])
+        sep = minimum_separation(ego, other)
+        assert sep.min_time_headway == pytest.approx(2.0)
+
+    def test_stationary_ego_infinite_headway(self):
+        ego = _trajectory([(0.0, 0.0, 0.0, 0.0), (1.0, 0.0, 0.0, 0.0)])
+        other = _trajectory([(0.0, 10.0, 0.0, 0.0), (1.0, 10.0, 0.0, 0.0)])
+        assert minimum_separation(ego, other).min_time_headway == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            minimum_separation(Trajectory(), Trajectory())
+
+
+class TestSpeedStatistics:
+    def test_constant_speed(self):
+        traj = _trajectory([(t * 0.5, 0.0, 8.0, 0.0) for t in range(5)])
+        stats = speed_statistics(traj)
+        assert stats.mean_speed == pytest.approx(8.0)
+        assert stats.peak_speed == 8.0
+        assert stats.kept_moving
+
+    def test_negative_velocities_use_speed(self):
+        traj = _trajectory([(t * 0.5, 0.0, -12.0, 0.0) for t in range(3)])
+        assert speed_statistics(traj).mean_speed == pytest.approx(12.0)
+
+    def test_stopped_fraction(self):
+        samples = [(0.0, 0.0, 10.0, 0.0), (1.0, 10.0, 0.0, 0.0),
+                   (2.0, 10.0, 0.0, 0.0)]
+        stats = speed_statistics(_trajectory(samples))
+        assert stats.stopped_fraction == pytest.approx(0.5)
+        assert not stats.kept_moving
+
+
+class TestBatchSummary:
+    def _results(self):
+        reached = SimulationResult(
+            outcome=Outcome.REACHED,
+            reaching_time=5.0,
+            steps=100,
+            emergency_steps=10,
+        )
+        crashed = SimulationResult(
+            outcome=Outcome.COLLISION, collision_time=2.0, steps=40
+        )
+        timeout = SimulationResult(outcome=Outcome.TIMEOUT, steps=600)
+        return [reached, reached, crashed, timeout]
+
+    def test_counts(self):
+        summary = summarize_batch(self._results())
+        assert summary.n_runs == 4
+        assert summary.n_collisions == 1
+        assert summary.n_timeouts == 1
+
+    def test_percentiles(self):
+        summary = summarize_batch(self._results())
+        assert summary.reaching_percentiles[50] == pytest.approx(5.0)
+        assert 0.0 <= summary.emergency_percentiles[95] <= 1.0
+
+    def test_no_reached_runs(self):
+        crashed = SimulationResult(
+            outcome=Outcome.COLLISION, collision_time=2.0, steps=40
+        )
+        summary = summarize_batch([crashed])
+        assert summary.reaching_percentiles == {}
+
+    def test_comfort_none_without_trajectories(self):
+        summary = summarize_batch(self._results())
+        assert summary.comfort is None
+
+    def test_render(self):
+        text = summarize_batch(self._results()).render()
+        assert "runs: 4" in text
+        assert "eta:" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize_batch([])
+
+    def test_with_recorded_trajectories(self, scenario):
+        from repro.planners.constant import ConstantPlanner
+        from repro.sim.engine import CommSetup, SimulationEngine
+        from repro.sim.runner import BatchRunner, EstimatorKind
+
+        engine = SimulationEngine(scenario, CommSetup.perfect())
+        results = BatchRunner(engine, EstimatorKind.RAW).run_batch(
+            ConstantPlanner(2.0), 3, seed=0
+        )
+        summary = summarize_batch(results)
+        assert summary.comfort is not None
+        assert summary.comfort.peak_acceleration == pytest.approx(2.0)

@@ -1,0 +1,48 @@
+"""Tests of the public package surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_symbols_present(self):
+        for name in (
+            "CompoundPlanner",
+            "RuntimeMonitor",
+            "LeftTurnScenario",
+            "SimulationEngine",
+            "BatchRunner",
+            "InformationFilter",
+            "train_left_turn_planner",
+            "Interval",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_components_compose(self):
+        """The README quickstart's object graph wires together."""
+        scenario = repro.LeftTurnScenario()
+        monitor = repro.RuntimeMonitor(scenario.safety_model())
+        planner = repro.CompoundPlanner(
+            nn_planner=repro.Planner and _stub(),
+            emergency_planner=scenario.emergency_planner(),
+            monitor=monitor,
+            limits=scenario.ego_limits,
+        )
+        engine = repro.SimulationEngine(scenario, repro.CommSetup.perfect())
+        runner = repro.BatchRunner(engine, repro.EstimatorKind.FILTERED)
+        result = runner.run_one(planner, seed=0)
+        assert result.steps > 0
+
+
+def _stub():
+    class _Planner:
+        def plan(self, context):
+            return 1.0
+
+    return _Planner()

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` dispatcher."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDispatcher:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "sensitivity" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "commands:" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["teleport"]) == 2
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_commands_registered(self):
+        from repro.__main__ import _COMMANDS
+
+        assert set(_COMMANDS) == {
+            "table1",
+            "table2",
+            "figure5",
+            "figure6",
+            "ablation",
+            "sensitivity",
+        }
+
+    def test_dispatch_invokes_harness(self, capsys, monkeypatch):
+        import repro.__main__ as cli
+
+        seen = {}
+
+        def fake_main(argv):
+            seen["argv"] = argv
+            return "ok"
+
+        monkeypatch.setitem(cli._COMMANDS, "table1", fake_main)
+        assert cli.main(["table1", "--sims", "5"]) == 0
+        assert seen["argv"] == ["--sims", "5"]
+
+    def test_all_runs_every_harness(self, monkeypatch):
+        import repro.__main__ as cli
+
+        calls = []
+        for name in list(cli._COMMANDS):
+            monkeypatch.setitem(
+                cli._COMMANDS, name,
+                lambda argv, _n=name: calls.append(_n),
+            )
+        assert cli.main(["all"]) == 0
+        assert calls == ["table1", "table2", "figure5", "figure6", "ablation"]

@@ -1,0 +1,62 @@
+"""Tests for the multi-rate clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import MultiRateClock
+
+
+class TestConstruction:
+    def test_periods(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.1, dt_s=0.2)
+        assert clock.dt_c == 0.05
+        assert clock.message_every == 2
+        assert clock.sensor_every == 4
+
+    def test_exact_periods_after_rounding(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.3, dt_s=0.15)
+        assert clock.dt_m == pytest.approx(0.3)
+        assert clock.dt_s == pytest.approx(0.15)
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiRateClock(dt_c=0.05, dt_m=0.07, dt_s=0.1)
+
+    def test_equal_periods_allowed(self):
+        clock = MultiRateClock(dt_c=0.1, dt_m=0.1, dt_s=0.1)
+        assert clock.message_every == 1
+
+    def test_bad_dt_c_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiRateClock(dt_c=0.0, dt_m=0.1, dt_s=0.1)
+
+
+class TestSchedule:
+    def test_time_of(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.1, dt_s=0.1)
+        assert clock.time_of(0) == 0.0
+        assert clock.time_of(10) == pytest.approx(0.5)
+
+    def test_message_steps(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.2, dt_s=0.1)
+        hits = [step for step in range(12) if clock.is_message_step(step)]
+        assert hits == [0, 4, 8]
+
+    def test_sensor_steps(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.2, dt_s=0.1)
+        hits = [step for step in range(8) if clock.is_sensor_step(step)]
+        assert hits == [0, 2, 4, 6]
+
+    def test_step_zero_always_scheduled(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=1.6, dt_s=0.8)
+        assert clock.is_message_step(0)
+        assert clock.is_sensor_step(0)
+
+    def test_no_drift_over_long_horizons(self):
+        clock = MultiRateClock(dt_c=0.05, dt_m=0.1, dt_s=0.1)
+        # 10^6 steps: the schedule is integer-based, so exactly half of
+        # all steps are message steps.
+        hits = sum(
+            1 for step in range(0, 1000, 1) if clock.is_message_step(step)
+        )
+        assert hits == 500

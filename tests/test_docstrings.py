@@ -1,0 +1,79 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+"Doc comments on every public item" is a deliverable of this
+reproduction; this test makes the claim checkable.  Public = importable
+from a ``repro`` module without a leading underscore, plus public
+methods of public classes.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Dunder methods whose meaning is the protocol itself.
+_EXEMPT_METHODS = {
+    "__init__",  # documented via the class docstring's Parameters
+    "__post_init__",
+    "__repr__",
+    "__eq__",
+    "__hash__",
+    "__str__",
+    "__iter__",
+    "__len__",
+    "__getitem__",
+    "__contains__",
+    "__bool__",
+    "__add__",
+    "__sub__",
+    "__neg__",
+    "__call__",
+}
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_and_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert inspect.getdoc(module), f"{module_name} has no module docstring"
+
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its definition site
+        if not inspect.getdoc(obj):
+            missing.append(f"{module_name}.{name}")
+            continue
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_") or method_name in (
+                    _EXEMPT_METHODS
+                ):
+                    continue
+                if not callable(method) and not isinstance(
+                    method, property
+                ):
+                    continue
+                target = (
+                    method.fget if isinstance(method, property) else method
+                )
+                if target is None or not callable(target):
+                    continue
+                if not inspect.getdoc(target):
+                    missing.append(
+                        f"{module_name}.{name}.{method_name}"
+                    )
+    assert not missing, f"undocumented public items: {missing}"

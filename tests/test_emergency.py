@@ -1,0 +1,151 @@
+"""Tests for the emergency planner, including the Eq. (4) property.
+
+Eq. (4): from any boundary-safe state, the emergency planner keeps the
+ego in the safe set.  The property tests drive the closed loop
+``monitor-selects -> kappa_e commands -> dynamics step`` from sampled
+boundary states against adversarial oncoming behaviour and assert the
+ego never enters the (open) unsafe area while the oncoming vehicle is
+inside.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleLimits, VehicleModel
+from repro.planners.base import PlanningContext
+from repro.scenarios.left_turn.emergency import LeftTurnEmergencyPlanner
+from repro.scenarios.left_turn.geometry import LeftTurnGeometry
+from repro.scenarios.left_turn.unsafe_set import slack
+
+GEOMETRY = LeftTurnGeometry()
+EGO = VehicleLimits(v_min=0.0, v_max=20.0, a_min=-6.0, a_max=4.0)
+DT = 0.05
+
+
+def _planner(stop_margin=0.05):
+    return LeftTurnEmergencyPlanner(GEOMETRY, EGO, stop_margin=stop_margin)
+
+
+def _context(position, velocity):
+    return PlanningContext(
+        time=0.0, ego=VehicleState(position=position, velocity=velocity)
+    )
+
+
+class TestBrakingBranch:
+    def test_least_required_braking(self):
+        # v=6, gap to (front - margin) = 10 - 0.05: a = -36 / 19.9.
+        a = _planner().plan(_context(-5.0, 6.0))
+        assert a == pytest.approx(-36.0 / (2.0 * 9.95))
+
+    def test_stopped_before_line_holds(self):
+        assert _planner().plan(_context(-5.0, 0.0)) == 0.0
+
+    def test_within_margin_band_full_brake(self):
+        assert _planner(stop_margin=0.5).plan(_context(4.8, 1.0)) == EGO.a_min
+
+    def test_clipped_to_actuation_limit(self):
+        # Stoppable before the line (braking distance 0.9 < 1.0 m gap)
+        # but the 0.5 m margin target demands ~-10.9: clipped to a_min.
+        assert _planner(stop_margin=0.5).plan(
+            _context(4.0, 3.3)
+        ) == EGO.a_min
+
+    def test_committed_state_escapes_forward(self):
+        # v=15 cannot stop within 8 m (needs 18.75 m): escape at a_max.
+        assert _planner().plan(_context(-3.0, 15.0)) == EGO.a_max
+        # Same at 1 m out with v=15.
+        assert _planner().plan(_context(4.0, 15.0)) == EGO.a_max
+
+
+class TestEscapeBranch:
+    def test_inside_area_full_throttle(self):
+        assert _planner().plan(_context(10.0, 5.0)) == EGO.a_max
+
+    def test_past_area_full_throttle(self):
+        assert _planner().plan(_context(16.0, 5.0)) == EGO.a_max
+
+    def test_exactly_at_line_moving_full_brake(self):
+        assert _planner().plan(_context(5.0, 1.0)) == EGO.a_min
+
+    def test_exactly_at_line_stopped_holds(self):
+        assert _planner().plan(_context(5.0, 0.0)) == 0.0
+
+
+class TestConstruction:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            _planner(stop_margin=-0.1)
+
+    def test_geometry_accessor(self):
+        assert _planner().geometry is GEOMETRY
+        assert _planner().stop_margin == 0.05
+
+
+class TestEquationFourProperty:
+    """From nonneg-slack states, kappa_e never crosses the front line."""
+
+    @given(
+        position=st.floats(-30.0, 4.5),
+        velocity=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_braking_keeps_ego_out_of_area(self, position, velocity):
+        if slack(position, velocity, GEOMETRY, EGO) < 0.0:
+            return  # committed states use the escape branch; not Eq. (4)
+        planner = _planner()
+        model = VehicleModel(EGO)
+        state = VehicleState(position=position, velocity=velocity)
+        v_prev = state.velocity
+        for _ in range(600):  # 30 simulated seconds
+            a = planner.plan(
+                PlanningContext(time=0.0, ego=state)
+            )
+            state = model.step(state, a, DT)
+            assert state.position <= GEOMETRY.p_front + 1e-9
+            # Least-required braking decays asymptotically near the
+            # stop point; the invariants are "never crosses the line"
+            # and "never speeds up".
+            assert state.velocity <= v_prev + 1e-12
+            v_prev = state.velocity
+            if state.velocity == 0.0:
+                break
+
+    @given(
+        position=st.floats(-30.0, 4.5),
+        velocity=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_slack_never_goes_negative_under_braking(self, position, velocity):
+        if slack(position, velocity, GEOMETRY, EGO) < 0.0:
+            return
+        planner = _planner()
+        model = VehicleModel(EGO)
+        state = VehicleState(position=position, velocity=velocity)
+        for _ in range(600):
+            a = planner.plan(PlanningContext(time=0.0, ego=state))
+            state = model.step(state, a, DT)
+            assert (
+                slack(state.position, state.velocity, GEOMETRY, EGO) >= -1e-9
+            )
+            if state.velocity == 0.0:
+                break
+
+    @given(
+        position=st.floats(5.01, 14.9),
+        velocity=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_escape_branch_clears_area(self, position, velocity):
+        planner = _planner()
+        model = VehicleModel(EGO)
+        state = VehicleState(position=position, velocity=velocity)
+        for _ in range(600):
+            a = planner.plan(PlanningContext(time=0.0, ego=state))
+            assert a == EGO.a_max  # escape is always full throttle inside
+            state = model.step(state, a, DT)
+            if state.position > GEOMETRY.p_back:
+                return
+        pytest.fail("ego failed to clear the area under the escape branch")

@@ -1,0 +1,123 @@
+"""Tests for planner training and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.planners.factory import (
+    TrainedPlannerSpec,
+    build_expert,
+    build_network,
+    train_left_turn_planner,
+)
+from repro.planners.training_data import DemonstrationConfig
+from repro.scenarios.left_turn.passing_time import PassingWindowEstimator
+
+
+class TestBuildExpert:
+    def test_styles(self, scenario):
+        cons = build_expert(
+            "conservative",
+            scenario.geometry,
+            scenario.ego_limits,
+            scenario.oncoming_limits,
+        )
+        aggr = build_expert(
+            "aggressive",
+            scenario.geometry,
+            scenario.ego_limits,
+            scenario.oncoming_limits,
+        )
+        assert not cons.window_estimator.aggressive
+        assert aggr.window_estimator.aggressive
+
+    def test_unknown_style_rejected(self, scenario):
+        with pytest.raises(ConfigurationError):
+            build_expert(
+                "reckless",
+                scenario.geometry,
+                scenario.ego_limits,
+                scenario.oncoming_limits,
+            )
+
+
+class TestBuildNetwork:
+    def test_shape(self):
+        net = build_network(np.random.default_rng(0), hidden=8)
+        out = net.forward(np.zeros((3, 5)))
+        assert out.shape == (3, 1)
+
+
+class TestTraining:
+    def test_spec_contents(self, tiny_conservative_spec):
+        spec = tiny_conservative_spec
+        assert spec.style == "conservative"
+        assert spec.history is not None
+        assert spec.history.epochs_run > 0
+        assert spec.scaler.mean.shape == (5,)
+
+    def test_deterministic_training(self, scenario):
+        def train():
+            return train_left_turn_planner(
+                "conservative",
+                scenario.geometry,
+                scenario.ego_limits,
+                scenario.oncoming_limits,
+                seed=99,
+                demo_config=DemonstrationConfig(n_random=100, n_rollouts=1),
+                epochs=3,
+                hidden=8,
+            )
+
+        a, b = train(), train()
+        x = np.zeros((1, 5))
+        assert np.allclose(a.model.forward(x), b.model.forward(x))
+
+    def test_natural_planner_uses_training_estimator(
+        self, tiny_conservative_spec, scenario
+    ):
+        planner = tiny_conservative_spec.natural_planner(scenario.ego_limits)
+        assert (
+            planner.window_estimator
+            is tiny_conservative_spec.expert.window_estimator
+        )
+
+    def test_build_planner_with_custom_estimator(
+        self, tiny_conservative_spec, scenario
+    ):
+        est = PassingWindowEstimator(
+            scenario.geometry, scenario.oncoming_limits, aggressive=True
+        )
+        planner = tiny_conservative_spec.build_planner(est, scenario.ego_limits)
+        assert planner.window_estimator is est
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tiny_conservative_spec, scenario, tmp_path):
+        directory = tiny_conservative_spec.save(tmp_path / "planner")
+        restored = TrainedPlannerSpec.load(
+            directory, tiny_conservative_spec.expert
+        )
+        assert restored.style == "conservative"
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert np.allclose(
+            restored.model.forward(x), tiny_conservative_spec.model.forward(x)
+        )
+        assert np.allclose(
+            restored.scaler.mean, tiny_conservative_spec.scaler.mean
+        )
+
+    def test_loaded_spec_has_no_history(
+        self, tiny_conservative_spec, scenario, tmp_path
+    ):
+        directory = tiny_conservative_spec.save(tmp_path / "p2")
+        restored = TrainedPlannerSpec.load(
+            directory, tiny_conservative_spec.expert
+        )
+        assert restored.history is None
+
+    def test_missing_directory_rejected(self, tiny_conservative_spec, tmp_path):
+        with pytest.raises(SerializationError):
+            TrainedPlannerSpec.load(
+                tmp_path / "nowhere", tiny_conservative_spec.expert
+            )

@@ -1,0 +1,103 @@
+"""Tests for band fusion and the fused-estimate container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dynamics.state import VehicleState
+from repro.errors import FilterError
+from repro.filtering.fusion import (
+    FusedEstimate,
+    fuse_bands,
+    intersect_or_fallback,
+)
+from repro.filtering.reachability import ReachBand
+from repro.utils.intervals import Interval
+
+finite = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+ivs = st.tuples(finite, finite).map(lambda ab: Interval(*ab))
+
+
+class TestIntersectOrFallback:
+    def test_overlapping_intersects(self):
+        out = intersect_or_fallback(Interval(0.0, 10.0), Interval(5.0, 15.0))
+        assert out == Interval(5.0, 10.0)
+
+    def test_disjoint_falls_back_to_sound(self):
+        sound = Interval(0.0, 1.0)
+        assert intersect_or_fallback(sound, Interval(5.0, 6.0)) == sound
+
+    def test_empty_refiner_falls_back(self):
+        sound = Interval(0.0, 1.0)
+        assert intersect_or_fallback(sound, Interval.EMPTY) == sound
+
+    def test_empty_sound_rejected(self):
+        with pytest.raises(FilterError):
+            intersect_or_fallback(Interval.EMPTY, Interval(0.0, 1.0))
+
+    @given(ivs.filter(bool), ivs)
+    def test_result_always_within_sound(self, sound, refining):
+        out = intersect_or_fallback(sound, refining)
+        assert sound.contains_interval(out)
+        assert not out.is_empty
+
+
+class TestFuseBands:
+    def _reach(self):
+        return ReachBand(
+            time=1.0,
+            position=Interval(0.0, 10.0),
+            velocity=Interval(-15.0, -5.0),
+        )
+
+    def test_tightens_both_axes(self):
+        fused = fuse_bands(
+            self._reach(), Interval(2.0, 8.0), Interval(-12.0, -6.0)
+        )
+        assert fused.position == Interval(2.0, 8.0)
+        assert fused.velocity == Interval(-12.0, -6.0)
+
+    def test_keeps_time(self):
+        fused = fuse_bands(self._reach(), Interval(0, 1), Interval(-10, -9))
+        assert fused.time == 1.0
+
+    def test_disjoint_kalman_band_ignored(self):
+        fused = fuse_bands(
+            self._reach(), Interval(100.0, 200.0), Interval(-12.0, -6.0)
+        )
+        assert fused.position == Interval(0.0, 10.0)
+
+
+class TestFusedEstimate:
+    def _nominal(self):
+        return VehicleState(position=5.0, velocity=-10.0, acceleration=0.5)
+
+    def test_fields(self):
+        est = FusedEstimate(
+            time=2.0,
+            position=Interval(0.0, 10.0),
+            velocity=Interval(-12.0, -8.0),
+            nominal=self._nominal(),
+            message_age=0.3,
+        )
+        assert est.position_uncertainty == 10.0
+        assert est.velocity_uncertainty == 4.0
+        assert est.message_age == 0.3
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(FilterError):
+            FusedEstimate(
+                time=0.0,
+                position=Interval.EMPTY,
+                velocity=Interval(0.0, 1.0),
+                nominal=self._nominal(),
+            )
+
+    def test_str_without_message(self):
+        est = FusedEstimate(
+            time=0.0,
+            position=Interval(0.0, 1.0),
+            velocity=Interval(0.0, 1.0),
+            nominal=self._nominal(),
+        )
+        assert "msg_age=-" in str(est)

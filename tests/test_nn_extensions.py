@@ -1,0 +1,154 @@
+"""Tests for weight decay, gradient clipping, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.schedules import constant, cosine, step_decay, warmup
+from repro.nn.training import Trainer
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 1, rng)])
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_weights_without_gradient(self):
+        model = _model()
+        opt = SGD(model, learning_rate=0.1, weight_decay=0.5)
+        before = np.abs(model.parameters()["layer0.weight"]).sum()
+        model.zero_grad()  # gradients are exactly zero
+        opt.step()
+        after = np.abs(model.parameters()["layer0.weight"]).sum()
+        assert after < before
+
+    def test_zero_decay_is_noop_on_zero_gradient(self):
+        model = _model()
+        opt = Adam(model, weight_decay=0.0)
+        before = model.parameters()["layer0.weight"].copy()
+        model.zero_grad()
+        opt.step()
+        assert np.allclose(model.parameters()["layer0.weight"], before)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD(_model(), 0.1, weight_decay=-0.1)
+
+    def test_decayed_training_still_converges(self):
+        model = _model(1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = x @ np.array([[1.0], [-1.0]])
+        trainer = Trainer(
+            model,
+            optimizer=Adam(model, 0.05, weight_decay=1e-4),
+            rng=np.random.default_rng(1),
+        )
+        history = trainer.fit(x, y, epochs=100, patience=None,
+                              validation_fraction=0.0)
+        assert history.train_loss[-1] < 0.01
+
+
+class TestGradClip:
+    def test_clips_global_norm(self):
+        model = _model()
+        opt = SGD(model, learning_rate=1.0, grad_clip=1e-3)
+        x = np.ones((4, 2)) * 100.0
+        y = np.zeros((4, 1))
+        loss = MSELoss()
+        opt.zero_grad()
+        pred = model.forward(x)
+        model.backward(loss.gradient(pred, y))
+        before = model.parameters()["layer0.weight"].copy()
+        opt.step()
+        delta = np.abs(model.parameters()["layer0.weight"] - before)
+        # Step bounded by lr * clip norm.
+        assert np.all(delta <= 1e-3 + 1e-12)
+
+    def test_small_gradients_untouched(self):
+        model = _model()
+        opt = SGD(model, learning_rate=0.1, grad_clip=1e6)
+        x = np.ones((1, 2))
+        y = np.zeros((1, 1))
+        loss = MSELoss()
+        opt.zero_grad()
+        pred = model.forward(x)
+        grad = loss.gradient(pred, y)
+        model.backward(grad)
+        raw = model.gradients()["layer0.weight"].copy()
+        opt.step()
+        # The stored gradient array was not rescaled.
+        assert np.allclose(model.gradients()["layer0.weight"], raw)
+
+    def test_bad_clip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam(_model(), grad_clip=0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant(0.01)
+        assert s(0) == s(100) == 0.01
+
+    def test_step_decay(self):
+        s = step_decay(1.0, factor=0.5, every=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_cosine_endpoints(self):
+        s = cosine(1.0, total_epochs=11, floor=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.1)
+        assert 0.1 < s(5) < 1.0
+
+    def test_cosine_clamps_past_end(self):
+        s = cosine(1.0, total_epochs=5)
+        assert s(50) == pytest.approx(0.0)
+
+    def test_warmup_ramps(self):
+        s = warmup(constant(1.0), warmup_epochs=4)
+        assert s(0) == pytest.approx(0.25)
+        assert s(3) == pytest.approx(1.0)
+        assert s(10) == 1.0
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: constant(0.0),
+            lambda: step_decay(1.0, factor=0.0),
+            lambda: step_decay(1.0, every=0),
+            lambda: cosine(0.0, 10),
+            lambda: cosine(1.0, 0),
+            lambda: cosine(1.0, 10, floor=2.0),
+            lambda: warmup(constant(1.0), 0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory()
+
+    def test_trainer_applies_schedule(self):
+        model = _model()
+        opt = Adam(model, learning_rate=1.0)
+        seen = []
+
+        def probe(epoch):
+            seen.append(epoch)
+            return 0.01 / (epoch + 1)
+
+        trainer = Trainer(
+            model, optimizer=opt, rng=np.random.default_rng(0),
+            schedule=probe,
+        )
+        trainer.fit(
+            np.ones((8, 2)), np.ones((8, 1)), epochs=3, patience=None,
+            validation_fraction=0.0,
+        )
+        assert seen == [0, 1, 2]
+        assert opt.learning_rate == pytest.approx(0.01 / 3)

@@ -1,0 +1,218 @@
+"""Tests for layers, with numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, Identity, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.losses import MSELoss
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(3, 5, np.random.default_rng(0))
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_forward_affine(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        layer.weight[:] = np.eye(2)
+        layer.bias[:] = [1.0, -1.0]
+        out = layer.forward(np.array([[3.0, 4.0]]))
+        assert np.allclose(out, [[4.0, 3.0]])
+
+    def test_wrong_width_rejected(self):
+        layer = Dense(3, 5)
+        with pytest.raises(ConfigurationError):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_numerically(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+        loss = MSELoss()
+
+        def value():
+            return loss.value(layer.forward(x), target)
+
+        layer.zero_grad()
+        pred = layer.forward(x)
+        layer.backward(loss.gradient(pred, target))
+        num = numerical_gradient(value, layer.weight)
+        assert np.allclose(layer.grad_weight, num, atol=1e-5)
+
+    def test_bias_gradient_numerically(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss = MSELoss()
+
+        def value():
+            return loss.value(layer.forward(x), target)
+
+        layer.zero_grad()
+        pred = layer.forward(x)
+        layer.backward(loss.gradient(pred, target))
+        num = numerical_gradient(value, layer.bias)
+        assert np.allclose(layer.grad_bias, num, atol=1e-5)
+
+    def test_input_gradient_numerically(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss = MSELoss()
+
+        def value():
+            return loss.value(layer.forward(x), target)
+
+        pred = layer.forward(x)
+        grad_x = layer.backward(loss.gradient(pred, target))
+        num = numerical_gradient(value, x)
+        assert np.allclose(grad_x, num, atol=1e-5)
+
+    def test_gradient_accumulates_until_zero_grad(self):
+        rng = np.random.default_rng(4)
+        layer = Dense(2, 2, rng)
+        x = rng.normal(size=(3, 2))
+        g = rng.normal(size=(3, 2))
+        layer.forward(x)
+        layer.backward(g)
+        once = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(g)
+        assert np.allclose(layer.grad_weight, 2 * once)
+        layer.zero_grad()
+        assert np.allclose(layer.grad_weight, 0.0)
+
+    def test_unknown_init_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dense(2, 2, init="bogus")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 2)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "activation,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0.0)),
+            (Tanh(), np.tanh),
+            (Identity(), lambda x: x),
+        ],
+    )
+    def test_forward_values(self, activation, fn):
+        x = np.linspace(-2, 2, 9).reshape(3, 3)
+        assert np.allclose(activation.forward(x), fn(x))
+
+    def test_sigmoid_range_and_extremes(self):
+        s = Sigmoid()
+        out = s.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize(
+        "activation", [ReLU(), Tanh(), Sigmoid(), Identity()]
+    )
+    def test_gradient_numerically(self, activation):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 3)) + 0.1  # avoid the ReLU kink at 0
+        target = rng.normal(size=(4, 3))
+        loss = MSELoss()
+
+        def value():
+            return loss.value(activation.forward(x), target)
+
+        pred = activation.forward(x)
+        grad_x = activation.backward(loss.gradient(pred, target))
+        num = numerical_gradient(value, x)
+        assert np.allclose(grad_x, num, atol=1e-5)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReLU().backward(np.zeros((1, 1)))
+
+
+class TestSequential:
+    def _net(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return Sequential([Dense(3, 8, rng), Tanh(), Dense(8, 1, rng)])
+
+    def test_forward_shape(self):
+        assert self._net().forward(np.zeros((5, 3))).shape == (5, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+    def test_parameters_namespaced(self):
+        names = set(self._net().parameters())
+        assert names == {
+            "layer0.weight",
+            "layer0.bias",
+            "layer2.weight",
+            "layer2.bias",
+        }
+
+    def test_end_to_end_gradient_numerically(self):
+        rng = np.random.default_rng(6)
+        net = self._net(seed=7)
+        x = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 1))
+        loss = MSELoss()
+
+        def value():
+            return loss.value(net.forward(x), target)
+
+        net.zero_grad()
+        pred = net.forward(x)
+        net.backward(loss.gradient(pred, target))
+        grads = net.gradients()
+        for name, param in net.parameters().items():
+            num = numerical_gradient(value, param)
+            assert np.allclose(grads[name], num, atol=1e-4), name
+
+    def test_config_roundtrippable_shape(self):
+        cfg = self._net().config()
+        assert cfg["type"] == "Sequential"
+        assert [layer["type"] for layer in cfg["layers"]] == [
+            "Dense",
+            "Tanh",
+            "Dense",
+        ]
+
+    def test_len_and_iter(self):
+        net = self._net()
+        assert len(net) == 3
+        assert len(list(net)) == 3
+
+    def test_predict_alias(self):
+        net = self._net()
+        x = np.zeros((2, 3))
+        assert np.allclose(net.predict(x), net.forward(x))

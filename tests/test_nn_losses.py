@@ -1,0 +1,128 @@
+"""Tests for losses and their gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.nn.losses import HuberLoss, MAELoss, MSELoss
+
+SHAPE = (4, 2)
+batch = arrays(
+    float,
+    SHAPE,
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+)
+
+
+def numerical_gradient(loss, p, t, eps=1e-6):
+    grad = np.zeros_like(p)
+    it = np.nditer(p, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = p[idx]
+        p[idx] = orig + eps
+        hi = loss.value(p, t)
+        p[idx] = orig - eps
+        lo = loss.value(p, t)
+        p[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestMSE:
+    def test_zero_at_perfect_prediction(self):
+        x = np.ones(SHAPE)
+        assert MSELoss().value(x, x) == 0.0
+
+    def test_known_value(self):
+        p = np.array([[1.0], [3.0]])
+        t = np.array([[0.0], [0.0]])
+        assert MSELoss().value(p, t) == pytest.approx(5.0)
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=SHAPE)
+        t = rng.normal(size=SHAPE)
+        assert np.allclose(
+            MSELoss().gradient(p, t), numerical_gradient(MSELoss(), p, t),
+            atol=1e-6,
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSELoss().value(np.zeros((2, 1)), np.zeros((3, 1)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSELoss().value(np.zeros(3), np.zeros(3))
+
+
+class TestMAE:
+    def test_known_value(self):
+        p = np.array([[1.0], [-3.0]])
+        t = np.array([[0.0], [0.0]])
+        assert MAELoss().value(p, t) == pytest.approx(2.0)
+
+    def test_gradient_numerically_away_from_kink(self):
+        rng = np.random.default_rng(1)
+        p = rng.normal(size=SHAPE) + 5.0  # residuals well away from 0
+        t = rng.normal(size=SHAPE) - 5.0
+        assert np.allclose(
+            MAELoss().gradient(p, t), numerical_gradient(MAELoss(), p, t),
+            atol=1e-6,
+        )
+
+
+class TestHuber:
+    def test_quadratic_region_matches_half_mse(self):
+        p = np.full(SHAPE, 0.3)
+        t = np.zeros(SHAPE)
+        assert HuberLoss(delta=1.0).value(p, t) == pytest.approx(
+            0.5 * 0.3**2
+        )
+
+    def test_linear_region(self):
+        p = np.full(SHAPE, 5.0)
+        t = np.zeros(SHAPE)
+        assert HuberLoss(delta=1.0).value(p, t) == pytest.approx(
+            1.0 * (5.0 - 0.5)
+        )
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(2)
+        p = rng.normal(size=SHAPE) * 3
+        t = rng.normal(size=SHAPE)
+        loss = HuberLoss(delta=1.0)
+        assert np.allclose(
+            loss.gradient(p, t), numerical_gradient(loss, p, t), atol=1e-5
+        )
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HuberLoss(delta=0.0)
+
+
+class TestProperties:
+    @given(batch, batch)
+    @settings(max_examples=50)
+    def test_losses_nonnegative(self, p, t):
+        for loss in (MSELoss(), MAELoss(), HuberLoss()):
+            assert loss.value(p, t) >= 0.0
+
+    @given(batch)
+    @settings(max_examples=50)
+    def test_zero_at_identity(self, p):
+        for loss in (MSELoss(), MAELoss(), HuberLoss()):
+            assert loss.value(p, p.copy()) == 0.0
+
+    @given(batch, batch)
+    @settings(max_examples=50)
+    def test_huber_bounded_by_mse_and_mae_regimes(self, p, t):
+        # Huber <= 0.5 * MSE pointwise mean and Huber <= delta * MAE.
+        huber = HuberLoss(delta=1.0).value(p, t)
+        assert huber <= 0.5 * MSELoss().value(p, t) + 1e-9
+        assert huber <= 1.0 * MAELoss().value(p, t) + 1e-9

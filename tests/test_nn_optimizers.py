@@ -1,0 +1,98 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.optimizers import SGD, Adam
+
+
+def _quadratic_model(seed=0):
+    """A 1-parameter-layer model for convergence checks."""
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 1, rng)])
+
+
+def _train(model, optimizer, steps=500):
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(64, 2))
+    w_true = np.array([[2.0], [-3.0]])
+    y = x @ w_true + 0.5
+    loss = MSELoss()
+    for _ in range(steps):
+        optimizer.zero_grad()
+        pred = model.forward(x)
+        model.backward(loss.gradient(pred, y))
+        optimizer.step()
+    return loss.value(model.forward(x), y)
+
+
+class TestSGD:
+    def test_converges_on_linear_regression(self):
+        model = _quadratic_model()
+        assert _train(model, SGD(model, learning_rate=0.05)) < 1e-4
+
+    def test_momentum_converges(self):
+        model = _quadratic_model(1)
+        assert _train(model, SGD(model, 0.02, momentum=0.9)) < 1e-4
+
+    def test_step_moves_parameters(self):
+        model = _quadratic_model()
+        opt = SGD(model, 0.1)
+        model.forward(np.ones((1, 2)))
+        model.backward(np.ones((1, 1)))
+        before = model.parameters()["layer0.weight"].copy()
+        opt.step()
+        assert not np.allclose(before, model.parameters()["layer0.weight"])
+
+    def test_bad_learning_rate_rejected(self):
+        model = _quadratic_model()
+        with pytest.raises(ConfigurationError):
+            SGD(model, learning_rate=0.0)
+
+    def test_bad_momentum_rejected(self):
+        model = _quadratic_model()
+        with pytest.raises(ConfigurationError):
+            SGD(model, 0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_linear_regression(self):
+        model = _quadratic_model(2)
+        assert _train(model, Adam(model, 0.05)) < 1e-4
+
+    def test_bias_correction_first_step_magnitude(self):
+        """The first Adam step has magnitude ~learning_rate."""
+        model = _quadratic_model(3)
+        opt = Adam(model, learning_rate=0.01)
+        model.forward(np.ones((1, 2)))
+        model.backward(np.ones((1, 1)))
+        before = model.parameters()["layer0.weight"].copy()
+        opt.step()
+        delta = np.abs(model.parameters()["layer0.weight"] - before)
+        assert np.all(delta < 0.011)
+        assert np.all(delta > 0.009)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta1": 1.0},
+            {"beta2": -0.1},
+            {"eps": 0.0},
+            {"learning_rate": -1.0},
+        ],
+    )
+    def test_bad_hyperparameters_rejected(self, kwargs):
+        model = _quadratic_model()
+        with pytest.raises(ConfigurationError):
+            Adam(model, **{"learning_rate": 1e-3, **kwargs})
+
+    def test_zero_grad_clears(self):
+        model = _quadratic_model()
+        opt = Adam(model)
+        model.forward(np.ones((1, 2)))
+        model.backward(np.ones((1, 1)))
+        opt.zero_grad()
+        assert np.allclose(model.gradients()["layer0.weight"], 0.0)

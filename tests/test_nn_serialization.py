@@ -1,0 +1,75 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn.layers import Dense, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.serialization import load_model, save_model
+
+
+def _net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(4, 8, rng), ReLU(), Dense(8, 8, rng), Tanh(), Dense(8, 2, rng)]
+    )
+
+
+class TestRoundTrip:
+    def test_outputs_identical(self, tmp_path):
+        net = _net()
+        path = save_model(net, tmp_path / "model")
+        restored = load_model(path)
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        assert np.allclose(net.forward(x), restored.forward(x))
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_model(_net(), tmp_path / "model")
+        assert path.suffix == ".npz"
+
+    def test_architecture_preserved(self, tmp_path):
+        path = save_model(_net(), tmp_path / "m")
+        restored = load_model(path)
+        types = [type(layer).__name__ for layer in restored.layers]
+        assert types == ["Dense", "ReLU", "Dense", "Tanh", "Dense"]
+
+    def test_sigmoid_supported(self, tmp_path):
+        rng = np.random.default_rng(2)
+        net = Sequential([Dense(2, 2, rng), Sigmoid()])
+        restored = load_model(save_model(net, tmp_path / "s"))
+        x = np.ones((1, 2))
+        assert np.allclose(net.forward(x), restored.forward(x))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_model(_net(), tmp_path / "a" / "b" / "model")
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model(tmp_path / "nope.npz")
+
+    def test_not_a_model_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+    def test_corrupted_shape(self, tmp_path):
+        net = _net()
+        path = save_model(net, tmp_path / "model")
+        data = dict(np.load(path))
+        data["layer0.weight"] = np.zeros((2, 2))
+        np.savez(path, **data)
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+    def test_missing_parameter(self, tmp_path):
+        net = _net()
+        path = save_model(net, tmp_path / "model")
+        data = dict(np.load(path))
+        del data["layer0.bias"]
+        np.savez(path, **data)
+        with pytest.raises(SerializationError):
+            load_model(path)

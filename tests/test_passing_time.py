@@ -1,0 +1,168 @@
+"""Tests for the oncoming vehicle's passing-window estimation.
+
+Load-bearing properties:
+
+* the conservative (Eq. (7)) window computed from any band containing
+  the true state contains the true passing interval of every admissible
+  behaviour — this is what makes the runtime monitor sound;
+* the aggressive (Eq. (8)) window is compact and sits near the true
+  passing time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleLimits, VehicleModel
+from repro.filtering.fusion import FusedEstimate
+from repro.scenarios.left_turn.geometry import LeftTurnGeometry
+from repro.scenarios.left_turn.passing_time import (
+    PassingWindowEstimator,
+    aggressive_window,
+    conservative_window,
+)
+from repro.utils.intervals import Interval
+
+GEOMETRY = LeftTurnGeometry()
+LIMITS = VehicleLimits(v_min=-20.0, v_max=-2.0, a_min=-3.0, a_max=3.0)
+DT = 0.05
+
+
+def _estimate(time, position, velocity, accel=0.0, p_rad=0.0, v_rad=0.0):
+    return FusedEstimate(
+        time=time,
+        position=Interval.around(position, p_rad),
+        velocity=Interval.around(velocity, v_rad),
+        nominal=VehicleState(
+            position=position, velocity=velocity, acceleration=accel
+        ),
+        message_age=0.0,
+    )
+
+
+def _true_passing(position, velocity, accels):
+    """Simulate and return the (entry, exit) times of the unsafe area."""
+    model = VehicleModel(LIMITS)
+    state = VehicleState(position=position, velocity=velocity)
+    entry = exit_ = None
+    t = 0.0
+    for a in accels:
+        if entry is None and state.position <= GEOMETRY.oncoming_front:
+            entry = t
+        if exit_ is None and state.position < GEOMETRY.oncoming_back:
+            exit_ = t
+            break
+        state = model.step(state, a, DT)
+        t += DT
+    return entry, exit_
+
+
+class TestConservativeWindow:
+    def test_exact_state_window_brackets_constant_speed(self):
+        est = _estimate(0.0, 50.0, -10.0)
+        w = conservative_window(est, GEOMETRY, LIMITS)
+        # Constant speed: enters at 3.5 s, exits at 4.5 s.
+        assert w.lo <= 3.5
+        assert w.hi >= 4.5
+
+    def test_cleared_band_is_empty(self):
+        est = _estimate(0.0, 4.0, -10.0)
+        assert conservative_window(est, GEOMETRY, LIMITS).is_empty
+
+    def test_band_not_fully_cleared_is_not_empty(self):
+        est = _estimate(0.0, 4.0, -10.0, p_rad=2.0)  # band [2, 6]
+        assert not conservative_window(est, GEOMETRY, LIMITS).is_empty
+
+    def test_wider_band_wider_window(self):
+        tight = conservative_window(
+            _estimate(0.0, 50.0, -10.0, p_rad=0.5, v_rad=0.5), GEOMETRY, LIMITS
+        )
+        wide = conservative_window(
+            _estimate(0.0, 50.0, -10.0, p_rad=3.0, v_rad=2.0), GEOMETRY, LIMITS
+        )
+        assert wide.lo <= tight.lo
+        assert wide.hi >= tight.hi
+
+    def test_absolute_times_offset_by_estimate_time(self):
+        w0 = conservative_window(_estimate(0.0, 50.0, -10.0), GEOMETRY, LIMITS)
+        w5 = conservative_window(_estimate(5.0, 50.0, -10.0), GEOMETRY, LIMITS)
+        assert w5.lo == pytest.approx(w0.lo + 5.0)
+
+    @given(
+        position=st.floats(20.0, 60.0),
+        velocity=st.floats(-14.0, -6.0),
+        accels=st.lists(st.floats(-2.0, 2.0), min_size=150, max_size=150),
+        p_rad=st.floats(0.0, 2.0),
+        v_rad=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_soundness_against_rollouts(
+        self, position, velocity, accels, p_rad, v_rad
+    ):
+        """The Eq. (7) window contains every admissible passing time."""
+        est = _estimate(0.0, position, velocity, p_rad=p_rad, v_rad=v_rad)
+        w = conservative_window(est, GEOMETRY, LIMITS)
+        entry, exit_ = _true_passing(position, velocity, accels)
+        if entry is not None:
+            assert w.lo <= entry + 1e-6
+        if exit_ is not None:
+            assert w.hi >= exit_ - 1e-6
+
+
+class TestAggressiveWindow:
+    def test_nested_inside_conservative_for_exact_state(self):
+        est = _estimate(0.0, 50.0, -10.0, accel=0.0)
+        cons = conservative_window(est, GEOMETRY, LIMITS)
+        aggr = aggressive_window(est, GEOMETRY, LIMITS, a_buf=0.5, v_buf=1.0)
+        assert cons.contains_interval(aggr)
+
+    def test_close_to_constant_speed_truth(self):
+        est = _estimate(0.0, 50.0, -10.0, accel=0.0)
+        aggr = aggressive_window(est, GEOMETRY, LIMITS, a_buf=0.5, v_buf=1.0)
+        # Truth: [3.5, 4.5] at constant speed.
+        assert aggr.lo == pytest.approx(3.5, abs=1.0)
+        assert aggr.hi == pytest.approx(4.5, abs=1.5)
+
+    def test_zero_buffers_tightest(self):
+        est = _estimate(0.0, 50.0, -10.0, accel=0.0)
+        tight = aggressive_window(est, GEOMETRY, LIMITS, a_buf=0.0, v_buf=0.0)
+        loose = aggressive_window(est, GEOMETRY, LIMITS, a_buf=1.0, v_buf=2.0)
+        assert loose.lo <= tight.lo + 1e-9
+        assert loose.hi >= tight.hi - 1e-9
+
+    def test_cleared_nominal_empty(self):
+        est = _estimate(0.0, 4.0, -10.0)
+        assert aggressive_window(
+            est, GEOMETRY, LIMITS, a_buf=0.5, v_buf=1.0
+        ).is_empty
+
+    def test_negative_buffers_rejected(self):
+        est = _estimate(0.0, 50.0, -10.0)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            aggressive_window(est, GEOMETRY, LIMITS, a_buf=-0.1, v_buf=0.0)
+
+    def test_decelerating_nominal_can_never_arrive(self):
+        # Strongly decelerating distant vehicle: the aggressive estimate
+        # concludes it never arrives (window empty); the monitor's
+        # conservative window still covers it.
+        est = _estimate(0.0, 60.0, -3.0, accel=2.5)  # raw +a = slowing
+        aggr = aggressive_window(est, GEOMETRY, LIMITS, a_buf=0.2, v_buf=0.2)
+        cons = conservative_window(est, GEOMETRY, LIMITS)
+        assert aggr.is_empty or aggr.lo > cons.lo
+        assert not cons.is_empty
+
+
+class TestEstimatorBundle:
+    def test_mode_switch(self):
+        est = _estimate(0.0, 50.0, -10.0)
+        cons = PassingWindowEstimator(GEOMETRY, LIMITS, aggressive=False)
+        aggr = PassingWindowEstimator(
+            GEOMETRY, LIMITS, aggressive=True, a_buf=0.5, v_buf=1.0
+        )
+        assert cons.window(est) == conservative_window(est, GEOMETRY, LIMITS)
+        assert aggr.window(est) == aggressive_window(
+            est, GEOMETRY, LIMITS, 0.5, 1.0
+        )

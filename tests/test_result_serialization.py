@@ -1,0 +1,127 @@
+"""Tests for JSON archiving of simulation results."""
+
+import pytest
+
+from repro.comm.channel import ChannelStats
+from repro.dynamics.state import VehicleState
+from repro.dynamics.trajectory import Trajectory
+from repro.errors import SerializationError
+from repro.sim.results import AggregateStats, Outcome, SimulationResult
+from repro.sim.serialization import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+def _result(with_trajectory=False):
+    trajectories = []
+    if with_trajectory:
+        trajectory = Trajectory()
+        for i in range(4):
+            trajectory.append(
+                i * 0.05,
+                VehicleState(
+                    position=float(i), velocity=2.0, acceleration=0.5
+                ),
+            )
+        trajectories = [trajectory]
+    return SimulationResult(
+        outcome=Outcome.REACHED,
+        reaching_time=6.4,
+        steps=128,
+        emergency_steps=9,
+        trajectories=trajectories,
+        channel_stats={
+            1: ChannelStats(sent=64, dropped=20, delivered=40, total_delay=10.0)
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = _result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.outcome == original.outcome
+        assert restored.reaching_time == original.reaching_time
+        assert restored.steps == original.steps
+        assert restored.eta == original.eta
+        assert restored.channel_stats[1].drop_rate == pytest.approx(
+            20 / 64
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        batch = [_result(), _result()]
+        path = save_results(batch, tmp_path / "run", metadata={"seed": 7})
+        assert path.suffix == ".json"
+        restored, metadata = load_results(path)
+        assert len(restored) == 2
+        assert metadata == {"seed": 7}
+        assert AggregateStats.from_results(
+            restored
+        ).mean_eta == AggregateStats.from_results(batch).mean_eta
+
+    def test_trajectories_optional(self, tmp_path):
+        path = save_results(
+            [_result(with_trajectory=True)],
+            tmp_path / "with_traj",
+            include_trajectories=True,
+        )
+        restored, _ = load_results(path)
+        assert len(restored[0].trajectories) == 1
+        assert restored[0].trajectories[0][2].position == 2.0
+
+    def test_trajectories_dropped_by_default(self, tmp_path):
+        path = save_results(
+            [_result(with_trajectory=True)], tmp_path / "no_traj"
+        )
+        restored, _ = load_results(path)
+        assert restored[0].trajectories == []
+
+    def test_collision_record(self):
+        crashed = SimulationResult(
+            outcome=Outcome.COLLISION, collision_time=3.2, steps=64
+        )
+        restored = result_from_dict(result_to_dict(crashed))
+        assert restored.eta == -1.0
+        assert restored.collision_time == 3.2
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_results(tmp_path / "nope.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_results(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99, "results": []}')
+        with pytest.raises(SerializationError):
+            load_results(path)
+
+    def test_invalid_outcome(self):
+        with pytest.raises(SerializationError):
+            result_from_dict({"outcome": "vaporised"})
+
+
+class TestEndToEnd:
+    def test_engine_batch_survives_archive(self, scenario, tmp_path):
+        from repro.planners.constant import ConstantPlanner
+        from repro.sim.engine import CommSetup, SimulationEngine
+        from repro.sim.runner import BatchRunner, EstimatorKind
+
+        engine = SimulationEngine(scenario, CommSetup.perfect())
+        batch = BatchRunner(engine, EstimatorKind.RAW).run_batch(
+            ConstantPlanner(2.0), 3, seed=0
+        )
+        path = save_results(batch, tmp_path / "campaign")
+        restored, _ = load_results(path)
+        for a, b in zip(batch, restored):
+            assert a.outcome == b.outcome
+            assert a.reaching_time == b.reaching_time

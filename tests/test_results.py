@@ -1,0 +1,132 @@
+"""Tests for result records, eta, aggregates, winning percentage."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.evaluation import eta_from_events
+from repro.sim.results import (
+    AggregateStats,
+    Outcome,
+    SimulationResult,
+    winning_percentage,
+)
+
+
+def _reached(t):
+    return SimulationResult(outcome=Outcome.REACHED, reaching_time=t, steps=100)
+
+
+def _collided(t=3.0):
+    return SimulationResult(
+        outcome=Outcome.COLLISION, collision_time=t, steps=60
+    )
+
+
+def _timeout():
+    return SimulationResult(outcome=Outcome.TIMEOUT, steps=600)
+
+
+class TestEta:
+    def test_reached(self):
+        assert _reached(5.0).eta == pytest.approx(0.2)
+
+    def test_collision(self):
+        assert _collided().eta == -1.0
+
+    def test_timeout(self):
+        assert _timeout().eta == 0.0
+
+    def test_reached_without_time_rejected(self):
+        bad = SimulationResult(outcome=Outcome.REACHED, reaching_time=None)
+        with pytest.raises(SimulationError):
+            _ = bad.eta
+
+    def test_is_safe(self):
+        assert _reached(5.0).is_safe
+        assert _timeout().is_safe
+        assert not _collided().is_safe
+
+    def test_emergency_frequency(self):
+        r = SimulationResult(
+            outcome=Outcome.REACHED,
+            reaching_time=5.0,
+            steps=100,
+            emergency_steps=25,
+        )
+        assert r.emergency_frequency == 0.25
+
+    def test_emergency_frequency_no_steps(self):
+        r = SimulationResult(outcome=Outcome.TIMEOUT, steps=0)
+        assert r.emergency_frequency == 0.0
+
+
+class TestEtaFromEvents:
+    def test_matches_result_eta(self):
+        assert eta_from_events(None, 5.0) == pytest.approx(0.2)
+        assert eta_from_events(3.0, None) == -1.0
+        assert eta_from_events(None, None) == 0.0
+
+    def test_collision_before_reaching_dominates(self):
+        assert eta_from_events(2.0, 5.0) == -1.0
+
+    def test_reaching_before_collision_counts(self):
+        # The paper's side condition: a violation after the target was
+        # already reached does not spoil the run.
+        assert eta_from_events(6.0, 5.0) == pytest.approx(0.2)
+
+    def test_nonpositive_reaching_time_rejected(self):
+        with pytest.raises(SimulationError):
+            eta_from_events(None, 0.0)
+
+
+class TestAggregateStats:
+    def test_mixed_batch(self):
+        stats = AggregateStats.from_results(
+            [_reached(4.0), _reached(6.0), _collided(), _timeout()]
+        )
+        assert stats.n_runs == 4
+        assert stats.n_safe == 3
+        assert stats.n_reached == 2
+        assert stats.safe_rate == 0.75
+        assert stats.mean_reaching_time == pytest.approx(5.0)
+        expected_eta = (0.25 + 1 / 6 - 1.0 + 0.0) / 4
+        assert stats.mean_eta == pytest.approx(expected_eta)
+
+    def test_no_reached_runs_nan_reaching_time(self):
+        stats = AggregateStats.from_results([_collided(), _timeout()])
+        assert math.isnan(stats.mean_reaching_time)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            AggregateStats.from_results([])
+
+    def test_reaching_time_counts_safe_runs_only(self):
+        """Table II's '*' convention: crashes don't count as fast."""
+        fast_crash = SimulationResult(
+            outcome=Outcome.COLLISION, collision_time=1.0, steps=20
+        )
+        stats = AggregateStats.from_results([fast_crash, _reached(8.0)])
+        assert stats.mean_reaching_time == pytest.approx(8.0)
+
+
+class TestWinningPercentage:
+    def test_strict_wins_only(self):
+        ultimate = [_reached(4.0), _reached(5.0), _reached(6.0)]
+        other = [_reached(5.0), _reached(5.0), _reached(5.0)]
+        # eta: 0.25 > 0.2 (win), 0.2 == 0.2 (tie), 1/6 < 0.2 (loss).
+        assert winning_percentage(ultimate, other) == pytest.approx(1 / 3)
+
+    def test_collision_always_loses(self):
+        ultimate = [_reached(10.0)]
+        other = [_collided()]
+        assert winning_percentage(ultimate, other) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            winning_percentage([_reached(1.0)], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            winning_percentage([], [])

@@ -1,0 +1,117 @@
+"""Tests for noise bounds and the periodic sensor."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ConfigurationError
+from repro.sensing.noise import NoiseBounds, UniformNoise
+from repro.sensing.sensor import Sensor
+from repro.utils.rng import RngStream
+
+TRUE = VehicleState(position=40.0, velocity=-11.0, acceleration=1.0)
+
+
+class TestNoiseBounds:
+    def test_uniform_all(self):
+        b = NoiseBounds.uniform_all(1.4)
+        assert b.delta_p == b.delta_v == b.delta_a == 1.4
+
+    def test_noiseless(self):
+        b = NoiseBounds.noiseless()
+        assert b.delta_p == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseBounds(delta_p=-1.0, delta_v=0.0, delta_a=0.0)
+
+    def test_variances_are_uniform_variances(self):
+        # Var of U(-d, d) is d^2 / 3 — the paper's R and Q entries.
+        b = NoiseBounds(delta_p=3.0, delta_v=1.5, delta_a=0.9)
+        assert b.position_variance == pytest.approx(3.0)
+        assert b.velocity_variance == pytest.approx(0.75)
+        assert b.acceleration_variance == pytest.approx(0.27)
+
+    def test_bands_contain_truth(self):
+        b = NoiseBounds.uniform_all(2.0)
+        assert b.position_band(10.0).contains(11.9)
+        assert not b.position_band(10.0).contains(12.1)
+
+
+class TestUniformNoise:
+    def test_within_bounds(self):
+        noise = UniformNoise(NoiseBounds.uniform_all(0.5), RngStream(1))
+        for _ in range(200):
+            assert abs(noise.perturb_position(10.0) - 10.0) <= 0.5
+            assert abs(noise.perturb_velocity(-3.0) + 3.0) <= 0.5
+            assert abs(noise.perturb_acceleration(0.0)) <= 0.5
+
+    def test_noiseless_passthrough(self):
+        noise = UniformNoise(NoiseBounds.noiseless(), RngStream(2))
+        assert noise.perturb_position(7.0) == 7.0
+
+    def test_roughly_uniform(self):
+        noise = UniformNoise(NoiseBounds.uniform_all(1.0), RngStream(3))
+        samples = np.array(
+            [noise.perturb_position(0.0) for _ in range(4000)]
+        )
+        assert abs(samples.mean()) < 0.05
+        assert abs(samples.std() - np.sqrt(1.0 / 3.0)) < 0.03
+
+
+class TestSensor:
+    def _sensor(self, delta=1.0, seed=5):
+        return Sensor(
+            target=1,
+            period=0.1,
+            bounds=NoiseBounds.uniform_all(delta),
+            rng=RngStream(seed),
+        )
+
+    def test_reading_fields(self):
+        reading = self._sensor().measure(0.2, TRUE)
+        assert reading.target == 1
+        assert reading.time == 0.2
+
+    def test_reading_within_bounds(self):
+        sensor = self._sensor(delta=0.5)
+        for i in range(100):
+            r = sensor.measure(i * 0.1, TRUE)
+            assert abs(r.position - TRUE.position) <= 0.5
+            assert abs(r.velocity - TRUE.velocity) <= 0.5
+            assert abs(r.acceleration - TRUE.acceleration) <= 0.5
+
+    def test_history_and_latest(self):
+        sensor = self._sensor()
+        assert sensor.latest() is None
+        sensor.measure(0.0, TRUE)
+        sensor.measure(0.1, TRUE)
+        assert len(sensor.history) == 2
+        assert sensor.latest().time == 0.1
+
+    def test_schedule(self):
+        sensor = self._sensor()
+        assert sensor.is_sample_time(0.0)
+        assert sensor.is_sample_time(0.4)
+        assert not sensor.is_sample_time(0.15)
+
+    def test_as_state(self):
+        reading = self._sensor().measure(0.0, TRUE)
+        state = reading.as_state()
+        assert state.position == reading.position
+        assert state.velocity == reading.velocity
+
+    def test_reproducible(self):
+        a = self._sensor(seed=8).measure(0.0, TRUE)
+        b = self._sensor(seed=8).measure(0.0, TRUE)
+        assert a.position == b.position
+        assert a.velocity == b.velocity
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sensor(
+                target=1,
+                period=0.0,
+                bounds=NoiseBounds.noiseless(),
+                rng=RngStream(0),
+            )

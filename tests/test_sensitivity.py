@@ -1,0 +1,44 @@
+"""Tests for the knob-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    sweep_buffers,
+    sweep_n_sigma,
+)
+from tests.test_experiments import TINY
+
+
+@pytest.fixture(scope="module")
+def buffer_sweep():
+    return sweep_buffers(TINY, grid=((0.0, 0.0), (0.5, 1.0)))
+
+
+@pytest.fixture(scope="module")
+def sigma_sweep():
+    return sweep_n_sigma(TINY, grid=(1.0, 3.0))
+
+
+class TestSweeps:
+    def test_buffer_grid_covered(self, buffer_sweep):
+        assert set(buffer_sweep) == {(0.0, 0.0), (0.5, 1.0)}
+
+    def test_sigma_grid_covered(self, sigma_sweep):
+        assert set(sigma_sweep) == {1.0, 3.0}
+
+    def test_all_cells_safe(self, buffer_sweep, sigma_sweep):
+        for stats in list(buffer_sweep.values()) + list(sigma_sweep.values()):
+            assert stats.safe_rate == 1.0
+
+    def test_batch_sizes(self, buffer_sweep):
+        for stats in buffer_sweep.values():
+            assert stats.n_runs == TINY.n_sims
+
+
+class TestRendering:
+    def test_render_contains_cells(self, buffer_sweep, sigma_sweep):
+        text = render_sensitivity(buffer_sweep, sigma_sweep)
+        assert "a_buf" in text
+        assert "n_sigma" in text
+        assert "100.00%" in text

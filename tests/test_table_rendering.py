@@ -1,0 +1,85 @@
+"""Tests for the table modules' render functions and CLI plumbing."""
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.experiments.harness import run_setting
+from tests.test_experiments import TINY
+
+
+@pytest.fixture(scope="module")
+def mini_table():
+    """One setting per family, shaped like the full-table dicts."""
+    return {
+        "no_disturbance": run_setting(
+            "conservative", "no_disturbance", TINY
+        )
+    }
+
+
+class TestRender:
+    def test_table1_render(self, mini_table):
+        text = table1.render(mini_table)
+        assert "Table I" in text
+        assert "no_disturbance" in text
+        for planner in ("pure", "basic", "ultimate"):
+            assert planner in text
+
+    def test_table2_render(self, mini_table):
+        text = table2.render(mini_table)
+        assert "Table II" in text
+        assert "safe runs only" in text
+
+    def test_rows_have_all_columns(self, mini_table):
+        text = table1.render(mini_table)
+        header = text.splitlines()[1]
+        for column in (
+            "setting",
+            "planner",
+            "reaching",
+            "safe",
+            "eta",
+            "winning",
+            "emergency",
+        ):
+            assert column in header
+
+    def test_ultimate_row_has_dash_for_winning(self, mini_table):
+        text = table1.render(mini_table)
+        ultimate_lines = [
+            line for line in text.splitlines() if "ultimate" in line
+        ]
+        assert ultimate_lines
+        assert all(" - " in line or line.endswith("-") or " -" in line
+                   for line in ultimate_lines)
+
+
+class TestFigure5Rendering:
+    def test_render_sweep_with_chart(self):
+        from repro.experiments.figure5 import render_sweep
+
+        sweep = {
+            "reaching_time": {
+                "pure": [6.7, 6.8],
+                "basic": [6.7, 6.8],
+                "ultimate": [6.4, 6.5],
+            },
+            "emergency_frequency": {
+                "basic": [0.0, 0.001],
+                "ultimate": [0.05, 0.06],
+            },
+        }
+        text = render_sweep("Fig. demo", "x", (0.0, 1.0), sweep)
+        assert "reaching time" in text
+        assert "emergency frequency" in text
+        assert "(chart)" in text
+
+    def test_render_sweep_without_chart(self):
+        from repro.experiments.figure5 import render_sweep
+
+        sweep = {
+            "reaching_time": {"pure": [1.0], "basic": [1.0], "ultimate": [1.0]},
+            "emergency_frequency": {"basic": [0.0], "ultimate": [0.0]},
+        }
+        text = render_sweep("Fig. demo", "x", (0.0,), sweep, charts=False)
+        assert "(chart)" not in text

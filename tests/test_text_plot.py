@@ -1,0 +1,94 @@
+"""Tests for the terminal plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.text_plot import histogram, line_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+        assert list(out) == sorted(out)  # nondecreasing levels
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_becomes_space(self):
+        out = sparkline([0.0, math.nan, 1.0])
+        assert out[1] == " "
+        assert len(out) == 3
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            [0, 1, 2, 3],
+            {"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+            title="Demo",
+        )
+        assert "Demo" in chart
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_y_extremes_labelled(self):
+        chart = line_chart([0, 1], {"a": [2.0, 8.0]}, width=12, height=5)
+        assert "8" in chart
+        assert "2" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {"a": [1.0]}, width=12, height=5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([0, 1], {"a": [1.0, 2.0]}, width=2, height=2)
+
+    def test_single_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([0], {"a": [1.0]}, width=12, height=5)
+
+    def test_nan_points_skipped(self):
+        chart = line_chart(
+            [0, 1, 2], {"a": [1.0, math.nan, 2.0]}, width=12, height=5
+        )
+        assert "o" in chart
+
+    def test_constant_series_renders(self):
+        chart = line_chart([0, 1], {"a": [3.0, 3.0]}, width=12, height=5)
+        assert "o" in chart
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in out.splitlines())
+        assert total == 6
+
+    def test_title(self):
+        assert histogram([1, 2], bins=2, title="T").startswith("T")
+
+    def test_constant_sample(self):
+        out = histogram([4.0, 4.0], bins=2)
+        assert "2" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram([math.nan])
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,91 @@
+"""Tests for demonstration generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planners.factory import build_expert
+from repro.planners.training_data import (
+    DemonstrationConfig,
+    generate_demonstrations,
+)
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def expert(scenario_module):
+    return build_expert(
+        "conservative",
+        scenario_module.geometry,
+        scenario_module.ego_limits,
+        scenario_module.oncoming_limits,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario_module():
+    from repro.scenarios.left_turn.scenario import LeftTurnScenario
+
+    return LeftTurnScenario()
+
+
+class TestConfigValidation:
+    def test_zero_everything_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemonstrationConfig(n_random=0, n_rollouts=0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemonstrationConfig(n_random=-1)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemonstrationConfig(empty_window_fraction=1.5)
+
+
+class TestGeneration:
+    def test_shapes(self, expert):
+        cfg = DemonstrationConfig(n_random=50, n_rollouts=2)
+        x, y = generate_demonstrations(expert, cfg, RngStream(0))
+        assert x.ndim == 2 and x.shape[1] == 5
+        assert y.shape == (x.shape[0], 1)
+        assert x.shape[0] >= 50
+
+    def test_random_only(self, expert):
+        cfg = DemonstrationConfig(n_random=30, n_rollouts=0)
+        x, y = generate_demonstrations(expert, cfg, RngStream(1))
+        assert x.shape[0] == 30
+
+    def test_rollout_only(self, expert):
+        cfg = DemonstrationConfig(n_random=0, n_rollouts=2)
+        x, y = generate_demonstrations(expert, cfg, RngStream(2))
+        assert x.shape[0] > 0
+
+    def test_labels_within_actuation_limits(self, expert):
+        cfg = DemonstrationConfig(n_random=100, n_rollouts=2)
+        _, y = generate_demonstrations(expert, cfg, RngStream(3))
+        assert np.all(y >= expert.limits.a_min - 1e-9)
+        assert np.all(y <= expert.limits.a_max + 1e-9)
+
+    def test_reproducible(self, expert):
+        cfg = DemonstrationConfig(n_random=40, n_rollouts=1)
+        x1, y1 = generate_demonstrations(expert, cfg, RngStream(4))
+        x2, y2 = generate_demonstrations(expert, cfg, RngStream(4))
+        assert np.allclose(x1, x2)
+        assert np.allclose(y1, y2)
+
+    def test_different_seeds_differ(self, expert):
+        cfg = DemonstrationConfig(n_random=40, n_rollouts=0)
+        x1, _ = generate_demonstrations(expert, cfg, RngStream(5))
+        x2, _ = generate_demonstrations(expert, cfg, RngStream(6))
+        assert not np.allclose(x1, x2)
+
+    def test_empty_windows_present(self, expert):
+        from repro.planners.nn_planner import WINDOW_PAST
+
+        cfg = DemonstrationConfig(
+            n_random=200, n_rollouts=0, empty_window_fraction=0.5
+        )
+        x, _ = generate_demonstrations(expert, cfg, RngStream(7))
+        n_empty = int(np.sum(x[:, 3] == WINDOW_PAST))
+        assert 50 < n_empty < 150

@@ -1,0 +1,65 @@
+"""Tests for unit helpers and kinematic one-liners."""
+
+import pytest
+
+from repro.utils.units import (
+    braking_distance,
+    isclose_time,
+    kmh,
+    mph,
+    stopping_time,
+    to_kmh,
+)
+
+
+class TestConversions:
+    def test_kmh_roundtrip(self):
+        assert to_kmh(kmh(72.0)) == pytest.approx(72.0)
+
+    def test_kmh_value(self):
+        assert kmh(36.0) == pytest.approx(10.0)
+
+    def test_mph(self):
+        assert mph(60.0) == pytest.approx(26.8224)
+
+
+class TestBrakingDistance:
+    def test_basic(self):
+        # 20 m/s at 4 m/s^2: 400 / 8 = 50 m.
+        assert braking_distance(20.0, 4.0) == pytest.approx(50.0)
+
+    def test_zero_speed(self):
+        assert braking_distance(0.0, 4.0) == 0.0
+
+    def test_rejects_nonpositive_decel(self):
+        with pytest.raises(ValueError):
+            braking_distance(10.0, 0.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            braking_distance(-1.0, 4.0)
+
+
+class TestStoppingTime:
+    def test_basic(self):
+        assert stopping_time(12.0, 4.0) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_decel(self):
+        with pytest.raises(ValueError):
+            stopping_time(10.0, -4.0)
+
+    def test_consistency_with_distance(self):
+        # d = v * t / 2 for constant deceleration to rest.
+        v, b = 14.0, 3.5
+        assert braking_distance(v, b) == pytest.approx(
+            v * stopping_time(v, b) / 2.0
+        )
+
+
+class TestTimeComparison:
+    def test_accumulated_steps_close(self):
+        t = sum([0.05] * 20)  # not exactly 1.0 in binary
+        assert isclose_time(t, 1.0)
+
+    def test_distinct_times_not_close(self):
+        assert not isclose_time(1.0, 1.05)

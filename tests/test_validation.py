@@ -1,0 +1,102 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_finite,
+    check_multiple,
+    check_nonnegative,
+    check_optional_positive,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+
+class TestCheckFinite:
+    def test_passes_value_through(self):
+        assert check_finite(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_finite(bad, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.05, "dt") == 0.05
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ConfigurationError, match="dt"):
+            check_positive(bad, "dt")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "m") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative(-0.1, "m")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability(bad, "p")
+
+
+class TestCheckRange:
+    def test_ordered(self):
+        assert check_range(1.0, 2.0, "lo", "hi") == (1.0, 2.0)
+
+    def test_equal_allowed(self):
+        assert check_range(2.0, 2.0, "lo", "hi") == (2.0, 2.0)
+
+    def test_infinite_endpoints_allowed(self):
+        lo, hi = check_range(-math.inf, math.inf, "lo", "hi")
+        assert lo == -math.inf and hi == math.inf
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ConfigurationError, match="lo"):
+            check_range(2.0, 1.0, "lo", "hi")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_range(math.nan, 1.0, "lo", "hi")
+
+
+class TestCheckMultiple:
+    def test_exact_multiple(self):
+        assert check_multiple(0.1, 0.05, "dt_m", "dt_c") == 0.1
+
+    def test_float_accumulation_tolerated(self):
+        # 0.3 is not exactly 6 * 0.05 in binary; must still pass.
+        assert check_multiple(0.3, 0.05, "dt_m", "dt_c") == 0.3
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ConfigurationError, match="dt_m"):
+            check_multiple(0.07, 0.05, "dt_m", "dt_c")
+
+    def test_base_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            check_multiple(0.1, 0.0, "dt_m", "dt_c")
+
+
+class TestOptionalPositive:
+    def test_none_passes(self):
+        assert check_optional_positive(None, "x") is None
+
+    def test_value_checked(self):
+        with pytest.raises(ConfigurationError):
+            check_optional_positive(-1.0, "x")
