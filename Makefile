@@ -1,0 +1,33 @@
+# Developer entry points.  The offline test image ships python+numpy+pytest
+# only; ruff and mypy are optional extras (pip install -e .[lint]) and are
+# skipped with a notice when absent so `make lint` works everywhere.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint safelint ruff mypy test benchmarks baseline
+
+lint: safelint ruff mypy
+
+safelint:
+	$(PYTHON) -m repro.lint src
+
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check .; \
+	else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
+
+mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
+	then $(PYTHON) -m mypy src/repro; \
+	else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the safelint baseline (see docs/LINTING.md before using).
+baseline:
+	$(PYTHON) -m repro.lint src --write-baseline

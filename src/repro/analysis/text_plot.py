@@ -150,7 +150,7 @@ def histogram(
     if not sample:
         raise ConfigurationError("no finite values to histogram")
     lo, hi = min(sample), max(sample)
-    if hi == lo:
+    if hi == lo:  # safelint: disable=SFL001 - exact min==max identity
         hi = lo + 1.0
     counts = [0] * bins
     for v in sample:

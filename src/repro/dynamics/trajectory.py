@@ -150,7 +150,9 @@ class Trajectory:
                 f"[{self._times[0]}, {self._times[-1]}]"
             )
         idx = bisect.bisect_left(self._times, t)
-        if idx < len(self._times) and self._times[idx] == t:
+        # Exact hit on a stored sample (bisect found t itself): exact
+        # float equality is intended, not drift-prone arithmetic.
+        if idx < len(self._times) and self._times[idx] == t:  # safelint: disable=SFL001
             return self._points[idx].state
         lo = self._points[idx - 1]
         hi = self._points[idx]

@@ -57,6 +57,16 @@ class ScenarioError(ReproError):
     """A scenario definition is inconsistent (e.g. unsafe area reversed)."""
 
 
+class LintError(ReproError):
+    """The safelint static-analysis pass could not run as configured.
+
+    Examples: an unreadable baseline file, an unknown rule id passed to
+    ``--select``, a path that is neither a file nor a directory.  Rule
+    *findings* are never exceptions — they are data (see
+    :mod:`repro.lint.findings`).
+    """
+
+
 class SafetyViolationError(SimulationError):
     """Raised (optionally) when a planner that promised safety entered X_u.
 

@@ -1,0 +1,50 @@
+"""safelint — repo-specific static analysis for the safety argument.
+
+The paper's contribution is a *provable* guarantee; this package is the
+machine-checked defense against the coding patterns that silently void
+it: drifting float equality on timestamps, wall-clock reads inside the
+deterministic sim loop, global-state randomness, unguarded divisions in
+the window algebra, unclamped planner outputs.  See docs/LINTING.md for
+the rule catalogue and the rationale of each rule.
+
+Programmatic use::
+
+    from repro.lint import lint_source, lint_paths, LintConfig
+
+    findings = lint_source(code, module="repro.sim.example")
+    result = lint_paths([Path("src")], LintConfig())
+
+Command line: ``python -m repro.lint [paths] --format text|json`` (or
+the ``repro-lint`` console script).
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.config import LintConfig, load_project_config
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import SCHEMA_VERSION, Finding, Severity
+from repro.lint.registry import all_rules, get_rule, rule_ids
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "SCHEMA_VERSION",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_project_config",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,101 @@
+"""The grandfathering baseline file.
+
+When safelint is introduced to a tree with pre-existing findings, the
+team either fixes them or records them in a *baseline*: a JSON file
+mapping finding fingerprints (path + rule + source line, no line
+numbers — see :class:`repro.lint.findings.Finding`) to a short note.
+Baselined findings are subtracted from the report, so the gate stays
+green while the debt is paid down; any **new** violation still fails.
+
+The repo policy (docs/LINTING.md) is that the baseline holds only
+justified, reviewed entries — true false-positives carry an inline
+``# safelint: disable`` comment instead, and real violations get fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of grandfathered finding fingerprints."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """Split findings into (fresh, number-baselined)."""
+        fresh = [f for f in findings if f not in self]
+        return fresh, len(findings) - len(fresh)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; an absent file is an empty baseline.
+
+    Raises
+    ------
+    LintError
+        If the file exists but is not a valid baseline document.
+    """
+    if not path.exists():
+        return Baseline()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"unreadable baseline file {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _FORMAT_VERSION
+        or not isinstance(document.get("entries"), dict)
+    ):
+        raise LintError(
+            f"baseline file {path} is not a version-{_FORMAT_VERSION} "
+            "safelint baseline"
+        )
+    entries = {}
+    for fingerprint, meta in document["entries"].items():
+        if not isinstance(meta, dict):
+            raise LintError(
+                f"baseline entry {fingerprint!r} in {path} must be an object"
+            )
+        entries[str(fingerprint)] = {
+            str(k): str(v) for k, v in meta.items()
+        }
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Write the current findings as the new baseline and return it."""
+    entries = {
+        f.fingerprint: {
+            "rule": f.rule_id,
+            "path": f.path,
+            "line": str(f.line),
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule_id))
+    }
+    document = {"version": _FORMAT_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return Baseline(entries=entries)

@@ -1,0 +1,213 @@
+"""The safelint command line.
+
+.. code-block:: console
+
+    $ python -m repro.lint src                  # gate: exit 1 on findings
+    $ python -m repro.lint src --format json    # machine-readable report
+    $ python -m repro.lint --list-rules         # rule catalogue
+    $ python -m repro.lint src --write-baseline # grandfather current tree
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+Configuration comes from ``[tool.safelint]`` in the nearest
+``pyproject.toml`` (disable with ``--no-project-config``); ``--select``
+and ``--ignore`` override it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.config import (
+    LintConfig,
+    find_pyproject,
+    load_project_config,
+)
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import report_to_dict
+from repro.lint.registry import all_rules, get_rule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse front end (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "safelint: AST checks enforcing this repo's safety "
+            "invariants (determinism, clamped planner outputs, guarded "
+            "window math)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file (default: [tool.safelint] baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--no-project-config",
+        action="store_true",
+        help="ignore [tool.safelint] in pyproject.toml",
+    )
+    return parser
+
+
+def _parse_ids(raw: Optional[str]) -> Optional[frozenset]:
+    if raw is None:
+        return None
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    if not ids:
+        # An empty --select would silently disable every rule and make
+        # the gate pass vacuously; refuse it instead.
+        raise LintError("--select/--ignore needs at least one rule id")
+    for rule_id in ids:
+        get_rule(rule_id)  # raises LintError on typos
+    return ids
+
+
+def _print(text: str) -> None:
+    # Tolerate a closed stdout (e.g. `repro-lint --list-rules | head`):
+    # swallow the write and detach stdout so the interpreter's exit
+    # flush does not raise a second time.
+    try:
+        print(text)
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    config = LintConfig()
+    if not args.no_project_config:
+        pyproject = find_pyproject(Path(args.paths[0]).resolve())
+        if pyproject is not None:
+            config = load_project_config(pyproject)
+    select = _parse_ids(args.select)
+    ignore = _parse_ids(args.ignore)
+    if select is not None or ignore is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            select=select if select is not None else config.select,
+            ignore=ignore if ignore is not None else config.ignore,
+        )
+    return config
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.rule_id}  {rule.name} [{rule.severity.value}, "
+            f"scope={rule.scope}]"
+        )
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [f.format_text() for f in result.findings]
+    lines.append(
+        f"safelint: {len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s) "
+        f"({result.suppressed} suppressed, {result.baselined} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print(_list_rules())
+        return 0
+
+    try:
+        config = _resolve_config(args)
+        baseline_path: Optional[Path] = None
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif config.baseline is not None:
+            baseline_path = config.baseline
+
+        if args.write_baseline:
+            target = baseline_path or Path(".safelint-baseline.json")
+            raw = lint_paths(
+                [Path(p) for p in args.paths], config, baseline=Baseline()
+            )
+            write_baseline(target, raw.findings)
+            _print(
+                f"safelint: wrote {len(raw.findings)} finding(s) to "
+                f"{target}"
+            )
+            return 0
+
+        baseline = (
+            load_baseline(baseline_path)
+            if baseline_path is not None
+            else Baseline()
+        )
+        result = lint_paths(
+            [Path(p) for p in args.paths], config, baseline=baseline
+        )
+    except LintError as exc:
+        print(f"safelint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _print(
+            json.dumps(
+                report_to_dict(
+                    result.findings,
+                    files_checked=result.files_checked,
+                    suppressed=result.suppressed,
+                    baselined=result.baselined,
+                ),
+                indent=2,
+            )
+        )
+    else:
+        _print(_render_text(result))
+    return 0 if result.ok else 1

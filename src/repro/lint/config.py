@@ -1,0 +1,173 @@
+"""Lint configuration: rule selection and package scopes.
+
+Rules are scoped to package families rather than hard-coded paths, so
+the same rule set lints both the real tree and the test fixtures (tests
+inject a fake module name such as ``repro.sim.fixture``):
+
+* ``critical`` — packages where a swallowed exception can mask a safety
+  bug (broad/bare ``except`` ban);
+* ``sim`` — the deterministic simulation core (wall-clock ban);
+* ``math`` — the kinematic/window algebra (unguarded-division rule);
+* ``planner`` — packages holding ``plan()`` implementations (clamp
+  rule);
+* ``units`` — public physical-quantity APIs (docstring-units rule);
+* ``all`` — everything.
+
+Defaults live here; a ``[tool.safelint]`` table in ``pyproject.toml``
+overrides them (keys ``select``, ``ignore``, ``baseline`` and the
+``*-packages`` lists, with dashes or underscores).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import LintError
+
+__all__ = ["LintConfig", "load_project_config", "find_pyproject"]
+
+_DEFAULT_CRITICAL: Tuple[str, ...] = (
+    "repro.planners",
+    "repro.filtering",
+    "repro.scenarios",
+    "repro.sim",
+    "repro.core",
+)
+_DEFAULT_SIM: Tuple[str, ...] = ("repro.sim", "repro.core")
+_DEFAULT_MATH: Tuple[str, ...] = (
+    "repro.scenarios",
+    "repro.core",
+    "repro.filtering",
+    "repro.dynamics",
+)
+_DEFAULT_PLANNER: Tuple[str, ...] = (
+    "repro.planners",
+    "repro.scenarios",
+    "repro.core",
+)
+_DEFAULT_UNITS: Tuple[str, ...] = (
+    "repro.scenarios",
+    "repro.dynamics",
+    "repro.core",
+    "repro.filtering",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the engine needs besides the paths to lint.
+
+    Attributes
+    ----------
+    select:
+        Rule ids to run; ``None`` means every registered rule.
+    ignore:
+        Rule ids to skip (applied after ``select``).
+    baseline:
+        Path of the grandfathering baseline file, if any.
+    critical_packages, sim_packages, math_packages, planner_packages,
+    units_packages:
+        Dotted module prefixes defining each rule scope.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    baseline: Optional[Path] = None
+    critical_packages: Tuple[str, ...] = _DEFAULT_CRITICAL
+    sim_packages: Tuple[str, ...] = _DEFAULT_SIM
+    math_packages: Tuple[str, ...] = _DEFAULT_MATH
+    planner_packages: Tuple[str, ...] = _DEFAULT_PLANNER
+    units_packages: Tuple[str, ...] = _DEFAULT_UNITS
+
+    def packages_for(self, scope: str) -> Tuple[str, ...]:
+        """The module-prefix list of a named scope (empty for ``all``)."""
+        return {
+            "all": (),
+            "critical": self.critical_packages,
+            "sim": self.sim_packages,
+            "math": self.math_packages,
+            "planner": self.planner_packages,
+            "units": self.units_packages,
+        }[scope]
+
+    def module_in_scope(self, module: str, scope: str) -> bool:
+        """Whether ``module`` falls inside a rule's scope."""
+        prefixes = self.packages_for(scope)
+        if not prefixes:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """Whether a rule survives ``select``/``ignore``."""
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _get_list(table: dict, key: str) -> Optional[Tuple[str, ...]]:
+    value = table.get(key, table.get(key.replace("-", "_")))
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintError(f"[tool.safelint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_project_config(pyproject: Path) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml``.
+
+    A missing ``[tool.safelint]`` table yields the defaults; a malformed
+    one raises :class:`~repro.errors.LintError`.
+    """
+    try:
+        with pyproject.open("rb") as handle:
+            document = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise LintError(f"unreadable {pyproject}: {exc}") from exc
+    table = document.get("tool", {}).get("safelint", {})
+    if not isinstance(table, dict):
+        raise LintError("[tool.safelint] must be a table")
+
+    config = LintConfig()
+    select = _get_list(table, "select")
+    if select is not None:
+        config = replace(config, select=frozenset(select))
+    ignore = _get_list(table, "ignore")
+    if ignore is not None:
+        config = replace(config, ignore=frozenset(ignore))
+    baseline = table.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, str):
+            raise LintError("[tool.safelint] baseline must be a string path")
+        config = replace(config, baseline=pyproject.parent / baseline)
+    for key, attr in (
+        ("critical-packages", "critical_packages"),
+        ("sim-packages", "sim_packages"),
+        ("math-packages", "math_packages"),
+        ("planner-packages", "planner_packages"),
+        ("units-packages", "units_packages"),
+    ):
+        value = _get_list(table, key)
+        if value is not None:
+            config = replace(config, **{attr: value})
+    return config

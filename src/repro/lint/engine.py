@@ -1,0 +1,193 @@
+"""The safelint engine: files -> AST -> rules -> filtered findings.
+
+One parse per file, every applicable rule visiting the same tree; the
+engine then applies inline suppressions and subtracts the baseline.
+Rules are pure per-file visitors, so the engine is the only place that
+touches the filesystem, the suppression map and the baseline — and the
+only place tests need to stub.
+
+A file that does not parse yields a single ``SFL000`` finding (not an
+exception): the gate must fail on broken code, not crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules
+from repro.lint.rules.base import FileContext
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["LintResult", "lint_source", "lint_paths", "iter_python_files"]
+
+#: Pseudo-rule id for files that fail to parse (not suppressible).
+PARSE_ERROR_ID = "SFL000"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Aggregate outcome of one engine run.
+
+    Attributes
+    ----------
+    findings:
+        Surviving findings (post suppression and baseline), sorted.
+    files_checked:
+        Number of Python files parsed.
+    suppressed:
+        Findings dropped by inline ``# safelint: disable`` comments.
+    baselined:
+        Findings dropped by the baseline file.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no surviving findings)."""
+        return not self.findings
+
+
+def _module_name(path: Path) -> str:
+    """Infer the dotted module from a path (``src/repro/...`` aware)."""
+    parts = path.with_suffix("").parts
+    for anchor in ("repro",):
+        if anchor in parts:
+            dotted = parts[parts.index(anchor):]
+            if dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted) if dotted else anchor
+    return path.stem
+
+
+def _lint_one(
+    source: str,
+    path: str,
+    module: Optional[str],
+    config: LintConfig,
+) -> Tuple[List[Finding], int]:
+    """Lint one source string -> (surviving findings, suppressed count)."""
+    if module is None:
+        module = _module_name(Path(path))
+    lines = source.splitlines()
+    context = FileContext(
+        path=path, module=module, source=source, lines=lines
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1) - 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+            source_line=context.line_text(exc.lineno or 1),
+        )
+        return [finding], 0
+
+    raw: List[Finding] = []
+    for rule_class in all_rules():
+        if not config.rule_enabled(rule_class.rule_id):
+            continue
+        if not config.module_in_scope(module, rule_class.scope):
+            continue
+        raw.extend(rule_class(context).check(tree))
+
+    suppressions = parse_suppressions(lines)
+    surviving = [
+        f
+        for f in raw
+        if not suppressions.is_suppressed(f.rule_id, f.line)
+    ]
+    return surviving, len(raw) - len(surviving)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one source string; returns suppression-filtered findings.
+
+    ``module`` overrides the inferred dotted module name so tests can
+    exercise package-scoped rules on fixture files (e.g. pass
+    ``module="repro.sim.fixture"`` to put a fixture in scope of the
+    sim-core rules).
+    """
+    findings, _ = _lint_one(source, path, module, config or LintConfig())
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories into sorted ``.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped.  A path that is
+    neither a Python file nor a directory raises
+    :class:`~repro.errors.LintError`.
+    """
+    seen = set()
+    for entry in paths:
+        if entry.is_file():
+            if entry.suffix != ".py":
+                raise LintError(f"not a Python file: {entry}")
+            candidates: Iterable[Path] = [entry]
+        elif entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            raise LintError(f"no such file or directory: {entry}")
+        for candidate in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in candidate.parts
+            ):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    *,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint files/directories and return the aggregate result."""
+    config = config or LintConfig()
+    baseline = baseline or Baseline()
+    findings: List[Finding] = []
+    suppressed = 0
+    files = 0
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"unreadable file {file_path}: {exc}") from exc
+        files += 1
+        file_findings, file_suppressed = _lint_one(
+            source, file_path.as_posix(), None, config
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    fresh, baselined = baseline.partition(findings)
+    fresh.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return LintResult(
+        findings=fresh,
+        files_checked=files,
+        suppressed=suppressed,
+        baselined=baselined,
+    )

@@ -1,0 +1,120 @@
+"""The finding data model and the stable JSON report schema.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* hashes the file path, rule id and the stripped source line
+— deliberately **not** the line number — so baselines survive unrelated
+edits that shift code up or down.
+
+``SCHEMA_VERSION`` guards the JSON output contract: any change to the
+shape of :func:`report_to_dict` must bump it, and
+``tests/test_lint_engine.py`` pins the exact key set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Severity", "Finding", "SCHEMA_VERSION", "report_to_dict"]
+
+#: Version of the ``--format json`` output schema.
+SCHEMA_VERSION = 1
+
+
+class Severity(str, Enum):
+    """How strongly a rule's finding should be treated.
+
+    Both severities fail the lint gate; the distinction is for human
+    triage (``WARNING`` rules are heuristic and may need suppressions).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        File path as given to the engine (POSIX separators).
+    line, column:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        The ``SFLxxx`` identifier of the rule that fired.
+    message:
+        Human-readable description of the violation.
+    severity:
+        Triage severity (both severities fail the gate).
+    source_line:
+        The stripped text of the offending line (fingerprint input).
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    severity: Severity
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-drift-tolerant identity used by the baseline file."""
+        payload = f"{self.path}::{self.rule_id}::{self.source_line}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (part of the schema contract)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format_text(self) -> str:
+        """The one-line ``path:line:col: RULE message`` rendering."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+
+def report_to_dict(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int,
+    suppressed: int,
+    baselined: int,
+) -> Dict[str, Any]:
+    """Assemble the full ``--format json`` document.
+
+    The key set is schema-stable (see ``SCHEMA_VERSION``); consumers may
+    rely on every key below existing in every report.
+    """
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    ordered: List[Finding] = sorted(
+        findings, key=lambda f: (f.path, f.line, f.column, f.rule_id)
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "safelint",
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in ordered],
+        "summary": {
+            "total": len(ordered),
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }

@@ -1,0 +1,80 @@
+"""The rule registry.
+
+Every rule module registers its visitor class with :func:`register`;
+the engine asks :func:`all_rules` for the catalogue.  Keeping
+registration declarative (a decorator on the class) means adding a rule
+is: write the visitor, decorate it, import the module from
+``repro.lint.rules`` — the engine, CLI, ``--list-rules`` and the docs
+generator pick it up with no further wiring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Type
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.rules.base import Rule
+
+__all__ = ["register", "all_rules", "get_rule", "rule_ids"]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(rule_class: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the registry.
+
+    Raises
+    ------
+    LintError
+        On a duplicate or malformed rule id (ids are the public,
+        suppression-comment-facing contract, so collisions are bugs).
+    """
+    rule_id = getattr(rule_class, "rule_id", "")
+    if not rule_id or not rule_id.startswith("SFL"):
+        raise LintError(
+            f"rule class {rule_class.__name__} must define a rule_id "
+            "of the form 'SFLxxx'"
+        )
+    if rule_id in _REGISTRY:
+        raise LintError(
+            f"duplicate rule id {rule_id} "
+            f"({_REGISTRY[rule_id].__name__} vs {rule_class.__name__})"
+        )
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type["Rule"]]:
+    """Every registered rule class, ordered by rule id."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    """The sorted registered rule ids."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Type["Rule"]:
+    """Look a rule up by id.
+
+    Raises
+    ------
+    LintError
+        If the id is unknown (e.g. a typo in ``--select``).
+    """
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError as exc:
+        raise LintError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from exc
+
+
+def _ensure_loaded() -> None:
+    """Import the rule package so decorators have run."""
+    import repro.lint.rules  # noqa: F401  (import-for-side-effect)

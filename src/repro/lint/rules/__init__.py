@@ -1,0 +1,26 @@
+"""The safelint rule catalogue.
+
+Importing this package registers every rule (each module decorates its
+class with :func:`repro.lint.registry.register`).  To add a rule: write
+a module with a :class:`repro.lint.rules.base.Rule` subclass, decorate
+it, and import it below — engine, CLI and docs pick it up from the
+registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    broad_except,
+    float_equality,
+    global_rng,
+    mutable_default,
+    no_dynamic_code,
+    plan_clamp,
+    silent_except,
+    units_docstring,
+    unguarded_division,
+    wall_clock,
+)
+from repro.lint.rules.base import FileContext, Rule
+
+__all__ = ["FileContext", "Rule"]

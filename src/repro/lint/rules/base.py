@@ -1,0 +1,153 @@
+"""The rule base class and shared AST helpers.
+
+A rule is an :class:`ast.NodeVisitor` subclass with class-level
+metadata (id, name, rationale, severity, scope) and a :meth:`report`
+helper.  The engine instantiates one rule object per (rule, file) pair,
+calls :meth:`check` with the parsed tree, and collects
+``rule.findings`` — rules never do I/O and never see other files, which
+keeps them trivially unit-testable against source strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import ClassVar, Iterator, List, Sequence
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "bare_names",
+    "is_zero_constant",
+    "function_returns",
+]
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a rule may know about the file it is checking.
+
+    Attributes
+    ----------
+    path:
+        Display path of the file (POSIX separators).
+    module:
+        Dotted module name (``repro.sim.engine``) used for scope checks;
+        test fixtures inject fake names such as ``repro.sim.fixture``.
+    source:
+        Full source text.
+    lines:
+        ``source.splitlines()``, for fingerprinting findings.
+    """
+
+    path: str
+    module: str
+    source: str
+    lines: Sequence[str]
+
+    def line_text(self, line: int) -> str:
+        """Stripped text of a 1-based line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule(ast.NodeVisitor):
+    """Base class of every safelint rule.
+
+    Subclasses set the class attributes below and implement ordinary
+    ``visit_*`` methods, calling :meth:`report` on violations.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable public identifier (``SFLxxx``) used in suppression
+        comments and baselines.
+    name:
+        Short kebab-case name for listings.
+    rationale:
+        One paragraph tying the rule to the paper's safety argument
+        (surfaced by ``--list-rules`` and docs/LINTING.md).
+    severity:
+        Default severity of this rule's findings.
+    scope:
+        Package-family key resolved through
+        :meth:`repro.lint.config.LintConfig.packages_for`.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    scope: ClassVar[str] = "all"
+
+    def __init__(self, context: FileContext) -> None:
+        self.context = context
+        self.findings: List[Finding] = []
+
+    def check(self, tree: ast.AST) -> List[Finding]:
+        """Run the rule over a parsed tree and return its findings."""
+        self.visit(tree)
+        return self.findings
+
+    def report(
+        self, node: ast.AST, message: str, *, severity: Severity | None = None
+    ) -> None:
+        """Record a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                path=self.context.path,
+                line=line,
+                column=column,
+                rule_id=self.rule_id,
+                message=message,
+                severity=severity or self.severity,
+                source_line=self.context.line_text(line),
+            )
+        )
+
+
+def bare_names(node: ast.AST) -> Iterator[ast.Name]:
+    """Yield plain ``Name`` loads, skipping attribute/call/subscript trees.
+
+    ``limits.a_min`` or ``max(v, eps)`` carry their own invariants
+    (constructor validation, explicit flooring), so rules reasoning
+    about *unvalidated locals* must not descend into them.
+    """
+    if isinstance(node, ast.Name):
+        yield node
+        return
+    if isinstance(node, (ast.Attribute, ast.Call, ast.Subscript, ast.Lambda)):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from bare_names(child)
+
+
+def is_zero_constant(node: ast.AST) -> bool:
+    """Whether ``node`` is the literal ``0``/``0.0`` (incl. ``-0.0``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+def function_returns(func: ast.AST) -> Iterator[ast.Return]:
+    """Yield ``return`` statements of ``func`` itself, not nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Return):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

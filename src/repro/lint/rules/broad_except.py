@@ -1,0 +1,69 @@
+"""SFL003 — no bare/broad ``except`` in safety-critical packages.
+
+The exception hierarchy (:mod:`repro.errors`) exists so that callers
+can catch *library* failures precisely; a ``except Exception:`` in the
+monitor, filter or engine would also swallow the programming errors
+(shape mismatches, ``TypeError``) that falsify the safety theorem —
+turning "the monitor crashed" into "the monitor silently approved".
+Catch the narrowest ``ReproError`` subclass (or the concrete stdlib
+error) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+        return node.attr
+    return None
+
+
+@register
+class BroadExceptRule(Rule):
+    """Flag ``except:``, ``except Exception:`` and friends."""
+
+    rule_id = "SFL003"
+    name = "broad-except-in-critical-code"
+    rationale = (
+        "In the monitor/filter/engine, a broad except converts a "
+        "crashed safety check into a silently-approved one. Catch the "
+        "narrowest ReproError subclass so programming errors still "
+        "surface."
+    )
+    scope = "critical"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Check one except clause."""
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' in a safety-critical package; catch a "
+                "specific exception type",
+            )
+        else:
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for item in types:
+                name = _broad_name(item)
+                if name is not None:
+                    self.report(
+                        node,
+                        f"'except {name}' in a safety-critical package; "
+                        "catch the narrowest ReproError subclass instead",
+                    )
+                    break
+        self.generic_visit(node)

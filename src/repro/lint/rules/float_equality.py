@@ -1,0 +1,96 @@
+"""SFL001 — no float ``==``/``!=`` on kinematic or time expressions.
+
+The paper's guarantee hinges on exact schedule alignment: the engine
+compares timestamps, window bounds and positions every control step,
+and a drifting float equality (``t == horizon`` after repeated
+``t += dt``) silently turns "monitor evaluated at the message step"
+into "monitor skipped".  :class:`repro.sim.clock.MultiRateClock` exists
+precisely to keep that arithmetic in integers; this rule keeps new code
+from re-introducing float comparisons.
+
+Exemptions (exact by construction, the codebase's documented idioms):
+
+* comparison against the literal ``0``/``0.0`` — the clamp-then-check
+  idiom ``v = max(v, 0.0); if v == 0.0`` is exact;
+* comparison against ``math.inf``/``math.nan`` attributes or the
+  ``NEVER`` sentinel of the window algebra.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, is_zero_constant
+
+__all__ = ["FloatEqualityRule"]
+
+#: Identifier shapes treated as kinematic/time quantities.
+_KINEMATIC = re.compile(
+    r"""^(
+        t|dt|dt_[a-z]+|tau\w*|time\w*|timestamp|stamp|now|elapsed|
+        duration|horizon|deadline|
+        p|pos|position\w*|x|
+        v|vel|velocity\w*|speed\w*|
+        a|acc|accel\w*|acceleration\w*|
+        d|dist|distance\w*|gap\w*|
+        entry|exit_?|lo|hi|window\w*
+    )$""",
+    re.VERBOSE,
+)
+
+_SENTINEL_NAMES = frozenset({"NEVER", "INF", "INFINITY"})
+_SENTINEL_ATTRS = frozenset({"inf", "nan"})
+
+
+def _is_kinematic(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_KINEMATIC.match(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_KINEMATIC.match(node.attr))
+    return False
+
+
+def _is_exempt(node: ast.AST) -> bool:
+    if is_zero_constant(node):
+        return True
+    if isinstance(node, ast.Name) and node.id in _SENTINEL_NAMES:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in _SENTINEL_ATTRS:
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` where either side names a kinematic quantity."""
+
+    rule_id = "SFL001"
+    name = "float-kinematic-equality"
+    rationale = (
+        "Timestamps, positions and velocities accumulate float error; "
+        "exact equality on them silently breaks the multi-rate schedule "
+        "the safety proof assumes. Compare step indices (integers), use "
+        "tolerances, or the MultiRateClock."
+    )
+    scope = "all"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Check each ==/!= comparison for kinematic operands."""
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_exempt(left) or _is_exempt(right):
+                continue
+            if _is_kinematic(left) or _is_kinematic(right):
+                self.report(
+                    node,
+                    "float equality on a kinematic/time expression; "
+                    "compare integer step indices or use a tolerance "
+                    "(see repro.sim.clock)",
+                )
+                break
+        self.generic_visit(node)

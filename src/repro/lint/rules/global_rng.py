@@ -1,0 +1,90 @@
+"""SFL005 — no global-state randomness; inject a ``numpy`` Generator.
+
+Every stochastic component in this repo (channel disturbance, sensor
+noise, weight init, batch shuffling) draws from an injected
+``np.random.Generator`` descended from one ``SeedSequence``
+(:mod:`repro.utils.rng`), which is what makes a certification run a
+*certificate* — re-runnable bit-for-bit, parallelizable without stream
+collisions.  ``random.random()`` or the legacy ``np.random.uniform()``
+module functions share one hidden global stream: any import-order
+change or parallel worker reseeds it and the experiment stops
+reproducing.
+
+Constructing generators (``np.random.default_rng``, ``SeedSequence``,
+``Generator``, bit generators) is allowed — that *is* the sanctioned
+API; the rule bans draws from and seeding of the global stream.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["GlobalRngRule"]
+
+#: np.random attributes that are constructors, not global-stream draws.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register
+class GlobalRngRule(Rule):
+    """Flag draws from the ``random`` / legacy ``np.random`` globals."""
+
+    rule_id = "SFL005"
+    name = "global-rng"
+    rationale = (
+        "Certification runs must be bit-for-bit re-runnable; the global "
+        "RNG stream is shared hidden state that import order or "
+        "parallelism silently reseeds. Thread an np.random.Generator "
+        "(repro.utils.rng.RngStream) through instead."
+    )
+    scope = "all"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check one call expression."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            if isinstance(root, ast.Name) and root.id == "random":
+                self.report(
+                    node,
+                    f"global-state draw random.{func.attr}(); inject an "
+                    "np.random.Generator instead",
+                )
+            elif (
+                isinstance(root, ast.Attribute)
+                and root.attr == "random"
+                and isinstance(root.value, ast.Name)
+                and root.value.id in ("np", "numpy")
+                and func.attr not in _ALLOWED_NP_RANDOM
+            ):
+                self.report(
+                    node,
+                    f"legacy global-stream call np.random.{func.attr}(); "
+                    "use an injected np.random.Generator",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Check a from-import statement."""
+        if node.module == "random":
+            self.report(
+                node,
+                "importing from the stdlib 'random' module; use an "
+                "injected np.random.Generator",
+            )
+        self.generic_visit(node)

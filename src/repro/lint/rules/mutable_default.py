@@ -1,0 +1,71 @@
+"""SFL002 — no mutable default arguments.
+
+A shared default ``[]``/``{}`` is cross-simulation hidden state: two
+batch runs sharing a planner instance would also share (and corrupt)
+the default, destroying the reproducibility that every certification
+claim in this repo rests on.  Use ``None`` plus an in-body default, or
+``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set literals (or constructors) used as defaults."""
+
+    rule_id = "SFL002"
+    name = "mutable-default-argument"
+    rationale = (
+        "A mutable default is shared across every call and every "
+        "simulation in a batch — hidden mutable state that breaks "
+        "run-to-run reproducibility. Default to None (or a "
+        "default_factory) and build the value in the body."
+    )
+    scope = "all"
+
+    def _check(self, node: _FunctionNode) -> None:
+        args = node.args
+        defaults = [*args.defaults, *(d for d in args.kw_defaults if d)]
+        for default in defaults:
+            if _is_mutable(default):
+                self.report(
+                    default,
+                    "mutable default argument; use None and construct "
+                    "the value inside the function",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Check a function definition."""
+        self._check(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Check an async function definition."""
+        self._check(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Check a lambda's default arguments."""
+        self._check(node)

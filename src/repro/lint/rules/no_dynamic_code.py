@@ -1,0 +1,71 @@
+"""SFL009 — no ``eval``/``exec`` and no pickle in the library.
+
+Model and result serialization in this repo is deliberately plain JSON
+(:mod:`repro.nn.serialization`, :mod:`repro.sim.serialization`): a
+stored certificate must be inspectable and loadable without executing
+anything.  ``eval``/``exec`` and ``pickle.load`` reintroduce arbitrary
+code execution at load time — a supply-chain hole in a safety artifact
+— and also defeat static analysis (this tool included).  The
+``multiprocessing`` module pickling its *own* task tuples internally is
+fine; importing ``pickle`` directly in library code is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["NoDynamicCodeRule"]
+
+
+@register
+class NoDynamicCodeRule(Rule):
+    """Flag ``eval``/``exec`` calls and direct ``pickle`` imports."""
+
+    rule_id = "SFL009"
+    name = "no-dynamic-code"
+    rationale = (
+        "Stored models and certificates are plain JSON by design; "
+        "eval/exec/pickle make loading a safety artifact execute "
+        "arbitrary code and blind every static check."
+    )
+    scope = "all"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check one call expression."""
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "eval",
+            "exec",
+        ):
+            self.report(
+                node,
+                f"{node.func.id}() executes dynamic code; safety "
+                "artifacts must stay declarative (JSON)",
+            )
+        self.generic_visit(node)
+
+    def _flag_pickle(self, node: ast.AST, module: str) -> None:
+        self.report(
+            node,
+            f"direct {module} import; persist via the JSON "
+            "serialization modules instead (pickle executes code at "
+            "load time)",
+            severity=Severity.WARNING,
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Check an import statement."""
+        for alias in node.names:
+            if alias.name.split(".")[0] in ("pickle", "cPickle", "dill"):
+                self._flag_pickle(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Check a from-import statement."""
+        root = (node.module or "").split(".")[0]
+        if root in ("pickle", "cPickle", "dill"):
+            self._flag_pickle(node, root)
+        self.generic_visit(node)

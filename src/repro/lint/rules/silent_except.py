@@ -1,0 +1,54 @@
+"""SFL010 — no silently-swallowed exceptions.
+
+An ``except ...: pass`` discards the only evidence that something went
+wrong.  In ordinary code that is bad hygiene; in a codebase whose
+output is a *safety certificate* it is data loss — a dropped
+serialization error or a swallowed filter reset turns into a quietly
+wrong experiment table.  Handle the error (map it into the
+:mod:`repro.errors` hierarchy, record it on the result object) or let
+it propagate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["SilentExceptRule"]
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+@register
+class SilentExceptRule(Rule):
+    """Flag handlers whose entire body is ``pass``/``...``."""
+
+    rule_id = "SFL010"
+    name = "silent-exception-swallow"
+    rationale = (
+        "A swallowed exception deletes the evidence of failure; in a "
+        "pipeline that emits safety certificates that means quietly "
+        "wrong numbers. Map the error into repro.errors or let it "
+        "propagate."
+    )
+    scope = "all"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Check one except clause."""
+        if all(_is_noop(stmt) for stmt in node.body):
+            self.report(
+                node,
+                "exception handler swallows the error (body is only "
+                "pass/...); handle it or let it propagate",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,224 @@
+"""SFL006 — unguarded division by a local variable in window math.
+
+The passing-time and slack algebra divides by velocities, decelerations
+and time budgets that can legitimately reach zero (a stopped vehicle, a
+zero acceleration cap).  An unguarded ``d / v`` returns ``inf``/``nan``
+that then flows through interval intersection and the monitor's
+comparisons — and ``nan`` comparisons are all-False, which *reads* as
+"no conflict window" and waves the ego through.  The codebase's idiom
+is to guard first (``if v <= 0.0: return NEVER``), validate at the
+boundary (``check_positive``), or floor the divisor
+(``max(time_budget, 1e-6)``).
+
+The analysis is a deliberately simple, function-local linear scan (no
+dominance analysis): a *bare local name* used as a divisor must first
+appear in a conditional/assert test, be passed through a ``check_*``
+validator, be assigned from ``max``/``min`` with a nonzero literal
+floor, or be derived from already-guarded/attribute-only expressions.
+Attributes (``limits.a_min``) and call results are exempt: constructor
+validation owns their invariants.  The scan over-approximates guards
+(any earlier test counts, branch structure is ignored) — it exists to
+catch the *absent* guard, not to prove the present one correct.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, bare_names
+
+__all__ = ["UnguardedDivisionRule"]
+
+
+def _nonzero_literal_arg(call: ast.Call) -> bool:
+    for arg in call.args:
+        node = arg
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and node.value != 0
+        ):
+            return True
+    return False
+
+
+def _is_guarding_call(call: ast.Call) -> bool:
+    """``check_*`` validators and nonzero-floored ``max``/``min``/``abs``."""
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name is None:
+        return False
+    if name.startswith("check_"):
+        return True
+    if name in ("max", "min") and _nonzero_literal_arg(call):
+        return True
+    return False
+
+
+@register
+class UnguardedDivisionRule(Rule):
+    """Flag ``x / name`` where no guard on ``name`` precedes it."""
+
+    rule_id = "SFL006"
+    name = "unguarded-division"
+    rationale = (
+        "nan/inf from a zero divisor flows through interval algebra "
+        "into monitor comparisons, where nan reads as 'no conflict'. "
+        "Guard the divisor, validate it at the boundary, or floor it."
+    )
+    scope = "math"
+
+    def _handle_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Linearly scan one function body for unguarded divisions."""
+        self._scan_body(node.body, set())
+        # Nested defs are scanned from within _scan_body with the
+        # enclosing guard set, so no generic_visit here.
+
+    visit_FunctionDef = _handle_function
+    visit_AsyncFunctionDef = _handle_function
+
+    # ------------------------------------------------------------------
+    # Linear, order-preserving scan
+    # ------------------------------------------------------------------
+    def _scan_body(self, body: Iterable[ast.stmt], guarded: Set[str]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, guarded)
+
+    def _scan_stmt(self, stmt: ast.stmt, guarded: Set[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._scan_body(stmt.body, set(guarded))
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._scan_body(stmt.body, set(guarded))
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._check_expr(stmt.test, guarded)
+            guarded.update(n.id for n in bare_names(stmt.test))
+            self._scan_body(stmt.body, guarded)
+            self._scan_body(stmt.orelse, guarded)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._check_expr(stmt.test, guarded)
+            guarded.update(n.id for n in bare_names(stmt.test))
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._scan_assign(stmt, guarded)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._check_expr(stmt.value, guarded)
+            if isinstance(stmt.value, ast.Call) and _is_guarding_call(
+                stmt.value
+            ):
+                guarded.update(
+                    n.id
+                    for arg in stmt.value.args
+                    for n in bare_names(arg)
+                )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_expr(stmt.iter, guarded)
+            self._scan_body(stmt.body, guarded)
+            self._scan_body(stmt.orelse, guarded)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(item.context_expr, guarded)
+            self._scan_body(stmt.body, guarded)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_body(stmt.body, guarded)
+            for handler in stmt.handlers:
+                self._scan_body(handler.body, guarded)
+            self._scan_body(stmt.orelse, guarded)
+            self._scan_body(stmt.finalbody, guarded)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._check_expr(stmt.value, guarded)
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._check_expr(stmt.exc, guarded)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._check_expr(child, guarded)
+
+    def _scan_assign(self, stmt: ast.stmt, guarded: Set[str]) -> None:
+        value = getattr(stmt, "value", None)
+        if value is None:
+            return
+        self._check_expr(value, guarded)
+        if isinstance(value, ast.Call) and _is_guarding_call(value):
+            # `self._dt = check_positive(dt, "dt")` validates `dt` too.
+            guarded.update(
+                n.id for arg in value.args for n in bare_names(arg)
+            )
+        targets: List[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        else:
+            targets = [stmt.target]
+        target_names = [
+            t.id for t in targets if isinstance(t, ast.Name)
+        ]
+        if not target_names:
+            return
+        value_guarded = self._value_is_guarded(value, guarded)
+        for name in target_names:
+            if value_guarded:
+                guarded.add(name)
+            else:
+                guarded.discard(name)
+
+    def _value_is_guarded(self, value: ast.expr, guarded: Set[str]) -> bool:
+        if isinstance(value, ast.Call) and _is_guarding_call(value):
+            return True
+        names = [n.id for n in bare_names(value)]
+        # Attribute-only / literal-only expressions inherit constructor
+        # invariants; expressions over guarded names stay guarded.
+        return all(name in guarded for name in names)
+
+    # ------------------------------------------------------------------
+    # Division checks inside one expression
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: ast.expr, guarded: Set[str]) -> None:
+        if isinstance(expr, ast.IfExp):
+            self._check_expr(expr.test, guarded)
+            branch_guarded = set(guarded)
+            branch_guarded.update(n.id for n in bare_names(expr.test))
+            self._check_expr(expr.body, branch_guarded)
+            self._check_expr(expr.orelse, branch_guarded)
+            return
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.Div, ast.FloorDiv, ast.Mod)
+        ):
+            self._check_expr(expr.left, guarded)
+            self._check_divisor(expr, expr.right, guarded)
+            self._check_expr(expr.right, guarded)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._check_expr(child, guarded)
+
+    def _check_divisor(
+        self, division: ast.BinOp, divisor: ast.expr, guarded: Set[str]
+    ) -> None:
+        for name in bare_names(divisor):
+            if name.id not in guarded:
+                self.report(
+                    division,
+                    f"division by {name.id!r} with no preceding guard, "
+                    "validator, or nonzero floor; nan/inf here corrupts "
+                    "the window algebra",
+                )
+                return

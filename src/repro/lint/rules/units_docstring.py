@@ -1,0 +1,121 @@
+"""SFL008 — public physical-quantity APIs must document their units.
+
+Every quantitative bug class in this domain has a unit-confusion
+variant (a ``dt`` in milliseconds, a braking rate with the wrong sign
+convention), and the paper's equations mix seconds, metres and m/s²
+freely.  The repo convention is SI everywhere, but a *public*
+module-level function that accepts a distance, velocity, acceleration
+or time must say so in its docstring — that is what readers and the
+API docs see, and it is the only machine-checkable trace of the
+convention.
+
+The check is a heuristic (hence ``warning`` severity): a public
+module-level function with at least one physically-named parameter
+must mention a unit token (``m/s``, ``m/s²``, ``metres``/``meters``,
+``seconds`` or the documented speed-term convention) somewhere in its
+docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.findings import Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["UnitsDocstringRule"]
+
+#: Parameter names that denote physical quantities.
+_PHYSICAL = frozenset(
+    {
+        "distance",
+        "velocity",
+        "speed",
+        "position",
+        "acceleration",
+        "accel",
+        "dt",
+        "dt_c",
+        "dt_m",
+        "dt_s",
+        "gap",
+        "headway",
+        "time",
+        "duration",
+        "elapsed",
+        "horizon",
+        "stamp",
+        "now",
+        "v_cap",
+        "v_floor",
+        "a_cap",
+        "a_floor",
+        "v_min",
+        "v_max",
+        "a_min",
+        "a_max",
+        "v_buf",
+        "a_buf",
+    }
+)
+
+_UNIT_TOKEN = re.compile(
+    r"m/s\^?2|m/s²|m/s\b|\bmetres?\b|\bmeters?\b|\bseconds?\b|\bm\b"
+)
+
+
+@register
+class UnitsDocstringRule(Rule):
+    """Flag public module-level functions with unit-less docstrings."""
+
+    rule_id = "SFL008"
+    name = "undocumented-units"
+    rationale = (
+        "The paper's equations mix seconds, metres and m/s²; unit "
+        "confusion at a public API boundary is a silent factor-of-1000 "
+        "bug. State the units in the docstring of every function "
+        "taking physical quantities."
+    )
+    severity = Severity.WARNING
+    scope = "units"
+
+    def __init__(self, context) -> None:
+        super().__init__(context)
+        self._depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Track class nesting while visiting the body."""
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Check an async function definition."""
+        self.visit_FunctionDef(node)  # same check, same nesting bookkeeping
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Check a function definition."""
+        if self._depth == 0 and not node.name.startswith("_"):
+            params = {
+                arg.arg
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+            }
+            physical = sorted(params & _PHYSICAL)
+            if physical:
+                doc = ast.get_docstring(node) or ""
+                if not _UNIT_TOKEN.search(doc):
+                    self.report(
+                        node,
+                        "public function takes physical quantities "
+                        f"({', '.join(physical)}) but its docstring "
+                        "names no units (m, m/s, m/s², seconds)",
+                    )
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1

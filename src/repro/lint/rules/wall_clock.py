@@ -1,0 +1,99 @@
+"""SFL004 — no wall-clock reads inside the deterministic sim core.
+
+All time inside :mod:`repro.sim` and :mod:`repro.core` is *simulated*
+time: integer control steps mapped through
+:class:`repro.sim.clock.MultiRateClock`.  A ``time.time()`` (or
+``datetime.now()``) read makes a run depend on the host machine's load
+and start instant, so certificates stop reproducing and replayed
+message logs (:mod:`repro.filtering.replay`) no longer match the run
+that produced them.  Benchmarks that need wall time live outside these
+packages (``benchmarks/`` uses pytest-benchmark's own timers).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["WallClockRule"]
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockRule(Rule):
+    """Flag wall-clock reads in the simulation/monitor core."""
+
+    rule_id = "SFL004"
+    name = "wall-clock-in-sim-core"
+    rationale = (
+        "Simulated time is integer step arithmetic via MultiRateClock; "
+        "a wall-clock read makes runs machine-dependent, so safety "
+        "certificates and message-replay logs stop reproducing."
+    )
+    scope = "sim"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check one call expression."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            if isinstance(root, ast.Name):
+                if root.id == "time" and func.attr in _TIME_FUNCS:
+                    self.report(
+                        node,
+                        f"wall-clock read time.{func.attr}() in the sim "
+                        "core; derive time from the step index via "
+                        "sim.clock",
+                    )
+                elif (
+                    root.id in ("datetime", "date")
+                    and func.attr in _DATETIME_FUNCS
+                ):
+                    self.report(
+                        node,
+                        f"wall-clock read {root.id}.{func.attr}() in the "
+                        "sim core; simulated time must come from "
+                        "sim.clock",
+                    )
+            elif (
+                isinstance(root, ast.Attribute)
+                and root.attr in ("datetime", "date")
+                and func.attr in _DATETIME_FUNCS
+            ):
+                self.report(
+                    node,
+                    f"wall-clock read {root.attr}.{func.attr}() in the "
+                    "sim core; simulated time must come from sim.clock",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Check a from-import statement."""
+        if node.module == "time":
+            imported = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _TIME_FUNCS
+            )
+            if imported:
+                self.report(
+                    node,
+                    "importing wall-clock functions "
+                    f"({', '.join(imported)}) into the sim core",
+                )
+        self.generic_visit(node)

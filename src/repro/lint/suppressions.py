@@ -1,0 +1,87 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the conventions of pylint/ruff:
+
+* ``# safelint: disable=SFL001,SFL007`` on (or at the end of) a line
+  suppresses those rules **on that line only**; ``# safelint: disable``
+  with no ``=`` suppresses every rule on the line.
+* ``# safelint: disable-file=SFL008`` anywhere in the file suppresses
+  the listed rules for the **whole file** (``disable-file`` with no
+  ``=`` disables everything — reserve it for generated code).
+
+Suppressions are the reviewed, in-tree escape hatch for *intentional*
+deviations (e.g. a deliberately unclamped test-fixture planner); the
+baseline file (:mod:`repro.lint.baseline`) is for grandfathering
+findings during adoption.  Prefer the comment: it sits next to the code
+it excuses and dies with it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence
+
+__all__ = ["SuppressionMap", "parse_suppressions", "ALL_RULES"]
+
+#: Sentinel rule id meaning "every rule".
+ALL_RULES = "*"
+
+_DIRECTIVE = re.compile(
+    r"#\s*safelint:\s*(?P<kind>disable(?:-file)?)"
+    r"\s*(?:=\s*(?P<ids>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*))?"
+)
+
+
+@dataclass(frozen=True)
+class SuppressionMap:
+    """Parsed suppression directives of one source file.
+
+    Attributes
+    ----------
+    by_line:
+        1-based line number -> frozen set of suppressed rule ids (may
+        contain :data:`ALL_RULES`).
+    file_wide:
+        Rule ids suppressed for the whole file.
+    """
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_wide: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line``."""
+        if ALL_RULES in self.file_wide or rule_id in self.file_wide:
+            return True
+        ids = self.by_line.get(line)
+        if ids is None:
+            return False
+        return ALL_RULES in ids or rule_id in ids
+
+
+def _parse_ids(raw: str | None) -> FrozenSet[str]:
+    if raw is None:
+        return frozenset({ALL_RULES})
+    ids = {part.strip() for part in raw.split(",") if part.strip()}
+    return frozenset(ids) if ids else frozenset({ALL_RULES})
+
+
+def parse_suppressions(lines: Sequence[str]) -> SuppressionMap:
+    """Extract the suppression map from raw source lines.
+
+    The scan is purely lexical (a directive inside a string literal
+    would count); in exchange it is robust to code that does not parse,
+    cheap, and independent of the AST pass.
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    file_wide: FrozenSet[str] = frozenset()
+    for number, text in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        ids = _parse_ids(match.group("ids"))
+        if match.group("kind") == "disable-file":
+            file_wide = file_wide | ids
+        else:
+            by_line[number] = by_line.get(number, frozenset()) | ids
+    return SuppressionMap(by_line=by_line, file_wide=file_wide)

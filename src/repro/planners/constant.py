@@ -19,8 +19,13 @@ class ConstantPlanner:
         self._acceleration = float(acceleration)
 
     def plan(self, context: PlanningContext) -> float:
-        """Return the fixed acceleration, whatever the context."""
-        return self._acceleration
+        """Return the fixed acceleration, whatever the context.
+
+        Deliberately unclamped: tests use out-of-range commands to
+        exercise the engine's own sanitisation, so this fixture must
+        not pre-clip them.
+        """
+        return self._acceleration  # safelint: disable=SFL007 - fixture
 
 
 class FullBrakePlanner:

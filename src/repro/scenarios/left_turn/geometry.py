@@ -154,6 +154,9 @@ def arrival_time_under(
 ) -> float:
     """Time to cover ``distance`` applying a *constant* acceleration.
 
+    Units: ``distance`` in metres, ``velocity``/``v_hi``/``v_lo`` in
+    m/s, ``accel`` in m/s²; the result is in seconds.
+
     The velocity saturates inside ``[v_lo, v_hi]``.  This is the primitive
     behind the aggressive estimation of Eq. (8), where the assumed
     acceleration ``a_est = min(a_1(t) + a_buf, a_max)`` may have either
@@ -193,8 +196,9 @@ def traversal_window(
 
     ``tau_min`` is the earliest the vehicle can *enter* (reach the front
     line under the fastest strategy); ``tau_max`` the latest it can *exit*
-    (clear the back line under the slowest strategy).  Distances are
-    along the vehicle's direction of travel; a vehicle past its back line
+    (clear the back line under the slowest strategy).  Distances are in
+    metres along the vehicle's direction of travel (velocities in m/s,
+    accelerations in m/s², times in seconds); a vehicle past its back line
     yields an empty window.  All times are relative delays (add the
     current timestamp to get absolute times).
     """

@@ -106,6 +106,9 @@ def aggressive_window(
 ) -> Interval:
     """Compact occupancy window from buffered nominal behaviour (Eq. (8)).
 
+    ``a_buf`` is in m/s² and ``v_buf`` in m/s (both nonnegative); the
+    returned interval holds absolute times in seconds.
+
     Evaluated at the nominal point estimate with assumed acceleration and
     speed within ``a_buf``/``v_buf`` of the currently observed values
     (clipped at the physical limits).  The window is *not* sound — that

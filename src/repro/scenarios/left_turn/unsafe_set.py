@@ -53,7 +53,10 @@ def slack(
     geometry: LeftTurnGeometry,
     ego_limits: VehicleLimits,
 ) -> float:
-    """The slack ``s(t)`` of Eq. (5).
+    """The slack ``s(t)`` of Eq. (5), in metres.
+
+    ``position`` is the ego coordinate in metres, ``velocity`` in m/s
+    (negative values clamp to a standstill).
 
     Before the front line: front-line distance minus the braking distance
     ``d_b = -v^2 / (2 a_min)`` (``a_min < 0``).  Inside the area: the
@@ -75,6 +78,9 @@ def ego_passing_window(
     geometry: LeftTurnGeometry,
 ) -> Interval:
     """Projected occupancy window of the ego at its current velocity.
+
+    ``time`` is the absolute timestamp in seconds, ``position`` in
+    metres, ``velocity`` in m/s; the window holds absolute seconds.
 
     Mirrors the paper's three cases: before the front line the window is
     ``[t + d_f/v, t + d_b/v]``; inside the area it opens now and closes
@@ -99,7 +105,10 @@ def ego_passing_window(
 def boundary_slack_margin(
     velocity: float, dt_c: float, ego_limits: VehicleLimits
 ) -> float:
-    """Worst-case one-step slack decrease (the ``X_b`` threshold).
+    """Worst-case one-step slack decrease (the ``X_b`` threshold), metres.
+
+    ``velocity`` is the ego speed in m/s and ``dt_c`` the control
+    period in seconds.
 
     Derived in Section IV: the slack after one control step is at least
     ``s(t) - (v_0 dt_c + a_max dt_c^2 / 2)(1 - a_max / a_min)``, so a

@@ -107,7 +107,7 @@ class Interval:
     @property
     def is_point(self) -> bool:
         """Whether this interval is a single point."""
-        return self.lo == self.hi
+        return self.lo == self.hi  # safelint: disable=SFL001 - definitional
 
     @property
     def is_bounded(self) -> bool:

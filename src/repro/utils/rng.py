@@ -94,7 +94,7 @@ class RngStream:
             raise ValueError(f"probability must be in [0, 1], got {p}")
         if p == 0.0:
             return False
-        if p == 1.0:
+        if p == 1.0:  # safelint: disable=SFL001 - probability sentinel
             return True
         return bool(self._generator.random() < p)
 

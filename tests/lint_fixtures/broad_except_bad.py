@@ -1,0 +1,17 @@
+"""Bad: broad exception handling in a critical package."""
+
+
+def evaluate(monitor, context):
+    """Swallow-everything monitoring."""
+    try:
+        return monitor.evaluate(context)
+    except Exception:
+        return None
+
+
+def evaluate_bare(monitor, context):
+    """Bare except is worse still."""
+    try:
+        return monitor.evaluate(context)
+    except:  # noqa: E722
+        return None

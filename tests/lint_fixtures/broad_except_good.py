@@ -1,0 +1,13 @@
+"""Good: narrow handlers mapped into the library hierarchy."""
+
+
+class PlannerError(Exception):
+    """Stand-in for repro.errors.PlannerError."""
+
+
+def evaluate(estimates, index):
+    """Catch only the precise failure."""
+    try:
+        return estimates[index]
+    except KeyError as exc:
+        raise PlannerError(f"no estimate for {index}") from exc

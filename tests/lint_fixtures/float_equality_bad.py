@@ -1,0 +1,13 @@
+"""Bad: float equality on kinematic quantities."""
+
+
+def schedule_hit(time, next_message_time):
+    """Drift-prone exact timestamp comparison."""
+    if time == next_message_time:
+        return True
+    return time != next_message_time
+
+
+def window_closed(entry, exit_, position, target):
+    """More drifting equalities."""
+    return entry == exit_ or position == target

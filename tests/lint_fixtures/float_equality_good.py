@@ -1,0 +1,17 @@
+"""Good: exact sentinels and integer step comparisons."""
+
+import math
+
+NEVER = math.inf
+
+
+def schedule_hit(step, message_every):
+    """Integer step arithmetic, the sanctioned idiom."""
+    return step % message_every == 0
+
+
+def window_closed(entry, velocity):
+    """Zero and inf sentinels are exact by construction."""
+    if velocity == 0.0:
+        return True
+    return entry == NEVER or entry == math.inf

@@ -1,0 +1,13 @@
+"""Bad: global-state randomness."""
+
+import random
+
+import numpy as np
+from random import uniform
+
+
+def jitter(value):
+    """Draws from hidden global streams."""
+    np.random.seed(0)
+    noisy = value + np.random.normal(0.0, 1.0)
+    return noisy + random.random() + uniform(-1.0, 1.0)

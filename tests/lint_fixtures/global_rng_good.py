@@ -1,0 +1,14 @@
+"""Good: injected generators from one seed tree."""
+
+import numpy as np
+
+
+def jitter(value, rng):
+    """Draw from the injected stream only."""
+    return value + rng.normal(0.0, 1.0)
+
+
+def make_rng(seed):
+    """Constructing generators is the sanctioned API."""
+    seq = np.random.SeedSequence(seed)
+    return np.random.default_rng(seq)

@@ -1,0 +1,19 @@
+"""Bad: shared mutable defaults."""
+
+
+def collect(value, into=[]):
+    """The default list is shared across every call."""
+    into.append(value)
+    return into
+
+
+def tally(key, counts={}):
+    """Shared dict default."""
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def bucket(value, seen=set()):
+    """Shared set default via constructor."""
+    seen.add(value)
+    return seen

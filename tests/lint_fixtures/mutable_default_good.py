@@ -1,0 +1,14 @@
+"""Good: None defaults built in the body."""
+
+
+def collect(value, into=None):
+    """Fresh list per call."""
+    if into is None:
+        into = []
+    into.append(value)
+    return into
+
+
+def scale(value, factor=1.0, label=""):
+    """Immutable defaults are fine."""
+    return value * factor, label

@@ -1,0 +1,11 @@
+"""Bad: dynamic code execution and pickle persistence."""
+
+import pickle
+
+
+def load_model(path, expression):
+    """Executes arbitrary code twice over."""
+    with open(path, "rb") as handle:
+        model = pickle.load(handle)
+    threshold = eval(expression)
+    return model, threshold

@@ -1,0 +1,9 @@
+"""Good: declarative JSON persistence."""
+
+import json
+
+
+def load_model(path):
+    """Data in, data out; nothing executes."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

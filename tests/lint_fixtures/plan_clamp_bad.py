@@ -1,0 +1,14 @@
+"""Bad: plan() returns raw arithmetic."""
+
+
+class ProportionalPlanner:
+    """Tracks a speed with no output clamp."""
+
+    def __init__(self, gain, target):
+        self._gain = gain
+        self._target = target
+
+    def plan(self, context):
+        """Unclamped command can exceed [a_min, a_max]."""
+        error = self._target - context.ego.velocity
+        return self._gain * error

@@ -1,0 +1,14 @@
+"""Bad: swallowed exceptions."""
+
+
+def load_optional(path, loader):
+    """The failure evidence is discarded."""
+    try:
+        return loader(path)
+    except OSError:
+        pass
+    try:
+        return loader(path + ".bak")
+    except OSError:
+        ...
+    return None

@@ -1,0 +1,9 @@
+"""Good: failures handled or propagated with context."""
+
+
+def load_optional(path, loader, fallback):
+    """An explicit fallback is a handled error, not a swallowed one."""
+    try:
+        return loader(path)
+    except OSError as exc:
+        return fallback(path, exc)

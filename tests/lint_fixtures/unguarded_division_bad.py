@@ -1,0 +1,11 @@
+"""Bad: divisions by possibly-zero locals in window math."""
+
+
+def arrival_time(distance, velocity):
+    """No guard on velocity: a stopped vehicle yields inf/nan."""
+    return distance / velocity
+
+
+def window_width(d_front, d_back, decel):
+    """The divisor expression hides the unguarded local."""
+    return (d_back - d_front) / (2.0 * decel)

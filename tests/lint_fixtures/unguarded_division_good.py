@@ -1,0 +1,28 @@
+"""Good: every divisor guarded, validated, or floored."""
+
+NEVER = float("inf")
+
+
+def check_positive(value, name):
+    """Stand-in for repro.utils.validation.check_positive."""
+    if value <= 0:
+        raise ValueError(name)
+    return value
+
+
+def arrival_time(distance, velocity):
+    """Guard first, divide second (metres / m/s -> seconds)."""
+    if velocity <= 0.0:
+        return NEVER
+    return distance / velocity
+
+
+def rate(count, dt_c):
+    """Boundary validation counts as a guard."""
+    dt = check_positive(dt_c, "dt_c")
+    return count / dt
+
+
+def paced_speed(d_front, time_budget):
+    """A nonzero floor counts as a guard; limits attributes are exempt."""
+    return d_front / max(time_budget, 1e-6)

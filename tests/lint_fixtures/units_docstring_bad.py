@@ -1,0 +1,13 @@
+"""Bad: physical parameters with unit-less docstrings."""
+
+
+def braking_distance(velocity, a_min):
+    """Distance needed to stop from the current state."""
+    return -0.5 * velocity * velocity / a_min
+
+
+def reaches_in(distance, velocity):
+    """Whether the gap closes within one horizon."""
+    if velocity <= 0.0:
+        return False
+    return distance / velocity < 1.0

@@ -1,0 +1,16 @@
+"""Good: units stated at every public physical API."""
+
+
+def braking_distance(velocity, a_min):
+    """Stopping distance in metres (velocity in m/s, a_min in m/s^2)."""
+    return -0.5 * velocity * velocity / a_min
+
+
+def _internal_helper(velocity):
+    """Private helpers are out of scope."""
+    return velocity * 2.0
+
+
+def label(name, count=0):
+    """No physical parameters, no units needed."""
+    return f"{name}:{count}"

@@ -1,0 +1,13 @@
+"""Bad: wall-clock reads inside the sim core."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def step_stamp():
+    """Machine-dependent timestamps."""
+    started = time.time()
+    ticked = time.monotonic()
+    label = datetime.now()
+    return started, ticked, perf_counter(), label

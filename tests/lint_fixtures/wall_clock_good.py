@@ -1,0 +1,11 @@
+"""Good: simulated time from the step index."""
+
+
+def step_stamp(step, dt_c):
+    """Deterministic timestamp, in seconds."""
+    return step * dt_c
+
+
+def is_message_step(step, message_every):
+    """Integer schedule alignment."""
+    return step % message_every == 0

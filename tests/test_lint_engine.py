@@ -1,0 +1,286 @@
+"""Engine-level safelint tests: suppressions, baseline, config, CLI.
+
+The JSON report schema is pinned key-for-key here — any shape change
+must bump ``repro.lint.findings.SCHEMA_VERSION`` and update this test.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    SCHEMA_VERSION,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import main
+from repro.lint.findings import report_to_dict
+from repro.lint.suppressions import parse_suppressions
+
+BAD_LINE = "def f(t, t_goal):\n    '''d.'''\n    return t == t_goal{}\n"
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+def test_finding_without_suppression():
+    findings = lint_source(BAD_LINE.format(""), module="repro.x")
+    assert [f.rule_id for f in findings] == ["SFL001"]
+
+
+def test_inline_disable_specific_rule():
+    source = BAD_LINE.format("  # safelint: disable=SFL001")
+    assert not lint_source(source, module="repro.x")
+
+
+def test_inline_disable_with_justification_text():
+    source = BAD_LINE.format("  # safelint: disable=SFL001 - exact hit")
+    assert not lint_source(source, module="repro.x")
+
+
+def test_inline_disable_all_rules_on_line():
+    source = BAD_LINE.format("  # safelint: disable")
+    assert not lint_source(source, module="repro.x")
+
+
+def test_inline_disable_other_rule_does_not_suppress():
+    source = BAD_LINE.format("  # safelint: disable=SFL009")
+    assert [f.rule_id for f in lint_source(source, module="repro.x")] == [
+        "SFL001"
+    ]
+
+
+def test_file_wide_disable():
+    source = "# safelint: disable-file=SFL001\n" + BAD_LINE.format("")
+    assert not lint_source(source, module="repro.x")
+
+
+def test_suppression_parser_multiple_ids():
+    smap = parse_suppressions(["x = 1  # safelint: disable=SFL001,SFL002"])
+    assert smap.is_suppressed("SFL001", 1)
+    assert smap.is_suppressed("SFL002", 1)
+    assert not smap.is_suppressed("SFL003", 1)
+    assert not smap.is_suppressed("SFL001", 2)
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _one_finding():
+    findings = lint_source(BAD_LINE.format(""), module="repro.x")
+    assert len(findings) == 1
+    return findings
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = _one_finding()
+    path = tmp_path / "baseline.json"
+    written = write_baseline(path, findings)
+    assert findings[0] in written
+    loaded = load_baseline(path)
+    assert findings[0] in loaded
+    fresh, baselined = loaded.partition(findings)
+    assert fresh == [] and baselined == 1
+
+
+def test_baseline_is_line_drift_tolerant(tmp_path):
+    findings = _one_finding()
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    shifted = "\n\n\n" + BAD_LINE.format("")
+    moved = lint_source(shifted, module="repro.x")
+    loaded = load_baseline(path)
+    fresh, baselined = loaded.partition(moved)
+    assert fresh == [] and baselined == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(LintError):
+        load_baseline(path)
+
+
+def test_lint_paths_applies_baseline(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Doc."""\n\n\ndef f(into=[]):\n    """D."""\n    return into\n',
+        encoding="utf-8",
+    )
+    raw = lint_paths([tmp_path], LintConfig())
+    assert [f.rule_id for f in raw.findings] == ["SFL002"]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, raw.findings)
+    gated = lint_paths(
+        [tmp_path], LintConfig(), baseline=load_baseline(baseline_path)
+    )
+    assert gated.ok and gated.baselined == 1
+
+
+# ----------------------------------------------------------------------
+# Config: select / ignore / scopes
+# ----------------------------------------------------------------------
+def test_select_limits_rules():
+    config = LintConfig(select=frozenset({"SFL002"}))
+    findings = lint_source(
+        BAD_LINE.format(""), module="repro.x", config=config
+    )
+    assert not findings
+
+
+def test_ignore_drops_rule():
+    config = LintConfig(ignore=frozenset({"SFL001"}))
+    findings = lint_source(
+        BAD_LINE.format(""), module="repro.x", config=config
+    )
+    assert not findings
+
+
+def test_scope_configuration_is_respected():
+    config = LintConfig(sim_packages=("repro.custom",))
+    source = "import time\ndef f():\n    '''d.'''\n    return time.time()\n"
+    in_scope = lint_source(source, module="repro.custom.mod", config=config)
+    out_scope = lint_source(source, module="repro.sim.mod", config=config)
+    assert [f.rule_id for f in in_scope] == ["SFL004"]
+    assert not out_scope
+
+
+# ----------------------------------------------------------------------
+# JSON schema
+# ----------------------------------------------------------------------
+def test_json_report_schema_is_stable():
+    findings = _one_finding()
+    report = report_to_dict(
+        findings, files_checked=1, suppressed=2, baselined=3
+    )
+    assert set(report) == {
+        "schema_version",
+        "tool",
+        "files_checked",
+        "findings",
+        "summary",
+    }
+    assert report["schema_version"] == SCHEMA_VERSION == 1
+    assert report["tool"] == "safelint"
+    assert set(report["summary"]) == {
+        "total",
+        "suppressed",
+        "baselined",
+        "by_rule",
+    }
+    (entry,) = report["findings"]
+    assert set(entry) == {
+        "path",
+        "line",
+        "column",
+        "rule",
+        "message",
+        "severity",
+        "fingerprint",
+    }
+    assert entry["severity"] in ("error", "warning")
+    json.dumps(report)  # must be serializable as-is
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _write_bad_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Doc."""\n\n\ndef f(into=[]):\n    """D."""\n    return into\n',
+        encoding="utf-8",
+    )
+    return bad
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = _write_bad_file(tmp_path)
+    assert main([str(bad), "--no-project-config"]) == 1
+    assert "SFL002" in capsys.readouterr().out
+    good = tmp_path / "good.py"
+    good.write_text('"""Doc."""\n', encoding="utf-8")
+    assert main([str(good), "--no-project-config"]) == 0
+
+
+def test_cli_json_output(tmp_path, capsys):
+    bad = _write_bad_file(tmp_path)
+    code = main([str(bad), "--format", "json", "--no-project-config"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["summary"]["total"] == 1
+
+
+def test_cli_write_then_use_baseline(tmp_path, capsys):
+    bad = _write_bad_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                str(bad),
+                "--write-baseline",
+                "--baseline",
+                str(baseline),
+                "--no-project-config",
+            ]
+        )
+        == 0
+    )
+    assert baseline.is_file()
+    capsys.readouterr()
+    assert (
+        main(
+            [str(bad), "--baseline", str(baseline), "--no-project-config"]
+        )
+        == 0
+    )
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_unknown_rule_id_is_usage_error(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text('"""Doc."""\n', encoding="utf-8")
+    assert main([str(good), "--select", "SFL999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_empty_select_is_usage_error(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text('"""Doc."""\n', encoding="utf-8")
+    assert main([str(good), "--select", "", "--no-project-config"]) == 2
+    assert "at least one rule id" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope"), "--no-project-config"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SFL001", "SFL010"):
+        assert rule_id in out
+
+
+def test_engine_skips_pycache_and_hidden(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text(
+        "def f(x=[]):\n    return x\n", encoding="utf-8"
+    )
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "junk.py").write_text(
+        "def f(x=[]):\n    return x\n", encoding="utf-8"
+    )
+    result = lint_paths([tmp_path], LintConfig())
+    assert result.files_checked == 0 and result.ok

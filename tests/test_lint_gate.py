@@ -1,0 +1,56 @@
+"""The local lint gate: ``src/`` must be safelint-clean.
+
+This mirrors the CI step ``python -m repro.lint src`` so a violation
+fails the ordinary test run too, not just CI.  Policy (docs/LINTING.md):
+fix real findings; suppress true false-positives inline with a
+justification; the baseline stays empty unless a large adoption wave
+needs grandfathering.
+"""
+
+from pathlib import Path
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    lint_paths,
+    load_baseline,
+    load_project_config,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+def _gate_result():
+    config = (
+        load_project_config(PYPROJECT) if PYPROJECT.is_file() else LintConfig()
+    )
+    baseline = (
+        load_baseline(config.baseline)
+        if config.baseline is not None
+        else Baseline()
+    )
+    return lint_paths([SRC], config, baseline=baseline)
+
+
+def test_src_tree_is_lint_clean():
+    result = _gate_result()
+    assert result.files_checked > 50, "gate ran over too few files"
+    assert result.ok, "safelint findings in src/:\n" + "\n".join(
+        f.format_text() for f in result.findings
+    )
+
+
+def test_gate_exercises_every_rule_scope():
+    # A gate that silently skipped scoped rules would pass vacuously;
+    # assert the scoped packages exist so every rule really ran.
+    config = (
+        load_project_config(PYPROJECT) if PYPROJECT.is_file() else LintConfig()
+    )
+    for scope in ("critical", "sim", "math", "planner", "units"):
+        for prefix in config.packages_for(scope):
+            package_dir = SRC / Path(*prefix.split("."))
+            assert package_dir.is_dir(), (
+                f"scope {scope!r} names missing package {prefix}"
+            )

@@ -1,0 +1,138 @@
+"""Per-rule safelint tests against the fixtures in ``lint_fixtures/``.
+
+Every rule must (a) fire on its ``*_bad.py`` fixture and (b) stay
+silent on its ``*_good.py`` fixture.  Fixtures are linted with an
+injected module name so package-scoped rules (sim/math/planner/units)
+apply to them exactly as they would inside the real tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+#: rule id -> (fixture stem, injected module name)
+RULE_FIXTURES = {
+    "SFL001": ("float_equality", "repro.analysis.fixture"),
+    "SFL002": ("mutable_default", "repro.analysis.fixture"),
+    "SFL003": ("broad_except", "repro.sim.fixture"),
+    "SFL004": ("wall_clock", "repro.sim.fixture"),
+    "SFL005": ("global_rng", "repro.analysis.fixture"),
+    "SFL006": ("unguarded_division", "repro.scenarios.fixture"),
+    "SFL007": ("plan_clamp", "repro.planners.fixture"),
+    "SFL008": ("units_docstring", "repro.dynamics.fixture"),
+    "SFL009": ("no_dynamic_code", "repro.analysis.fixture"),
+    "SFL010": ("silent_except", "repro.analysis.fixture"),
+}
+
+
+def _findings_for(rule_id, stem, module):
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    findings = lint_source(
+        source, path=f"{stem}.py", module=module, config=LintConfig()
+    )
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_fires_on_bad_fixture(rule_id):
+    stem, module = RULE_FIXTURES[rule_id]
+    findings = _findings_for(rule_id, f"{stem}_bad", module)
+    assert findings, f"{rule_id} did not fire on {stem}_bad.py"
+    for finding in findings:
+        assert finding.rule_id == rule_id
+        assert finding.line >= 1
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_silent_on_good_fixture(rule_id):
+    stem, module = RULE_FIXTURES[rule_id]
+    findings = _findings_for(rule_id, f"{stem}_good", module)
+    assert not findings, (
+        f"{rule_id} false-positives on {stem}_good.py: "
+        f"{[f.format_text() for f in findings]}"
+    )
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    from repro.lint import rule_ids
+
+    assert set(rule_ids()) == set(RULE_FIXTURES)
+    for stem, _ in RULE_FIXTURES.values():
+        assert (FIXTURES / f"{stem}_bad.py").is_file()
+        assert (FIXTURES / f"{stem}_good.py").is_file()
+
+
+# ----------------------------------------------------------------------
+# Targeted edge cases per rule, beyond the fixture files
+# ----------------------------------------------------------------------
+def _lint(source, module="repro.sim.fixture"):
+    return lint_source(source, module=module, config=LintConfig())
+
+
+def test_float_equality_exempts_zero_and_sentinels():
+    clean = (
+        "NEVER = float('inf')\n"
+        "def f(velocity, entry):\n"
+        "    '''d.'''\n"
+        "    return velocity == 0.0 or entry == NEVER\n"
+    )
+    assert not [f for f in _lint(clean) if f.rule_id == "SFL001"]
+
+
+def test_float_equality_flags_chained_comparison():
+    source = "def f(t, t_goal, other):\n    '''d.'''\n    return other < t == t_goal\n"
+    assert [f for f in _lint(source) if f.rule_id == "SFL001"]
+
+
+def test_scoped_rule_ignores_out_of_scope_module():
+    source = "import time\ndef f():\n    '''d.'''\n    return time.time()\n"
+    findings = lint_source(
+        source, module="repro.analysis.fixture", config=LintConfig()
+    )
+    assert not [f for f in findings if f.rule_id == "SFL004"]
+
+
+def test_plan_clamp_ignores_module_level_plan_function():
+    source = "def plan(context):\n    '''d.'''\n    return 1e9\n"
+    findings = lint_source(
+        source, module="repro.planners.fixture", config=LintConfig()
+    )
+    assert not [f for f in findings if f.rule_id == "SFL007"]
+
+
+def test_division_guard_propagates_through_assignment():
+    source = (
+        "def f(a_floor, distance):\n"
+        "    '''d.'''\n"
+        "    if a_floor == 0.0:\n"
+        "        return 0.0\n"
+        "    decel = -a_floor\n"
+        "    return distance / decel\n"
+    )
+    findings = lint_source(
+        source, module="repro.scenarios.fixture", config=LintConfig()
+    )
+    assert not [f for f in findings if f.rule_id == "SFL006"]
+
+
+def test_division_by_attribute_is_exempt():
+    source = (
+        "def f(self_like, distance, limits):\n"
+        "    '''d.'''\n"
+        "    return distance / limits.a_min\n"
+    )
+    findings = lint_source(
+        source, module="repro.scenarios.fixture", config=LintConfig()
+    )
+    assert not [f for f in findings if f.rule_id == "SFL006"]
+
+
+def test_syntax_error_yields_parse_finding():
+    findings = _lint("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "SFL000"
