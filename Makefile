@@ -5,12 +5,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint ruff mypy test benchmarks baseline
+.PHONY: lint safelint safedim ruff mypy precommit test benchmarks baseline
 
 lint: safelint ruff mypy
 
 safelint:
-	$(PYTHON) -m repro.lint src
+	$(PYTHON) -m repro.lint src tests benchmarks
+
+# The dimensional-analysis family alone (SFL100-SFL105), baseline-free:
+# a unit violation in src/ can never be grandfathered.
+safedim:
+	$(PYTHON) -m repro.lint src --select SFL1 --no-baseline
+
+# What CI's lint job runs; mirror of .pre-commit-config.yaml.
+precommit: safelint safedim ruff mypy
 
 ruff:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \

@@ -42,7 +42,10 @@ class SafetyModel(Protocol):
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Whether the current information cannot rule out a violation."""
+        """Whether the current information cannot rule out a violation.
+
+        Units: time [s]
+        """
         ...
 
     def in_boundary_safe_set(
@@ -51,5 +54,8 @@ class SafetyModel(Protocol):
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Whether some admissible next step may enter the unsafe set."""
+        """Whether some admissible next step may enter the unsafe set.
+
+        Units: time [s]
+        """
         ...

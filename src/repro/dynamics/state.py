@@ -37,6 +37,8 @@ class VehicleState:
         because messages in the paper transmit ``(p, v, a)`` triples and
         the aggressive unsafe-set estimation uses the *current* observed
         acceleration of the other vehicle.
+
+    Units: position [m], velocity [m/s], acceleration [m/s^2]
     """
 
     position: float
@@ -54,11 +56,17 @@ class VehicleState:
         return np.array([[self.position], [self.velocity]], dtype=float)
 
     def with_acceleration(self, acceleration: float) -> "VehicleState":
-        """Return a copy carrying a different acceleration input."""
+        """Return a copy carrying a different acceleration input.
+
+        Units: acceleration [m/s^2]
+        """
         return replace(self, acceleration=float(acceleration))
 
     def shifted(self, dp: float = 0.0, dv: float = 0.0) -> "VehicleState":
-        """Return a copy with position/velocity offset (used in tests)."""
+        """Return a copy with position/velocity offset (used in tests).
+
+        Units: dp [m], dv [m/s]
+        """
         return replace(
             self, position=self.position + dp, velocity=self.velocity + dv
         )
@@ -76,6 +84,8 @@ class SystemState:
 
     By convention vehicle index 0 is the ego vehicle ``C_0`` and indices
     ``1..n-1`` are the other (connected) vehicles, matching the paper.
+
+    Units: time [s]
     """
 
     time: float
@@ -92,7 +102,10 @@ class SystemState:
     def of(
         cls, time: float, vehicles: Sequence[VehicleState]
     ) -> "SystemState":
-        """Build a system state from any sequence of vehicle states."""
+        """Build a system state from any sequence of vehicle states.
+
+        Units: time [s]
+        """
         return cls(time=float(time), vehicles=tuple(vehicles))
 
     @property
@@ -121,7 +134,10 @@ class SystemState:
         return SystemState(time=self.time, vehicles=tuple(vehicles))
 
     def with_time(self, time: float) -> "SystemState":
-        """Return a copy stamped with a different time."""
+        """Return a copy stamped with a different time.
+
+        Units: time [s]
+        """
         return SystemState(time=float(time), vehicles=self.vehicles)
 
     def __iter__(self) -> Iterator[VehicleState]:

@@ -24,7 +24,10 @@ __all__ = ["TrajectoryPoint", "Trajectory"]
 
 @dataclass(frozen=True, slots=True)
 class TrajectoryPoint:
-    """One timestamped sample of a vehicle's state."""
+    """One timestamped sample of a vehicle's state.
+
+    Units: time [s]
+    """
 
     time: float
     state: VehicleState
@@ -63,7 +66,10 @@ class Trajectory:
     # Building
     # ------------------------------------------------------------------
     def append(self, time: float, state: VehicleState) -> None:
-        """Append a sample; ``time`` must exceed the last recorded time."""
+        """Append a sample; ``time`` must exceed the last recorded time.
+
+        Units: time [s]
+        """
         t = float(time)
         if math.isnan(t):
             raise ConfigurationError("trajectory time must not be NaN")
@@ -121,6 +127,8 @@ class Trajectory:
     def at_or_before(self, time: float) -> TrajectoryPoint:
         """Latest sample with ``sample.time <= time``.
 
+        Units: time [s]
+
         Raises
         ------
         SimulationError
@@ -141,6 +149,8 @@ class Trajectory:
         ``time`` must lie within the recorded span.  Acceleration is taken
         from the earlier bracketing sample (it is piecewise-constant over
         control steps in this library's simulations).
+
+        Units: time [s]
         """
         self._require_nonempty()
         t = float(time)

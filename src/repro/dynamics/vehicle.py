@@ -42,6 +42,8 @@ class VehicleLimits:
     a_min, a_max:
         Acceleration bounds, m/s².  ``a_min`` is the strongest braking
         (negative), ``a_max`` the strongest acceleration (positive).
+
+    Units: v_min [m/s], v_max [m/s], a_min [m/s^2], a_max [m/s^2]
     """
 
     v_min: float
@@ -66,15 +68,24 @@ class VehicleLimits:
         object.__setattr__(self, "a_max", a_max)
 
     def clip_acceleration(self, a: float) -> float:
-        """Clip an acceleration command to ``[a_min, a_max]``."""
+        """Clip an acceleration command to ``[a_min, a_max]``.
+
+        Units: a [m/s^2] -> [m/s^2]
+        """
         return min(max(float(a), self.a_min), self.a_max)
 
     def clip_velocity(self, v: float) -> float:
-        """Clip a velocity to ``[v_min, v_max]``."""
+        """Clip a velocity to ``[v_min, v_max]``.
+
+        Units: v [m/s] -> [m/s]
+        """
         return min(max(float(v), self.v_min), self.v_max)
 
     def admissible_velocity(self, v: float) -> bool:
-        """Whether ``v`` respects the velocity bounds."""
+        """Whether ``v`` respects the velocity bounds.
+
+        Units: v [m/s]
+        """
         return self.v_min <= v <= self.v_max
 
 
@@ -115,6 +126,8 @@ class VehicleModel:
         If the velocity would cross ``v_min``/``v_max`` mid-step, the step
         is split at the crossing instant and the remainder integrated at
         the saturated velocity, so the returned position is exact.
+
+        Units: acceleration [m/s^2], dt [s]
 
         Returns
         -------
@@ -164,7 +177,9 @@ class VehicleModel:
         """Apply a sequence of accelerations, returning all visited states.
 
         The returned list has ``len(accelerations) + 1`` entries and starts
-        with the initial state.
+        with the initial state (accelerations are in m/s²).
+
+        Units: dt [s]
         """
         states = [state]
         for a in accelerations:
@@ -177,6 +192,8 @@ class VehicleModel:
 
         A convenience used by simple planners and in tests; velocity is
         clipped to the limits first.
+
+        Units: horizon [s] -> [m]
         """
         if horizon < 0.0:
             raise ConfigurationError(f"horizon must be >= 0, got {horizon}")

@@ -48,11 +48,17 @@ class EstimateProvider(Protocol):
         ...
 
     def on_message(self, message: Message, now: float) -> None:
-        """Ingest a delivered message (exact content, possibly stale)."""
+        """Ingest a delivered message (exact content, possibly stale).
+
+        Units: now [s]
+        """
         ...
 
     def estimate(self, now: float) -> FusedEstimate:
-        """Produce the fused estimate of the observed vehicle at ``now``."""
+        """Produce the fused estimate of the observed vehicle at ``now``.
+
+        Units: now [s]
+        """
         ...
 
 
@@ -109,7 +115,10 @@ class InformationFilter:
         self._latest_reading = reading
 
     def on_message(self, message: Message, now: float) -> None:
-        """Feed a delivered message: replay the filter and keep the stamp."""
+        """Feed a delivered message: replay the filter and keep the stamp.
+
+        Units: now [s]
+        """
         self._replay.on_message(message, now)
         if (
             self._latest_message is None
@@ -140,6 +149,8 @@ class InformationFilter:
     # ------------------------------------------------------------------
     def estimate(self, now: float) -> FusedEstimate:
         """Fused estimate at ``now`` (Section III-B join).
+
+        Units: now [s]
 
         Requires at least one sensor reading or one message; the
         simulation engine guarantees a sensor sample at ``t = 0``.
@@ -247,7 +258,10 @@ class RawEstimator:
         self._latest_reading = reading
 
     def on_message(self, message: Message, now: float) -> None:
-        """Keep the newest message by stamp (delivery order may differ)."""
+        """Keep the newest message by stamp (delivery order may differ).
+
+        Units: now [s]
+        """
         if (
             self._latest_message is None
             or message.stamp > self._latest_message.stamp
@@ -260,7 +274,10 @@ class RawEstimator:
         return self._latest_message
 
     def estimate(self, now: float) -> FusedEstimate:
-        """Intersection of propagated message and raw sensor bands."""
+        """Intersection of propagated message and raw sensor bands.
+
+        Units: now [s]
+        """
         bands = []
         if self._latest_message is not None:
             bands.append(

@@ -92,7 +92,10 @@ class KalmanState:
         return Interval.around(self.velocity, n_sigma * self.velocity_std)
 
     def as_vehicle_state(self, acceleration: float = 0.0) -> VehicleState:
-        """The mean estimate repackaged as a :class:`VehicleState`."""
+        """The mean estimate repackaged as a :class:`VehicleState`.
+
+        Units: acceleration [m/s^2]
+        """
         return VehicleState(
             position=self.position,
             velocity=self.velocity,
@@ -179,7 +182,10 @@ class KalmanFilter:
         position_var: float,
         velocity_var: float,
     ) -> KalmanState:
-        """Build the prior ``(x_hat(0,0), P(0,0))``."""
+        """Build the prior ``(x_hat(0,0), P(0,0))``.
+
+        Units: time [s], position [m], velocity [m/s]
+        """
         check_nonnegative(position_var, "position_var")
         check_nonnegative(velocity_var, "velocity_var")
         return KalmanState(
@@ -234,6 +240,8 @@ class KalmanFilter:
     ) -> KalmanState:
         """Predict over an arbitrary horizon ``dt`` (not just ``dt_s``).
 
+        Units: dt [s]
+
         Used for (a) estimates between sensor samples — the runtime
         monitor runs every control step ``dt_c`` which is finer than the
         sensing period — and (b) message replay when the message stamp is
@@ -264,6 +272,8 @@ class KalmanFilter:
         self, time: float, position: float, velocity: float
     ) -> KalmanState:
         """A zero-covariance state from exact (message) values.
+
+        Units: time [s], position [m], velocity [m/s]
 
         Message content is accurate in the paper's model, so replay
         restarts the filter from the message state with zero uncertainty.

@@ -79,25 +79,37 @@ class ReachabilityAnalyzer:
     # Scalar extremal trajectories
     # ------------------------------------------------------------------
     def max_position(self, position: float, velocity: float, elapsed: float) -> float:
-        """Upper position bound after ``elapsed`` seconds (Eq. (2))."""
+        """Upper position bound after ``elapsed`` seconds (Eq. (2)).
+
+        Units: position [m], velocity [m/s], elapsed [s] -> [m]
+        """
         return self._extremal_position(
             position, velocity, elapsed, self._limits.a_max, self._limits.v_max
         )
 
     def min_position(self, position: float, velocity: float, elapsed: float) -> float:
-        """Lower position bound after ``elapsed`` seconds (mirror of Eq. (2))."""
+        """Lower position bound after ``elapsed`` seconds (mirror of Eq. (2)).
+
+        Units: position [m], velocity [m/s], elapsed [s] -> [m]
+        """
         return self._extremal_position(
             position, velocity, elapsed, self._limits.a_min, self._limits.v_min
         )
 
     def max_velocity(self, velocity: float, elapsed: float) -> float:
-        """Upper velocity bound after ``elapsed`` seconds."""
+        """Upper velocity bound after ``elapsed`` seconds.
+
+        Units: velocity [m/s], elapsed [s] -> [m/s]
+        """
         self._check_elapsed(elapsed)
         v0 = self._limits.clip_velocity(velocity)
         return min(v0 + self._limits.a_max * elapsed, self._limits.v_max)
 
     def min_velocity(self, velocity: float, elapsed: float) -> float:
-        """Lower velocity bound after ``elapsed`` seconds."""
+        """Lower velocity bound after ``elapsed`` seconds.
+
+        Units: velocity [m/s], elapsed [s] -> [m/s]
+        """
         self._check_elapsed(elapsed)
         v0 = self._limits.clip_velocity(velocity)
         return max(v0 + self._limits.a_min * elapsed, self._limits.v_min)
@@ -133,7 +145,10 @@ class ReachabilityAnalyzer:
     # Bands
     # ------------------------------------------------------------------
     def band_from_state(self, state: VehicleState, stamp: float, now: float) -> ReachBand:
-        """Reachable band at ``now`` from an exact state stamped ``stamp``."""
+        """Reachable band at ``now`` from an exact state stamped ``stamp``.
+
+        Units: stamp [s], now [s]
+        """
         elapsed = self._elapsed(stamp, now)
         return ReachBand(
             time=float(now),
@@ -155,6 +170,8 @@ class ReachabilityAnalyzer:
         now: float,
     ) -> ReachBand:
         """Reachable band from *interval* initial knowledge.
+
+        Units: position [m], velocity [m/s], stamp [s], now [s]
 
         Monotonicity of the extremal trajectories in initial position and
         velocity means the extremes come from the extreme corners of the

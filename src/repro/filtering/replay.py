@@ -99,7 +99,10 @@ class ReplayKalmanFilter:
         return self._current_accel
 
     def checkpoint_at(self, time: float) -> Optional[KalmanState]:
-        """The stored prediction checkpoint at ``time``, if any."""
+        """The stored prediction checkpoint at ``time``, if any.
+
+        Units: time [s]
+        """
         return self._checkpoints.get(_key(time))
 
     # ------------------------------------------------------------------
@@ -148,6 +151,8 @@ class ReplayKalmanFilter:
     # ------------------------------------------------------------------
     def on_message(self, message: Message, now: float) -> Optional[KalmanState]:
         """Rewind to the message stamp and replay logged sensor updates.
+
+        Units: now [s]
 
         Parameters
         ----------
@@ -204,6 +209,8 @@ class ReplayKalmanFilter:
     # ------------------------------------------------------------------
     def estimate_at(self, now: float) -> KalmanState:
         """Extrapolate the posterior to ``now`` (between sensor samples).
+
+        Units: now [s]
 
         Raises
         ------

@@ -9,8 +9,12 @@
 
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 Configuration comes from ``[tool.safelint]`` in the nearest
-``pyproject.toml`` (disable with ``--no-project-config``); ``--select``
-and ``--ignore`` override it.
+``pyproject.toml`` (disable with ``--no-project-config``); ``--select``,
+``--ignore`` and ``--exclude`` override/extend it.  ``--select``/
+``--ignore`` entries match by prefix, so ``--select SFL1`` runs the
+whole SFL100–SFL105 dimensional family.  ``--format github`` emits
+GitHub Actions workflow commands (``::error file=...``) so findings
+surface as inline PR annotations.
 """
 
 from __future__ import annotations
@@ -30,8 +34,8 @@ from repro.lint.config import (
     load_project_config,
 )
 from repro.lint.engine import LintResult, lint_paths
-from repro.lint.findings import report_to_dict
-from repro.lint.registry import all_rules, get_rule
+from repro.lint.findings import Severity, report_to_dict
+from repro.lint.registry import all_rules, get_rule, rule_ids
 
 __all__ = ["main", "build_parser"]
 
@@ -54,19 +58,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); 'github' emits Actions "
+            "workflow commands for inline PR annotations"
+        ),
     )
     parser.add_argument(
         "--select",
         metavar="IDS",
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule-id prefixes to run (default: all); "
+            "SFL1 selects the whole SFL100-SFL105 family"
+        ),
     )
     parser.add_argument(
         "--ignore",
         metavar="IDS",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="FRAGMENTS",
+        help=(
+            "comma-separated path fragments to skip, in addition to "
+            "[tool.safelint] exclude (e.g. tests/lint_fixtures)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -77,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
     )
     parser.add_argument(
         "--list-rules",
@@ -99,8 +122,12 @@ def _parse_ids(raw: Optional[str]) -> Optional[frozenset]:
         # An empty --select would silently disable every rule and make
         # the gate pass vacuously; refuse it instead.
         raise LintError("--select/--ignore needs at least one rule id")
-    for rule_id in ids:
-        get_rule(rule_id)  # raises LintError on typos
+    registered = rule_ids()
+    for prefix in ids:
+        # A prefix must cover at least one registered rule, so typos
+        # (SFL109, SLF001) still fail fast instead of matching nothing.
+        if not any(rule_id.startswith(prefix) for rule_id in registered):
+            get_rule(prefix)  # raises LintError with the catalogue hint
     return ids
 
 
@@ -123,13 +150,23 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
             config = load_project_config(pyproject)
     select = _parse_ids(args.select)
     ignore = _parse_ids(args.ignore)
-    if select is not None or ignore is not None:
+    exclude = (
+        tuple(
+            part.strip()
+            for part in args.exclude.split(",")
+            if part.strip()
+        )
+        if args.exclude
+        else ()
+    )
+    if select is not None or ignore is not None or exclude:
         from dataclasses import replace
 
         config = replace(
             config,
             select=select if select is not None else config.select,
             ignore=ignore if ignore is not None else config.ignore,
+            exclude=config.exclude + exclude,
         )
     return config
 
@@ -142,6 +179,45 @@ def _list_rules() -> str:
             f"scope={rule.scope}]"
         )
         lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _escape_gh_data(text: str) -> str:
+    """Escape workflow-command message data per the Actions spec."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_gh_property(text: str) -> str:
+    """Escape workflow-command property values per the Actions spec."""
+    return (
+        _escape_gh_data(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _render_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands: one annotation per finding.
+
+    The runner turns each ``::error file=...`` line into an inline PR
+    annotation; the trailing summary line is plain text (ignored by the
+    runner but useful in the raw log).
+    """
+    lines = []
+    for finding in result.findings:
+        command = (
+            "warning" if finding.severity is Severity.WARNING else "error"
+        )
+        lines.append(
+            f"::{command} "
+            f"file={_escape_gh_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.column + 1},"
+            f"title={_escape_gh_property('safelint ' + finding.rule_id)}"
+            f"::{_escape_gh_data(finding.message)}"
+        )
+    lines.append(
+        f"safelint: {len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
     return "\n".join(lines)
 
 
@@ -167,7 +243,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         config = _resolve_config(args)
         baseline_path: Optional[Path] = None
-        if args.baseline is not None:
+        if args.no_baseline:
+            baseline_path = None
+        elif args.baseline is not None:
             baseline_path = Path(args.baseline)
         elif config.baseline is not None:
             baseline_path = config.baseline
@@ -208,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "github":
+        _print(_render_github(result))
     else:
         _print(_render_text(result))
     return 0 if result.ok else 1

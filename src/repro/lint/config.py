@@ -11,11 +11,16 @@ inject a fake module name such as ``repro.sim.fixture``):
 * ``planner`` — packages holding ``plan()`` implementations (clamp
   rule);
 * ``units`` — public physical-quantity APIs (docstring-units rule);
+* ``dim`` — the kinematics core covered by the safedim dimensional
+  analysis (SFL100–SFL105);
 * ``all`` — everything.
 
+``select``/``ignore`` entries are *prefixes*: ``SFL1`` selects the
+whole SFL100–SFL105 dimensional family, ``SFL001`` exactly one rule.
+
 Defaults live here; a ``[tool.safelint]`` table in ``pyproject.toml``
-overrides them (keys ``select``, ``ignore``, ``baseline`` and the
-``*-packages`` lists, with dashes or underscores).
+overrides them (keys ``select``, ``ignore``, ``baseline``, ``exclude``
+and the ``*-packages`` lists, with dashes or underscores).
 """
 
 from __future__ import annotations
@@ -54,6 +59,14 @@ _DEFAULT_UNITS: Tuple[str, ...] = (
     "repro.core",
     "repro.filtering",
 )
+_DEFAULT_DIM: Tuple[str, ...] = (
+    "repro.dynamics",
+    "repro.filtering",
+    "repro.scenarios",
+    "repro.planners",
+    "repro.sensing",
+    "repro.core",
+)
 
 
 @dataclass(frozen=True)
@@ -63,24 +76,30 @@ class LintConfig:
     Attributes
     ----------
     select:
-        Rule ids to run; ``None`` means every registered rule.
+        Rule-id prefixes to run; ``None`` means every registered rule.
     ignore:
-        Rule ids to skip (applied after ``select``).
+        Rule-id prefixes to skip (applied after ``select``).
     baseline:
         Path of the grandfathering baseline file, if any.
+    exclude:
+        Path fragments; any file whose path contains one as a segment
+        sequence is skipped (``tests/lint_fixtures`` keeps the
+        deliberately-bad fixtures out of the gate).
     critical_packages, sim_packages, math_packages, planner_packages,
-    units_packages:
+    units_packages, dim_packages:
         Dotted module prefixes defining each rule scope.
     """
 
     select: Optional[FrozenSet[str]] = None
     ignore: FrozenSet[str] = frozenset()
     baseline: Optional[Path] = None
+    exclude: Tuple[str, ...] = ()
     critical_packages: Tuple[str, ...] = _DEFAULT_CRITICAL
     sim_packages: Tuple[str, ...] = _DEFAULT_SIM
     math_packages: Tuple[str, ...] = _DEFAULT_MATH
     planner_packages: Tuple[str, ...] = _DEFAULT_PLANNER
     units_packages: Tuple[str, ...] = _DEFAULT_UNITS
+    dim_packages: Tuple[str, ...] = _DEFAULT_DIM
 
     def packages_for(self, scope: str) -> Tuple[str, ...]:
         """The module-prefix list of a named scope (empty for ``all``)."""
@@ -91,6 +110,7 @@ class LintConfig:
             "math": self.math_packages,
             "planner": self.planner_packages,
             "units": self.units_packages,
+            "dim": self.dim_packages,
         }[scope]
 
     def module_in_scope(self, module: str, scope: str) -> bool:
@@ -104,10 +124,26 @@ class LintConfig:
         )
 
     def rule_enabled(self, rule_id: str) -> bool:
-        """Whether a rule survives ``select``/``ignore``."""
-        if rule_id in self.ignore:
+        """Whether a rule survives ``select``/``ignore``.
+
+        Entries match by prefix, so ``SFL1`` covers the whole
+        SFL100–SFL105 family while ``SFL001`` (zero-padded) still names
+        exactly one rule.
+        """
+        if any(rule_id.startswith(prefix) for prefix in self.ignore):
             return False
-        return self.select is None or rule_id in self.select
+        return self.select is None or any(
+            rule_id.startswith(prefix) for prefix in self.select
+        )
+
+    def path_excluded(self, path: str) -> bool:
+        """Whether a POSIX path matches an ``exclude`` fragment."""
+        padded = f"/{path.strip('/')}/"
+        return any(
+            f"/{fragment.strip('/')}/" in padded
+            for fragment in self.exclude
+            if fragment.strip("/")
+        )
 
 
 def find_pyproject(start: Path) -> Optional[Path]:
@@ -160,12 +196,16 @@ def load_project_config(pyproject: Path) -> LintConfig:
         if not isinstance(baseline, str):
             raise LintError("[tool.safelint] baseline must be a string path")
         config = replace(config, baseline=pyproject.parent / baseline)
+    exclude = _get_list(table, "exclude")
+    if exclude is not None:
+        config = replace(config, exclude=exclude)
     for key, attr in (
         ("critical-packages", "critical_packages"),
         ("sim-packages", "sim_packages"),
         ("math-packages", "math_packages"),
         ("planner-packages", "planner_packages"),
         ("units-packages", "units_packages"),
+        ("dim-packages", "dim_packages"),
     ):
         value = _get_list(table, key)
         if value is not None:

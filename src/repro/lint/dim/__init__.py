@@ -1,0 +1,51 @@
+"""safedim: static dimensional analysis over the kinematics core.
+
+The package is the analysis half of the SFL100–SFL105 rule family (the
+rules themselves live in :mod:`repro.lint.rules.dim_rules`):
+
+* :mod:`~repro.lint.dim.lattice` — the dimension lattice (rational
+  exponents over length/time) and the bracket-unit grammar parser.
+* :mod:`~repro.lint.dim.annotations` — extraction of ``Units:``
+  docstring directives and ``Annotated`` hints into per-function
+  declarations.
+* :mod:`~repro.lint.dim.signatures` — the cross-module signature table
+  that lets the intraprocedural pass check call sites against callee
+  declarations.
+* :mod:`~repro.lint.dim.domain` — curated dimensional facts (field
+  units, Interval method contracts, ``math`` behaviour).
+* :mod:`~repro.lint.dim.checker` — the abstract interpreter; one cached
+  run per file feeds all six rules.
+"""
+
+from repro.lint.dim.checker import DimViolation, analyze
+from repro.lint.dim.lattice import (
+    ACCEL,
+    DIMENSIONLESS,
+    METRE,
+    NUM,
+    SECOND,
+    SPEED,
+    UNKNOWN,
+    Dim,
+    UnitSyntaxError,
+    format_dim,
+    join,
+    parse_unit,
+)
+
+__all__ = [
+    "DimViolation",
+    "analyze",
+    "Dim",
+    "UnitSyntaxError",
+    "parse_unit",
+    "format_dim",
+    "join",
+    "NUM",
+    "UNKNOWN",
+    "DIMENSIONLESS",
+    "METRE",
+    "SECOND",
+    "SPEED",
+    "ACCEL",
+]

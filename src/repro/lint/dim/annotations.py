@@ -1,0 +1,230 @@
+"""Extraction of unit declarations from function definitions.
+
+Two equivalent, machine-checked spellings (the repo convention, see
+docs/API.md):
+
+* a ``Units:`` directive line in the docstring — a ``step(state,
+  acceleration, dt)`` docstring carrying::
+
+      Units: acceleration [m/s^2], dt [s]
+
+  Entries are comma-separated ``name [unit]`` pairs; an optional
+  trailing ``-> [unit]`` declares the return dimension.  A function may
+  carry several ``Units:`` lines (they merge).
+
+* an ``Annotated`` type hint whose metadata carries a bracketed unit
+  string::
+
+      def step(state, acceleration: Annotated[float, "[m/s^2]"], dt: float): ...
+
+Both feed :func:`extract_function_units`, which returns the declared
+per-parameter and return dimensions plus every *annotation problem*
+found on the way (malformed unit, unknown parameter name) — the checker
+turns those into SFL104 findings rather than silently ignoring them,
+because an annotation that does not parse is an annotation that does
+not protect anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lint.dim.lattice import Dim, UnitSyntaxError, parse_unit
+
+__all__ = ["FunctionUnits", "UnitIssue", "extract_function_units"]
+
+_UNITS_LINE = re.compile(r"^\s*Units:\s*(?P<payload>.*\S)\s*$")
+_ENTRY = re.compile(r"^(?P<name>\w+)\s*\[(?P<unit>[^\[\]]*)\]$")
+_ARROW = re.compile(r"\s*->\s*\[(?P<unit>[^\[\]]*)\]\s*$")
+
+
+@dataclass(frozen=True, slots=True)
+class UnitIssue:
+    """One problem with a unit declaration (feeds SFL104)."""
+
+    line: int
+    message: str
+
+
+@dataclass(frozen=True)
+class FunctionUnits:
+    """The declared dimensions of one function.
+
+    Attributes
+    ----------
+    param_order:
+        Positional parameter names in call order (including ``self``
+        for methods, which callers skip when resolving ``obj.m(...)``).
+    params:
+        Parameter name -> declared :class:`Dim`.
+    returns:
+        Declared return dimension, if any.
+    issues:
+        Malformed or misaddressed declarations found during extraction.
+    """
+
+    param_order: Tuple[str, ...] = ()
+    params: Dict[str, Dim] = field(default_factory=dict)
+    returns: Optional[Dim] = None
+    issues: Tuple[UnitIssue, ...] = ()
+
+    @property
+    def has_declarations(self) -> bool:
+        """Whether anything at all was declared."""
+        return bool(self.params) or self.returns is not None
+
+
+def _annotated_metadata(annotation: ast.expr) -> List[ast.Constant]:
+    """String metadata constants of an ``Annotated[...]`` hint, if any."""
+    if not isinstance(annotation, ast.Subscript):
+        return []
+    target = annotation.value
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else ""
+    )
+    if name != "Annotated":
+        return []
+    inner = annotation.slice
+    elements = inner.elts[1:] if isinstance(inner, ast.Tuple) else []
+    return [
+        element
+        for element in elements
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def _unit_from_annotated(
+    annotation: Optional[ast.expr],
+    issues: List[UnitIssue],
+) -> Optional[Dim]:
+    if annotation is None:
+        return None
+    for constant in _annotated_metadata(annotation):
+        text = constant.value.strip()
+        bracketed = text.startswith("[") and text.endswith("]")
+        try:
+            return parse_unit(text[1:-1] if bracketed else text)
+        except UnitSyntaxError as exc:
+            if bracketed:
+                # An explicit bracket is unambiguously a unit: a parse
+                # failure is a broken declaration, not free-form metadata.
+                issues.append(UnitIssue(constant.lineno, str(exc)))
+            continue
+    return None
+
+
+def _docstring_lines(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+    """Yield ``(absolute_line, text)`` for each raw docstring line."""
+    if not func.body:
+        return
+    first = func.body[0]
+    if not (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    ):
+        return
+    for offset, text in enumerate(first.value.value.splitlines()):
+        yield first.value.lineno + offset, text
+
+
+def _parse_units_payload(
+    payload: str,
+    line: int,
+    known_names: frozenset,
+    params: Dict[str, Dim],
+    issues: List[UnitIssue],
+) -> Optional[Dim]:
+    """Parse one ``Units:`` payload; returns the declared return dim."""
+    returns: Optional[Dim] = None
+    arrow = _ARROW.search(payload)
+    if arrow is not None:
+        try:
+            returns = parse_unit(arrow.group("unit"))
+        except UnitSyntaxError as exc:
+            issues.append(UnitIssue(line, f"return unit: {exc}"))
+        payload = payload[: arrow.start()]
+    for raw_entry in payload.split(","):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        match = _ENTRY.match(entry)
+        if match is None:
+            issues.append(
+                UnitIssue(
+                    line,
+                    f"unparseable Units: entry {entry!r} "
+                    "(expected 'name [unit]')",
+                )
+            )
+            continue
+        name = match.group("name")
+        try:
+            dim = parse_unit(match.group("unit"))
+        except UnitSyntaxError as exc:
+            issues.append(UnitIssue(line, f"{name}: {exc}"))
+            continue
+        if name == "return":
+            returns = dim
+        elif name not in known_names:
+            issues.append(
+                UnitIssue(
+                    line,
+                    f"Units: names {name!r}, which is not a parameter "
+                    "of this function",
+                )
+            )
+        else:
+            params[name] = dim
+    return returns
+
+
+def extract_function_units(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> FunctionUnits:
+    """Collect the declared dimensions of ``func``.
+
+    ``Annotated`` hints win over docstring entries for the same
+    parameter (they are closer to the code), though in practice the
+    repo uses one spelling per function.
+    """
+    issues: List[UnitIssue] = []
+    positional = [*func.args.posonlyargs, *func.args.args]
+    param_order = tuple(arg.arg for arg in positional)
+    every_arg = [
+        *positional,
+        *func.args.kwonlyargs,
+        *([func.args.vararg] if func.args.vararg else []),
+        *([func.args.kwarg] if func.args.kwarg else []),
+    ]
+    known_names = frozenset(arg.arg for arg in every_arg)
+
+    params: Dict[str, Dim] = {}
+    returns: Optional[Dim] = None
+    for line, text in _docstring_lines(func):
+        match = _UNITS_LINE.match(text)
+        if match is None:
+            continue
+        declared = _parse_units_payload(
+            match.group("payload"), line, known_names, params, issues
+        )
+        if declared is not None:
+            returns = declared
+
+    for arg in every_arg:
+        dim = _unit_from_annotated(arg.annotation, issues)
+        if dim is not None:
+            params[arg.arg] = dim
+    annotated_return = _unit_from_annotated(func.returns, issues)
+    if annotated_return is not None:
+        returns = annotated_return
+
+    return FunctionUnits(
+        param_order=param_order,
+        params=params,
+        returns=returns,
+        issues=tuple(issues),
+    )

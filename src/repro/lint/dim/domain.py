@@ -1,0 +1,180 @@
+"""Curated dimensional facts about this repo's core types.
+
+The abstract interpreter resolves most calls through the cross-module
+signature table (annotations travel with the code), but three kinds of
+knowledge cannot be spelled as per-function unit annotations:
+
+* **Well-known field names.**  ``state.position`` is metres wherever it
+  appears — ``VehicleState``, ``FusedEstimate`` (an interval of
+  metres), message payloads.  The table below maps attribute names
+  whose meaning is fixed repo-wide (SI convention, DESIGN.md) to their
+  dimension.  Only names that are unambiguous across the whole tree
+  belong here; anything context-dependent stays out.
+* **Dimension-preserving accessors.**  ``interval.lo`` has whatever
+  dimension the interval carries; same for ``hi``, ``width``,
+  ``midpoint``.  These propagate the receiver's dimension instead of
+  naming one.
+* **Dimension-polymorphic Interval methods.**  ``iv.shift(offset)``
+  requires ``offset`` to match the interval's dimension and returns
+  that dimension — a constraint between receiver and argument that the
+  ``name [unit]`` grammar cannot express.
+
+``math``-module behaviour lives here too (``sqrt`` halves exponents,
+which is why the lattice uses rational ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.lint.dim.lattice import ACCEL, METRE, SECOND, SPEED, Dim
+
+__all__ = [
+    "FIELD_UNITS",
+    "PRESERVING_ATTRS",
+    "IntervalMethod",
+    "INTERVAL_METHODS",
+    "MATH_SAME_DIM",
+    "MATH_SQRT",
+    "MATH_DIMENSIONLESS",
+    "PHYSICAL_PARAMS",
+]
+
+#: Attribute name -> dimension, for names with one repo-wide meaning.
+FIELD_UNITS: Dict[str, Dim] = {
+    "position": METRE,
+    "velocity": SPEED,
+    "acceleration": ACCEL,
+    "time": SECOND,
+    "dt": SECOND,
+    "dt_c": SECOND,
+    "dt_m": SECOND,
+    "dt_s": SECOND,
+    "stamp": SECOND,
+    "message_age": SECOND,
+    "horizon": SECOND,
+    "v_min": SPEED,
+    "v_max": SPEED,
+    "v_buf": SPEED,
+    "a_min": ACCEL,
+    "a_max": ACCEL,
+    "a_buf": ACCEL,
+    "p_front": METRE,
+    "p_back": METRE,
+    "p_target": METRE,
+    "oncoming_front": METRE,
+    "oncoming_back": METRE,
+}
+
+#: Attributes that carry whatever dimension their receiver carries.
+PRESERVING_ATTRS = frozenset({"lo", "hi", "width", "midpoint"})
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalMethod:
+    """Dimensional contract of one Interval method.
+
+    Attributes
+    ----------
+    base_args:
+        Indices of positional arguments that must match the receiver's
+        dimension (checked only when both sides are known).
+    result:
+        ``"base"`` (receiver's dimension), ``"arg0"`` (first argument's
+        dimension), ``"num"`` (dimensionless result such as a bool), or
+        ``None`` (unknown).
+    """
+
+    base_args: Tuple[int, ...] = ()
+    result: Optional[str] = "base"
+
+
+#: Interval API: receiver-polymorphic dimensional contracts.
+INTERVAL_METHODS: Dict[str, IntervalMethod] = {
+    "intersect": IntervalMethod(base_args=(0,), result="base"),
+    "hull": IntervalMethod(base_args=(0,), result="base"),
+    "expand": IntervalMethod(base_args=(0,), result="base"),
+    "shift": IntervalMethod(base_args=(0,), result="base"),
+    "scale": IntervalMethod(base_args=(), result="base"),
+    "clamp": IntervalMethod(base_args=(0,), result="base"),
+    "sample": IntervalMethod(base_args=(), result="base"),
+    "contains": IntervalMethod(base_args=(0,), result="num"),
+    "contains_interval": IntervalMethod(base_args=(0,), result="num"),
+    "overlaps": IntervalMethod(base_args=(0,), result="num"),
+    "point": IntervalMethod(base_args=(), result="arg0"),
+    "around": IntervalMethod(base_args=(), result="arg0"),
+}
+
+#: math.* functions that preserve their (single) argument's dimension.
+MATH_SAME_DIM = frozenset(
+    {"fabs", "floor", "ceil", "trunc", "copysign", "fmod", "remainder"}
+)
+
+#: math.* functions returning a dimensionless/boolean result without a
+#: dimensional constraint worth enforcing.
+MATH_DIMENSIONLESS = frozenset(
+    {"isnan", "isinf", "isfinite", "exp", "log", "log2", "log10", "sin",
+     "cos", "tan", "atan", "atan2", "asin", "acos", "degrees", "radians"}
+)
+
+#: math.sqrt halves the exponents (m^2/s^2 -> m/s).
+MATH_SQRT = "sqrt"
+
+#: Validation helpers (repro.utils.validation) that return their first
+#: argument unchanged after checking it — dimension-preserving, so
+#: ``dt = check_positive(dt, "dt")`` keeps ``dt`` at [s].
+PASSTHROUGH_FUNCS = frozenset(
+    {
+        "check_finite",
+        "check_positive",
+        "check_nonnegative",
+        "check_probability",
+        "check_multiple",
+        "check_optional_positive",
+    }
+)
+
+#: Parameter names that denote physical quantities; a public function
+#: in the dim scope taking one of these must declare its unit (SFL105).
+#: Superset of the docstring-prose list in
+#: :mod:`repro.lint.rules.units_docstring`.
+PHYSICAL_PARAMS = frozenset(
+    {
+        "distance",
+        "velocity",
+        "speed",
+        "position",
+        "acceleration",
+        "accel",
+        "dt",
+        "dt_c",
+        "dt_m",
+        "dt_s",
+        "gap",
+        "headway",
+        "time",
+        "duration",
+        "elapsed",
+        "horizon",
+        "stamp",
+        "now",
+        "v_cap",
+        "v_floor",
+        "a_cap",
+        "a_floor",
+        "v_min",
+        "v_max",
+        "a_min",
+        "a_max",
+        "v_buf",
+        "a_buf",
+        "v_hi",
+        "v_lo",
+        "d_front",
+        "d_back",
+        "decel",
+        "ego_position",
+        "oncoming_position",
+    }
+)

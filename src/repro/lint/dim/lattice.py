@@ -1,0 +1,215 @@
+"""The dimension lattice of the safedim pass.
+
+Every quantity in the paper's kinematic algebra is a product of powers
+of two SI base dimensions — length (metre) and time (second) — so a
+*dimension* here is a pair of rational exponents ``(length, time)``:
+``[m]`` is ``(1, 0)``, ``[m/s²]`` is ``(1, -2)``, ``[1]`` is ``(0, 0)``.
+Rational (not integer) exponents keep ``math.sqrt`` closed over the
+lattice: the discriminant ``v² − 2·a·d`` has dimension ``m²/s²`` and its
+square root is back to ``[m/s]``.
+
+The abstract domain the checker interprets over has three kinds of
+value:
+
+* :data:`UNKNOWN` (``None``) — no information; absorbs everything.
+* :data:`NUM` — a bare numeric literal.  Literals are *polymorphic*:
+  ``2.0 * a`` keeps the dimension of ``a``, and ``distance > 0.0`` is
+  not a mismatch.  This is what makes the pass quiet on idiomatic
+  guard-and-clamp code while still catching ``speed + accel``.
+* a :class:`Dim` — a known dimension.
+
+:func:`parse_unit` implements the bracket grammar used by docstring
+``Units:`` directives and ``Annotated`` hints (see
+:mod:`repro.lint.dim.annotations` and docs/LINTING.md)::
+
+    unit    := "1" | product ( "/" product )*
+    product := factor ( "*" factor )*
+    factor  := ("m" | "s") ( "^" signed-int )?
+
+with ``²`` accepted as a synonym for ``^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Union
+
+__all__ = [
+    "Dim",
+    "NUM",
+    "UNKNOWN",
+    "AbstractDim",
+    "UnitSyntaxError",
+    "parse_unit",
+    "join",
+    "is_dim",
+]
+
+
+class UnitSyntaxError(ValueError):
+    """A bracketed unit token that does not follow the grammar."""
+
+
+@dataclass(frozen=True, slots=True)
+class Dim:
+    """A dimension: rational exponents of length and time.
+
+    Attributes
+    ----------
+    length:
+        Exponent of the metre.
+    time:
+        Exponent of the second.
+    """
+
+    length: Fraction
+    time: Fraction
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        return Dim(self.length + other.length, self.time + other.time)
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        return Dim(self.length - other.length, self.time - other.time)
+
+    def __pow__(self, exponent: Fraction) -> "Dim":
+        return Dim(self.length * exponent, self.time * exponent)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        """Whether this is the declared-dimensionless ``[1]``."""
+        return self.length == 0 and self.time == 0
+
+    def __str__(self) -> str:
+        return format_dim(self)
+
+
+#: The dimensionless dimension ``[1]``.
+DIMENSIONLESS = Dim(Fraction(0), Fraction(0))
+
+#: Canonical dimensions, for readable construction in tables and tests.
+METRE = Dim(Fraction(1), Fraction(0))
+SECOND = Dim(Fraction(0), Fraction(1))
+SPEED = Dim(Fraction(1), Fraction(-1))
+ACCEL = Dim(Fraction(1), Fraction(-2))
+
+
+class _Num:
+    """Singleton marking a polymorphic numeric literal."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NUM"
+
+
+#: The polymorphic-literal abstract value (compatible with any Dim).
+NUM = _Num()
+
+#: The no-information abstract value.
+UNKNOWN = None
+
+#: What an expression may evaluate to in the abstract interpretation.
+AbstractDim = Union[None, _Num, Dim]
+
+
+def is_dim(value: AbstractDim) -> bool:
+    """Whether ``value`` is a concrete :class:`Dim` (not NUM/UNKNOWN)."""
+    return isinstance(value, Dim)
+
+
+def _format_power(base: str, exponent: Fraction) -> str:
+    if exponent == 1:
+        return base
+    if exponent.denominator == 1:
+        return f"{base}^{exponent.numerator}"
+    return f"{base}^{exponent.numerator}/{exponent.denominator}"
+
+
+def format_dim(dim: Dim) -> str:
+    """Render a dimension in the canonical bracket-grammar spelling.
+
+    The numerator collects positive exponents, the denominator the
+    negated negative ones: ``m/s^2``, ``1/s``, ``m^2/s^2``, ``1``.
+    """
+    numerator = []
+    denominator = []
+    for base, exponent in (("m", dim.length), ("s", dim.time)):
+        if exponent > 0:
+            numerator.append(_format_power(base, exponent))
+        elif exponent < 0:
+            denominator.append(_format_power(base, -exponent))
+    text = "*".join(numerator) if numerator else "1"
+    if denominator:
+        text += "/" + "/".join(denominator)
+    return text
+
+
+_BASES = {"m": METRE, "s": SECOND}
+
+
+def _parse_factor(token: str) -> Dim:
+    token = token.strip()
+    if token == "1":
+        return DIMENSIONLESS
+    base, caret, exponent_text = token.partition("^")
+    base = base.strip()
+    if base not in _BASES:
+        raise UnitSyntaxError(
+            f"unknown base unit {base!r} (the grammar knows 'm', 's', '1')"
+        )
+    if not caret:
+        return _BASES[base]
+    try:
+        exponent = Fraction(exponent_text.strip())
+    except (ValueError, ZeroDivisionError) as exc:
+        raise UnitSyntaxError(
+            f"bad exponent {exponent_text!r} in unit factor {token!r}"
+        ) from exc
+    return _BASES[base] ** exponent
+
+
+def _parse_product(text: str) -> Dim:
+    result = DIMENSIONLESS
+    for token in text.replace("·", "*").split("*"):
+        if not token.strip():
+            raise UnitSyntaxError(f"empty factor in unit {text!r}")
+        result = result * _parse_factor(token)
+    return result
+
+
+def parse_unit(text: str) -> Dim:
+    """Parse a unit expression (bracket contents) into a :class:`Dim`.
+
+    Raises
+    ------
+    UnitSyntaxError
+        On anything outside the grammar (unknown base, empty factor,
+        malformed exponent).
+    """
+    normalised = text.strip().replace("²", "^2").replace("³", "^3")
+    if not normalised:
+        raise UnitSyntaxError("empty unit")
+    chunks = normalised.split("/")
+    result = _parse_product(chunks[0])
+    for chunk in chunks[1:]:
+        result = result / _parse_product(chunk)
+    return result
+
+
+def join(a: AbstractDim, b: AbstractDim) -> AbstractDim:
+    """Least upper bound used when control-flow paths merge.
+
+    ``NUM`` is below every concrete dimension (a literal adapts to the
+    branch that knows more); two *different* concrete dimensions join to
+    :data:`UNKNOWN` — the merge point genuinely carries either.
+    """
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    if isinstance(a, _Num):
+        return b
+    if isinstance(b, _Num):
+        return a
+    if a == b:  # safelint: disable=SFL001 -- Dim equality over exact Fractions, not floats
+        return a
+    return UNKNOWN

@@ -1,0 +1,224 @@
+"""The cross-module signature table.
+
+The dimensional pass is *intra*procedural — it never inlines callees —
+but call sites are still checked against the callee's declared units.
+For that the engine builds one :class:`SignatureTable` per run, indexing
+every function, method and dataclass constructor of every file being
+linted by fully-qualified dotted name.  ``lint_source`` (single-string
+entry point, used by tests) builds a table from just that string, so
+fixtures remain self-contained.
+
+Method calls on objects whose type the checker cannot know
+(``geometry.oncoming_distance_to_back(...)``) resolve through the
+*unambiguous-method-name* index: if exactly one method with that name is
+declared across the whole run — or all declarations agree — the call is
+checked against it; conflicting homonyms disable the check rather than
+guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.lint.dim.annotations import (
+    FunctionUnits,
+    UnitIssue,
+    extract_function_units,
+)
+from repro.lint.dim.lattice import Dim, UnitSyntaxError, parse_unit
+
+__all__ = ["SignatureTable", "build_signature_table", "build_import_map"]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Sentinel marking a method name declared incompatibly in two classes.
+_CONFLICT = object()
+
+
+def _class_field_units(node: ast.ClassDef) -> FunctionUnits:
+    """Constructor-like units of a class from its fields and docstring.
+
+    Dataclasses have no ``__init__`` in the AST; their keyword interface
+    is the ordered annotated fields.  Field units come from a ``Units:``
+    directive in the *class* docstring (same grammar as functions) or an
+    ``Annotated`` field hint.
+    """
+    order = []
+    params: Dict[str, Dim] = {}
+    issues: list = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if name.isupper():
+                continue  # class-level constant, not a field
+            order.append(name)
+
+    docstring = ast.get_docstring(node, clean=False) or ""
+    if "Units:" in docstring:
+        # Reuse the function-level parser by faking a function whose
+        # parameters are the field names.
+        shim = ast.parse(
+            "def _shim({}):\n    pass".format(", ".join(order))
+        ).body[0]
+        assert isinstance(shim, ast.FunctionDef)
+        shim.body.insert(
+            0, ast.Expr(value=ast.Constant(value=docstring))
+        )
+        ast.fix_missing_locations(shim)
+        extracted = extract_function_units(shim)
+        params.update(extracted.params)
+        base_line = node.body[0].lineno if node.body else node.lineno
+        issues.extend(
+            UnitIssue(base_line, issue.message) for issue in extracted.issues
+        )
+
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            dim = _annotated_field_unit(statement, issues)
+            if dim is not None:
+                params[statement.target.id] = dim
+
+    return FunctionUnits(
+        param_order=tuple(order),
+        params=params,
+        returns=None,
+        issues=tuple(issues),
+    )
+
+
+def _annotated_field_unit(
+    statement: ast.AnnAssign, issues: list
+) -> Optional[Dim]:
+    annotation = statement.annotation
+    if not isinstance(annotation, ast.Subscript):
+        return None
+    target = annotation.value
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else ""
+    )
+    if name != "Annotated" or not isinstance(annotation.slice, ast.Tuple):
+        return None
+    for element in annotation.slice.elts[1:]:
+        if isinstance(element, ast.Constant) and isinstance(
+            element.value, str
+        ):
+            text = element.value.strip()
+            bracketed = text.startswith("[") and text.endswith("]")
+            try:
+                return parse_unit(text[1:-1] if bracketed else text)
+            except UnitSyntaxError as exc:
+                if bracketed:
+                    issues.append(UnitIssue(element.lineno, str(exc)))
+    return None
+
+
+class SignatureTable:
+    """Declared units of every function/method/class in a lint run."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionUnits] = {}
+        self._by_method_name: Dict[str, object] = {}
+
+    def add_module(self, module: str, tree: ast.Module) -> None:
+        """Index one parsed module."""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._functions[f"{module}.{node.name}"] = (
+                    extract_function_units(node)
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._functions[f"{module}.{node.name}"] = (
+                    _class_field_units(node)
+                )
+                for member in node.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        units = extract_function_units(member)
+                        self._functions[
+                            f"{module}.{node.name}.{member.name}"
+                        ] = units
+                        self._index_method(member.name, units)
+
+    def _index_method(self, name: str, units: FunctionUnits) -> None:
+        existing = self._by_method_name.get(name)
+        if existing is None:
+            self._by_method_name[name] = units
+        elif existing is not _CONFLICT:
+            assert isinstance(existing, FunctionUnits)
+            same = (
+                existing.params == units.params
+                and existing.returns == units.returns
+                and existing.param_order == units.param_order
+            )
+            if not same:
+                self._by_method_name[name] = _CONFLICT
+
+    def lookup(self, dotted: str) -> Optional[FunctionUnits]:
+        """Units of a fully-qualified function/method/class, if indexed."""
+        return self._functions.get(dotted)
+
+    def lookup_method(self, name: str) -> Optional[FunctionUnits]:
+        """Units of a method name unambiguous across the whole run."""
+        found = self._by_method_name.get(name)
+        if found is _CONFLICT or found is None:
+            return None
+        assert isinstance(found, FunctionUnits)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+def build_signature_table(
+    modules: Iterable[Tuple[str, ast.Module]],
+) -> SignatureTable:
+    """Index every ``(module_name, parsed_tree)`` pair into one table."""
+    table = SignatureTable()
+    for module, tree in modules:
+        table.add_module(module, tree)
+    return table
+
+
+def build_import_map(module: str, tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully-qualified dotted name, from the import stmts.
+
+    Handles plain imports (``import math`` -> ``math``; ``import a.b``
+    binds ``a``), aliased imports, from-imports and relative
+    from-imports (resolved against ``module``'s package).  The map is
+    best-effort: a name the map misses simply resolves no call check.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module.split(".")
+                if node.level <= len(parts):
+                    base = ".".join(parts[: len(parts) - node.level])
+                else:
+                    continue
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}"
+                )
+    return imports

@@ -6,6 +6,14 @@ Rules are pure per-file visitors, so the engine is the only place that
 touches the filesystem, the suppression map and the baseline — and the
 only place tests need to stub.
 
+``lint_paths`` runs in two passes: the first parses every file and
+feeds the trees to the cross-module
+:class:`~repro.lint.dim.signatures.SignatureTable`, the second runs the
+rules with that table available through
+:attr:`~repro.lint.rules.base.FileContext.signatures` — this is what
+lets the (per-file) dimensional rules check call sites against units
+declared in *other* files, while rules themselves still never do I/O.
+
 A file that does not parse yields a single ``SFL000`` finding (not an
 exception): the gate must fail on broken code, not crash.
 """
@@ -20,6 +28,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.errors import LintError
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig
+from repro.lint.dim.signatures import SignatureTable, build_signature_table
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import all_rules
 from repro.lint.rules.base import FileContext
@@ -75,16 +84,24 @@ def _lint_one(
     path: str,
     module: Optional[str],
     config: LintConfig,
+    *,
+    signatures: Optional[SignatureTable] = None,
+    tree: Optional[ast.Module] = None,
 ) -> Tuple[List[Finding], int]:
     """Lint one source string -> (surviving findings, suppressed count)."""
     if module is None:
         module = _module_name(Path(path))
     lines = source.splitlines()
     context = FileContext(
-        path=path, module=module, source=source, lines=lines
+        path=path,
+        module=module,
+        source=source,
+        lines=lines,
+        signatures=signatures,
     )
     try:
-        tree = ast.parse(source, filename=path)
+        if tree is None:
+            tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         finding = Finding(
             path=path,
@@ -169,17 +186,39 @@ def lint_paths(
     """Lint files/directories and return the aggregate result."""
     config = config or LintConfig()
     baseline = baseline or Baseline()
-    findings: List[Finding] = []
-    suppressed = 0
-    files = 0
+
+    # Pass 1: read and parse everything, building the cross-module
+    # signature table for the dimensional rules.  Unparseable files are
+    # carried with ``tree=None`` so pass 2 reports their SFL000.
+    entries: List[Tuple[str, str, str, Optional[ast.Module]]] = []
     for file_path in iter_python_files(paths):
+        posix = file_path.as_posix()
+        if config.path_excluded(posix):
+            continue
         try:
             source = file_path.read_text(encoding="utf-8")
         except OSError as exc:
             raise LintError(f"unreadable file {file_path}: {exc}") from exc
+        module = _module_name(file_path)
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=posix)
+        except SyntaxError:
+            tree = None
+        entries.append((posix, source, module, tree))
+    signatures = build_signature_table(
+        (module, tree)
+        for _, _, module, tree in entries
+        if tree is not None
+    )
+
+    # Pass 2: run the rules with the table in scope.
+    findings: List[Finding] = []
+    suppressed = 0
+    files = 0
+    for posix, source, module, tree in entries:
         files += 1
         file_findings, file_suppressed = _lint_one(
-            source, file_path.as_posix(), None, config
+            source, posix, module, config, signatures=signatures, tree=tree
         )
         findings.extend(file_findings)
         suppressed += file_suppressed

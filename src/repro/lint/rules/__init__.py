@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     broad_except,
+    dim_rules,
     float_equality,
     global_rng,
     mutable_default,

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import ClassVar, Iterator, List, Sequence
+from typing import TYPE_CHECKING, ClassVar, Iterator, List, Optional, Sequence
 
 from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.dim.signatures import SignatureTable
 
 __all__ = [
     "FileContext",
@@ -40,12 +43,18 @@ class FileContext:
         Full source text.
     lines:
         ``source.splitlines()``, for fingerprinting findings.
+    signatures:
+        Cross-file unit-signature table built by the engine for the
+        dimensional rules (SFL100–SFL105); ``None`` outside an engine
+        run, in which case the dim checker falls back to a table built
+        from the file itself.
     """
 
     path: str
     module: str
     source: str
     lines: Sequence[str]
+    signatures: Optional["SignatureTable"] = None
 
     def line_text(self, line: int) -> str:
         """Stripped text of a 1-based line ('' when out of range)."""

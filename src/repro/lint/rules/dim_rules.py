@@ -1,0 +1,170 @@
+"""SFL100–SFL105: the safedim dimensional-analysis rule family.
+
+The heavy lifting happens in :mod:`repro.lint.dim.checker`, which runs
+one abstract interpretation per file (cached, so the six rules cost a
+single pass) and tags each violation with a *kind*.  Each rule here
+surfaces one kind under its own id, so suppressions, ``--select`` and
+the baseline can address, say, unit-mismatched calls separately from
+missing annotations.
+
+Why this is a safety gate and not a style check: the paper's guarantee
+rests on kinematic window algebra — positions ``[m]``, speeds
+``[m/s]``, accelerations ``[m/s²]`` and times ``[s]`` combined through
+``d = v·t + ½·a·t²``-shaped identities.  A term swap (adding a speed
+where an acceleration·time product belongs) produces a *plausible*
+number that silently widens or narrows the safe passing window; no
+runtime assertion can see it because the types are all ``float``.
+Dimensional consistency is a machine-checkable proxy for those
+identities being wired correctly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List
+
+from repro.lint.dim.checker import (
+    KIND_ADD,
+    KIND_ANNOTATION,
+    KIND_CALL,
+    KIND_COMPARE,
+    KIND_MISSING,
+    KIND_RETURN,
+    analyze,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = [
+    "DimAdditionRule",
+    "DimComparisonRule",
+    "DimCallRule",
+    "DimReturnRule",
+    "DimAnnotationRule",
+    "DimMissingUnitsRule",
+]
+
+
+class _DimRule(Rule):
+    """Shared plumbing: surface one violation kind as findings."""
+
+    kind: ClassVar[str] = ""
+    scope: ClassVar[str] = "dim"
+
+    def check(self, tree: ast.AST) -> List[Finding]:
+        assert isinstance(tree, ast.Module)
+        for violation in analyze(self.context, tree):
+            if violation.kind != self.kind:
+                continue
+            self.findings.append(
+                Finding(
+                    path=self.context.path,
+                    line=violation.line,
+                    column=violation.column,
+                    rule_id=self.rule_id,
+                    message=violation.message,
+                    severity=self.severity,
+                    source_line=self.context.line_text(violation.line),
+                )
+            )
+        return self.findings
+
+
+@register
+class DimAdditionRule(_DimRule):
+    """SFL100: adding or subtracting unlike dimensions."""
+
+    rule_id = "SFL100"
+    name = "dim-add"
+    rationale = (
+        "A sum of unlike dimensions (metres plus seconds, speed plus "
+        "acceleration) is the classic dropped-factor bug in kinematic "
+        "algebra: the result is a plausible float that corrupts every "
+        "window bound computed from it."
+    )
+    severity = Severity.ERROR
+    kind = KIND_ADD
+
+
+@register
+class DimComparisonRule(_DimRule):
+    """SFL101: ordering comparisons between unlike dimensions."""
+
+    rule_id = "SFL101"
+    name = "dim-compare"
+    rationale = (
+        "Comparing a position with a velocity (or min/max over mixed "
+        "dimensions) always encodes a confusion about which quantity a "
+        "variable holds; safe-set membership tests built on such a "
+        "comparison are meaningless."
+    )
+    severity = Severity.ERROR
+    kind = KIND_COMPARE
+
+
+@register
+class DimCallRule(_DimRule):
+    """SFL102: an argument's dimension contradicts the declaration."""
+
+    rule_id = "SFL102"
+    name = "dim-call"
+    rationale = (
+        "Passing [s] where the callee declares [m] (or an [m/s] term "
+        "where [m/s^2] is expected) routes a correct value into the "
+        "wrong slot of the kinematic identity — the single most likely "
+        "way to invert the conservative/aggressive window asymmetry "
+        "the safety proof depends on."
+    )
+    severity = Severity.ERROR
+    kind = KIND_CALL
+
+
+@register
+class DimReturnRule(_DimRule):
+    """SFL103: a returned/stored dimension contradicts the declaration."""
+
+    rule_id = "SFL103"
+    name = "dim-return"
+    rationale = (
+        "A function declaring '-> [s]' that returns metres (or code "
+        "storing a speed into a field whose repo-wide meaning is a "
+        "position) breaks every caller that trusted the declaration; "
+        "declarations only protect callers if implementations are held "
+        "to them."
+    )
+    severity = Severity.ERROR
+    kind = KIND_RETURN
+
+
+@register
+class DimAnnotationRule(_DimRule):
+    """SFL104: a unit annotation that does not parse or misaddresses."""
+
+    rule_id = "SFL104"
+    name = "dim-annotation"
+    rationale = (
+        "A Units: entry that names a non-parameter or fails the unit "
+        "grammar checks nothing while looking like it does — worse "
+        "than no annotation, because readers and the checker disagree "
+        "about what is protected."
+    )
+    severity = Severity.ERROR
+    kind = KIND_ANNOTATION
+
+
+@register
+class DimMissingUnitsRule(_DimRule):
+    """SFL105: a physical parameter with no machine-checkable unit."""
+
+    rule_id = "SFL105"
+    name = "dim-missing-units"
+    rationale = (
+        "Public kinematics entry points taking physically-named "
+        "parameters (distance, velocity, dt, ...) without a declared "
+        "unit are blind spots: the dimensional pass can neither check "
+        "their bodies nor their call sites, so mismatches concentrate "
+        "exactly where the analysis is silent."
+    )
+    severity = Severity.WARNING
+    kind = KIND_MISSING

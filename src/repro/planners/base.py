@@ -73,6 +73,8 @@ class Planner(Protocol):
 def clipped(acceleration: float, limits: VehicleLimits) -> float:
     """Sanitize a planner output: reject non-finite values, clip to limits.
 
+    Units: acceleration [m/s^2] -> [m/s^2]
+
     The compound planner applies this to the embedded NN planner's raw
     output so that a pathological network (NaN/inf) degrades to a bounded
     command instead of corrupting the simulation.  A NaN maps to full

@@ -215,6 +215,8 @@ class LeftTurnExpertPlanner:
     ) -> float:
         """The decision law on explicit inputs.
 
+        Units: time [s], position [m], velocity [m/s] -> [m/s^2]
+
         Exposed separately so demonstration generation can query the
         expert on arbitrary (state, window) pairs without constructing
         fused estimates.
@@ -224,11 +226,17 @@ class LeftTurnExpertPlanner:
         return self._yield_command(time, position, velocity, window)
 
     def conflict_ahead(self, time: float, window: Interval) -> bool:
-        """Whether the oncoming window is still (partly) in the future."""
+        """Whether the oncoming window is still (partly) in the future.
+
+        Units: time [s]
+        """
         return not window.is_empty and window.hi > time
 
     def approach_speed(self, time: float, window: Interval) -> float:
-        """Urgency-blended approach speed target (see :class:`ExpertConfig`)."""
+        """Urgency-blended approach speed target (see :class:`ExpertConfig`).
+
+        Units: time [s] -> [m/s]
+        """
         cfg = self._config
         if window.is_empty:
             return cfg.cruise_speed
@@ -248,6 +256,8 @@ class LeftTurnExpertPlanner:
         self, time: float, position: float, velocity: float, window: Interval
     ) -> bool:
         """The GO predicate.
+
+        Units: time [s], position [m], velocity [m/s]
 
         GO fires in three situations:
 

@@ -131,6 +131,8 @@ def build_expert(
 ) -> LeftTurnExpertPlanner:
     """The rule-based teacher for a style.
 
+    Units: a_buf [m/s^2], v_buf [m/s]
+
     The conservative expert consults sound Eq. (7) windows; the
     aggressive one consults compact Eq. (8) windows with the given
     buffers.
@@ -184,6 +186,8 @@ def train_left_turn_planner(
     v_buf: float = 1.0,
 ) -> TrainedPlannerSpec:
     """Train a planner of the requested style from scratch.
+
+    Units: a_buf [m/s^2], v_buf [m/s]
 
     Generates demonstrations from the style's expert, fits the scaler,
     trains the MLP with Adam + early stopping and returns the spec.

@@ -53,6 +53,8 @@ def planner_features(
 ) -> np.ndarray:
     """Build the five-feature input vector of the case-study planner.
 
+    Units: time [s], position [m], velocity [m/s]
+
     Parameters
     ----------
     time, position, velocity:
@@ -209,7 +211,10 @@ class NNPlanner:
     def plan_from_window(
         self, time: float, position: float, velocity: float, window: Interval
     ) -> float:
-        """Inference on explicit inputs (mirrors the expert's API)."""
+        """Inference on explicit inputs (mirrors the expert's API).
+
+        Units: time [s], position [m], velocity [m/s] -> [m/s^2]
+        """
         features = planner_features(time, position, velocity, window)
         scaled = self._scaler.transform(features)
         output = self._model.forward(as_batch(scaled))

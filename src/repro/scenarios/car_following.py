@@ -122,7 +122,10 @@ class CarFollowingSafetyModel:
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Negative slack: the gap can no longer be certified."""
+        """Negative slack: the gap can no longer be certified.
+
+        Units: time [s]
+        """
         return self._slack(ego, estimates) < 0.0
 
     def in_boundary_safe_set(
@@ -131,7 +134,10 @@ class CarFollowingSafetyModel:
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Slack within one worst-case step of going negative."""
+        """Slack within one worst-case step of going negative.
+
+        Units: time [s]
+        """
         s = self._slack(ego, estimates)
         if s < 0.0:
             return True

@@ -59,6 +59,8 @@ def earliest_arrival_time(
     cap ``v_cap`` and cruises at the cap afterwards — the strategy behind
     ``tau_{1,min}`` in Eq. (7).
 
+    Units: distance [m], velocity [m/s], v_cap [m/s], a_cap [m/s^2] -> [s]
+
     Parameters
     ----------
     distance:
@@ -107,6 +109,9 @@ def latest_arrival_time(
     is zero (the vehicle may stop before arriving) the latest arrival is
     ``inf``.
 
+    Units: distance [m], velocity [m/s], v_floor [m/s], a_floor [m/s^2]
+    Units: -> [s]
+
     Parameters
     ----------
     distance:
@@ -154,8 +159,8 @@ def arrival_time_under(
 ) -> float:
     """Time to cover ``distance`` applying a *constant* acceleration.
 
-    Units: ``distance`` in metres, ``velocity``/``v_hi``/``v_lo`` in
-    m/s, ``accel`` in m/s²; the result is in seconds.
+    Units: distance [m], velocity [m/s], accel [m/s^2]
+    Units: v_hi [m/s], v_lo [m/s] -> [s]
 
     The velocity saturates inside ``[v_lo, v_hi]``.  This is the primitive
     behind the aggressive estimation of Eq. (8), where the assumed
@@ -201,6 +206,9 @@ def traversal_window(
     accelerations in m/s², times in seconds); a vehicle past its back line
     yields an empty window.  All times are relative delays (add the
     current timestamp to get absolute times).
+
+    Units: d_front [m], d_back [m], velocity [m/s], v_cap [m/s]
+    Units: a_cap [m/s^2], v_floor [m/s], a_floor [m/s^2] -> [s]
     """
     if d_back < d_front:
         raise ScenarioError(
@@ -234,6 +242,9 @@ class LeftTurnGeometry:
     p_target:
         Ego coordinate whose crossing completes the left turn (the target
         set of the problem formulation).
+
+    Units: p_front [m], p_back [m], oncoming_front [m]
+    Units: oncoming_back [m], p_target [m]
     """
 
     p_front: float = 5.0
@@ -262,11 +273,17 @@ class LeftTurnGeometry:
     # Ego-side distances (coordinate increases along travel)
     # ------------------------------------------------------------------
     def ego_distance_to_front(self, position: float) -> float:
-        """Signed distance from the ego to the front line (+ = before)."""
+        """Signed distance from the ego to the front line (+ = before).
+
+        Units: position [m] -> [m]
+        """
         return self.p_front - position
 
     def ego_distance_to_back(self, position: float) -> float:
-        """Signed distance from the ego to the back line (+ = before)."""
+        """Signed distance from the ego to the back line (+ = before).
+
+        Units: position [m] -> [m]
+        """
         return self.p_back - position
 
     def ego_inside(self, position: float) -> bool:
@@ -277,44 +294,66 @@ class LeftTurnGeometry:
         algebra, where ``s = 0`` (able to stop exactly at the line) is a
         safe state, and makes the emergency planner's stop-at-the-line
         limit behaviour safe.
+
+        Units: position [m]
         """
         return self.p_front < position < self.p_back
 
     def ego_cleared(self, position: float) -> bool:
-        """Whether the ego has fully passed the unsafe area."""
+        """Whether the ego has fully passed the unsafe area.
+
+        Units: position [m]
+        """
         return position > self.p_back
 
     def ego_reached_target(self, position: float) -> bool:
-        """Whether the ego completed the turn (target-set membership)."""
+        """Whether the ego completed the turn (target-set membership).
+
+        Units: position [m]
+        """
         return position >= self.p_target
 
     # ------------------------------------------------------------------
     # Oncoming-side distances (coordinate decreases along travel)
     # ------------------------------------------------------------------
     def oncoming_distance_to_front(self, position: float) -> float:
-        """Signed travel distance from the oncoming vehicle to its front line."""
+        """Signed travel distance from the oncoming vehicle to its front line.
+
+        Units: position [m] -> [m]
+        """
         return position - self.oncoming_front
 
     def oncoming_distance_to_back(self, position: float) -> float:
-        """Signed travel distance from the oncoming vehicle to its back line."""
+        """Signed travel distance from the oncoming vehicle to its back line.
+
+        Units: position [m] -> [m]
+        """
         return position - self.oncoming_back
 
     def oncoming_inside(self, position: float) -> bool:
         """Whether the oncoming vehicle occupies the unsafe area.
 
         Open interior, symmetric with :meth:`ego_inside`.
+
+        Units: position [m]
         """
         return self.oncoming_back < position < self.oncoming_front
 
     def oncoming_cleared(self, position: float) -> bool:
-        """Whether the oncoming vehicle has fully passed the unsafe area."""
+        """Whether the oncoming vehicle has fully passed the unsafe area.
+
+        Units: position [m]
+        """
         return position < self.oncoming_back
 
     # ------------------------------------------------------------------
     # Collision ground truth
     # ------------------------------------------------------------------
     def collision(self, ego_position: float, oncoming_position: float) -> bool:
-        """Both vehicles in the unsafe area at once (the paper's X_u)."""
+        """Both vehicles in the unsafe area at once (the paper's X_u).
+
+        Units: ego_position [m], oncoming_position [m]
+        """
         return self.ego_inside(ego_position) and self.oncoming_inside(
             oncoming_position
         )

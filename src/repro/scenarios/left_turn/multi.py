@@ -113,7 +113,10 @@ class MultiOncomingSafetyModel:
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Unsafe with respect to any oncoming vehicle."""
+        """Unsafe with respect to any oncoming vehicle.
+
+        Units: time [s]
+        """
         return any(
             model.in_estimated_unsafe_set(time, ego, estimates)
             for model in self._models
@@ -125,7 +128,10 @@ class MultiOncomingSafetyModel:
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Boundary-safe with respect to any oncoming vehicle."""
+        """Boundary-safe with respect to any oncoming vehicle.
+
+        Units: time [s]
+        """
         return any(
             model.in_boundary_safe_set(time, ego, estimates)
             for model in self._models

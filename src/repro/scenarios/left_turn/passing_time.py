@@ -75,6 +75,8 @@ def conservative_window(
 
     Returns an *absolute-time* interval; empty when the whole band has
     already cleared the area.
+
+    Units: -> [s]
     """
     max_speed, min_speed, max_speedup, max_brake = _speed_quantities(limits)
 
@@ -106,8 +108,10 @@ def aggressive_window(
 ) -> Interval:
     """Compact occupancy window from buffered nominal behaviour (Eq. (8)).
 
-    ``a_buf`` is in m/s² and ``v_buf`` in m/s (both nonnegative); the
-    returned interval holds absolute times in seconds.
+    Units: a_buf [m/s^2], v_buf [m/s] -> [s]
+
+    Both buffers are nonnegative; the returned interval holds absolute
+    times in seconds.
 
     Evaluated at the nominal point estimate with assumed acceleration and
     speed within ``a_buf``/``v_buf`` of the currently observed values
@@ -163,6 +167,8 @@ class PassingWindowEstimator:
         Buffers for the aggressive mode (ignored otherwise).  The paper
         leaves the values user-defined; the experiment defaults live in
         :mod:`repro.experiments.config`.
+
+    Units: a_buf [m/s^2], v_buf [m/s]
     """
 
     geometry: LeftTurnGeometry
@@ -172,7 +178,10 @@ class PassingWindowEstimator:
     v_buf: float = 1.0
 
     def window(self, estimate: FusedEstimate) -> Interval:
-        """Absolute-time occupancy window for the given estimate."""
+        """Absolute-time occupancy window for the given estimate.
+
+        Units: -> [s]
+        """
         if self.aggressive:
             return aggressive_window(
                 estimate, self.geometry, self.limits, self.a_buf, self.v_buf

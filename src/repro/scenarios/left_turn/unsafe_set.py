@@ -55,8 +55,10 @@ def slack(
 ) -> float:
     """The slack ``s(t)`` of Eq. (5), in metres.
 
-    ``position`` is the ego coordinate in metres, ``velocity`` in m/s
-    (negative values clamp to a standstill).
+    Units: position [m], velocity [m/s] -> [m]
+
+    ``position`` is the ego coordinate (negative velocities clamp to a
+    standstill).
 
     Before the front line: front-line distance minus the braking distance
     ``d_b = -v^2 / (2 a_min)`` (``a_min < 0``).  Inside the area: the
@@ -79,8 +81,10 @@ def ego_passing_window(
 ) -> Interval:
     """Projected occupancy window of the ego at its current velocity.
 
-    ``time`` is the absolute timestamp in seconds, ``position`` in
-    metres, ``velocity`` in m/s; the window holds absolute seconds.
+    Units: time [s], position [m], velocity [m/s] -> [s]
+
+    ``time`` is the absolute timestamp; the window holds absolute
+    seconds.
 
     Mirrors the paper's three cases: before the front line the window is
     ``[t + d_f/v, t + d_b/v]``; inside the area it opens now and closes
@@ -107,8 +111,7 @@ def boundary_slack_margin(
 ) -> float:
     """Worst-case one-step slack decrease (the ``X_b`` threshold), metres.
 
-    ``velocity`` is the ego speed in m/s and ``dt_c`` the control
-    period in seconds.
+    Units: velocity [m/s], dt_c [s] -> [m]
 
     Derived in Section IV: the slack after one control step is at least
     ``s(t) - (v_0 dt_c + a_max dt_c^2 / 2)(1 - a_max / a_min)``, so a
@@ -172,7 +175,10 @@ class LeftTurnSafetyModel:
     def oncoming_window(
         self, estimates: Mapping[int, FusedEstimate]
     ) -> Interval:
-        """Conservative occupancy window from the current estimates."""
+        """Conservative occupancy window from the current estimates.
+
+        Units: -> [s]
+        """
         if self.oncoming_index not in estimates:
             raise ScenarioError(
                 f"no estimate for the oncoming vehicle "
@@ -191,7 +197,10 @@ class LeftTurnSafetyModel:
         ego: VehicleState,
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
-        """Eq. (6): negative slack and intersecting windows."""
+        """Eq. (6): negative slack and intersecting windows.
+
+        Units: time [s]
+        """
         s = slack(ego.position, ego.velocity, self.geometry, self.ego_limits)
         if s >= 0.0:
             return False
@@ -207,6 +216,8 @@ class LeftTurnSafetyModel:
         estimates: Mapping[int, FusedEstimate],
     ) -> bool:
         """``X_b``: one admissible step away from the unsafe set (Eq. (3)).
+
+        Units: time [s]
 
         Two branches, both instances of the general definition:
 
@@ -249,6 +260,8 @@ class LeftTurnSafetyModel:
     ) -> tuple[float, float]:
         """Earliest possible (entry, exit) times of the unsafe area.
 
+        Units: time [s], position [m], velocity [m/s]
+
         Both assume full throttle from ``(position, velocity)`` at
         ``time`` — the ego's fastest possible traversal.  These are the
         quantities the commit invariant is stated in: a committed ego is
@@ -271,7 +284,10 @@ class LeftTurnSafetyModel:
     def _committed_safe(
         self, time: float, position: float, velocity: float, oncoming: Interval
     ) -> bool:
-        """The commit invariant at one state."""
+        """The commit invariant at one state.
+
+        Units: time [s], position [m], velocity [m/s]
+        """
         entry_ff, exit_ff = self._full_throttle_times(time, position, velocity)
         return exit_ff <= oncoming.lo or entry_ff >= oncoming.hi
 
@@ -279,6 +295,8 @@ class LeftTurnSafetyModel:
         self, time: float, ego: VehicleState, oncoming: Interval
     ) -> bool:
         """Committed/inside branch of ``X_b``.
+
+        Units: time [s]
 
         Once stopping before the area is impossible, the only safe plans
         are "outrun the window" (requires flooring the throttle — hand
@@ -297,6 +315,8 @@ class LeftTurnSafetyModel:
         self, time: float, ego: VehicleState, oncoming: Interval
     ) -> bool:
         """Eq. (3) lookahead on the approach side.
+
+        Units: time [s]
 
         Tests the extremal admissible next steps (full brake, coast,
         full throttle): if any of them loses the ability to stop

@@ -57,6 +57,8 @@ class TrafficLight:
 
     The cycle starts (greens) at ``offset``; before ``offset`` the light
     is treated as red (the intersection is not yet released).
+
+    Units: green [s], red [s], offset [s]
     """
 
     green: float
@@ -69,11 +71,17 @@ class TrafficLight:
 
     @property
     def cycle(self) -> float:
-        """Full cycle length."""
+        """Full cycle length.
+
+        Units: -> [s]
+        """
         return self.green + self.red
 
     def is_green(self, time: float) -> bool:
-        """Whether the light shows green at ``time``."""
+        """Whether the light shows green at ``time``.
+
+        Units: time [s]
+        """
         phase = time - self.offset
         if phase < 0.0:
             return False
@@ -84,6 +92,8 @@ class TrafficLight:
 
         Returns absolute times; the pre-``offset`` red is
         ``[-inf, offset]``.
+
+        Units: time [s] -> [s]
         """
         if time < self.offset:
             return Interval(-math.inf, self.offset)
@@ -97,7 +107,10 @@ class TrafficLight:
 
     def next_green_start(self, time: float) -> float:
         """When the current/next green phase begins (at or before ``time``
-        if the light is green now)."""
+        if the light is green now).
+
+        Units: time [s] -> [s]
+        """
         if time < self.offset:
             return self.offset
         phase = (time - self.offset) % self.cycle
@@ -107,7 +120,10 @@ class TrafficLight:
         return cycle_start + self.cycle
 
     def green_end_after(self, green_start: float) -> float:
-        """The end of the green phase starting at ``green_start``."""
+        """The end of the green phase starting at ``green_start``.
+
+        Units: green_start [s] -> [s]
+        """
         return green_start + self.green
 
 
@@ -129,19 +145,28 @@ class SignalizedSafetyModel(LeftTurnSafetyModel):
     def oncoming_window(
         self, estimates: Mapping[int, FusedEstimate]
     ) -> Interval:
-        """The next red interval — no estimates involved."""
+        """The next red interval — no estimates involved.
+
+        Units: -> [s]
+        """
         del estimates
         return self.light.next_red_interval(self._now)
 
     # LeftTurnSafetyModel's predicates pass `time` positionally into the
     # window computation via instance state: stash it per evaluation.
     def in_estimated_unsafe_set(self, time, ego, estimates):
-        """Eq. (6) against the red-phase window."""
+        """Eq. (6) against the red-phase window.
+
+        Units: time [s]
+        """
         object.__setattr__(self, "_now", time)
         return super().in_estimated_unsafe_set(time, ego, estimates)
 
     def in_boundary_safe_set(self, time, ego, estimates):
-        """Eq. (3) against the red-phase window."""
+        """Eq. (3) against the red-phase window.
+
+        Units: time [s]
+        """
         object.__setattr__(self, "_now", time)
         return super().in_boundary_safe_set(time, ego, estimates)
 

@@ -105,12 +105,17 @@ class Sensor:
         return list(self._history)
 
     def is_sample_time(self, time: float, tol: float = 1e-9) -> bool:
-        """Whether ``time`` falls on the sensing schedule."""
+        """Whether ``time`` falls on the sensing schedule.
+
+        Units: time [s]
+        """
         ratio = time / self._period
         return abs(ratio - round(ratio)) <= tol * max(1.0, abs(ratio))
 
     def measure(self, time: float, true_state: VehicleState) -> SensorReading:
         """Take a measurement of ``true_state`` at ``time``.
+
+        Units: time [s]
 
         The caller (the simulation engine) is responsible for calling this
         only at schedule instants; the sensor itself just perturbs and

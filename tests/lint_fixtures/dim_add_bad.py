@@ -1,0 +1,9 @@
+"""Bad fixture for SFL100: adds a position to a velocity."""
+
+
+def drift_total(position: float, velocity: float) -> float:
+    """Meaningless sum of unlike physical quantities.
+
+    Units: position [m], velocity [m/s]
+    """
+    return position + velocity

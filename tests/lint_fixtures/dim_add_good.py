@@ -1,0 +1,9 @@
+"""Good fixture for SFL100: only like dimensions are added."""
+
+
+def shifted_position(position: float, velocity: float, dt: float) -> float:
+    """Kinematic advance; the product restores the dimension first.
+
+    Units: position [m], velocity [m/s], dt [s] -> [m]
+    """
+    return position + velocity * dt

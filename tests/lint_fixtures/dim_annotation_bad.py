@@ -1,0 +1,9 @@
+"""Bad fixture for SFL104: a ``Units:`` directive that does not parse."""
+
+
+def clearance(distance: float) -> float:
+    """Front-line clearance.
+
+    Units: distance [meters]
+    """
+    return distance

@@ -1,0 +1,9 @@
+"""Good fixture for SFL104: the ``Units:`` directive follows the grammar."""
+
+
+def clearance(distance: float) -> float:
+    """Front-line clearance.
+
+    Units: distance [m] -> [m]
+    """
+    return distance

@@ -1,0 +1,17 @@
+"""Bad fixture for SFL102: passes a duration where a speed is expected."""
+
+
+def braking_distance(velocity: float, decel: float) -> float:
+    """Stopping distance from ``velocity`` under constant ``decel``.
+
+    Units: velocity [m/s], decel [m/s^2] -> [m]
+    """
+    return 0.5 * velocity * velocity / decel
+
+
+def margin_after(dt: float) -> float:
+    """Passes the control period as if it were a speed.
+
+    Units: dt [s] -> [m]
+    """
+    return braking_distance(dt, 3.0)

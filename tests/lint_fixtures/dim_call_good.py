@@ -1,0 +1,17 @@
+"""Good fixture for SFL102: arguments match the declared parameter units."""
+
+
+def braking_distance(velocity: float, decel: float) -> float:
+    """Stopping distance from ``velocity`` under constant ``decel``.
+
+    Units: velocity [m/s], decel [m/s^2] -> [m]
+    """
+    return 0.5 * velocity * velocity / decel
+
+
+def margin_after(velocity: float) -> float:
+    """Passes a genuine speed.
+
+    Units: velocity [m/s] -> [m]
+    """
+    return braking_distance(velocity, 3.0)

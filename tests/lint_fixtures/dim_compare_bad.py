@@ -1,0 +1,9 @@
+"""Bad fixture for SFL101: orders a position against a velocity."""
+
+
+def past_the_line(position: float, velocity: float) -> bool:
+    """Compares quantities with different dimensions.
+
+    Units: position [m], velocity [m/s]
+    """
+    return position > velocity

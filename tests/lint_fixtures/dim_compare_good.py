@@ -1,0 +1,9 @@
+"""Good fixture for SFL101: comparisons stay within one dimension."""
+
+
+def past_the_line(position: float, p_front: float) -> bool:
+    """Both sides of the comparison are positions.
+
+    Units: position [m], p_front [m]
+    """
+    return position > p_front

@@ -1,0 +1,6 @@
+"""Bad fixture for SFL105: physical parameters without unit declarations."""
+
+
+def advance(position, velocity, dt):
+    """Kinematic step with no machine-checkable units."""
+    return position + velocity * dt

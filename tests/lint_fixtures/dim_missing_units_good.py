@@ -1,0 +1,9 @@
+"""Good fixture for SFL105: every physical parameter declares its unit."""
+
+
+def advance(position, velocity, dt):
+    """Kinematic step.
+
+    Units: position [m], velocity [m/s], dt [s] -> [m]
+    """
+    return position + velocity * dt

@@ -1,0 +1,9 @@
+"""Bad fixture for SFL103: returns m^2/s^3 from a function declared [s]."""
+
+
+def stopping_time(velocity: float, decel: float) -> float:
+    """Multiplies where it should divide.
+
+    Units: velocity [m/s], decel [m/s^2] -> [s]
+    """
+    return velocity * decel

@@ -1,0 +1,9 @@
+"""Good fixture for SFL103: the returned expression matches the declaration."""
+
+
+def stopping_time(velocity: float, decel: float) -> float:
+    """``v / a`` is a duration.
+
+    Units: velocity [m/s], decel [m/s^2] -> [s]
+    """
+    return velocity / decel

@@ -231,3 +231,47 @@ class TestProperties:
         assert iv.shift(offset).width == pytest.approx(
             iv.width, abs=tolerance
         )
+
+
+class TestEdgeCases:
+    """Degenerate and infinite inputs the safety algebra relies on."""
+
+    def test_empty_absorbs_chained_intersections(self):
+        chain = (
+            Interval(0.0, 10.0)
+            .intersect(Interval.EMPTY)
+            .intersect(Interval(2.0, 8.0))
+            .intersect(Interval.unbounded())
+        )
+        assert chain.is_empty
+        assert chain == Interval.EMPTY
+
+    def test_disjoint_intersection_stays_empty_downstream(self):
+        chain = Interval(0.0, 1.0).intersect(Interval(2.0, 3.0))
+        assert chain == Interval.EMPTY
+        assert chain.intersect(Interval(0.0, 3.0)) == Interval.EMPTY
+
+    def test_infinite_endpoints_through_hull(self):
+        left = Interval(-math.inf, 0.0)
+        right = Interval(5.0, math.inf)
+        hull = left.hull(right)
+        assert hull == Interval.unbounded()
+        assert hull.width == math.inf
+
+    def test_hull_with_empty_is_identity(self):
+        iv = Interval(-math.inf, 3.0)
+        assert iv.hull(Interval.EMPTY) == iv
+        assert Interval.EMPTY.hull(iv) == iv
+
+    def test_width_of_half_infinite_intervals(self):
+        assert Interval(-math.inf, 0.0).width == math.inf
+        assert Interval(0.0, math.inf).width == math.inf
+        assert Interval.EMPTY.width == 0.0
+
+    def test_degenerate_point_interval_membership(self):
+        pt = Interval.point(4.0)
+        assert pt.is_point
+        assert pt.width == 0.0
+        assert pt.overlaps(Interval(4.0, 9.0))
+        assert not pt.overlaps(Interval(4.5, 9.0))
+        assert pt.intersect(Interval(0.0, 4.0)) == pt

@@ -48,7 +48,7 @@ def test_gate_exercises_every_rule_scope():
     config = (
         load_project_config(PYPROJECT) if PYPROJECT.is_file() else LintConfig()
     )
-    for scope in ("critical", "sim", "math", "planner", "units"):
+    for scope in ("critical", "sim", "math", "planner", "units", "dim"):
         for prefix in config.packages_for(scope):
             package_dir = SRC / Path(*prefix.split("."))
             assert package_dir.is_dir(), (

@@ -26,6 +26,12 @@ RULE_FIXTURES = {
     "SFL008": ("units_docstring", "repro.dynamics.fixture"),
     "SFL009": ("no_dynamic_code", "repro.analysis.fixture"),
     "SFL010": ("silent_except", "repro.analysis.fixture"),
+    "SFL100": ("dim_add", "repro.dynamics.fixture"),
+    "SFL101": ("dim_compare", "repro.dynamics.fixture"),
+    "SFL102": ("dim_call", "repro.dynamics.fixture"),
+    "SFL103": ("dim_return", "repro.dynamics.fixture"),
+    "SFL104": ("dim_annotation", "repro.dynamics.fixture"),
+    "SFL105": ("dim_missing_units", "repro.dynamics.fixture"),
 }
 
 

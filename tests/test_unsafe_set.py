@@ -223,3 +223,37 @@ class TestSafetyModel:
                 dt_c=DT,
                 oncoming_index=0,
             )
+
+
+class TestDegenerateWindows:
+    """Degenerate ``[x, x]`` occupancy windows in set membership."""
+
+    def test_ego_window_at_back_line_is_a_point(self):
+        # An ego crossing the back line at speed occupies the area for
+        # one instant: the projected window is the degenerate [t, t].
+        window = ego_passing_window(3.0, GEOMETRY.p_back, 5.0, GEOMETRY)
+        assert window.is_point
+        assert window.lo == window.hi == 3.0
+        # Closed-interval semantics: that instant still counts.
+        assert window.overlaps(Interval(2.0, 4.0))
+        assert not window.overlaps(Interval(3.5, 4.0))
+
+    def test_unsafe_membership_with_point_ego_window(self):
+        # Exactly at the back line the slack is zero, so the degenerate
+        # window never puts the ego in the *unsafe* set on its own.
+        time = 3.0
+        ego = VehicleState(position=GEOMETRY.p_back, velocity=5.0)
+        estimates = _oncoming_estimate(time, 60.0, -10.0)
+        assert not _model().in_estimated_unsafe_set(time, ego, estimates)
+
+    def test_boundary_membership_with_point_ego_window(self):
+        # ...but the boundary set stays engaged while the conflict
+        # window is open: the committed branch must not be fooled by a
+        # zero-width projected occupancy.
+        time = 3.0
+        ego = VehicleState(position=GEOMETRY.p_back, velocity=5.0)
+        estimates = _oncoming_estimate(time, 60.0, -10.0)
+        model = _model()
+        oncoming = model.oncoming_window(estimates)
+        assert oncoming.hi > time  # the conflict is genuinely ahead
+        assert model.in_boundary_safe_set(time, ego, estimates)
