@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim ruff mypy precommit test benchmarks baseline
+.PHONY: lint safelint safedim ruff mypy precommit test benchmarks chaos baseline
 
 lint: safelint ruff mypy
 
@@ -35,6 +35,15 @@ test:
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Chaos suite (~30 s): fault-model, fault-plan and crash-tolerance tests
+# plus the chaos certification benchmark (zero collisions for the
+# shielded planner across the fault grid, bit-identical parallel results
+# under injected worker crashes).  See docs/ROBUSTNESS.md.
+chaos:
+	$(PYTHON) -m pytest tests/test_comm_faults.py tests/test_fault_plan.py \
+		tests/test_parallel_faults.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_chaos.py --benchmark-only -q
 
 # Regenerate the safelint baseline (see docs/LINTING.md before using).
 baseline:

@@ -39,8 +39,18 @@ reproduction results.
 
 from repro.comm import (
     Channel,
+    ComposedFaults,
     DisturbanceModel,
+    Duplication,
+    FaultModel,
+    FixedDelay,
+    GaussianJitter,
+    GilbertElliottLoss,
+    IndependentLoss,
     Message,
+    NoFault,
+    UniformJitter,
+    compose,
     messages_delayed,
     messages_lost,
     no_disturbance,
@@ -79,11 +89,25 @@ from repro.planners import (
 )
 from repro.scenarios import LeftTurnScenario, Scenario
 from repro.sensing import NoiseBounds, Sensor
+
+# After planners/scenarios: repro.faults reaches back into repro.planners.
+from repro.faults import (
+    FaultPlan,
+    FaultyPlanner,
+    PlannerFault,
+    PlannerFaultKind,
+    SensorFault,
+    SensorFaultKind,
+    StepWindow,
+    WorkerChaosOnce,
+)
 from repro.sim import (
     AggregateStats,
+    BatchResult,
     BatchRunner,
     CommSetup,
     EstimatorKind,
+    FailureRecord,
     Outcome,
     ParallelBatchRunner,
     SimulationConfig,
@@ -104,6 +128,25 @@ __all__ = [
     "no_disturbance",
     "messages_delayed",
     "messages_lost",
+    "FaultModel",
+    "NoFault",
+    "IndependentLoss",
+    "GilbertElliottLoss",
+    "FixedDelay",
+    "UniformJitter",
+    "GaussianJitter",
+    "Duplication",
+    "ComposedFaults",
+    "compose",
+    # faults
+    "StepWindow",
+    "SensorFaultKind",
+    "SensorFault",
+    "PlannerFaultKind",
+    "PlannerFault",
+    "FaultPlan",
+    "FaultyPlanner",
+    "WorkerChaosOnce",
     # core
     "SafetyModel",
     "RuntimeMonitor",
@@ -144,6 +187,8 @@ __all__ = [
     "SimulationEngine",
     "BatchRunner",
     "ParallelBatchRunner",
+    "BatchResult",
+    "FailureRecord",
     "EstimatorKind",
     "Outcome",
     "SimulationResult",

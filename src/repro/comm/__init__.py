@@ -1,4 +1,4 @@
-"""V2V communication substrate: messages, disturbed channels, presets."""
+"""V2V communication substrate: messages, disturbed channels, fault models."""
 
 from repro.comm.message import Message
 from repro.comm.channel import Channel, ChannelStats
@@ -7,6 +7,19 @@ from repro.comm.disturbance import (
     messages_delayed,
     messages_lost,
     no_disturbance,
+)
+from repro.comm.faults import (
+    ComposedFaults,
+    Duplication,
+    FaultModel,
+    FaultProcess,
+    FixedDelay,
+    GaussianJitter,
+    GilbertElliottLoss,
+    IndependentLoss,
+    NoFault,
+    UniformJitter,
+    compose,
 )
 
 __all__ = [
@@ -17,4 +30,15 @@ __all__ = [
     "no_disturbance",
     "messages_delayed",
     "messages_lost",
+    "FaultModel",
+    "FaultProcess",
+    "NoFault",
+    "IndependentLoss",
+    "GilbertElliottLoss",
+    "FixedDelay",
+    "UniformJitter",
+    "GaussianJitter",
+    "Duplication",
+    "ComposedFaults",
+    "compose",
 ]

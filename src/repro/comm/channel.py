@@ -2,11 +2,18 @@
 
 A :class:`Channel` connects one broadcasting vehicle to the ego receiver.
 Every ``dt_m`` seconds the simulation engine offers the sender's exact
-state to the channel; the channel applies its
-:class:`~repro.comm.disturbance.DisturbanceModel` (drop, then fixed delay)
-and queues surviving messages for delivery.  The receiver polls
-:meth:`Channel.receive` each control step and gets every message whose
+state to the channel; the channel applies its fault pipeline (either a
+composable :class:`~repro.comm.faults.FaultModel` or the legacy
+:class:`~repro.comm.disturbance.DisturbanceModel`, which is converted to
+one) and queues the surviving copies for delivery.  The receiver polls
+:meth:`Channel.receive` each control step and gets every copy whose
 delivery time has passed, in delivery order.
+
+Under jitter a later-sent message can be delivered before an earlier one
+(out-of-order delivery), and under duplication one send produces several
+deliveries; the channel counts both (:class:`ChannelStats`) and the
+estimators are required to handle them (see
+:mod:`repro.filtering.replay`).
 
 The channel also keeps delivery statistics (:class:`ChannelStats`) used by
 tests and by the experiment reports.
@@ -20,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.comm.disturbance import DisturbanceModel, no_disturbance
+from repro.comm.faults import FaultModel
 from repro.comm.message import Message
 from repro.dynamics.state import VehicleState
 from repro.errors import ConfigurationError
@@ -31,18 +39,30 @@ __all__ = ["Channel", "ChannelStats"]
 
 @dataclass
 class ChannelStats:
-    """Counters of what happened on a channel during a simulation."""
+    """Counters of what happened on a channel during a simulation.
+
+    ``delivered`` counts delivered *copies* — under duplication it can
+    exceed ``sent - dropped``.  The conservation invariant is
+
+    ``in_flight = sent - dropped + duplicated - delivered >= 0``
+
+    which tests assert under every fault model.
+    """
 
     sent: int = 0
     dropped: int = 0
     delivered: int = 0
+    #: Extra copies created by duplication faults (0 without them).
+    duplicated: int = 0
+    #: Deliveries whose stamp was older than an already-delivered stamp.
+    out_of_order: int = 0
     #: Total delay accumulated over delivered messages (for the mean).
     total_delay: float = field(default=0.0, repr=False)
 
     @property
     def in_flight(self) -> int:
-        """Messages accepted but not yet delivered."""
-        return self.sent - self.dropped - self.delivered
+        """Copies accepted but not yet delivered (never negative)."""
+        return self.sent - self.dropped + self.duplicated - self.delivered
 
     @property
     def drop_rate(self) -> float:
@@ -53,7 +73,10 @@ class ChannelStats:
 
     @property
     def mean_delay(self) -> float:
-        """Mean delivery delay over delivered messages (0 if none)."""
+        """Mean delivery delay over delivered copies (0 if none).
+
+        Units: -> [s]
+        """
         if self.delivered == 0:
             return 0.0
         return self.total_delay / self.delivered
@@ -68,10 +91,14 @@ class Channel:
         Transmission period ``dt_m``: the sender broadcasts at
         ``t = 0, dt_m, 2*dt_m, ...``.
     disturbance:
-        Drop/delay model; defaults to perfect communication.
+        Legacy drop/delay preset; converted internally to a fault model.
+        Mutually exclusive with ``faults``.
     rng:
-        Stream used for drop decisions.  Required whenever the
-        disturbance has ``0 < p_d < 1``.
+        Stream used for stochastic fault decisions.  Required whenever
+        the effective fault model is stochastic.
+    faults:
+        Composable fault pipeline (see :mod:`repro.comm.faults`).
+        Mutually exclusive with ``disturbance``.
     """
 
     def __init__(
@@ -79,29 +106,49 @@ class Channel:
         period: float,
         disturbance: Optional[DisturbanceModel] = None,
         rng: Optional[RngStream] = None,
+        faults: Optional[FaultModel] = None,
     ) -> None:
         self._period = check_positive(period, "period")
-        self._disturbance = disturbance if disturbance is not None else no_disturbance()
-        needs_rng = 0.0 < self._disturbance.drop_probability < 1.0
-        if needs_rng and rng is None:
+        if faults is not None and disturbance is not None:
             raise ConfigurationError(
-                "a Channel with probabilistic drops requires an rng stream"
+                "pass either 'disturbance' or 'faults' to Channel, not both"
+            )
+        if faults is not None:
+            self._disturbance: Optional[DisturbanceModel] = None
+            self._faults = faults
+        else:
+            self._disturbance = (
+                disturbance if disturbance is not None else no_disturbance()
+            )
+            self._faults = self._disturbance.as_fault_model()
+        if self._faults.is_stochastic and rng is None:
+            raise ConfigurationError(
+                "a Channel with a stochastic fault model requires an rng stream"
             )
         self._rng = rng
+        self._process = self._faults.start()
         self._queue: List[Tuple[float, int, Message]] = []
         self._tiebreak = itertools.count()
         self._stats = ChannelStats()
-        self._next_send_index = 0
+        self._newest_delivered_stamp = float("-inf")
 
     @property
     def period(self) -> float:
-        """Transmission period ``dt_m``."""
+        """Transmission period ``dt_m``.
+
+        Units: -> [s]
+        """
         return self._period
 
     @property
-    def disturbance(self) -> DisturbanceModel:
-        """The channel's disturbance model."""
+    def disturbance(self) -> Optional[DisturbanceModel]:
+        """The legacy disturbance preset, or ``None`` under a fault model."""
         return self._disturbance
+
+    @property
+    def faults(self) -> FaultModel:
+        """The effective fault model (presets are converted to one)."""
+        return self._faults
 
     @property
     def stats(self) -> ChannelStats:
@@ -114,6 +161,8 @@ class Channel:
     def is_transmission_time(self, time: float, tol: float = 1e-9) -> bool:
         """Whether ``time`` falls on the broadcast schedule.
 
+        Units: time [s], tol [1]
+
         The engine drives the schedule by control-step index, so this is a
         convenience mainly for tests and standalone use.
         """
@@ -123,50 +172,66 @@ class Channel:
     def send(self, sender: int, time: float, state: VehicleState) -> bool:
         """Offer a broadcast to the channel.
 
-        Applies the drop decision; surviving messages are queued for
-        delivery at ``time + dt_d``.
+        Units: time [s]
+
+        Runs the fault pipeline on the message; every surviving copy is
+        queued for delivery at ``time`` plus its (non-negative) delay
+        offset.  Copies queued by the same or earlier sends always rank
+        before later sends at equal delivery times (stable send-order
+        tie-breaking).
 
         Returns
         -------
         bool
-            ``True`` if the message was accepted (will eventually be
-            delivered), ``False`` if it was dropped.
+            ``True`` if at least one copy was accepted (will eventually
+            be delivered), ``False`` if the message was dropped.
         """
         self._stats.sent += 1
-        if self._disturbance.always_drops:
+        offsets = self._process.transform([0.0], self._rng)
+        if not offsets:
             self._stats.dropped += 1
             return False
-        if self._disturbance.drop_probability > 0.0:
-            assert self._rng is not None  # enforced in __init__
-            if self._disturbance.is_dropped(self._rng):
-                self._stats.dropped += 1
-                return False
+        if len(offsets) > 1:
+            self._stats.duplicated += len(offsets) - 1
         message = Message(sender=sender, stamp=float(time), state=state)
-        delivery_time = float(time) + self._disturbance.delivery_delay()
-        heapq.heappush(
-            self._queue, (delivery_time, next(self._tiebreak), message)
-        )
+        for offset in offsets:
+            delivery_time = float(time) + max(0.0, offset)
+            heapq.heappush(
+                self._queue, (delivery_time, next(self._tiebreak), message)
+            )
         return True
 
     # ------------------------------------------------------------------
     # Receiver side
     # ------------------------------------------------------------------
     def receive(self, now: float) -> List[Message]:
-        """Pop every message whose delivery time is at or before ``now``.
+        """Pop every copy whose delivery time is at or before ``now``.
 
-        Messages are returned in delivery order (FIFO among equal delivery
-        times).
+        Units: now [s]
+
+        Copies are returned in delivery order; at equal delivery times
+        the send order breaks the tie (the heap entries carry a
+        monotonically increasing send counter).  A returned message whose
+        stamp is older than a previously returned stamp is counted in
+        :attr:`ChannelStats.out_of_order`.
         """
         delivered: List[Message] = []
         while self._queue and self._queue[0][0] <= float(now) + 1e-12:
             delivery_time, _, message = heapq.heappop(self._queue)
             self._stats.delivered += 1
             self._stats.total_delay += delivery_time - message.stamp
+            if message.stamp < self._newest_delivered_stamp:
+                self._stats.out_of_order += 1
+            else:
+                self._newest_delivered_stamp = message.stamp
             delivered.append(message)
         return delivered
 
     def peek_next_delivery(self) -> Optional[float]:
-        """Delivery time of the next queued message, or ``None``."""
+        """Delivery time of the next queued copy, or ``None``.
+
+        Units: -> [s]
+        """
         if not self._queue:
             return None
         return self._queue[0][0]

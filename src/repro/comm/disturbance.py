@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.faults import FaultModel, FixedDelay, IndependentLoss, NoFault, compose
 from repro.utils.rng import RngStream
 from repro.utils.validation import check_nonnegative, check_probability
 
@@ -66,8 +67,29 @@ class DisturbanceModel:
         return rng.bernoulli(self.drop_probability)
 
     def delivery_delay(self) -> float:
-        """Delay applied to a message that survives the drop decision."""
+        """Delay applied to a message that survives the drop decision.
+
+        Units: -> [s]
+        """
         return self.delay
+
+    def as_fault_model(self) -> FaultModel:
+        """This preset expressed in the composable fault-model algebra.
+
+        The paper's three settings are trivial instances of
+        :mod:`repro.comm.faults`: independent loss composed with a fixed
+        delay.  The channel performs this conversion internally, so the
+        legacy ``DisturbanceModel`` API and the fault-model API draw
+        identical random sequences for identical seeds.
+        """
+        if self.delay == 0.0 and self.drop_probability == 0.0:
+            return NoFault()
+        stages = []
+        if self.drop_probability > 0.0:
+            stages.append(IndependentLoss(self.drop_probability))
+        if self.delay > 0.0:
+            stages.append(FixedDelay(self.delay))
+        return compose(*stages)
 
     def describe(self) -> str:
         """Human-readable one-line description (used in reports)."""

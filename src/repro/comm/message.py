@@ -44,11 +44,30 @@ class Message:
             raise ConfigurationError(
                 f"Message.sender must be >= 0, got {self.sender}"
             )
-        if math.isnan(float(self.stamp)):
-            raise ConfigurationError("Message.stamp must not be NaN")
+        stamp = float(self.stamp)
+        if math.isnan(stamp) or math.isinf(stamp):
+            raise ConfigurationError(
+                f"Message.stamp must be finite, got {self.stamp!r}"
+            )
+        if stamp < 0.0:
+            raise ConfigurationError(
+                f"Message.stamp must be >= 0 (simulation starts at t=0), "
+                f"got {self.stamp!r}"
+            )
+        # The filter replays message content as *exact* state; a corrupted
+        # payload must fail here, not propagate into the safety argument.
+        for name in ("position", "velocity", "acceleration"):
+            value = float(getattr(self.state, name))
+            if not math.isfinite(value):
+                raise ConfigurationError(
+                    f"Message.state.{name} must be finite, got {value!r}"
+                )
 
     def age(self, now: float) -> float:
-        """Seconds elapsed since the message content was sampled."""
+        """Seconds elapsed since the message content was sampled.
+
+        Units: now [s] -> [s]
+        """
         return float(now) - self.stamp
 
     def __str__(self) -> str:

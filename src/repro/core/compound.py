@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.core.monitor import MonitorDecision, RuntimeMonitor
 from repro.dynamics.vehicle import VehicleLimits
+from repro.errors import PlannerError
 from repro.planners.base import Planner, PlanningContext, clipped
 
 __all__ = ["CompoundPlanner"]
@@ -57,6 +58,7 @@ class CompoundPlanner:
         self._monitor = monitor
         self._limits = limits
         self._last_decision: Optional[MonitorDecision] = None
+        self._embedded_failures = 0
 
     # ------------------------------------------------------------------
     # Accessors
@@ -86,20 +88,40 @@ class CompoundPlanner:
         """Fraction of steps commanded by the emergency planner."""
         return self._monitor.emergency_frequency
 
+    @property
+    def embedded_failures(self) -> int:
+        """Steps where the embedded planner raised and was contained."""
+        return self._embedded_failures
+
     # ------------------------------------------------------------------
     # Planner protocol
     # ------------------------------------------------------------------
     def plan(self, context: PlanningContext) -> float:
-        """One monitored control step."""
+        """One monitored control step.
+
+        A raising embedded planner is contained: the monitor only ever
+        admits states from which the emergency planner keeps the system
+        safe forever (the Eq. (4) induction), so when the embedded
+        planner fails — a genuine :class:`~repro.errors.PlannerError` or
+        an injected :class:`~repro.errors.PlannerFaultError` — the step
+        falls back to the emergency command without voiding the theorem.
+        """
         decision = self._monitor.evaluate(context)
         self._last_decision = decision
         if decision.use_emergency:
             command = self._emergency.plan(context)
         else:
-            command = self._nn.plan(context)
+            try:
+                command = self._nn.plan(context)
+            except PlannerError:
+                self._embedded_failures += 1
+                command = self._emergency.plan(context)
         return clipped(command, self._limits)
 
     def reset(self) -> None:
         """Clear per-run telemetry (engine calls this between runs)."""
         self._monitor.reset()
         self._last_decision = None
+        self._embedded_failures = 0
+        if hasattr(self._nn, "reset"):
+            self._nn.reset()

@@ -41,6 +41,21 @@ class PlannerError(ReproError):
     """A planner failed to produce a usable control decision."""
 
 
+class PlannerFaultError(PlannerError):
+    """An *injected* planner failure (see :mod:`repro.faults`).
+
+    Raised by fault-injection wrappers to emulate a crashing planner
+    process.  It derives from :class:`PlannerError` so the compound
+    planner's containment path (fall back to the emergency planner)
+    catches it like any genuine planner failure, while chaos tests can
+    still distinguish injected faults from real ones.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is inconsistent or was applied to an unsupported hook."""
+
+
 class TrainingError(ReproError):
     """Neural-network training could not complete."""
 

@@ -3,12 +3,20 @@
 from repro.sim.clock import MultiRateClock
 from repro.sim.engine import CommSetup, SimulationConfig, SimulationEngine
 from repro.sim.evaluation import Outcome, eta
-from repro.sim.results import AggregateStats, SimulationResult, winning_percentage
+from repro.sim.results import (
+    AggregateStats,
+    BatchResult,
+    FailureRecord,
+    SimulationResult,
+    winning_percentage,
+)
 from repro.sim.runner import BatchRunner, EstimatorKind, PlannerFactory
 from repro.sim.parallel import ParallelBatchRunner
 
 __all__ = [
     "ParallelBatchRunner",
+    "BatchResult",
+    "FailureRecord",
     "MultiRateClock",
     "CommSetup",
     "SimulationConfig",

@@ -32,12 +32,14 @@ from typing import Callable, Dict, Optional
 
 from repro.comm.channel import Channel
 from repro.comm.disturbance import DisturbanceModel, no_disturbance
+from repro.comm.faults import FaultModel
 from repro.dynamics.state import SystemState, VehicleState
 from repro.dynamics.trajectory import Trajectory
 from repro.dynamics.vehicle import VehicleModel
 from repro.errors import SafetyViolationError, SimulationError
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.filtering.info_filter import EstimateProvider
-from repro.planners.base import Planner, PlanningContext
+from repro.planners.base import Planner, PlanningContext, clipped
 from repro.scenarios.base import Scenario
 from repro.sensing.noise import NoiseBounds
 from repro.sensing.sensor import Sensor
@@ -62,15 +64,23 @@ class CommSetup:
         Transmission and sensing periods (multiples of the control
         period; the paper sets ``dt_m = dt_s``).
     disturbance:
-        The channel's drop/delay model.
+        The channel's drop/delay model (the paper's presets).
     sensor_bounds:
         Uniform noise bounds of the onboard sensor.
+    faults:
+        Optional composable channel fault model
+        (:mod:`repro.comm.faults`); when set it *replaces* the
+        ``disturbance`` preset on every channel (burst loss, jitter,
+        duplication, and compositions thereof).
+
+    Units: dt_m [s], dt_s [s]
     """
 
     dt_m: float
     dt_s: float
     disturbance: DisturbanceModel
     sensor_bounds: NoiseBounds
+    faults: Optional[FaultModel] = None
 
     @classmethod
     def perfect(cls, dt_m: float = 0.1) -> "CommSetup":
@@ -99,11 +109,18 @@ class SimulationConfig:
         bug, not a data point.
     record_trajectories:
         Disable to save memory in very large batches.
+    fault_plan:
+        Optional engine-level fault schedule (:mod:`repro.faults`);
+        ``None`` (the default) injects nothing and leaves runs
+        byte-identical to the pre-fault engine.
+
+    Units: max_time [s]
     """
 
     max_time: float = 30.0
     strict_safety: bool = False
     record_trajectories: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         check_positive(self.max_time, "max_time")
@@ -138,6 +155,11 @@ class SimulationEngine:
         return self._comm
 
     @property
+    def config(self) -> SimulationConfig:
+        """The engine-level configuration."""
+        return self._config
+
+    @property
     def clock(self) -> MultiRateClock:
         """The multi-rate schedule."""
         return self._clock
@@ -170,21 +192,37 @@ class SimulationEngine:
         n = scenario.n_vehicles
         others = range(1, n)
 
-        init_rng, profile_rng, channel_rng, sensor_rng = rng.spawn(4)
+        # Child 4 feeds fault-plan activation; spawning it unconditionally
+        # keeps children 0-3 (and so every fault-free run) byte-identical
+        # to the pre-fault engine.
+        init_rng, profile_rng, channel_rng, sensor_rng, fault_rng = rng.spawn(5)
         profile_streams = profile_rng.spawn(n)
         channel_streams = channel_rng.spawn(n)
         sensor_streams = sensor_rng.spawn(n)
 
         state = scenario.initial_state(init_rng)
         profiles = {i: scenario.profile_for(i, profile_streams[i]) for i in others}
-        channels = {
-            i: Channel(
-                period=self._comm.dt_m,
-                disturbance=self._comm.disturbance,
-                rng=channel_streams[i],
-            )
-            for i in others
-        }
+        if self._comm.faults is not None:
+            channels = {
+                i: Channel(
+                    period=self._comm.dt_m,
+                    rng=channel_streams[i],
+                    faults=self._comm.faults,
+                )
+                for i in others
+            }
+        else:
+            channels = {
+                i: Channel(
+                    period=self._comm.dt_m,
+                    disturbance=self._comm.disturbance,
+                    rng=channel_streams[i],
+                )
+                for i in others
+            }
+        injector: Optional[FaultInjector] = None
+        if self._config.fault_plan is not None and not self._config.fault_plan.is_empty:
+            injector = self._config.fault_plan.compile(fault_rng)
         sensors = {
             i: Sensor(
                 target=i,
@@ -224,10 +262,17 @@ class SimulationEngine:
                 commands[i] = profiles[i](step, t, state.vehicle(i))
                 stamped[i] = state.vehicle(i).with_acceleration(commands[i])
 
-            # 2-4. Sensing, transmission, delivery.
+            # 2-4. Sensing, transmission, delivery.  Faulted sensors still
+            # draw their noise (the reading is taken, then filtered), so a
+            # dropout never shifts the random sequence of later readings.
             if self._clock.is_sensor_step(step):
                 for i in others:
                     reading = sensors[i].measure(t, stamped[i])
+                    if injector is not None:
+                        faulted = injector.apply_sensor(step, i, reading)
+                        if faulted is None:
+                            continue
+                        reading = faulted
                     estimators[i].on_sensor_reading(reading)
             if self._clock.is_message_step(step):
                 for i in others:
@@ -258,9 +303,21 @@ class SimulationEngine:
             # 6. Plan.
             estimates = {i: estimators[i].estimate(t) for i in others}
             context = PlanningContext(time=t, ego=state.ego, estimates=estimates)
-            ego_command = planner.plan(context)
+            if injector is not None:
+                ego_command, planner_called = injector.plan(
+                    step, planner, context, scenario.vehicle_limits(0)
+                )
+                # Injected NaN (and any out-of-range fault command) must
+                # not corrupt the dynamics: sanitise like the compound
+                # planner does.
+                ego_command = clipped(ego_command, scenario.vehicle_limits(0))
+            else:
+                ego_command = planner.plan(context)
+                planner_called = True
             planned_steps += 1
-            decision = getattr(planner, "last_decision", None)
+            decision = (
+                getattr(planner, "last_decision", None) if planner_called else None
+            )
             if decision is not None and decision.use_emergency:
                 emergency_steps += 1
 
@@ -291,6 +348,12 @@ class SimulationEngine:
             emergency_steps=emergency_steps,
             trajectories=trajectories,
             channel_stats={i: channels[i].stats for i in others},
+            sensor_faults_injected=(
+                0 if injector is None else injector.sensor_faults_injected
+            ),
+            planner_faults_injected=(
+                0 if injector is None else injector.planner_faults_injected
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -19,6 +19,8 @@ from repro.errors import SimulationError
 __all__ = [
     "Outcome",
     "SimulationResult",
+    "FailureRecord",
+    "BatchResult",
     "AggregateStats",
     "winning_percentage",
 ]
@@ -55,6 +57,9 @@ class SimulationResult:
         Per-vehicle trajectories, indexed like the scenario's vehicles.
     channel_stats:
         Per-sender message statistics (sent/dropped/delivered).
+    sensor_faults_injected, planner_faults_injected:
+        Fault-plan injection counters (0 unless the run had a
+        :class:`~repro.faults.plan.FaultPlan`).
     """
 
     outcome: Outcome
@@ -64,6 +69,8 @@ class SimulationResult:
     emergency_steps: int = 0
     trajectories: List[Trajectory] = field(default_factory=list)
     channel_stats: Dict[int, object] = field(default_factory=dict)
+    sensor_faults_injected: int = 0
+    planner_faults_injected: int = 0
 
     @property
     def eta(self) -> float:
@@ -89,6 +96,113 @@ class SimulationResult:
         if self.steps == 0:
             return 0.0
         return self.emergency_steps / self.steps
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Why one simulation of a batch produced no result.
+
+    Produced by the fault-tolerant batch runners when an episode is
+    irrecoverable after bounded retries; surviving episodes keep their
+    results instead of the whole batch raising.
+
+    Attributes
+    ----------
+    index:
+        Simulation index within the batch (its seed is child ``index``
+        of the batch seed, so the failure is exactly reproducible).
+    stage:
+        Where the failure surfaced: ``"simulation"`` (the engine or
+        planner raised), ``"worker"`` (the worker process died or its
+        result could not be transferred), or ``"timeout"`` (the
+        per-simulation time budget expired).
+    error_type:
+        Exception class name (or ``"TimeoutError"``).
+    message:
+        Stringified error detail.
+    attempts:
+        Total attempts made, including the first.
+    """
+
+    index: int
+    stage: str
+    error_type: str
+    message: str
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"sim {self.index}: {self.stage} failure after "
+            f"{self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a fault-tolerant batch: survivors plus failures.
+
+    ``results[k]`` is simulation ``k``'s result, or ``None`` when it
+    failed irrecoverably (then exactly one :class:`FailureRecord` with
+    ``index == k`` exists).  Indexing matches the seed derivation of the
+    sequential runner, so paired statistics over the *surviving* subset
+    remain exact between runners.
+    """
+
+    results: List[Optional[SimulationResult]]
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        failed = {f.index for f in self.failures}
+        for index in failed:
+            if not 0 <= index < len(self.results):
+                raise SimulationError(
+                    f"FailureRecord index {index} outside batch of "
+                    f"{len(self.results)}"
+                )
+        for k, result in enumerate(self.results):
+            if result is None and k not in failed:
+                raise SimulationError(
+                    f"simulation {k} has neither a result nor a failure record"
+                )
+        self.failures.sort(key=lambda f: f.index)
+
+    @property
+    def n_total(self) -> int:
+        """Batch size."""
+        return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        """Simulations without a result."""
+        return len(self.failures)
+
+    @property
+    def completed(self) -> List[SimulationResult]:
+        """Surviving results in simulation order."""
+        return [r for r in self.results if r is not None]
+
+    @property
+    def failed_indices(self) -> List[int]:
+        """Indices of failed simulations, ascending."""
+        return [f.index for f in self.failures]
+
+    def require_complete(self) -> List[SimulationResult]:
+        """All results, raising if any simulation failed.
+
+        The raised :class:`~repro.errors.SimulationError` summarises the
+        failure records; use :attr:`completed` / :attr:`failures` to
+        keep the surviving episodes instead.
+        """
+        if self.failures:
+            preview = "; ".join(str(f) for f in self.failures[:3])
+            more = (
+                "" if self.n_failed <= 3 else f" (+{self.n_failed - 3} more)"
+            )
+            raise SimulationError(
+                f"{self.n_failed}/{self.n_total} simulations failed: "
+                f"{preview}{more}"
+            )
+        return [r for r in self.results if r is not None]
 
 
 @dataclass(frozen=True)

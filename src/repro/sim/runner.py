@@ -20,7 +20,7 @@ from repro.filtering.info_filter import (
 )
 from repro.planners.base import Planner
 from repro.sim.engine import SimulationEngine
-from repro.sim.results import SimulationResult
+from repro.sim.results import BatchResult, FailureRecord, SimulationResult
 from repro.utils.rng import spawn_streams
 
 __all__ = ["EstimatorKind", "PlannerFactory", "make_estimator_factory", "BatchRunner"]
@@ -114,3 +114,35 @@ class BatchRunner:
             if progress is not None:
                 progress(i + 1, n_sims)
         return results
+
+    def run_batch_detailed(
+        self, planner: Planner, n_sims: int, seed: int = 0
+    ) -> BatchResult:
+        """Fault-tolerant batch: a failing episode becomes a record.
+
+        The reference semantics for the parallel runner's crash
+        tolerance: episode ``k`` either yields the identical result a
+        plain :meth:`run_batch` would produce, or a
+        :class:`~repro.sim.results.FailureRecord` at index ``k`` —
+        surviving episodes are never discarded because a sibling raised.
+        """
+        if n_sims <= 0:
+            raise ValueError(f"n_sims must be > 0, got {n_sims}")
+        results: List[Optional[SimulationResult]] = [None] * n_sims
+        failures: List[FailureRecord] = []
+        for i, stream in enumerate(spawn_streams(seed, n_sims)):
+            # Fault-tolerance boundary: any planner/engine blow-up is
+            # recorded (never swallowed) so sibling episodes survive.
+            try:
+                results[i] = self._engine.run(planner, self._factory, stream)
+            except Exception as exc:  # safelint: disable=SFL003 - recorded as FailureRecord
+                failures.append(
+                    FailureRecord(
+                        index=i,
+                        stage="simulation",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=1,
+                    )
+                )
+        return BatchResult(results=results, failures=failures)

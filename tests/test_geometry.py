@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.dynamics.state import VehicleState
@@ -209,6 +209,11 @@ class TestArrivalAgainstSimulation:
     )
     @settings(max_examples=25, deadline=None)
     def test_latest_matches_integration(self, distance, v0, decel):
+        # Exactly at the reach/no-reach boundary (stopping distance ==
+        # target distance) the dt=1e-3 integrator cannot resolve the
+        # outcome the closed form decides by sub-ulp margins; the
+        # property is only well-posed away from the knife edge.
+        assume(abs(v0 * v0 / (2.0 * -decel) - distance) > 0.01)
         closed = latest_arrival_time(distance, v0, 0.0, decel)
         simulated = self._simulated_arrival(distance, v0, decel)
         if closed == NEVER:
