@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim ruff mypy precommit test benchmarks chaos baseline
+.PHONY: lint safelint safedim ruff mypy precommit test benchmarks chaos campaign-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -43,7 +43,15 @@ benchmarks:
 chaos:
 	$(PYTHON) -m pytest tests/test_comm_faults.py tests/test_fault_plan.py \
 		tests/test_parallel_faults.py -q
-	$(PYTHON) -m pytest benchmarks/test_bench_chaos.py --benchmark-only -q
+	$(PYTHON) -m pytest benchmarks/test_bench_chaos.py \
+		benchmarks/test_bench_campaign.py --benchmark-only -q
+
+# Durability smoke (~20 s): runs a campaign, SIGKILLs it mid-run,
+# resumes, and requires the resumed aggregate.json to be byte-identical
+# to an uninterrupted reference — all through the repro-campaign CLI.
+# See the Durability section of docs/ROBUSTNESS.md.
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py
 
 # Regenerate the safelint baseline (see docs/LINTING.md before using).
 baseline:

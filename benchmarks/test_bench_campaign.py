@@ -1,0 +1,186 @@
+"""Benchmark: the chaos certification grid through the campaign layer.
+
+Ports the ``test_bench_chaos`` grid to durable campaigns: every fault
+cell becomes a declarative :class:`~repro.campaign.CampaignManifest`
+(channel fault stages, sensor dropout plan, shielded compound planner
+with embedded fault windows), executed chunk by chunk with journaling
+and atomic chunk snapshots.  Asserts the same zero-collision guarantee
+as the direct grid, that ``verify`` passes over every campaign
+directory, and that the chunked, journaled execution is **bit-identical**
+to the plain sequential runner on the same workload — the campaign
+machinery reorganises execution, never results.
+
+Run via ``make chaos``; scale with ``REPRO_BENCH_SIMS``.
+"""
+
+import pytest
+
+from repro.campaign import CampaignManifest, CampaignRunner, verify_campaign
+from repro.campaign.store import load_json
+from repro.scenarios.left_turn.scenario import LeftTurnScenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import BatchRunner, EstimatorKind
+from repro.sim.serialization import result_from_dict
+
+from conftest import BENCH_SIMS
+from test_bench_chaos import (
+    FAULT_GRID,
+    _comm,
+    _config,
+    _fingerprint,
+    _shielded_planner,
+)
+
+#: Episodes per grid cell; the cap certifies shape, not statistics.
+CAMPAIGN_SIMS = max(8, BENCH_SIMS // 10)
+
+#: The chaos FAULT_GRID cells as declarative manifest fault stages.
+CAMPAIGN_GRID = [
+    (
+        "burst loss",
+        [{"kind": "gilbert_elliott_loss", "p_enter_burst": 0.05, "p_exit_burst": 0.3}],
+    ),
+    (
+        "reordering jitter",
+        [{"kind": "uniform_jitter", "low": 0.0, "high": 0.35}],
+    ),
+    (
+        "jitter + duplication",
+        [
+            {"kind": "gaussian_jitter", "mean": 0.15, "std": 0.1, "high": 0.4},
+            {"kind": "duplication", "probability": 0.3, "lag": 0.05},
+        ],
+    ),
+    (
+        "comm storm",
+        [
+            {"kind": "gilbert_elliott_loss", "p_enter_burst": 0.1, "p_exit_burst": 0.3},
+            {"kind": "fixed_delay", "delay": 0.2},
+            {"kind": "uniform_jitter", "low": 0.0, "high": 0.3},
+            {"kind": "duplication", "probability": 0.2, "lag": 0.1},
+        ],
+    ),
+]
+
+#: The _shielded_planner / _covered_fault_plan workload, declaratively.
+PLANNER_SPEC = {
+    "kind": "compound",
+    "embedded": {
+        "kind": "constant",
+        "acceleration": 2.0,
+        "faults": [
+            {"window": [20, 35], "kind": "exception"},
+            {"window": [60, 75], "kind": "nan"},
+            {"window": [90, 100], "kind": "latency"},
+        ],
+    },
+}
+
+CONFIG_SPEC = {
+    "max_time": 10.0,
+    "fault_plan": {
+        "sensor_faults": [
+            {"window": [20, 120], "kind": "dropout", "probability": 0.5}
+        ]
+    },
+}
+
+
+def _cell_manifest(name, stages, seed=29):
+    return CampaignManifest(
+        name=f"chaos-{name.replace(' ', '-')}",
+        scenario={"kind": "left_turn"},
+        comm={"dt_m": 0.1, "dt_s": 0.1, "sensor_noise": 1.0, "faults": stages},
+        planner=PLANNER_SPEC,
+        config=CONFIG_SPEC,
+        n_sims=CAMPAIGN_SIMS,
+        seed=seed,
+        chunk_size=max(2, CAMPAIGN_SIMS // 4),
+    )
+
+
+def _run_campaign_grid(base_dir):
+    rows = []
+    for name, stages in CAMPAIGN_GRID:
+        manifest = _cell_manifest(name, stages)
+        directory = base_dir / manifest.name
+        report = CampaignRunner(manifest, directory, n_workers=1).run()
+        outcome = verify_campaign(directory)
+        rows.append(
+            {
+                "cell": name,
+                "report": report,
+                "verify": outcome,
+            }
+        )
+    return rows
+
+
+def _render(rows):
+    header = f"{'cell':<22}{'n':>5}{'safe':>7}{'chunks':>8}{'verify':>8}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        aggregate = row["report"].aggregate
+        lines.append(
+            f"{row['cell']:<22}{aggregate['n_runs']:>5}"
+            f"{aggregate['safe_rate']:>7.2f}"
+            f"{row['report'].completed_chunks:>8}"
+            f"{'ok' if row['verify']['ok'] else 'FAIL':>8}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_chaos_grid_zero_collisions(benchmark, run_once, tmp_path):
+    rows = run_once(benchmark, lambda: _run_campaign_grid(tmp_path))
+    print()
+    print(_render(rows))
+    for row in rows:
+        report = row["report"]
+        assert report.status == "completed"
+        assert report.n_failed == 0
+        assert report.aggregate["n_runs"] == CAMPAIGN_SIMS
+        assert report.aggregate["safe_rate"] == 1.0, (
+            f"collision under {row['cell']}"
+        )
+        assert row["verify"]["ok"], row["verify"]["problems"]
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_bit_identical_to_sequential(benchmark, run_once, tmp_path):
+    """Chunked, journaled execution == plain sequential batch, bitwise."""
+    name, stages = CAMPAIGN_GRID[-1]
+    manifest = _cell_manifest(name, stages, seed=31)
+    scenario = LeftTurnScenario()
+    _, faults = FAULT_GRID[-1]
+
+    def _both():
+        report = CampaignRunner(
+            manifest, tmp_path / "campaign", n_workers=1
+        ).run()
+        # Same workload straight through the sequential runner, using
+        # the chaos benchmark's own storm-cell construction.
+        sequential = BatchRunner(
+            SimulationEngine(scenario, _comm(faults), _config()),
+            EstimatorKind.FILTERED,
+        ).run_batch(
+            _shielded_planner(scenario), CAMPAIGN_SIMS, seed=31
+        )
+        return report, sequential
+
+    report, sequential = run_once(benchmark, _both)
+    assert report.status == "completed" and report.n_failed == 0
+
+    # Reload the campaign's per-index results from its chunk snapshots
+    # and compare simulation fingerprints one-for-one.
+    per_index = {}
+    for chunk in range(manifest.n_chunks):
+        snapshot = load_json(
+            tmp_path / "campaign" / "chunks" / f"chunk-{chunk:05d}.json"
+        )
+        for key, record in snapshot["results"].items():
+            per_index[int(key)] = result_from_dict(record)
+    campaign_results = [per_index[k] for k in range(CAMPAIGN_SIMS)]
+    assert [_fingerprint(r) for r in campaign_results] == [
+        _fingerprint(r) for r in sequential
+    ]

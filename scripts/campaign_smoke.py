@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""End-to-end durability smoke test for the campaign layer.
+
+Exercises the crash-recovery contract from the outside, through the
+``repro-campaign`` CLI only:
+
+1. run a small campaign uninterrupted (the reference),
+2. start the same campaign in a second directory and ``SIGKILL`` the
+   process the moment its first chunk is journaled,
+3. confirm the killed campaign is unfinished, resume it, and require
+   the resumed ``aggregate.json`` to be **byte-identical** to the
+   reference's,
+4. ``verify`` both directories,
+5. tamper with the killed campaign's manifest and require ``resume``
+   to refuse with the fingerprint-mismatch exit code.
+
+Run via ``make campaign-smoke``.  Exits 0 on success, 1 on any
+violated expectation.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CLI = [sys.executable, "-m", "repro.campaign"]
+
+#: Exit codes mirrored from repro.campaign.cli.
+EXIT_OK = 0
+EXIT_ERROR = 2
+
+#: How long to wait for the victim run's first journaled chunk.
+FIRST_CHUNK_TIMEOUT = 120.0
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _cli(*args, expect=EXIT_OK):
+    proc = subprocess.run(
+        CLI + list(args),
+        env=_env(),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != expect:
+        _fail(
+            f"repro-campaign {' '.join(args)} exited {proc.returncode}, "
+            f"expected {expect}\nstdout: {proc.stdout}\nstderr: {proc.stderr}"
+        )
+    return proc
+
+
+def _fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _write_manifest(path, n_sims):
+    manifest = {
+        "schema_version": "1.0",
+        "name": "durability-smoke",
+        "scenario": {"kind": "left_turn"},
+        "comm": {
+            "sensor_noise": 0.3,
+            "faults": [{"kind": "independent_loss", "probability": 0.2}],
+        },
+        "planner": {"kind": "constant", "acceleration": 2.0},
+        "config": {"max_time": 10.0},
+        "estimator": "filtered",
+        "n_sims": n_sims,
+        "seed": 42,
+        "chunk_size": max(2, n_sims // 8),
+    }
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return manifest
+
+
+def _kill_after_first_chunk(manifest_path, directory):
+    """Start a run and SIGKILL it once one chunk_completed is journaled."""
+    victim = subprocess.Popen(
+        CLI + ["run", "--manifest", str(manifest_path), "--dir", str(directory)],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    journal = directory / "journal.jsonl"
+    deadline = time.monotonic() + FIRST_CHUNK_TIMEOUT
+    try:
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                _fail(
+                    "victim run finished before it could be killed — "
+                    "increase --sims to slow it down"
+                )
+            if journal.exists() and b'"type":"chunk_completed"' in journal.read_bytes():
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+                return
+            time.sleep(0.002)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+    _fail("victim run never journaled a chunk_completed record")
+
+
+def _status(directory):
+    proc = _cli("status", "--dir", str(directory), "--json")
+    return json.loads(proc.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sims", type=int, default=24, help="episodes per campaign"
+    )
+    parser.add_argument(
+        "--workdir", help="keep artifacts here instead of a temp dir"
+    )
+    args = parser.parse_args()
+
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="campaign-smoke-"))
+        cleanup = True
+
+    try:
+        manifest_path = workdir / "manifest.json"
+        _write_manifest(manifest_path, args.sims)
+        reference = workdir / "reference"
+        crashed = workdir / "crashed"
+
+        print("1/5 reference run (uninterrupted)")
+        _cli("run", "--manifest", str(manifest_path), "--dir", str(reference))
+
+        print("2/5 victim run, SIGKILLed after its first journaled chunk")
+        _kill_after_first_chunk(manifest_path, crashed)
+        status = _status(crashed)
+        if status["finished"]:
+            _fail("killed campaign reports finished=True")
+        if status["completed_chunks"] >= status["n_chunks"]:
+            _fail("kill landed after every chunk completed; nothing to resume")
+        print(
+            f"    killed at {status['completed_chunks']}/"
+            f"{status['n_chunks']} chunks"
+        )
+
+        print("3/5 resume to completion")
+        _cli("resume", "--dir", str(crashed))
+
+        reference_bytes = (reference / "aggregate.json").read_bytes()
+        resumed_bytes = (crashed / "aggregate.json").read_bytes()
+        if reference_bytes != resumed_bytes:
+            _fail("resumed aggregate.json differs from the reference bytes")
+        if _status(reference)["fingerprint"] != _status(crashed)["fingerprint"]:
+            _fail("campaign fingerprints diverged")
+        print(
+            f"    aggregate bit-identical "
+            f"({len(resumed_bytes)} bytes, fingerprint "
+            f"{_status(crashed)['fingerprint'][:12]}...)"
+        )
+
+        print("4/5 verify both campaign directories")
+        _cli("verify", "--dir", str(reference))
+        _cli("verify", "--dir", str(crashed))
+
+        print("5/5 resume refuses a tampered manifest")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["seed"] += 1
+        (crashed / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+        proc = _cli("resume", "--dir", str(crashed), expect=EXIT_ERROR)
+        if "fingerprint" not in proc.stderr:
+            _fail(f"expected a fingerprint refusal, got: {proc.stderr}")
+
+        print("campaign smoke: OK")
+        return 0
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Durable, resumable simulation campaigns.
+
+A *campaign* is a batch workload (scenario + communication setup +
+planner + seed list) big enough that the process running it becomes the
+weakest link: a ``kill -9``, OOM, or reboot halfway through a 10k-seed
+certification sweep must not discard the completed chunks.  This package
+makes the batch layer durable:
+
+* :class:`CampaignManifest` — the declarative workload definition whose
+  canonical content hash *fingerprints* the campaign;
+* :mod:`repro.campaign.journal` — an append-only JSONL write-ahead
+  journal with per-record checksums and torn-tail recovery;
+* :mod:`repro.campaign.store` — atomic (tmp + fsync + rename) snapshots
+  of completed chunks;
+* :class:`CampaignRunner` — runs chunks through
+  :class:`~repro.sim.parallel.ParallelBatchRunner`, journals progress,
+  retries transient chunk failures with deterministic seeded backoff,
+  drains cleanly on SIGINT/SIGTERM, and resumes a killed campaign to
+  aggregate results **bit-identical** to an uninterrupted run.
+
+The ``repro-campaign`` console script (``run`` / ``resume`` / ``status``
+/ ``verify``) exposes the whole lifecycle; see ``docs/ROBUSTNESS.md``
+for the durability contract.
+"""
+
+from repro.campaign.backoff import BackoffPolicy
+from repro.campaign.journal import JournalWriter, read_journal, recover_journal
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    campaign_status,
+    verify_campaign,
+)
+from repro.campaign.store import atomic_write_json, load_json
+
+__all__ = [
+    "BackoffPolicy",
+    "CampaignManifest",
+    "CampaignReport",
+    "CampaignRunner",
+    "JournalWriter",
+    "atomic_write_json",
+    "campaign_status",
+    "load_json",
+    "read_journal",
+    "recover_journal",
+    "verify_campaign",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` — same entry point as ``repro-campaign``."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""``repro-campaign``: the durable campaign command line.
+
+Subcommands
+-----------
+
+``run``
+    Start a campaign from a manifest JSON file into a directory.
+``resume``
+    Continue a killed or drained campaign from its directory.
+``status``
+    Read-only progress summary (safe while a campaign is running).
+``verify``
+    Cross-check journal, chunk snapshots, and aggregate digests.
+
+Exit codes: 0 success; 1 verification found problems; 2 campaign error
+(bad manifest, fingerprint mismatch, corrupt journal); 3 the run was
+interrupted by SIGINT/SIGTERM after a clean drain (resume to continue).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.campaign.backoff import BackoffPolicy
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.runner import (
+    MANIFEST_FILE,
+    CampaignReport,
+    CampaignRunner,
+    campaign_status,
+    verify_campaign,
+)
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_VERIFY_FAILED = 1
+EXIT_ERROR = 2
+EXIT_INTERRUPTED = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-campaign`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Durable, resumable simulation campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start a campaign from a manifest")
+    run.add_argument("--manifest", required=True, help="manifest JSON file")
+    run.add_argument("--dir", required=True, help="campaign directory")
+    _add_exec_options(run)
+
+    resume = sub.add_parser("resume", help="continue a killed campaign")
+    resume.add_argument("--dir", required=True, help="campaign directory")
+    _add_exec_options(resume)
+
+    status = sub.add_parser("status", help="read-only progress summary")
+    status.add_argument("--dir", required=True, help="campaign directory")
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    verify = sub.add_parser("verify", help="cross-check campaign artifacts")
+    verify.add_argument("--dir", required=True, help="campaign directory")
+    verify.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    return parser
+
+
+def _add_exec_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers", type=int, default=1, help="worker processes per chunk"
+    )
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-index retry budget inside the batch layer",
+    )
+    sub.add_argument(
+        "--chunk-attempts",
+        type=int,
+        default=3,
+        help="full-chunk attempts for transient (worker/timeout) failures",
+    )
+
+
+def _runner(args: argparse.Namespace, manifest: CampaignManifest) -> CampaignRunner:
+    return CampaignRunner(
+        manifest,
+        args.dir,
+        n_workers=args.workers,
+        max_retries=args.max_retries,
+        backoff=BackoffPolicy(max_attempts=args.chunk_attempts),
+    )
+
+
+def _print_report(report: CampaignReport) -> None:
+    print(
+        f"campaign {report.fingerprint[:12]}...: {report.status} "
+        f"({report.completed_chunks}/{report.n_chunks} chunks, "
+        f"{report.chunks_run} run now)"
+    )
+    if report.status == "completed":
+        print(f"results digest: {report.results_digest}")
+        if report.n_failed:
+            print(f"failed simulations: {report.n_failed}")
+        if report.aggregate is not None:
+            for key in (
+                "n_runs",
+                "n_safe",
+                "safe_rate",
+                "mean_eta",
+                "mean_reaching_time",
+                "mean_emergency_frequency",
+            ):
+                print(f"  {key}: {report.aggregate.get(key)}")
+    else:
+        print("interrupted — resume with: repro-campaign resume --dir <dir>")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            manifest = CampaignManifest.load(args.manifest)
+            report = _runner(args, manifest).run()
+            _print_report(report)
+            return (
+                EXIT_OK if report.status == "completed" else EXIT_INTERRUPTED
+            )
+        if args.command == "resume":
+            manifest = CampaignManifest.load(f"{args.dir}/{MANIFEST_FILE}")
+            report = _runner(args, manifest).resume()
+            _print_report(report)
+            return (
+                EXIT_OK if report.status == "completed" else EXIT_INTERRUPTED
+            )
+        if args.command == "status":
+            summary = campaign_status(args.dir)
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                for key, value in summary.items():
+                    print(f"{key}: {value}")
+            return EXIT_OK
+        # verify
+        outcome = verify_campaign(args.dir)
+        if args.json:
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+        else:
+            state = "ok" if outcome["ok"] else "FAILED"
+            print(
+                f"verify {state}: {outcome['completed_chunks']}/"
+                f"{outcome['n_chunks']} chunks, "
+                f"finished={outcome['finished']}"
+            )
+            for problem in outcome["problems"]:
+                print(f"  problem: {problem}")
+        return EXIT_OK if outcome["ok"] else EXIT_VERIFY_FAILED
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Atomic JSON snapshots for campaign state.
+
+A chunk snapshot must never exist half-written: a resume that loads a
+partially flushed file would silently corrupt the aggregate.  The only
+portable way to get that guarantee on POSIX filesystems is the classic
+dance — write to a temporary file in the *same directory*, flush and
+fsync it, then :func:`os.replace` over the final name, and fsync the
+directory so the rename itself survives a power cut.  After
+:func:`atomic_write_json` returns, the target path holds either the old
+content or the complete new content, at every byte offset a crash can
+hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+from repro.errors import SerializationError
+from repro.sim.serialization import canonical_dumps
+
+__all__ = ["atomic_write_json", "load_json"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a directory entry (the rename) to stable storage.
+
+    Some filesystems (and all of Windows) refuse to open directories;
+    the rename is still atomic there, only its durability window grows.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(obj: object, path: Union[str, Path]) -> Path:
+    """Write ``obj`` as canonical JSON so the file is never half-written.
+
+    The write goes to a uniquely named temporary file next to ``path``
+    (same filesystem, so the final rename is atomic), is flushed and
+    fsynced, and then replaces ``path`` in one step.  Readers therefore
+    see the previous complete content or the new complete content,
+    never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = canonical_dumps(obj).encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:  # safelint: disable=SFL003 - cleanup-and-reraise; the temp file must not leak even on KeyboardInterrupt
+        tmp_path.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> object:
+    """Load a JSON document written by :func:`atomic_write_json`.
+
+    Raises :class:`~repro.errors.SerializationError` for a missing file
+    or invalid JSON — atomicity means a *present* file is complete, so
+    unparseable content indicates storage corruption, not a torn write.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no file at {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt JSON file {path}: {exc}") from exc

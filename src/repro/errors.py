@@ -72,6 +72,30 @@ class ScenarioError(ReproError):
     """A scenario definition is inconsistent (e.g. unsafe area reversed)."""
 
 
+class CampaignError(ReproError):
+    """A durable campaign could not be started, resumed, or verified."""
+
+
+class FingerprintMismatchError(CampaignError):
+    """The manifest on disk no longer matches the journaled fingerprint.
+
+    Resuming a campaign whose manifest changed would silently mix results
+    from two different workloads; the resume is refused instead.  Start a
+    fresh campaign directory for the new manifest.
+    """
+
+
+class JournalCorruptionError(CampaignError):
+    """The write-ahead journal is damaged beyond the torn-tail case.
+
+    A *torn tail* — a final record cut short by a crash mid-write — is
+    expected and silently truncated on resume.  Damage anywhere else
+    (checksum mismatch, out-of-sequence record, invalid JSON followed by
+    further records) means the file was edited or the storage corrupted,
+    and is surfaced instead of guessed around.
+    """
+
+
 class LintError(ReproError):
     """The safelint static-analysis pass could not run as configured.
 

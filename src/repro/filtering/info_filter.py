@@ -23,6 +23,8 @@ inconsistent).
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.comm.message import Message
@@ -37,7 +39,44 @@ from repro.sensing.noise import NoiseBounds
 from repro.sensing.sensor import SensorReading
 from repro.utils.intervals import Interval
 
-__all__ = ["EstimateProvider", "InformationFilter", "RawEstimator"]
+__all__ = [
+    "EstimateProvider",
+    "InformationFilter",
+    "RawEstimator",
+    "WatchdogStats",
+]
+
+#: Absolute innovation slack added to the watchdog gate so noiseless
+#: setups (R = 0, zero covariance, exact measurements) never trip on
+#: pure float roundoff.
+_WATCHDOG_SLACK = 1e-6
+
+
+@dataclass
+class WatchdogStats:
+    """Divergence-watchdog counters of one :class:`InformationFilter`.
+
+    Attributes
+    ----------
+    breaches:
+        Sensor updates whose innovation exceeded the N-sigma gate.
+    consecutive:
+        Current run of consecutive breaching updates (resets on the
+        first consistent update).
+    trips:
+        Times the run reached the trip threshold and the filter fell
+        back to the reachability-only band.
+    recoveries:
+        Times a consistent update ended a tripped state.
+    diverged:
+        Whether the fallback is currently engaged.
+    """
+
+    breaches: int = 0
+    consecutive: int = 0
+    trips: int = 0
+    recoveries: int = 0
+    diverged: bool = False
 
 
 class EstimateProvider(Protocol):
@@ -84,6 +123,20 @@ class InformationFilter:
         (3 by default).
     history_horizon:
         Replay memory horizon passed to :class:`ReplayKalmanFilter`.
+    watchdog_sigma:
+        Divergence gate: an innovation beyond ``watchdog_sigma`` standard
+        deviations of the innovation covariance counts as a breach.
+        ``None`` disables the watchdog.  The default (6) is deliberately
+        far outside the fusion band's 3-sigma, so a healthy filter under
+        nominal noise essentially never breaches.
+    watchdog_consecutive:
+        Consecutive breaching updates before the filter *trips*: its
+        Kalman band is considered untrustworthy and :meth:`estimate`
+        falls back to the guaranteed reachability-only band until a
+        consistent update recovers it.  Soundness never depended on the
+        Kalman band (the fusion intersects it with the guaranteed band);
+        the watchdog protects the *efficiency* claim from a silently
+        diverged filter steering the nominal estimate.
     """
 
     def __init__(
@@ -93,9 +146,19 @@ class InformationFilter:
         sensing_period: float,
         n_sigma: float = 3.0,
         history_horizon: float = 30.0,
+        watchdog_sigma: Optional[float] = 6.0,
+        watchdog_consecutive: int = 3,
     ) -> None:
         if n_sigma <= 0.0:
             raise FilterError(f"n_sigma must be > 0, got {n_sigma}")
+        if watchdog_sigma is not None and watchdog_sigma <= 0.0:
+            raise FilterError(
+                f"watchdog_sigma must be > 0 or None, got {watchdog_sigma}"
+            )
+        if watchdog_consecutive < 1:
+            raise FilterError(
+                f"watchdog_consecutive must be >= 1, got {watchdog_consecutive}"
+            )
         self._reach = ReachabilityAnalyzer(limits)
         self._replay = ReplayKalmanFilter(
             KalmanFilter(sensing_period, sensor_bounds),
@@ -103,6 +166,11 @@ class InformationFilter:
         )
         self._bounds = sensor_bounds
         self._n_sigma = float(n_sigma)
+        self._watchdog_sigma = (
+            None if watchdog_sigma is None else float(watchdog_sigma)
+        )
+        self._watchdog_consecutive = int(watchdog_consecutive)
+        self._watchdog = WatchdogStats()
         self._latest_message: Optional[Message] = None
         self._latest_reading: Optional[SensorReading] = None
 
@@ -110,7 +178,15 @@ class InformationFilter:
     # Ingest
     # ------------------------------------------------------------------
     def on_sensor_reading(self, reading: SensorReading) -> None:
-        """Feed a sensor reading to the replaying Kalman filter."""
+        """Feed a sensor reading to the replaying Kalman filter.
+
+        The divergence watchdog gates the reading's innovation against
+        the filter's own predicted uncertainty *before* the update; the
+        reading is always folded in regardless (the filter keeps
+        running), the gate only decides whether :meth:`estimate` still
+        trusts the Kalman band.
+        """
+        self._gate_innovation(reading)
         self._replay.on_sensor_reading(reading)
         self._latest_reading = reading
 
@@ -144,6 +220,63 @@ class InformationFilter:
         """The reachability analyzer (true physical limits)."""
         return self._reach
 
+    @property
+    def watchdog(self) -> WatchdogStats:
+        """Divergence-watchdog counters (live object, updated in place)."""
+        return self._watchdog
+
+    # ------------------------------------------------------------------
+    # Divergence watchdog
+    # ------------------------------------------------------------------
+    def _gate_innovation(self, reading: SensorReading) -> None:
+        """Classify one reading's innovation; never raises.
+
+        A breach means the measurement fell outside
+        ``watchdog_sigma * sqrt(P + R)`` (per channel, plus a small
+        absolute slack for noiseless setups) of the filter's own
+        prediction — the filter believes an uncertainty its measurements
+        contradict.  After ``watchdog_consecutive`` breaches in a row the
+        filter trips; one consistent reading recovers it.
+        """
+        if self._watchdog_sigma is None or not self._replay.is_initialized:
+            return
+        try:
+            predicted = self._replay.estimate_at(reading.time)
+        except FilterError:
+            # Non-advancing or pre-posterior reading: let the replay
+            # filter's own validation report it; the gate stays silent.
+            return
+        kalman = self._replay.kalman
+        r = kalman.r_matrix
+        p = predicted.covariance
+        gate_p = (
+            self._watchdog_sigma * math.sqrt(max(p[0, 0] + r[0, 0], 0.0))
+            + _WATCHDOG_SLACK
+        )
+        gate_v = (
+            self._watchdog_sigma * math.sqrt(max(p[1, 1] + r[1, 1], 0.0))
+            + _WATCHDOG_SLACK
+        )
+        breach = (
+            abs(reading.position - predicted.position) > gate_p
+            or abs(reading.velocity - predicted.velocity) > gate_v
+        )
+        stats = self._watchdog
+        if breach:
+            stats.breaches += 1
+            stats.consecutive += 1
+            if (
+                not stats.diverged
+                and stats.consecutive >= self._watchdog_consecutive
+            ):
+                stats.diverged = True
+                stats.trips += 1
+        else:
+            if stats.diverged:
+                stats.diverged = False
+                stats.recoveries += 1
+            stats.consecutive = 0
+
     # ------------------------------------------------------------------
     # Estimate
     # ------------------------------------------------------------------
@@ -162,7 +295,7 @@ class InformationFilter:
             else float(now) - self._latest_message.stamp
         )
 
-        if self._replay.is_initialized:
+        if self._replay.is_initialized and not self._watchdog.diverged:
             kf = self._replay.estimate_at(now)
             fused = fuse_bands(
                 guaranteed,
@@ -175,12 +308,15 @@ class InformationFilter:
                 acceleration=self._replay.current_accel,
             )
         else:
+            # Reachability-only: before the first sensor reading, or the
+            # watchdog tripped and the Kalman band is quarantined.
             fused = guaranteed
-            accel = (
-                self._latest_message.state.acceleration
-                if self._latest_message is not None
-                else 0.0
-            )
+            if self._replay.is_initialized:
+                accel = self._replay.current_accel
+            elif self._latest_message is not None:
+                accel = self._latest_message.state.acceleration
+            else:
+                accel = 0.0
             nominal = VehicleState(
                 position=fused.position.midpoint,
                 velocity=fused.velocity.midpoint,

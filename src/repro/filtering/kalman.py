@@ -34,9 +34,37 @@ from repro.sensing.noise import NoiseBounds
 from repro.utils.intervals import Interval
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["KalmanState", "KalmanFilter"]
+__all__ = ["KalmanState", "KalmanFilter", "symmetrize_psd"]
 
 _EYE2 = np.eye(2)
+
+
+def symmetrize_psd(covariance: np.ndarray, floor: float = 0.0) -> np.ndarray:
+    """Project a near-symmetric ``2x2`` covariance onto the PSD cone.
+
+    Floating-point products like ``(I-K) P (I-K)' + K R K'`` are
+    symmetric in exact arithmetic but drift by a few ulps per update;
+    over thousands of replayed filter steps the drift compounds and can
+    push an eigenvalue (or a diagonal variance) slightly negative, after
+    which ``sqrt`` of a variance produces NaN and the whole estimate
+    chain collapses.  This guard
+
+    1. averages the matrix with its transpose (exact symmetry),
+    2. clamps both variances to at least ``floor`` (>= 0), and
+    3. clamps the covariance term to ``|p01| <= sqrt(p00 * p11)``, the
+       Cauchy-Schwarz bound, which for a symmetric ``2x2`` matrix with
+       non-negative diagonal is exactly PSD.
+
+    A matrix that already satisfies all three comes back unchanged up to
+    the symmetrization average.
+    """
+    p = np.asarray(covariance, dtype=float)
+    p = 0.5 * (p + p.T)
+    p00 = max(float(p[0, 0]), floor)
+    p11 = max(float(p[1, 1]), floor)
+    cross = np.sqrt(p00 * p11)
+    p01 = float(np.clip(p[0, 1], -cross, cross))
+    return np.array([[p00, p01], [p01, p11]])
 
 
 @dataclass(frozen=True)
@@ -233,6 +261,10 @@ class KalmanFilter:
         x_new = predicted.x_hat + gain @ (z - predicted.x_hat)
         i_minus_k = _EYE2 - gain
         p_new = i_minus_k @ p_prior @ i_minus_k.T + gain @ self._r @ gain.T
+        # Joseph form is symmetric PSD in exact arithmetic only; project
+        # out the roundoff so long replayed chains cannot accumulate an
+        # indefinite covariance (negative variance -> NaN bands).
+        p_new = symmetrize_psd(p_new)
         return KalmanState(time=predicted.time, x_hat=x_new, covariance=p_new)
 
     def extrapolate(

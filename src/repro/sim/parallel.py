@@ -46,7 +46,12 @@ from repro.errors import SimulationError
 from repro.faults.chaos import WorkerChaosOnce
 from repro.planners.base import Planner
 from repro.sim.engine import CommSetup, SimulationConfig, SimulationEngine
-from repro.sim.results import BatchResult, FailureRecord, SimulationResult
+from repro.sim.results import (
+    BatchResult,
+    ChunkResult,
+    FailureRecord,
+    SimulationResult,
+)
 from repro.sim.runner import EstimatorKind, make_estimator_factory
 from repro.scenarios.base import Scenario
 from repro.utils.rng import RngStream
@@ -212,7 +217,58 @@ class ParallelBatchRunner:
         """
         if n_sims <= 0:
             raise SimulationError(f"n_sims must be > 0, got {n_sims}")
-        workers = min(self._n_workers, n_sims)
+        results, failures = self._run_indices(
+            planner, list(range(n_sims)), n_sims, seed
+        )
+        return BatchResult(
+            results=[results.get(k) for k in range(n_sims)],
+            failures=failures,
+        )
+
+    def run_indices_detailed(
+        self,
+        planner: Planner,
+        indices: Sequence[int],
+        n_sims: int,
+        seed: int = 0,
+    ) -> ChunkResult:
+        """Run a *subset* of a batch's indices with full fault tolerance.
+
+        The campaign layer's chunk primitive: simulation ``k`` of the
+        conceptual ``n_sims``-sized batch is seeded from child ``k`` of
+        the batch seed exactly as in :meth:`run_batch_detailed`, so
+        running a partition of ``range(n_sims)`` chunk by chunk — across
+        processes, interruptions, or machines — concatenates to results
+        bit-identical to one uninterrupted batch.
+        """
+        if n_sims <= 0:
+            raise SimulationError(f"n_sims must be > 0, got {n_sims}")
+        idx = list(indices)
+        if not idx:
+            raise SimulationError("indices must be non-empty")
+        if len(set(idx)) != len(idx):
+            raise SimulationError(f"indices must be unique, got {idx}")
+        for index in idx:
+            if not 0 <= index < n_sims:
+                raise SimulationError(
+                    f"index {index} outside batch of {n_sims}"
+                )
+        idx.sort()
+        results, failures = self._run_indices(planner, idx, n_sims, seed)
+        return ChunkResult(indices=idx, results=results, failures=failures)
+
+    # ------------------------------------------------------------------
+    # Shared index-keyed pipeline
+    # ------------------------------------------------------------------
+    def _run_indices(
+        self,
+        planner: Planner,
+        indices: List[int],
+        n_sims: int,
+        seed: int,
+    ) -> Tuple[Dict[int, SimulationResult], List[FailureRecord]]:
+        """Run ``indices`` of the batch; results keyed by global index."""
+        workers = min(self._n_workers, len(indices))
         if (
             workers == 1
             and self._chaos is None
@@ -226,10 +282,10 @@ class ParallelBatchRunner:
                 planner,
                 self._kind,
                 seed,
-                range(n_sims),
+                indices,
                 n_sims,
             )
-            results: List[Optional[SimulationResult]] = [None] * n_sims
+            results: Dict[int, SimulationResult] = {}
             failures: List[FailureRecord] = []
             for entry in payload:
                 if entry[1] == "ok":
@@ -244,10 +300,10 @@ class ParallelBatchRunner:
                             attempts=1,
                         )
                     )
-            return BatchResult(results=results, failures=failures)
+            return results, failures
 
-        results = [None] * n_sims
-        attempts = [0] * n_sims
+        results = {}
+        attempts: Dict[int, int] = {index: 0 for index in indices}
         #: index -> (stage, error_type, message) of its latest failure.
         last_error: Dict[int, Tuple[str, str, str]] = {}
         final: set = set()  # indices whose failure is not retryable
@@ -257,7 +313,7 @@ class ParallelBatchRunner:
         # as single-index chunks for maximum isolation.
         pending: List[List[int]] = [
             chunk
-            for chunk in (list(range(n_sims))[i::workers] for i in range(workers))
+            for chunk in (indices[i::workers] for i in range(workers))
             if chunk
         ]
         while pending:
@@ -267,7 +323,7 @@ class ParallelBatchRunner:
             )
             for chunk in pending:
                 for index in chunk:
-                    if results[index] is not None or index in final:
+                    if index in results or index in final:
                         continue
                     if attempts[index] <= self._max_retries:
                         retry.append(index)
@@ -285,7 +341,7 @@ class ParallelBatchRunner:
             )
             for index in sorted(final)
         ]
-        return BatchResult(results=results, failures=failures)
+        return results, failures
 
     # ------------------------------------------------------------------
     # One retry round
@@ -296,8 +352,8 @@ class ParallelBatchRunner:
         planner: Planner,
         seed: int,
         n_sims: int,
-        results: List[Optional[SimulationResult]],
-        attempts: List[int],
+        results: Dict[int, SimulationResult],
+        attempts: Dict[int, int],
         last_error: Dict[int, Tuple[str, str, str]],
         final: set,
     ) -> None:
@@ -381,7 +437,7 @@ class ParallelBatchRunner:
         self,
         payload: object,
         chunk: List[int],
-        results: List[Optional[SimulationResult]],
+        results: Dict[int, SimulationResult],
         last_error: Dict[int, Tuple[str, str, str]],
         final: set,
     ) -> bool:

@@ -21,6 +21,7 @@ __all__ = [
     "SimulationResult",
     "FailureRecord",
     "BatchResult",
+    "ChunkResult",
     "AggregateStats",
     "winning_percentage",
 ]
@@ -203,6 +204,84 @@ class BatchResult:
                 f"{preview}{more}"
             )
         return [r for r in self.results if r is not None]
+
+
+@dataclass
+class ChunkResult:
+    """Outcome of running a *subset* of a batch's simulation indices.
+
+    Produced by
+    :meth:`~repro.sim.parallel.ParallelBatchRunner.run_indices_detailed`:
+    the durable campaign layer executes a long batch as many independent
+    chunks, each covering a slice of the global index space, and needs
+    per-chunk handoff of results and failure records without a dense
+    batch-sized list.
+
+    ``results[k]`` exists exactly for the indices of ``indices`` that
+    completed; every other index carries one :class:`FailureRecord`.
+    Because simulation ``k`` of a batch is seeded from child ``k`` of the
+    batch seed regardless of chunking, concatenating chunk results over a
+    partition of ``range(n_sims)`` is bit-identical to one uninterrupted
+    batch.
+    """
+
+    indices: List[int]
+    results: Dict[int, SimulationResult]
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        covered = set(self.indices)
+        if len(covered) != len(self.indices):
+            raise SimulationError("ChunkResult indices must be unique")
+        for index in self.results:
+            if index not in covered:
+                raise SimulationError(
+                    f"result for index {index} outside chunk indices"
+                )
+        failed = {f.index for f in self.failures}
+        for index in failed:
+            if index not in covered:
+                raise SimulationError(
+                    f"FailureRecord index {index} outside chunk indices"
+                )
+        for index in self.indices:
+            if index not in self.results and index not in failed:
+                raise SimulationError(
+                    f"simulation {index} has neither a result nor a "
+                    "failure record"
+                )
+        self.indices = sorted(self.indices)
+        self.failures.sort(key=lambda f: f.index)
+
+    @property
+    def n_total(self) -> int:
+        """Number of indices this chunk covered."""
+        return len(self.indices)
+
+    @property
+    def n_failed(self) -> int:
+        """Simulations without a result."""
+        return len(self.failures)
+
+    @property
+    def completed(self) -> List[SimulationResult]:
+        """Surviving results in ascending index order."""
+        return [
+            self.results[index]
+            for index in self.indices
+            if index in self.results
+        ]
+
+    @property
+    def transient_failures(self) -> List[FailureRecord]:
+        """Failures whose stage is infrastructure, not the simulation.
+
+        ``stage == "simulation"`` failures are deterministic under the
+        seeding scheme (same seed, same exception) and will recur on any
+        retry; worker deaths and timeouts are environmental and a caller
+        may reasonably re-run the chunk.
+        """
+        return [f for f in self.failures if f.stage != "simulation"]
 
 
 @dataclass(frozen=True)

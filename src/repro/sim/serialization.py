@@ -6,23 +6,102 @@ reporting, cross-machine comparison, and regression tracking.  This
 module serialises result batches to a single JSON document (optionally
 with trajectories) and restores them with full fidelity for everything
 the aggregate statistics consume.
+
+Schema versioning
+-----------------
+
+Every persisted record (result, failure, journal entry, chunk snapshot)
+carries a ``schema_version`` of the form ``"<major>.<minor>"``:
+
+* a **minor** bump adds fields; readers ignore fields they do not know,
+  so any ``1.x`` record loads under any ``1.y`` reader;
+* a **major** bump changes the meaning of existing fields; a record
+  whose major differs from :data:`SCHEMA_VERSION`'s is rejected with a
+  clear error instead of being silently misread.
+
+Records written before versioning existed carry no ``schema_version``
+and are treated as major 1.
+
+:func:`canonical_dumps` is the byte-stable encoding (sorted keys, no
+whitespace) used wherever a digest or fingerprint is computed over a
+record, so checksums are reproducible across processes and platforms.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.comm.channel import ChannelStats
 from repro.dynamics.state import VehicleState
 from repro.dynamics.trajectory import Trajectory
 from repro.errors import SerializationError
-from repro.sim.results import Outcome, SimulationResult
+from repro.sim.results import FailureRecord, Outcome, SimulationResult
 
-__all__ = ["save_results", "load_results", "result_to_dict", "result_from_dict"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_dumps",
+    "content_digest",
+    "check_schema_version",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+    "failure_to_dict",
+    "failure_from_dict",
+]
 
 _FORMAT_VERSION = 1
+
+#: ``"<major>.<minor>"`` stamped on every record this build writes.
+SCHEMA_VERSION = "1.0"
+_SCHEMA_MAJOR = int(SCHEMA_VERSION.split(".")[0])
+
+
+def canonical_dumps(obj: object) -> str:
+    """Byte-stable JSON encoding: sorted keys, no whitespace.
+
+    The canonical form is what fingerprints and record checksums hash,
+    so two processes serialising the same logical record always produce
+    the same digest.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(obj: object) -> str:
+    """SHA-256 hex digest of an object's canonical JSON encoding."""
+    return hashlib.sha256(canonical_dumps(obj).encode("utf-8")).hexdigest()
+
+
+def check_schema_version(record: dict, what: str) -> Tuple[int, int]:
+    """Validate a record's ``schema_version``; return ``(major, minor)``.
+
+    A missing version means the record predates versioning and is read
+    as ``1.0``.  A different *major* is rejected — those records are not
+    merely extended, their fields mean something else.  A newer *minor*
+    under the same major is accepted: readers ignore unknown fields.
+    """
+    raw = record.get("schema_version")
+    if raw is None:
+        return 1, 0
+    try:
+        major_text, minor_text = str(raw).split(".", 1)
+        major, minor = int(major_text), int(minor_text)
+    except ValueError as exc:
+        raise SerializationError(
+            f"{what} has malformed schema_version {raw!r}; expected "
+            f"'<major>.<minor>' like {SCHEMA_VERSION!r}"
+        ) from exc
+    if major != _SCHEMA_MAJOR:
+        raise SerializationError(
+            f"{what} was written with schema major version {major} "
+            f"({raw!r}); this build reads schema major {_SCHEMA_MAJOR} "
+            f"({SCHEMA_VERSION!r}) and cannot safely interpret it — "
+            "re-generate the record or use a matching build"
+        )
+    return major, minor
 
 
 def result_to_dict(
@@ -30,17 +109,22 @@ def result_to_dict(
 ) -> dict:
     """One result as a JSON-serialisable dict."""
     record = {
+        "schema_version": SCHEMA_VERSION,
         "outcome": result.outcome.value,
         "reaching_time": result.reaching_time,
         "collision_time": result.collision_time,
         "steps": result.steps,
         "emergency_steps": result.emergency_steps,
+        "sensor_faults_injected": result.sensor_faults_injected,
+        "planner_faults_injected": result.planner_faults_injected,
         "channel_stats": {
             str(index): {
                 "sent": stats.sent,
                 "dropped": stats.dropped,
                 "delivered": stats.delivered,
                 "total_delay": stats.total_delay,
+                "duplicated": getattr(stats, "duplicated", 0),
+                "out_of_order": getattr(stats, "out_of_order", 0),
             }
             for index, stats in result.channel_stats.items()
             if isinstance(stats, ChannelStats)
@@ -58,7 +142,13 @@ def result_to_dict(
 
 
 def result_from_dict(record: dict) -> SimulationResult:
-    """Rebuild a result from :func:`result_to_dict` output."""
+    """Rebuild a result from :func:`result_to_dict` output.
+
+    Unknown fields (from newer minor versions) are ignored; a record
+    from a different schema *major* raises
+    :class:`~repro.errors.SerializationError`.
+    """
+    check_schema_version(record, "result record")
     try:
         outcome = Outcome(record["outcome"])
     except (KeyError, ValueError) as exc:
@@ -78,6 +168,8 @@ def result_from_dict(record: dict) -> SimulationResult:
             dropped=int(stats["dropped"]),
             delivered=int(stats["delivered"]),
             total_delay=float(stats.get("total_delay", 0.0)),
+            duplicated=int(stats.get("duplicated", 0)),
+            out_of_order=int(stats.get("out_of_order", 0)),
         )
     return SimulationResult(
         outcome=outcome,
@@ -87,7 +179,36 @@ def result_from_dict(record: dict) -> SimulationResult:
         emergency_steps=int(record.get("emergency_steps", 0)),
         trajectories=trajectories,
         channel_stats=channel_stats,
+        sensor_faults_injected=int(record.get("sensor_faults_injected", 0)),
+        planner_faults_injected=int(record.get("planner_faults_injected", 0)),
     )
+
+
+def failure_to_dict(failure: FailureRecord) -> dict:
+    """One failure record as a JSON-serialisable dict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "index": failure.index,
+        "stage": failure.stage,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "attempts": failure.attempts,
+    }
+
+
+def failure_from_dict(record: dict) -> FailureRecord:
+    """Rebuild a failure record from :func:`failure_to_dict` output."""
+    check_schema_version(record, "failure record")
+    try:
+        return FailureRecord(
+            index=int(record["index"]),
+            stage=str(record["stage"]),
+            error_type=str(record["error_type"]),
+            message=str(record["message"]),
+            attempts=int(record.get("attempts", 1)),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"invalid failure record: {exc}") from exc
 
 
 def save_results(
@@ -105,6 +226,7 @@ def save_results(
         path = path.with_suffix(".json")
     document = {
         "format_version": _FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "metadata": metadata or {},
         "results": [
             result_to_dict(r, include_trajectories=include_trajectories)
@@ -135,5 +257,6 @@ def load_results(
         raise SerializationError(
             f"unsupported results format version {version!r}"
         )
+    check_schema_version(document, f"results file {path}")
     results = [result_from_dict(r) for r in document.get("results", [])]
     return results, document.get("metadata", {})

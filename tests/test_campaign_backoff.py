@@ -1,0 +1,66 @@
+"""Deterministic seeded backoff for chunk retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.backoff import BackoffPolicy
+from repro.errors import CampaignError
+
+FP = "deadbeef" + "0" * 56
+OTHER_FP = "cafebabe" + "0" * 56
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"cap": 0.0, "base_delay": 1.0},
+            {"jitter": -0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(CampaignError):
+            BackoffPolicy(**kwargs)
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(CampaignError):
+            BackoffPolicy().delay(FP, 0, 0)
+
+
+class TestSchedule:
+    def test_deterministic_in_all_three_arguments(self):
+        policy = BackoffPolicy()
+        assert policy.delay(FP, 3, 2) == policy.delay(FP, 3, 2)
+        assert policy.delay(FP, 3, 2) != policy.delay(FP, 4, 2)
+        assert policy.delay(FP, 3, 2) != policy.delay(FP, 3, 1)
+        assert policy.delay(FP, 3, 2) != policy.delay(OTHER_FP, 3, 2)
+
+    def test_exponential_growth_up_to_cap(self):
+        policy = BackoffPolicy(base_delay=0.1, cap=1.0, jitter=0.0)
+        assert policy.delay(FP, 0, 1) == pytest.approx(0.1)
+        assert policy.delay(FP, 0, 2) == pytest.approx(0.2)
+        assert policy.delay(FP, 0, 3) == pytest.approx(0.4)
+        assert policy.delay(FP, 0, 4) == pytest.approx(0.8)
+        assert policy.delay(FP, 0, 5) == pytest.approx(1.0)  # capped
+        assert policy.delay(FP, 0, 12) == pytest.approx(1.0)
+
+    def test_jitter_stays_within_relative_band(self):
+        policy = BackoffPolicy(base_delay=0.1, cap=10.0, jitter=0.25)
+        for attempt in range(1, 6):
+            raw = min(10.0, 0.1 * 2 ** (attempt - 1))
+            delay = policy.delay(FP, 7, attempt)
+            assert raw <= delay <= raw * 1.25
+
+    def test_zero_base_delay_yields_zero(self):
+        policy = BackoffPolicy(base_delay=0.0, cap=1.0)
+        assert policy.delay(FP, 0, 1) == 0.0
+
+    def test_no_wall_clock_in_decision_path(self):
+        # Delays for a fixed (fingerprint, chunk, attempt) are identical
+        # across policy instances and call times.
+        a = BackoffPolicy().delay(FP, 1, 3)
+        b = BackoffPolicy().delay(FP, 1, 3)
+        assert a == b  # safelint: disable=SFL001 - exact reproducibility is the contract under test

@@ -1,0 +1,126 @@
+"""The ``repro-campaign`` command line: lifecycle and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.cli import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_VERIFY_FAILED,
+    main,
+)
+from repro.campaign.manifest import CampaignManifest
+
+
+@pytest.fixture()
+def manifest_path(tmp_path):
+    manifest = CampaignManifest(
+        name="cli-test",
+        scenario={"kind": "left_turn"},
+        comm={"sensor_noise": 0.3},
+        planner={"kind": "constant", "acceleration": 2.0},
+        n_sims=2,
+        seed=5,
+        chunk_size=1,
+        config={"max_time": 8.0},
+    )
+    return manifest.save(tmp_path / "manifest.json")
+
+
+class TestLifecycle:
+    def test_run_status_verify_resume(self, manifest_path, tmp_path, capsys):
+        directory = tmp_path / "campaign"
+
+        code = main(
+            ["run", "--manifest", str(manifest_path), "--dir", str(directory)]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "completed" in out
+        assert "results digest:" in out
+
+        code = main(["status", "--dir", str(directory), "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert code == EXIT_OK
+        assert status["finished"] is True
+        assert status["completed_chunks"] == 2
+
+        code = main(["verify", "--dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "verify ok" in out
+
+        # resuming a finished campaign succeeds without re-running
+        code = main(["resume", "--dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "0 run now" in out
+
+
+class TestErrorPaths:
+    def test_missing_manifest_is_campaign_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--manifest",
+                str(tmp_path / "absent.json"),
+                "--dir",
+                str(tmp_path / "campaign"),
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_journal_is_error(self, manifest_path, tmp_path, capsys):
+        directory = tmp_path / "campaign"
+        directory.mkdir()
+        CampaignManifest.load(manifest_path).save(directory / "manifest.json")
+        code = main(["resume", "--dir", str(directory)])
+        assert code == EXIT_ERROR
+        assert "no journal" in capsys.readouterr().err
+
+    def test_bad_planner_kind_is_error(self, tmp_path, capsys):
+        manifest = CampaignManifest(
+            name="bad",
+            scenario={"kind": "left_turn"},
+            comm={},
+            planner={"kind": "teleporting"},
+            n_sims=1,
+            seed=0,
+            chunk_size=1,
+        )
+        path = manifest.save(tmp_path / "manifest.json")
+        code = main(
+            ["run", "--manifest", str(path), "--dir", str(tmp_path / "c")]
+        )
+        assert code == EXIT_ERROR
+        assert "unknown planner kind" in capsys.readouterr().err
+
+    def test_verify_failure_exit_code(self, manifest_path, tmp_path, capsys):
+        directory = tmp_path / "campaign"
+        assert (
+            main(
+                [
+                    "run",
+                    "--manifest",
+                    str(manifest_path),
+                    "--dir",
+                    str(directory),
+                ]
+            )
+            == EXIT_OK
+        )
+        capsys.readouterr()
+        chunk = directory / "chunks" / "chunk-00000.json"
+        snapshot = json.loads(chunk.read_text())
+        for record in snapshot["results"].values():
+            record["steps"] = record.get("steps", 0) + 1
+        chunk.write_text(json.dumps(snapshot))
+        code = main(["verify", "--dir", str(directory), "--json"])
+        outcome = json.loads(capsys.readouterr().out)
+        assert code == EXIT_VERIFY_FAILED
+        assert outcome["ok"] is False
+        assert outcome["problems"]

@@ -1,0 +1,130 @@
+"""The campaign manifest: validation, chunking, and fingerprinting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.manifest import CampaignManifest
+from repro.errors import CampaignError, SerializationError
+
+
+def _manifest(**overrides):
+    fields = dict(
+        name="demo",
+        scenario={"kind": "left_turn"},
+        comm={"sensor_noise": 0.5},
+        planner={"kind": "constant", "acceleration": 1.0},
+        n_sims=10,
+        seed=7,
+        chunk_size=4,
+    )
+    fields.update(overrides)
+    return CampaignManifest(**fields)
+
+
+class TestValidation:
+    def test_accepts_well_formed_manifest(self):
+        manifest = _manifest()
+        assert manifest.estimator == "filtered"
+        assert manifest.config == {}
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"n_sims": 0},
+            {"n_sims": 2.5},
+            {"chunk_size": 0},
+            {"seed": "seven"},
+            {"estimator": "oracle"},
+            {"scenario": ["left_turn"]},
+            {"planner": "constant"},
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(CampaignError):
+            _manifest(**overrides)
+
+
+class TestChunking:
+    def test_chunk_count_rounds_up(self):
+        assert _manifest(n_sims=10, chunk_size=4).n_chunks == 3
+        assert _manifest(n_sims=8, chunk_size=4).n_chunks == 2
+        assert _manifest(n_sims=1, chunk_size=100).n_chunks == 1
+
+    def test_chunks_partition_the_index_space(self):
+        manifest = _manifest(n_sims=10, chunk_size=4)
+        indices = []
+        for chunk in range(manifest.n_chunks):
+            indices.extend(manifest.chunk_indices(chunk))
+        assert indices == list(range(10))
+
+    def test_last_chunk_is_short(self):
+        manifest = _manifest(n_sims=10, chunk_size=4)
+        assert manifest.chunk_indices(2) == [8, 9]
+
+    def test_out_of_range_chunk_rejected(self):
+        with pytest.raises(CampaignError):
+            _manifest().chunk_indices(3)
+        with pytest.raises(CampaignError):
+            _manifest().chunk_indices(-1)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert _manifest().fingerprint == _manifest().fingerprint
+
+    def test_any_semantic_change_changes_it(self):
+        base = _manifest().fingerprint
+        assert _manifest(seed=8).fingerprint != base
+        assert _manifest(n_sims=11).fingerprint != base
+        assert _manifest(chunk_size=5).fingerprint != base
+        assert _manifest(comm={"sensor_noise": 0.6}).fingerprint != base
+        assert (
+            _manifest(
+                planner={"kind": "constant", "acceleration": 1.5}
+            ).fingerprint
+            != base
+        )
+
+    def test_key_order_does_not_change_it(self):
+        a = _manifest(comm={"sensor_noise": 0.5, "dt_m": 0.1})
+        b = _manifest(comm={"dt_m": 0.1, "sensor_noise": 0.5})
+        assert a.fingerprint == b.fingerprint
+
+    def test_dict_roundtrip_preserves_fingerprint(self):
+        manifest = _manifest()
+        assert (
+            CampaignManifest.from_dict(manifest.to_dict()).fingerprint
+            == manifest.fingerprint
+        )
+
+    def test_to_dict_is_a_deep_copy(self):
+        manifest = _manifest()
+        manifest.to_dict()["comm"]["sensor_noise"] = 99.0
+        assert manifest.comm["sensor_noise"] == 0.5
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = _manifest()
+        path = manifest.save(tmp_path / "manifest.json")
+        loaded = CampaignManifest.load(path)
+        assert loaded == manifest
+        assert loaded.fingerprint == manifest.fingerprint
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            CampaignManifest.load(tmp_path / "nope.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="corrupt"):
+            CampaignManifest.load(path)
+
+    def test_missing_required_field(self):
+        record = _manifest().to_dict()
+        del record["planner"]
+        with pytest.raises(CampaignError, match="missing required field"):
+            CampaignManifest.from_dict(record)

@@ -1,0 +1,127 @@
+"""Schema versioning of persisted records.
+
+The contract: records carry ``schema_version = "<major>.<minor>"``;
+unknown fields from a newer *minor* are ignored, a different *major* is
+rejected with a clear error, and records written before versioning
+existed (no field at all) load as 1.0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.manifest import CampaignManifest
+from repro.errors import SerializationError
+from repro.sim.results import FailureRecord, Outcome, SimulationResult
+from repro.sim.serialization import (
+    SCHEMA_VERSION,
+    check_schema_version,
+    failure_from_dict,
+    failure_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def _result_record(**overrides):
+    record = result_to_dict(
+        SimulationResult(outcome=Outcome.REACHED, reaching_time=5.0, steps=100)
+    )
+    record.update(overrides)
+    return record
+
+
+def _manifest_record(**overrides):
+    record = CampaignManifest(
+        name="m",
+        scenario={"kind": "left_turn"},
+        comm={},
+        planner={"kind": "full_brake"},
+        n_sims=4,
+        seed=0,
+        chunk_size=2,
+    ).to_dict()
+    record.update(overrides)
+    return record
+
+
+class TestCheckSchemaVersion:
+    def test_current_version_accepted(self):
+        assert check_schema_version(
+            {"schema_version": SCHEMA_VERSION}, "record"
+        ) == (1, 0)
+
+    def test_missing_version_reads_as_1_0(self):
+        assert check_schema_version({}, "record") == (1, 0)
+
+    def test_newer_minor_accepted(self):
+        assert check_schema_version({"schema_version": "1.7"}, "record") == (
+            1,
+            7,
+        )
+
+    def test_other_major_rejected_with_clear_error(self):
+        for version in ("0.9", "2.0"):
+            with pytest.raises(SerializationError) as excinfo:
+                check_schema_version({"schema_version": version}, "my record")
+            message = str(excinfo.value)
+            assert "my record" in message
+            assert "major" in message
+            assert SCHEMA_VERSION in message
+
+    def test_malformed_version_rejected(self):
+        for version in ("one.zero", "1", "", "1.x"):
+            with pytest.raises(SerializationError, match="malformed"):
+                check_schema_version({"schema_version": version}, "record")
+
+
+class TestForwardCompatibility:
+    """A newer minor writer adds fields; this reader must not choke."""
+
+    def test_result_unknown_fields_ignored(self):
+        record = _result_record(
+            schema_version="1.3",
+            fuel_consumed=1.25,
+            lane_changes=[1, 2],
+        )
+        restored = result_from_dict(record)
+        assert restored.outcome is Outcome.REACHED
+        assert restored.reaching_time == 5.0
+
+    def test_result_other_major_rejected(self):
+        with pytest.raises(SerializationError, match="major"):
+            result_from_dict(_result_record(schema_version="2.0"))
+
+    def test_result_preversioning_record_loads(self):
+        record = _result_record()
+        del record["schema_version"]
+        assert result_from_dict(record).steps == 100
+
+    def test_failure_roundtrip_and_unknown_fields(self):
+        failure = FailureRecord(
+            index=3, stage="worker", error_type="OSError", message="boom",
+            attempts=2,
+        )
+        record = failure_to_dict(failure)
+        assert record["schema_version"] == SCHEMA_VERSION
+        record["schema_version"] = "1.9"
+        record["hostname"] = "node-17"
+        assert failure_from_dict(record) == failure
+
+    def test_failure_other_major_rejected(self):
+        record = failure_to_dict(
+            FailureRecord(index=0, stage="timeout", error_type="T", message="")
+        )
+        record["schema_version"] = "3.0"
+        with pytest.raises(SerializationError, match="major"):
+            failure_from_dict(record)
+
+    def test_manifest_unknown_fields_ignored(self):
+        record = _manifest_record(schema_version="1.2", priority="high")
+        manifest = CampaignManifest.from_dict(record)
+        assert manifest.name == "m"
+        assert manifest.n_sims == 4
+
+    def test_manifest_other_major_rejected(self):
+        with pytest.raises(SerializationError, match="major"):
+            CampaignManifest.from_dict(_manifest_record(schema_version="2.0"))
