@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim ruff mypy precommit test benchmarks chaos campaign-smoke baseline
+.PHONY: lint safelint safedim ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -36,6 +36,11 @@ test:
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Benchmarks with machine-readable recording: writes one
+# BENCH_<area>.json per benchmark file (see docs/OBSERVABILITY.md).
+bench-record:
+	REPRO_BENCH_RECORD=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
 # Chaos suite (~30 s): fault-model, fault-plan and crash-tolerance tests
 # plus the chaos certification benchmark (zero collisions for the
 # shielded planner across the fault grid, bit-identical parallel results
@@ -52,6 +57,14 @@ chaos:
 # See the Durability section of docs/ROBUSTNESS.md.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
+
+# Observability smoke (~30 s): records a fully traced episode + a small
+# traced campaign, validates the Chrome trace-event export, checks the
+# shield/filter/channel events are present, and gates the disabled-
+# observer overhead on a micro benchmark (<=3% vs an untraced baseline,
+# REPRO_TRACE_TOL to widen on noisy machines).  See docs/OBSERVABILITY.md.
+trace-smoke:
+	$(PYTHON) scripts/trace_smoke.py
 
 # Regenerate the safelint baseline (see docs/LINTING.md before using).
 baseline:

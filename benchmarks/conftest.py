@@ -8,6 +8,13 @@ asserts the *shape* claims the paper makes.
 Batch sizes default to a few hundred runs per cell — enough for stable
 shapes in minutes; set ``REPRO_BENCH_SIMS`` to scale toward the paper's
 80 000.
+
+With ``REPRO_BENCH_RECORD=1`` (``make bench-record``) every benchmark
+test's wall duration is persisted as one ``BENCH_<area>.json`` document
+per benchmark file (``REPRO_BENCH_DIR`` overrides the output directory,
+default ``benchmarks/``), giving later PRs a machine-readable baseline
+to regress against — the trace-smoke overhead gate reads
+``BENCH_trace_smoke.json`` this way.
 """
 
 from __future__ import annotations
@@ -17,9 +24,40 @@ import os
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.obs.bench_record import write_bench_documents
 
 #: Runs per (setting, planner) cell; the sweep benches use a third.
 BENCH_SIMS = int(os.environ.get("REPRO_BENCH_SIMS", "120"))
+
+_RECORDING = os.environ.get("REPRO_BENCH_RECORD") == "1"
+_RECORDED_ENTRIES: list = []
+
+
+def pytest_runtest_logreport(report):
+    """Collect one ``(nodeid, outcome, duration)`` entry per test call."""
+    if _RECORDING and report.when == "call":
+        _RECORDED_ENTRIES.append(
+            {
+                "nodeid": report.nodeid,
+                "outcome": report.outcome,
+                "duration_seconds": round(report.duration, 6),
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-area ``BENCH_<area>.json`` documents."""
+    if _RECORDING and _RECORDED_ENTRIES:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR", os.path.dirname(__file__)
+        )
+        paths = write_bench_documents(
+            _RECORDED_ENTRIES,
+            directory,
+            context={"bench_sims": BENCH_SIMS},
+        )
+        for path in paths:
+            print(f"bench-record: wrote {path}")
 
 
 @pytest.fixture(scope="session")

@@ -162,3 +162,46 @@ def test_micro_full_episode(benchmark, lt_scenario):
 
     result = benchmark(episode)
     assert result.is_safe
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_full_episode_traced(benchmark, lt_scenario):
+    """The same episode with a live observer: the enabled-tracing cost.
+
+    Compare against ``test_micro_full_episode`` (the disabled path) in
+    the recorded ``BENCH_micro.json``; the write-only contract means the
+    result must be bit-identical either way (tests/test_obs_identity.py)
+    — this benchmark quantifies what the extra telemetry costs.
+    """
+    from repro.core.compound import CompoundPlanner
+    from repro.core.monitor import RuntimeMonitor
+    from repro.obs.observer import Observer
+    from repro.planners.constant import FullThrottlePlanner
+
+    engine = SimulationEngine(
+        lt_scenario,
+        CommSetup(
+            0.1,
+            0.1,
+            messages_delayed(0.25, 0.3),
+            NoiseBounds.uniform_all(1.0),
+        ),
+        SimulationConfig(max_time=30.0, record_trajectories=False),
+    )
+
+    def episode():
+        observer = Observer()
+        factory = make_estimator_factory(
+            EstimatorKind.FILTERED, engine, observer=observer
+        )
+        planner = CompoundPlanner(
+            nn_planner=FullThrottlePlanner(lt_scenario.ego_limits),
+            emergency_planner=lt_scenario.emergency_planner(),
+            monitor=RuntimeMonitor(lt_scenario.safety_model()),
+            limits=lt_scenario.ego_limits,
+            observer=observer,
+        )
+        return engine.run(planner, factory, RngStream(7), observer=observer)
+
+    result = benchmark(episode)
+    assert result.is_safe

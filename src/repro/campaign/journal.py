@@ -28,6 +28,8 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.errors import JournalCorruptionError, SerializationError
+from repro.obs.observer import resolve_observer
+from repro.obs.trace import perf_now
 from repro.sim.serialization import (
     SCHEMA_VERSION,
     canonical_dumps,
@@ -147,12 +149,19 @@ class JournalWriter:
     next_seq:
         Sequence number of the next record — ``len(records)`` returned
         by :func:`recover_journal` when resuming, 0 for a fresh journal.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; records the
+        fsync latency of every append (``journal.fsync_seconds``).
+        Write-only — journal bytes are identical with or without it.
     """
 
-    def __init__(self, path: Union[str, Path], next_seq: int = 0) -> None:
+    def __init__(
+        self, path: Union[str, Path], next_seq: int = 0, observer=None
+    ) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._seq = int(next_seq)
+        self._obs = resolve_observer(observer)
         self._handle = open(self._path, "ab")
 
     @property
@@ -181,7 +190,15 @@ class JournalWriter:
         line = canonical_dumps(record) + "\n"
         self._handle.write(line.encode("utf-8"))
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._obs.enabled:
+            started = perf_now()
+            os.fsync(self._handle.fileno())
+            self._obs.observe(
+                "journal.fsync_seconds", max(perf_now() - started, 0.0)
+            )
+            self._obs.count("journal.appends")
+        else:
+            os.fsync(self._handle.fileno())
         self._seq += 1
         return record
 

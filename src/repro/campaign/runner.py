@@ -46,6 +46,8 @@ from repro.errors import (
     FingerprintMismatchError,
     SerializationError,
 )
+from repro.obs.observer import resolve_observer
+from repro.obs.trace import perf_now
 from repro.sim.parallel import ParallelBatchRunner
 from repro.sim.results import AggregateStats, ChunkResult
 from repro.sim.serialization import (
@@ -65,11 +67,17 @@ __all__ = [
     "MANIFEST_FILE",
     "JOURNAL_FILE",
     "AGGREGATE_FILE",
+    "METRICS_FILE",
 ]
 
 MANIFEST_FILE = "manifest.json"
 JOURNAL_FILE = "journal.jsonl"
 AGGREGATE_FILE = "aggregate.json"
+#: Operational metrics (chunk wall times, retries) derived from the
+#: journal at finalisation.  Deliberately a *separate* file: the
+#: aggregate must stay byte-identical across interrupt/resume sequences,
+#: and wall-clock numbers never are.
+METRICS_FILE = "metrics.json"
 _CHUNK_DIR = "chunks"
 
 #: Signature of an injectable chunk executor (tests substitute a flaky
@@ -152,6 +160,12 @@ class CampaignRunner:
         schedule is asserted without actually sleeping.
     chunk_executor:
         Test hook replacing the batch layer entirely.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; records chunk
+        spans, retry counters and journal fsync latency.  Write-only —
+        every campaign artifact except ``metrics.json`` is byte-identical
+        with or without it (and ``metrics.json`` is derived from the
+        journal, which always carries chunk wall times).
     """
 
     def __init__(
@@ -163,6 +177,7 @@ class CampaignRunner:
         backoff: Optional[BackoffPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         chunk_executor: Optional[ChunkExecutor] = None,
+        observer=None,
     ) -> None:
         self._manifest = manifest
         self._directory = Path(directory)
@@ -172,6 +187,7 @@ class CampaignRunner:
         self._backoff = backoff if backoff is not None else BackoffPolicy()
         self._sleep = sleep
         self._executor = chunk_executor
+        self._obs = resolve_observer(observer)
         self._stop_requested = False
 
     @property
@@ -224,7 +240,9 @@ class CampaignRunner:
         self._directory.mkdir(parents=True, exist_ok=True)
         self._manifest.save(manifest_path)
         state = _CampaignState(fingerprint=self._fingerprint)
-        with JournalWriter(journal_path, next_seq=0) as journal:
+        with JournalWriter(
+            journal_path, next_seq=0, observer=self._obs
+        ) as journal:
             journal.append(
                 "campaign_started",
                 fingerprint=self._fingerprint,
@@ -267,7 +285,9 @@ class CampaignRunner:
             # The crash hit between mkdir and manifest.save; re-write it.
             self._directory.mkdir(parents=True, exist_ok=True)
             self._manifest.save(manifest_path)
-        with JournalWriter(journal_path, next_seq=state.next_seq) as journal:
+        with JournalWriter(
+            journal_path, next_seq=state.next_seq, observer=self._obs
+        ) as journal:
             if not records:
                 journal.append(
                     "campaign_started",
@@ -328,7 +348,21 @@ class CampaignRunner:
                         completed_chunks=len(state.completed),
                         chunks_run=chunks_run,
                     )
+                # Chunk wall time is journaled unconditionally (readers
+                # ignore unknown fields; journal bytes are never part of
+                # the bit-identity contract) so `repro-campaign status`
+                # can summarise elapsed time on plain, untraced runs too.
+                handle = (
+                    self._obs.begin("campaign.chunk", chunk=chunk)
+                    if self._obs.enabled
+                    else -1
+                )
+                started = perf_now()
                 chunk_result = self._run_chunk_with_retries(chunk, journal)
+                elapsed = max(perf_now() - started, 0.0)
+                if self._obs.enabled:
+                    self._obs.end(handle, n_results=len(chunk_result.results))
+                    self._obs.observe("campaign.chunk_seconds", elapsed)
                 digest = self._persist_chunk(chunk, chunk_result)
                 journal.append(
                     "chunk_completed",
@@ -337,6 +371,7 @@ class CampaignRunner:
                     n_results=len(chunk_result.results),
                     n_failures=chunk_result.n_failed,
                     digest=digest,
+                    elapsed=round(elapsed, 6),
                 )
                 state.completed[chunk] = digest
                 chunks_run += 1
@@ -371,6 +406,11 @@ class CampaignRunner:
                     attempt=attempt,
                     delay=delay,
                 )
+                if self._obs.enabled:
+                    self._obs.count("campaign.chunk_retries")
+                    self._obs.instant(
+                        "campaign.chunk_retry", chunk=chunk, attempt=attempt
+                    )
                 self._sleep(delay)
             last = executor(indices, self._manifest.n_sims, self._manifest.seed)
             if not last.transient_failures:
@@ -389,6 +429,7 @@ class CampaignRunner:
             estimator_kind=kind,
             n_workers=self._n_workers,
             max_retries=self._max_retries,
+            observer=(self._obs if self._obs.enabled else None),
         )
 
         def execute(indices: List[int], n_sims: int, seed: int) -> ChunkResult:
@@ -481,6 +522,7 @@ class CampaignRunner:
             results_digest=results_digest,
             n_failed=len(failures),
         )
+        self._write_metrics()
         return CampaignReport(
             status="completed",
             fingerprint=self._fingerprint,
@@ -491,6 +533,23 @@ class CampaignRunner:
             aggregate=aggregate,
             results_digest=results_digest,
         )
+
+    def _write_metrics(self) -> None:
+        """Derive ``metrics.json`` from the journal's operational fields.
+
+        Kept out of ``aggregate.json`` on purpose: wall-clock numbers
+        differ between an uninterrupted run and an interrupt/resume
+        sequence, and the aggregate's byte-identity guarantee must not.
+        """
+        records, _ = read_journal(self._directory / JOURNAL_FILE)
+        summary = _operational_summary(records)
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": self._fingerprint,
+            "name": self._manifest.name,
+            **summary,
+        }
+        atomic_write_json(document, self._directory / METRICS_FILE)
 
     def _report_from_aggregate(
         self, state: _CampaignState, chunks_run: int
@@ -541,11 +600,47 @@ class CampaignRunner:
 # ----------------------------------------------------------------------
 # Inspection helpers (read-only; safe on live or damaged campaigns)
 # ----------------------------------------------------------------------
+def _operational_summary(records: List[dict]) -> dict:
+    """Retry counts and chunk wall-time summary from journal records.
+
+    ``chunk_retries`` maps chunk index to its ``chunk_retry`` record
+    count; ``elapsed`` summarises the ``elapsed`` field of
+    ``chunk_completed`` records (``None`` when no chunk carried one —
+    journals written before the field existed still parse).
+    """
+    retries: Dict[int, int] = {}
+    durations: List[float] = []
+    for record in records:
+        record_type = record.get("type")
+        if record_type == "chunk_retry":
+            chunk = int(record.get("chunk", -1))
+            retries[chunk] = retries.get(chunk, 0) + 1
+        elif record_type == "chunk_completed":
+            elapsed = record.get("elapsed")
+            if isinstance(elapsed, (int, float)):
+                durations.append(float(elapsed))
+    elapsed_summary: Optional[dict] = None
+    if durations:
+        elapsed_summary = {
+            "chunks_timed": len(durations),
+            "total_seconds": round(sum(durations), 6),
+            "mean_seconds": round(sum(durations) / len(durations), 6),
+            "max_seconds": round(max(durations), 6),
+        }
+    return {
+        "chunk_retries": {str(k): v for k, v in sorted(retries.items())},
+        "total_retries": sum(retries.values()),
+        "elapsed": elapsed_summary,
+    }
+
+
 def campaign_status(directory: Union[str, Path]) -> dict:
     """Progress summary of a campaign directory (read-only).
 
     Works on a live, killed, or damaged campaign: a torn journal tail is
-    reported, not repaired.
+    reported, not repaired.  Besides progress, the summary carries the
+    journal's operational fields: per-chunk retry counts and an elapsed
+    wall-time summary over completed chunks.
     """
     directory = Path(directory)
     manifest = CampaignManifest.load(directory / MANIFEST_FILE)
@@ -561,7 +656,7 @@ def campaign_status(directory: Union[str, Path]) -> dict:
     interrupted = (
         len(records) > 0 and records[-1].get("type") == "interrupted"
     )
-    return {
+    status = {
         "name": manifest.name,
         "fingerprint": manifest.fingerprint,
         "n_sims": manifest.n_sims,
@@ -572,6 +667,8 @@ def campaign_status(directory: Union[str, Path]) -> dict:
         "finished": finished,
         "interrupted": interrupted,
     }
+    status.update(_operational_summary(records))
+    return status
 
 
 def verify_campaign(directory: Union[str, Path]) -> dict:

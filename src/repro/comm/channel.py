@@ -27,10 +27,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.comm.disturbance import DisturbanceModel, no_disturbance
-from repro.comm.faults import FaultModel
+from repro.comm.faults import ComposedFaults, FaultModel
 from repro.comm.message import Message
 from repro.dynamics.state import VehicleState
 from repro.errors import ConfigurationError
+from repro.obs.observer import resolve_observer
 from repro.utils.rng import RngStream
 from repro.utils.validation import check_positive
 
@@ -99,6 +100,14 @@ class Channel:
     faults:
         Composable fault pipeline (see :mod:`repro.comm.faults`).
         Mutually exclusive with ``disturbance``.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; records per-stage
+        drop/duplication counters and delivery-delay observations.
+        Write-only — channel behaviour (including the RNG sequence) is
+        bit-identical with or without it.
+    name:
+        Label attached to this channel's metrics (the engine passes
+        ``veh<i>``).
     """
 
     def __init__(
@@ -107,6 +116,8 @@ class Channel:
         disturbance: Optional[DisturbanceModel] = None,
         rng: Optional[RngStream] = None,
         faults: Optional[FaultModel] = None,
+        observer=None,
+        name: str = "",
     ) -> None:
         self._period = check_positive(period, "period")
         if faults is not None and disturbance is not None:
@@ -126,7 +137,20 @@ class Channel:
                 "a Channel with a stochastic fault model requires an rng stream"
             )
         self._rng = rng
-        self._process = self._faults.start()
+        self._obs = resolve_observer(observer)
+        self._name = name
+        # Per-stage processes: iterating them with the early-exit loop in
+        # send() consumes the RNG exactly like _ComposedProcess.transform,
+        # so per-stage accounting never perturbs the fault sequence.
+        if isinstance(self._faults, ComposedFaults):
+            self._stage_processes: List[Tuple[str, object]] = [
+                (type(stage).__name__, stage.start())
+                for stage in self._faults.stages
+            ]
+        else:
+            self._stage_processes = [
+                (type(self._faults).__name__, self._faults.start())
+            ]
         self._queue: List[Tuple[float, int, Message]] = []
         self._tiebreak = itertools.count()
         self._stats = ChannelStats()
@@ -187,12 +211,48 @@ class Channel:
             be delivered), ``False`` if the message was dropped.
         """
         self._stats.sent += 1
-        offsets = self._process.transform([0.0], self._rng)
+        obs = self._obs
+        offsets: List[float] = [0.0]
+        if obs.enabled:
+            obs.count("channel.sent", channel=self._name)
+            for label, process in self._stage_processes:
+                before = len(offsets)
+                offsets = process.transform(offsets, self._rng)
+                after = len(offsets)
+                if after < before:
+                    obs.count(
+                        "channel.stage_dropped",
+                        before - after,
+                        channel=self._name,
+                        stage=label,
+                    )
+                elif after > before:
+                    obs.count(
+                        "channel.stage_duplicated",
+                        after - before,
+                        channel=self._name,
+                        stage=label,
+                    )
+                if not offsets:
+                    break
+        else:
+            for _, process in self._stage_processes:
+                offsets = process.transform(offsets, self._rng)
+                if not offsets:
+                    break
         if not offsets:
             self._stats.dropped += 1
+            if obs.enabled:
+                obs.count("channel.dropped", channel=self._name)
             return False
         if len(offsets) > 1:
             self._stats.duplicated += len(offsets) - 1
+            if obs.enabled:
+                obs.count(
+                    "channel.duplicated",
+                    len(offsets) - 1,
+                    channel=self._name,
+                )
         message = Message(sender=sender, stamp=float(time), state=state)
         for offset in offsets:
             delivery_time = float(time) + max(0.0, offset)
@@ -215,13 +275,23 @@ class Channel:
         stamp is older than a previously returned stamp is counted in
         :attr:`ChannelStats.out_of_order`.
         """
+        obs = self._obs
         delivered: List[Message] = []
         while self._queue and self._queue[0][0] <= float(now) + 1e-12:
             delivery_time, _, message = heapq.heappop(self._queue)
             self._stats.delivered += 1
             self._stats.total_delay += delivery_time - message.stamp
+            if obs.enabled:
+                obs.count("channel.delivered", channel=self._name)
+                obs.observe(
+                    "channel.delay_seconds",
+                    delivery_time - message.stamp,
+                    channel=self._name,
+                )
             if message.stamp < self._newest_delivered_stamp:
                 self._stats.out_of_order += 1
+                if obs.enabled:
+                    obs.count("channel.out_of_order", channel=self._name)
             else:
                 self._newest_delivered_stamp = message.stamp
             delivered.append(message)

@@ -18,11 +18,13 @@ frequency" column.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.core.monitor import MonitorDecision, RuntimeMonitor
 from repro.dynamics.vehicle import VehicleLimits
 from repro.errors import PlannerError
+from repro.obs.observer import resolve_observer
 from repro.planners.base import Planner, PlanningContext, clipped
 
 __all__ = ["CompoundPlanner"]
@@ -44,6 +46,11 @@ class CompoundPlanner:
         model.
     limits:
         Ego actuation limits used to sanitise commands.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; records
+        shield-switch events (engage/release with cause), per-step
+        safety-margin and boundary-distance samples, and counters.
+        Write-only: the decision logic never reads it.
     """
 
     def __init__(
@@ -52,11 +59,13 @@ class CompoundPlanner:
         emergency_planner: Planner,
         monitor: RuntimeMonitor,
         limits: VehicleLimits,
+        observer=None,
     ) -> None:
         self._nn = nn_planner
         self._emergency = emergency_planner
         self._monitor = monitor
         self._limits = limits
+        self._obs = resolve_observer(observer)
         self._last_decision: Optional[MonitorDecision] = None
         self._embedded_failures = 0
 
@@ -107,6 +116,8 @@ class CompoundPlanner:
         falls back to the emergency command without voiding the theorem.
         """
         decision = self._monitor.evaluate(context)
+        if self._obs.enabled:
+            self._observe_decision(context, decision)
         self._last_decision = decision
         if decision.use_emergency:
             command = self._emergency.plan(context)
@@ -115,8 +126,52 @@ class CompoundPlanner:
                 command = self._nn.plan(context)
             except PlannerError:
                 self._embedded_failures += 1
+                if self._obs.enabled:
+                    self._obs.instant(
+                        "shield.embedded_failure", t=context.time
+                    )
+                    self._obs.count("shield.embedded_failures")
                 command = self._emergency.plan(context)
         return clipped(command, self._limits)
+
+    def _observe_decision(
+        self, context: PlanningContext, decision: MonitorDecision
+    ) -> None:
+        """Emit shield telemetry for one step (enabled observers only).
+
+        Called *before* ``self._last_decision`` is overwritten so
+        engage/release transitions compare against the previous step.
+        Strictly write-only — nothing here feeds back into the command.
+        """
+        obs = self._obs
+        previous = self._last_decision
+        was_emergency = previous is not None and previous.use_emergency
+        if decision.use_emergency and not was_emergency:
+            obs.instant(
+                "shield.engage",
+                t=context.time,
+                cause="unsafe" if decision.in_unsafe else "boundary",
+            )
+            obs.count("shield.engagements")
+        elif was_emergency and not decision.use_emergency:
+            obs.instant("shield.release", t=context.time)
+        obs.count("shield.steps")
+        if decision.use_emergency:
+            obs.count("shield.emergency_steps")
+        model = self._monitor.safety_model
+        margin_of = getattr(model, "safety_margin", None)
+        if margin_of is not None:
+            margin = margin_of(context.time, context.ego, context.estimates)
+            if math.isfinite(margin):
+                obs.sample("shield.margin", margin, t=context.time)
+                obs.gauge("shield.margin", margin)
+        boundary_of = getattr(model, "boundary_distance", None)
+        if boundary_of is not None:
+            distance = boundary_of(
+                context.time, context.ego, context.estimates
+            )
+            if math.isfinite(distance):
+                obs.sample("shield.boundary_distance", distance, t=context.time)
 
     def reset(self) -> None:
         """Clear per-run telemetry (engine calls this between runs)."""

@@ -35,6 +35,7 @@ from repro.filtering.fusion import FusedEstimate, fuse_bands, intersect_or_fallb
 from repro.filtering.kalman import KalmanFilter
 from repro.filtering.reachability import ReachBand, ReachabilityAnalyzer
 from repro.filtering.replay import ReplayKalmanFilter
+from repro.obs.observer import resolve_observer
 from repro.sensing.noise import NoiseBounds
 from repro.sensing.sensor import SensorReading
 from repro.utils.intervals import Interval
@@ -137,6 +138,14 @@ class InformationFilter:
         Kalman band (the fusion intersects it with the guaranteed band);
         the watchdog protects the *efficiency* claim from a silently
         diverged filter steering the nominal estimate.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; records replay
+        depth, watchdog breaches/trips/recoveries, fused band widths,
+        and reachability-fallback events.  Write-only — estimates are
+        bit-identical with or without it.
+    label:
+        Label attached to this filter's metrics (the estimator factory
+        passes ``veh<i>``).
     """
 
     def __init__(
@@ -148,6 +157,8 @@ class InformationFilter:
         history_horizon: float = 30.0,
         watchdog_sigma: Optional[float] = 6.0,
         watchdog_consecutive: int = 3,
+        observer=None,
+        label: str = "",
     ) -> None:
         if n_sigma <= 0.0:
             raise FilterError(f"n_sigma must be > 0, got {n_sigma}")
@@ -171,6 +182,8 @@ class InformationFilter:
         )
         self._watchdog_consecutive = int(watchdog_consecutive)
         self._watchdog = WatchdogStats()
+        self._obs = resolve_observer(observer)
+        self._label = label
         self._latest_message: Optional[Message] = None
         self._latest_reading: Optional[SensorReading] = None
 
@@ -186,16 +199,51 @@ class InformationFilter:
         running), the gate only decides whether :meth:`estimate` still
         trusts the Kalman band.
         """
-        self._gate_innovation(reading)
+        if self._obs.enabled:
+            before = (
+                self._watchdog.breaches,
+                self._watchdog.trips,
+                self._watchdog.recoveries,
+            )
+            self._gate_innovation(reading)
+            self._observe_watchdog(before, reading.time)
+        else:
+            self._gate_innovation(reading)
         self._replay.on_sensor_reading(reading)
         self._latest_reading = reading
+
+    def _observe_watchdog(self, before, time: float) -> None:
+        """Emit watchdog deltas of one gated reading (telemetry only)."""
+        obs = self._obs
+        stats = self._watchdog
+        if stats.breaches > before[0]:
+            obs.count("filter.watchdog.breaches", filter=self._label)
+        if stats.trips > before[1]:
+            obs.instant("filter.watchdog.trip", t=time, filter=self._label)
+            obs.count("filter.watchdog.trips", filter=self._label)
+        if stats.recoveries > before[2]:
+            obs.instant("filter.watchdog.recovery", t=time, filter=self._label)
+            obs.count("filter.watchdog.recoveries", filter=self._label)
 
     def on_message(self, message: Message, now: float) -> None:
         """Feed a delivered message: replay the filter and keep the stamp.
 
         Units: now [s]
         """
-        self._replay.on_message(message, now)
+        renewed = self._replay.on_message(message, now)
+        if self._obs.enabled and renewed is not None:
+            depth = self._replay.last_replay_depth
+            self._obs.instant(
+                "filter.replay",
+                t=float(now),
+                stamp=message.stamp,
+                depth=depth,
+                filter=self._label,
+            )
+            self._obs.count("filter.replays", filter=self._label)
+            self._obs.observe(
+                "filter.replay_depth", float(depth), filter=self._label
+            )
         if (
             self._latest_message is None
             or message.stamp > self._latest_message.stamp
@@ -311,6 +359,15 @@ class InformationFilter:
             # Reachability-only: before the first sensor reading, or the
             # watchdog tripped and the Kalman band is quarantined.
             fused = guaranteed
+            if self._obs.enabled:
+                self._obs.count("filter.fallback", filter=self._label)
+                if self._watchdog.diverged:
+                    self._obs.instant(
+                        "filter.fallback",
+                        t=float(now),
+                        cause="watchdog",
+                        filter=self._label,
+                    )
             if self._replay.is_initialized:
                 accel = self._replay.current_accel
             elif self._latest_message is not None:
@@ -322,6 +379,23 @@ class InformationFilter:
                 velocity=fused.velocity.midpoint,
                 acceleration=accel,
             )
+        if self._obs.enabled:
+            p_width = fused.position.width
+            v_width = fused.velocity.width
+            if math.isfinite(p_width):
+                self._obs.gauge(
+                    "filter.position_width", p_width, filter=self._label
+                )
+                self._obs.observe(
+                    "filter.position_width", p_width, filter=self._label
+                )
+            if math.isfinite(v_width):
+                self._obs.gauge(
+                    "filter.velocity_width", v_width, filter=self._label
+                )
+                self._obs.observe(
+                    "filter.velocity_width", v_width, filter=self._label
+                )
         return FusedEstimate(
             time=float(now),
             position=fused.position,

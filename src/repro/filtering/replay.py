@@ -69,6 +69,7 @@ class ReplayKalmanFilter:
         self._readings: Dict[int, SensorReading] = {}
         self._last_replayed_stamp: float = float("-inf")
         self._replay_count = 0
+        self._last_replay_depth = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -92,6 +93,11 @@ class ReplayKalmanFilter:
     def replay_count(self) -> int:
         """How many message replays have been performed."""
         return self._replay_count
+
+    @property
+    def last_replay_depth(self) -> int:
+        """Sensor readings re-applied by the most recent replay (0 if none)."""
+        return self._last_replay_depth
 
     @property
     def current_accel(self) -> float:
@@ -189,6 +195,7 @@ class ReplayKalmanFilter:
 
         # Replay every logged reading strictly after the stamp, in order.
         idx = bisect.bisect_right(self._reading_times, stamp + 1e-12)
+        self._last_replay_depth = len(self._reading_times) - idx
         for t in self._reading_times[idx:]:
             reading = self._readings[_key(t)]
             predicted = self._kalman.extrapolate(state, accel, t - state.time)

@@ -16,6 +16,7 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     global_rng,
     mutable_default,
     no_dynamic_code,
+    obs_flow,
     plan_clamp,
     silent_except,
     units_docstring,

@@ -1,0 +1,274 @@
+"""SFL011 — observation values must never flow into control arguments.
+
+The observability layer (:mod:`repro.obs`) is *write-only* from the
+system's point of view: instrumented code calls
+``begin``/``end``/``instant``/``sample``/``count``/``gauge``/``observe``
+and is never supposed to read anything back.  The load-bearing contract
+(traced runs are bit-identical to untraced runs) dies silently the
+moment a timing value or a metric snapshot feeds a planner, filter,
+channel, or dynamics call — the run still *completes*, it is just no
+longer the run the certificate was computed for.
+
+This rule performs a per-function taint pass:
+
+* **sources** — wall-clock reads (``perf_now()``, ``wall_now()``,
+  ``time.perf_counter()``, ``time.monotonic()``) and *read*-API
+  attribute chains on observer-ish names (``obs``, ``observer``,
+  ``tracer``, ``metrics`` and their underscore forms) such as
+  ``self._obs.metrics.snapshot()`` or ``tracer.events``;
+* **propagation** — assignments whose right-hand side mentions a
+  tainted name (through arithmetic, subscripts, attribute access, or
+  calls on tainted values), iterated to a fixpoint;
+* **sinks** — calls to control-path methods (``plan``, ``step``,
+  ``evaluate``, ``update``, ``predict``, ``extrapolate``, ``estimate``,
+  ``estimate_at``, ``measure``, ``send``, ``on_message``,
+  ``on_sensor_reading``, ``apply_sensor``, ``transform``) and the
+  ``clipped`` sanitiser; a tainted argument to any of them is flagged.
+
+The *write* API (``begin``/``end``/``span``/``instant``/``sample``/
+``count``/``gauge``/``observe``/``enabled``) is deliberately not a
+source — branching on ``observer.enabled`` and handing span handles
+back to ``end()`` is the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["ObsFlowRule"]
+
+#: Wall-clock reader calls whose results are observation values.
+_CLOCK_FUNCS = frozenset(
+    {"perf_now", "wall_now", "perf_counter", "monotonic"}
+)
+
+#: Names that conventionally hold an observer/tracer/metrics object.
+_OBS_ROOTS = frozenset(
+    {
+        "obs",
+        "observer",
+        "tracer",
+        "metrics",
+        "_obs",
+        "_observer",
+        "_tracer",
+        "_metrics",
+    }
+)
+
+#: Read-API members of the observability objects; touching one of these
+#: through an observer-ish root yields an observation value.
+_READ_API = frozenset(
+    {
+        "snapshot",
+        "events",
+        "events_named",
+        "counters",
+        "gauges",
+        "histograms",
+        "counter_value",
+        "counter_series",
+        "gauge_value",
+        "elapsed",
+        "epoch",
+        "metrics",
+        "tracer",
+    }
+)
+
+#: Control-path methods: a tainted argument here breaks bit-identity.
+_SINK_METHODS = frozenset(
+    {
+        "plan",
+        "step",
+        "evaluate",
+        "update",
+        "predict",
+        "extrapolate",
+        "estimate",
+        "estimate_at",
+        "measure",
+        "send",
+        "on_message",
+        "on_sensor_reading",
+        "apply_sensor",
+        "transform",
+    }
+)
+
+#: Bare-name sinks (module-level sanitisers on the control path).
+_SINK_FUNCS = frozenset({"clipped"})
+
+
+def _attribute_root(node: ast.expr) -> ast.expr:
+    """Innermost value of an attribute/call chain (``a`` of ``a.b.c()``)."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            return node
+
+
+def _is_obs_rooted(node: ast.expr) -> bool:
+    """Whether an expression hangs off an observer-ish name.
+
+    Covers both bare roots (``obs.metrics``) and instance attributes
+    (``self._obs.metrics``): any observer-ish name along the chain
+    qualifies.
+    """
+    root = _attribute_root(node)
+    if isinstance(root, ast.Name) and root.id in _OBS_ROOTS:
+        return True
+    return bool(_chain_attrs(node) & _OBS_ROOTS)
+
+
+def _chain_attrs(node: ast.expr) -> Set[str]:
+    """Every attribute name appearing along a chain expression."""
+    attrs: Set[str] = set()
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.add(node.attr)
+            node = node.value
+        elif isinstance(node, (ast.Call, ast.Subscript)):
+            node = node.func if isinstance(node, ast.Call) else node.value
+        else:
+            return attrs
+
+
+def _is_source(node: ast.expr, tainted: Set[str]) -> bool:
+    """Whether an expression produces or carries an observation value."""
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _CLOCK_FUNCS:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _CLOCK_FUNCS
+        ):
+            return True
+        if _is_obs_rooted(func) and _chain_attrs(func) & _READ_API:
+            return True
+        # A call on a tainted value stays tainted (e.g. t.total_seconds()).
+        if any(
+            _is_source(child, tainted)
+            for child in ast.walk(node)
+            if isinstance(child, ast.Name)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.Attribute):
+        if _is_obs_rooted(node) and _chain_attrs(node) & _READ_API:
+            return True
+        return _is_source(_attribute_root(node), tainted)
+    if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Subscript, ast.IfExp)):
+        return any(
+            isinstance(child, ast.Name) and child.id in tainted
+            for child in ast.walk(node)
+        ) or any(
+            _is_source(child, tainted)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, (ast.Call, ast.Attribute))
+        )
+    return False
+
+
+def _assignment_targets(node: ast.stmt) -> Set[str]:
+    names: Set[str] = set()
+    targets: list = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        for child in ast.walk(target):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+    return names
+
+
+@register
+class ObsFlowRule(Rule):
+    """Flag dataflow from observation values into control-path calls."""
+
+    rule_id = "SFL011"
+    name = "observation-feeds-control"
+    rationale = (
+        "The observability layer is write-only; the bit-identity "
+        "contract (traced == untraced SimulationResult) breaks the "
+        "moment a timing value or metric snapshot reaches a planner, "
+        "filter, channel, or dynamics argument — silently, since the "
+        "run still completes."
+    )
+    scope = "critical"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Taint-check one function body."""
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Taint-check one async function body."""
+        self._check_function(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, node: ast.AST) -> None:
+        tainted: Set[str] = set()
+        # Fixpoint over assignments: two passes suffice for the straight
+        # -line chains this rule targets (value -> alias -> sink arg).
+        for _ in range(2):
+            before = len(tainted)
+            for stmt in ast.walk(node):
+                if isinstance(
+                    stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+                ):
+                    value = stmt.value
+                    if value is not None and _is_source(value, tainted):
+                        tainted |= _assignment_targets(stmt)
+            if len(tainted) == before:
+                break
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call) and self._is_sink(call):
+                for arg in list(call.args) + [
+                    kw.value for kw in call.keywords
+                ]:
+                    if _is_source(arg, tainted):
+                        self.report(
+                            call,
+                            "observation value flows into a control-path "
+                            f"call ({self._sink_name(call)}); the "
+                            "observability layer is write-only — traced "
+                            "runs must stay bit-identical to untraced "
+                            "runs",
+                        )
+                        break
+
+    @staticmethod
+    def _is_sink(call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in _SINK_METHODS
+        if isinstance(func, ast.Name):
+            return func.id in _SINK_FUNCS
+        return False
+
+    @staticmethod
+    def _sink_name(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return "?"

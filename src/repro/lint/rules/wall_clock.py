@@ -8,6 +8,14 @@ and start instant, so certificates stop reproducing and replayed
 message logs (:mod:`repro.filtering.replay`) no longer match the run
 that produced them.  Benchmarks that need wall time live outside these
 packages (``benchmarks/`` uses pytest-benchmark's own timers).
+
+One module is exempt: :mod:`repro.obs.trace`, the observability
+subsystem's single sanctioned wall-clock reader.  Profiling *is*
+wall-clock measurement by definition; confining the reads to one
+write-only tracer module (everything else obtains timestamps through
+its ``perf_now``/``wall_now`` wrappers) keeps the exemption auditable,
+and SFL011 separately guarantees that no observed value flows back into
+planner/filter/dynamics arguments.
 """
 
 from __future__ import annotations
@@ -33,6 +41,11 @@ _TIME_FUNCS = frozenset(
 )
 _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
+#: The observability tracer is the repo's one sanctioned wall-clock
+#: reader (see the module docstring); every other in-scope module goes
+#: through its ``perf_now``/``wall_now`` wrappers.
+EXEMPT_MODULES = frozenset({"repro.obs.trace"})
+
 
 @register
 class WallClockRule(Rule):
@@ -49,6 +62,8 @@ class WallClockRule(Rule):
 
     def visit_Call(self, node: ast.Call) -> None:
         """Check one call expression."""
+        if self.context.module in EXEMPT_MODULES:
+            return
         func = node.func
         if isinstance(func, ast.Attribute):
             root = func.value
@@ -84,6 +99,8 @@ class WallClockRule(Rule):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         """Check a from-import statement."""
+        if self.context.module in EXEMPT_MODULES:
+            return
         if node.module == "time":
             imported = sorted(
                 alias.name

@@ -1,0 +1,116 @@
+"""Machine-readable benchmark trajectories (``BENCH_<area>.json``).
+
+The benchmark suite reproduces the paper's tables but, until this
+module, persisted nothing a later PR could regress against.  The hook
+in ``benchmarks/conftest.py`` collects one entry per benchmark test
+(node id, outcome, wall duration) and, when ``REPRO_BENCH_RECORD=1``,
+writes one schema-versioned document per benchmark *area* — the file
+stem with its ``test_bench_`` prefix stripped, so
+``benchmarks/test_bench_micro.py`` records into ``BENCH_micro.json``.
+
+Documents carry the same ``schema_version`` discipline as the result
+serialisation layer: minor additions are ignored by older readers,
+major mismatches are rejected by :func:`load_bench_document`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import SerializationError
+from repro.sim.serialization import SCHEMA_VERSION, check_schema_version
+
+__all__ = [
+    "area_of_nodeid",
+    "make_bench_document",
+    "write_bench_documents",
+    "load_bench_document",
+]
+
+_PREFIX = "test_bench_"
+
+
+def area_of_nodeid(nodeid: str) -> str:
+    """Benchmark area of a pytest node id.
+
+    ``benchmarks/test_bench_micro.py::test_x`` -> ``micro``; files
+    without the ``test_bench_`` prefix fall back to their full stem.
+    """
+    file_part = nodeid.split("::", 1)[0]
+    stem = Path(file_part).stem
+    if stem.startswith(_PREFIX):
+        return stem[len(_PREFIX):] or stem
+    return stem
+
+
+def make_bench_document(
+    area: str,
+    entries: Sequence[dict],
+    context: Optional[dict] = None,
+) -> dict:
+    """One area's recording as a schema-versioned document.
+
+    Entries are sorted by node id so reruns differ only in the measured
+    numbers, never in structure.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "area": area,
+        "context": dict(context or {}),
+        "benchmarks": sorted(
+            (dict(entry) for entry in entries),
+            key=lambda entry: str(entry.get("nodeid", "")),
+        ),
+    }
+
+
+def write_bench_documents(
+    entries: Sequence[dict],
+    directory: Union[str, Path],
+    context: Optional[dict] = None,
+) -> List[Path]:
+    """Group entries by area and write one ``BENCH_<area>.json`` each.
+
+    Every entry must carry a ``nodeid``; returns the written paths in
+    area order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_area: Dict[str, List[dict]] = {}
+    for entry in entries:
+        nodeid = entry.get("nodeid")
+        if not isinstance(nodeid, str) or not nodeid:
+            raise SerializationError(
+                f"bench entry without a nodeid: {entry!r}"
+            )
+        by_area.setdefault(area_of_nodeid(nodeid), []).append(entry)
+    paths: List[Path] = []
+    for area in sorted(by_area):
+        document = make_bench_document(area, by_area[area], context=context)
+        path = directory / f"BENCH_{area}.json"
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
+            + "\n",
+            encoding="utf-8",
+        )
+        paths.append(path)
+    return paths
+
+
+def load_bench_document(path: Union[str, Path]) -> dict:
+    """Read one ``BENCH_<area>.json`` back, enforcing the schema major."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no benchmark record at {path}")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError(f"{path} is not a JSON object")
+    check_schema_version(document, "benchmark record")
+    if not isinstance(document.get("benchmarks"), list):
+        raise SerializationError(f"{path} has no 'benchmarks' array")
+    return document

@@ -1,0 +1,188 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` aggregates named series keyed by a sorted
+label set, Prometheus-style: ``channel.dropped{channel=veh1,stage=loss}``.
+Three instrument kinds:
+
+* **counter** — monotonically accumulated float/int (message drops,
+  shield engagements, chunk retries);
+* **gauge** — last written value (current safety margin, fused band
+  width);
+* **histogram** — fixed cumulative-style bucket counts plus
+  count/sum/min/max (fsync latency, per-copy channel delay).
+
+Buckets are fixed per histogram *name* at first use (or pre-registered
+via :meth:`MetricsRegistry.register_histogram`), never derived from the
+observed data, so two runs of the same workload produce structurally
+identical snapshots.
+
+Everything here is write-aggregate-snapshot: the instrumented layers
+only call :meth:`count` / :meth:`gauge` / :meth:`observe`; reading a
+snapshot back into planner, dynamics, or filter arguments is flagged by
+safelint rule SFL011.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS", "metric_key"]
+
+#: Default histogram bucket upper bounds, seconds-flavoured: spans the
+#: microsecond-to-minute range the instrumented layers produce.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    60.0,
+)
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical series key: ``name{label=value,...}`` with sorted labels."""
+    if not labels:
+        return name
+    parts = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{parts}}}"
+
+
+class _Histogram:
+    """One histogram series: fixed buckets plus running aggregates."""
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        # counts[i] observations <= buckets[i]; last slot is +inf overflow.
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Aggregated counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+        self._buckets_by_name: Dict[str, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def register_histogram(
+        self, name: str, buckets: Sequence[float]
+    ) -> None:
+        """Fix the bucket bounds for every series of histogram ``name``.
+
+        Must be strictly increasing and non-empty; re-registering with
+        different bounds is refused (bucket identity is what makes
+        snapshots comparable across runs).
+        """
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi <= lo:
+                raise ConfigurationError(
+                    f"histogram {name!r} buckets must be strictly "
+                    f"increasing, got {bounds}"
+                )
+        existing = self._buckets_by_name.get(name)
+        if existing is not None and existing != bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{existing}; refusing to change them mid-run"
+            )
+        self._buckets_by_name[name] = bounds
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` to a counter series (monotonic accumulation)."""
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge series to its latest value."""
+        self._gauges[metric_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a histogram series."""
+        key = metric_key(name, labels)
+        series = self._histograms.get(key)
+        if series is None:
+            buckets = self._buckets_by_name.setdefault(name, DEFAULT_BUCKETS)
+            series = self._histograms[key] = _Histogram(buckets)
+        series.observe(float(value))
+
+    # ------------------------------------------------------------------
+    # Reading (exporters and reports only — see SFL011)
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of one counter series (0 if never written)."""
+        return self._counters.get(metric_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        """Latest value of one gauge series, or ``None``."""
+        return self._gauges.get(metric_key(name, labels))
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered dump of every series."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def counter_series(self, prefix: str) -> Dict[str, float]:
+        """Counter series whose key starts with ``prefix`` (reports)."""
+        return {
+            key: value
+            for key, value in sorted(self._counters.items())
+            if key.startswith(prefix)
+        }
+
+    def clear(self) -> None:
+        """Reset every series (bucket registrations are kept)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

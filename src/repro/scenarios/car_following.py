@@ -114,6 +114,35 @@ class CarFollowingSafetyModel:
         return ego_travel + ego_stop_growth + leader_credit_loss
 
     # ------------------------------------------------------------------
+    # Observability hooks (telemetry only — the monitor never calls these)
+    # ------------------------------------------------------------------
+    def safety_margin(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> float:
+        """The following slack as a scalar safety margin, metres.
+
+        Units: time [s] -> [m]
+        """
+        return self._slack(ego, estimates)
+
+    def boundary_distance(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> float:
+        """Distance of the slack to the ``X_b`` threshold, metres.
+
+        Units: time [s] -> [m]
+        """
+        return self._slack(ego, estimates) - self._margin(
+            ego, estimates[self.leader_index]
+        )
+
+    # ------------------------------------------------------------------
     # SafetyModel protocol
     # ------------------------------------------------------------------
     def in_estimated_unsafe_set(

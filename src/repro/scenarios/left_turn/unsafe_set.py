@@ -189,6 +189,40 @@ class LeftTurnSafetyModel:
         )
 
     # ------------------------------------------------------------------
+    # Observability hooks (telemetry only — the monitor never calls these)
+    # ------------------------------------------------------------------
+    def safety_margin(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> float:
+        """The slack ``s(t)`` as a scalar safety margin, metres.
+
+        Units: time [s] -> [m]
+        """
+        return slack(ego.position, ego.velocity, self.geometry, self.ego_limits)
+
+    def boundary_distance(
+        self,
+        time: float,
+        ego: VehicleState,
+        estimates: Mapping[int, FusedEstimate],
+    ) -> float:
+        """Distance of the slack to the ``X_b`` threshold, metres.
+
+        Units: time [s] -> [m]
+
+        Positive while the slack exceeds the worst one-step decrease;
+        zero or negative when the boundary safe set may be reached within
+        one control step.
+        """
+        s = slack(ego.position, ego.velocity, self.geometry, self.ego_limits)
+        return s - boundary_slack_margin(
+            ego.velocity, self.dt_c, self.ego_limits
+        )
+
+    # ------------------------------------------------------------------
     # SafetyModel protocol
     # ------------------------------------------------------------------
     def in_estimated_unsafe_set(

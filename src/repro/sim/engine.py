@@ -39,6 +39,7 @@ from repro.dynamics.vehicle import VehicleModel
 from repro.errors import SafetyViolationError, SimulationError
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.filtering.info_filter import EstimateProvider
+from repro.obs.observer import resolve_observer
 from repro.planners.base import Planner, PlanningContext, clipped
 from repro.scenarios.base import Scenario
 from repro.sensing.noise import NoiseBounds
@@ -172,6 +173,7 @@ class SimulationEngine:
         planner: Planner,
         estimator_factory: EstimatorFactory,
         rng: RngStream,
+        observer=None,
     ) -> SimulationResult:
         """Execute one full episode.
 
@@ -187,7 +189,13 @@ class SimulationEngine:
         rng:
             The run's seed stream; all stochastic components draw from
             independent children of it.
+        observer:
+            Optional :class:`~repro.obs.observer.Observer`; records
+            per-step spans and per-stage timing.  Observation is
+            write-only — traced runs are bit-identical to untraced ones.
         """
+        obs = resolve_observer(observer)
+        traced = obs.enabled
         scenario = self._scenario
         n = scenario.n_vehicles
         others = range(1, n)
@@ -208,6 +216,8 @@ class SimulationEngine:
                     period=self._comm.dt_m,
                     rng=channel_streams[i],
                     faults=self._comm.faults,
+                    observer=obs,
+                    name=f"veh{i}",
                 )
                 for i in others
             }
@@ -217,6 +227,8 @@ class SimulationEngine:
                     period=self._comm.dt_m,
                     disturbance=self._comm.disturbance,
                     rng=channel_streams[i],
+                    observer=obs,
+                    name=f"veh{i}",
                 )
                 for i in others
             }
@@ -251,21 +263,29 @@ class SimulationEngine:
         dt = self._clock.dt_c
         n_steps = int(round(self._config.max_time / dt))
 
+        run_handle = obs.begin("engine.run", n_steps=n_steps) if traced else -1
+        step_handle = -1
         for step in range(n_steps + 1):
             t = self._clock.time_of(step)
+            if traced:
+                step_handle = obs.begin("engine.step", step=step, t=t)
 
             # 1. Non-ego commands for the coming step stamp the content
             #    of this step's messages and sensor readings.
+            stage = obs.begin("engine.profile") if traced else -1
             commands: Dict[int, float] = {}
             stamped: Dict[int, VehicleState] = {}
             for i in others:
                 commands[i] = profiles[i](step, t, state.vehicle(i))
                 stamped[i] = state.vehicle(i).with_acceleration(commands[i])
+            if traced:
+                obs.end(stage)
 
             # 2-4. Sensing, transmission, delivery.  Faulted sensors still
             # draw their noise (the reading is taken, then filtered), so a
             # dropout never shifts the random sequence of later readings.
             if self._clock.is_sensor_step(step):
+                stage = obs.begin("engine.sense") if traced else -1
                 for i in others:
                     reading = sensors[i].measure(t, stamped[i])
                     if injector is not None:
@@ -274,18 +294,26 @@ class SimulationEngine:
                             continue
                         reading = faulted
                     estimators[i].on_sensor_reading(reading)
+                if traced:
+                    obs.end(stage)
+            stage = obs.begin("engine.comm") if traced else -1
             if self._clock.is_message_step(step):
                 for i in others:
                     channels[i].send(i, t, stamped[i])
             for i in others:
                 for message in channels[i].receive(t):
                     estimators[i].on_message(message, t)
+            if traced:
+                obs.end(stage)
 
             # 5. Terminal checks on the true joint state.
             if scenario.is_collision(state):
                 collision_time = t
                 outcome = Outcome.COLLISION
                 self._record(trajectories, t, state.ego, stamped, terminal=True)
+                if traced:
+                    obs.instant("engine.collision", t=t)
+                    obs.end(step_handle)
                 if self._config.strict_safety:
                     raise SafetyViolationError(
                         f"planner entered the unsafe set at t={t:.3f}s"
@@ -295,13 +323,22 @@ class SimulationEngine:
                 reaching_time = t
                 outcome = Outcome.REACHED
                 self._record(trajectories, t, state.ego, stamped, terminal=True)
+                if traced:
+                    obs.instant("engine.reached", t=t)
+                    obs.end(step_handle)
                 break
             if step == n_steps:
                 self._record(trajectories, t, state.ego, stamped, terminal=True)
+                if traced:
+                    obs.end(step_handle)
                 break
 
             # 6. Plan.
+            stage = obs.begin("engine.estimate") if traced else -1
             estimates = {i: estimators[i].estimate(t) for i in others}
+            if traced:
+                obs.end(stage)
+            stage = obs.begin("engine.plan") if traced else -1
             context = PlanningContext(time=t, ego=state.ego, estimates=estimates)
             if injector is not None:
                 ego_command, planner_called = injector.plan(
@@ -314,6 +351,8 @@ class SimulationEngine:
             else:
                 ego_command = planner.plan(context)
                 planner_called = True
+            if traced:
+                obs.end(stage)
             planned_steps += 1
             decision = (
                 getattr(planner, "last_decision", None) if planner_called else None
@@ -330,12 +369,23 @@ class SimulationEngine:
             )
 
             # 7. Step the dynamics.
+            stage = obs.begin("engine.act") if traced else -1
             new_vehicles = [self._models[0].step(state.ego, ego_command, dt)]
             for i in others:
                 new_vehicles.append(
                     self._models[i].step(state.vehicle(i), commands[i], dt)
                 )
             state = SystemState(time=t + dt, vehicles=tuple(new_vehicles))
+            if traced:
+                obs.end(stage)
+                obs.end(step_handle)
+
+        if traced:
+            obs.end(
+                run_handle, outcome=outcome.value, planned_steps=planned_steps
+            )
+            obs.count("engine.runs")
+            obs.count("engine.planned_steps", planned_steps)
 
         if planned_steps == 0 and outcome is Outcome.TIMEOUT:
             raise SimulationError("simulation ended without planning any step")

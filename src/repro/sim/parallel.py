@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.faults.chaos import WorkerChaosOnce
+from repro.obs.observer import resolve_observer
 from repro.planners.base import Planner
 from repro.sim.engine import CommSetup, SimulationConfig, SimulationEngine
 from repro.sim.results import (
@@ -69,6 +70,7 @@ def run_chunk(
     indices: Sequence[int],
     n_sims: int,
     chaos: Optional[WorkerChaosOnce] = None,
+    observer=None,
 ) -> List[tuple]:
     """Worker entry point: run the given simulation indices of a batch.
 
@@ -82,11 +84,16 @@ def run_chunk(
     ``chaos`` is the test/benchmark hook that makes the first claiming
     invocation misbehave (crash / garbage payload / hang); production
     batches leave it ``None``.
+
+    ``observer`` is only ever passed on the in-process fast path —
+    observers are not picklable and never cross a process boundary, so
+    pool workers always run untraced (which is bit-identical anyway).
     """
     if chaos is not None and chaos.apply():
         return ["chaos: malformed payload"]  # type: ignore[list-item]
+    obs = resolve_observer(observer)
     engine = SimulationEngine(scenario, comm, config)
-    factory = make_estimator_factory(estimator_kind, engine)
+    factory = make_estimator_factory(estimator_kind, engine, observer=observer)
     streams = RngStream(seed).spawn(n_sims)
     out: List[tuple] = []
     for index in indices:
@@ -94,7 +101,14 @@ def run_chunk(
         # its chunk siblings down with it; the error is shipped back as
         # data and recorded by the parent.
         try:
-            out.append((index, "ok", engine.run(planner, factory, streams[index])))
+            if obs.enabled:
+                with obs.span("batch.sim", index=index, seed=seed):
+                    result = engine.run(
+                        planner, factory, streams[index], observer=obs
+                    )
+            else:
+                result = engine.run(planner, factory, streams[index])
+            out.append((index, "ok", result))
         except Exception as exc:  # safelint: disable=SFL003 - returned as tagged error entry
             out.append((index, "error", type(exc).__name__, str(exc)))
     return out
@@ -125,6 +139,12 @@ class ParallelBatchRunner:
     chaos:
         Optional :class:`~repro.faults.chaos.WorkerChaosOnce` hook
         injected into every chunk (tests / chaos benchmark only).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`.  Reaches the
+        simulation engines only on the in-process fast path
+        (``n_workers == 1``, no chaos, no timeout) — observers never
+        cross a process boundary; on multiprocess runs it still records
+        parent-side chunk spans and retry counters.
 
     Notes
     -----
@@ -148,6 +168,7 @@ class ParallelBatchRunner:
         max_retries: int = 2,
         timeout_per_sim: Optional[float] = None,
         chaos: Optional[WorkerChaosOnce] = None,
+        observer=None,
     ) -> None:
         if isinstance(scenario, SimulationEngine):
             raise SimulationError(
@@ -179,6 +200,7 @@ class ParallelBatchRunner:
         self._max_retries = max_retries
         self._timeout_per_sim = timeout_per_sim
         self._chaos = chaos
+        self._obs = resolve_observer(observer)
 
     @property
     def n_workers(self) -> int:
@@ -284,6 +306,7 @@ class ParallelBatchRunner:
                 seed,
                 indices,
                 n_sims,
+                observer=(self._obs if self._obs.enabled else None),
             )
             results: Dict[int, SimulationResult] = {}
             failures: List[FailureRecord] = []
@@ -316,11 +339,34 @@ class ParallelBatchRunner:
             for chunk in (indices[i::workers] for i in range(workers))
             if chunk
         ]
+        round_no = 0
         while pending:
             retry: List[int] = []
-            self._run_round(
-                pending, planner, seed, n_sims, results, attempts, last_error, final
-            )
+            if self._obs.enabled:
+                with self._obs.span(
+                    "batch.round", round=round_no, chunks=len(pending)
+                ):
+                    self._run_round(
+                        pending,
+                        planner,
+                        seed,
+                        n_sims,
+                        results,
+                        attempts,
+                        last_error,
+                        final,
+                    )
+            else:
+                self._run_round(
+                    pending,
+                    planner,
+                    seed,
+                    n_sims,
+                    results,
+                    attempts,
+                    last_error,
+                    final,
+                )
             for chunk in pending:
                 for index in chunk:
                     if index in results or index in final:
@@ -329,7 +375,10 @@ class ParallelBatchRunner:
                         retry.append(index)
                     else:
                         final.add(index)
+            if retry and self._obs.enabled:
+                self._obs.count("batch.retries", len(retry))
             pending = [[index] for index in sorted(retry)]
+            round_no += 1
 
         failures = [
             FailureRecord(

@@ -39,9 +39,14 @@ class EstimatorKind(str, Enum):
 
 
 def make_estimator_factory(
-    kind: EstimatorKind, engine: SimulationEngine
+    kind: EstimatorKind, engine: SimulationEngine, observer=None
 ) -> Callable[[int], EstimateProvider]:
-    """Estimator factory matching the engine's scenario and comm setup."""
+    """Estimator factory matching the engine's scenario and comm setup.
+
+    ``observer`` (optional) is handed to every
+    :class:`InformationFilter` the factory builds, labelled ``veh<i>``;
+    the raw estimator has nothing to report and ignores it.
+    """
     scenario = engine.scenario
     comm = engine.comm
 
@@ -52,6 +57,8 @@ def make_estimator_factory(
                 limits=limits,
                 sensor_bounds=comm.sensor_bounds,
                 sensing_period=comm.dt_s,
+                observer=observer,
+                label=f"veh{index}",
             )
         return RawEstimator(limits=limits, sensor_bounds=comm.sensor_bounds)
 

@@ -1,0 +1,26 @@
+"""Fixture: observation values flowing into control-path calls (SFL011)."""
+
+from repro.obs.trace import perf_now
+
+
+def feeds_timing_into_planner(planner, context):
+    """Bad: a wall-clock delta becomes a planner argument."""
+    started = perf_now()
+    elapsed = perf_now() - started
+    return planner.plan(context, elapsed)
+
+
+def feeds_snapshot_into_filter(estimator, obs, reading):
+    """Bad: a metric snapshot value becomes a filter argument."""
+    snap = obs.metrics.snapshot()
+    bias = snap["counters"]["filter.replays"]
+    estimator.update(reading, bias)
+
+
+class Adaptive:
+    """Bad: a self-held observer read steers the channel."""
+
+    def relay(self, message):
+        """Forward a message, scaled by an observed counter."""
+        load = self._obs.metrics.counter_value("channel.sent")
+        self._channel.send(message, load)

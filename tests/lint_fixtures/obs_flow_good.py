@@ -1,0 +1,30 @@
+"""Fixture: the sanctioned write-only observability idiom (SFL011)."""
+
+
+def traced_step(obs, planner, context):
+    """Good: spans and counters wrap the control call, never feed it."""
+    handle = obs.begin("engine.plan", step=context.step) if obs.enabled else -1
+    command = planner.plan(context)
+    if obs.enabled:
+        obs.end(handle)
+        obs.count("engine.planned_steps")
+        obs.gauge("shield.margin", command.margin)
+        obs.observe("engine.accel", command.acceleration)
+    return command
+
+
+def passes_observer_through(engine, scenario, obs):
+    """Good: handing the observer object itself downstream is sanctioned."""
+    return engine.run(scenario, observer=obs)
+
+
+class Instrumented:
+    """Good: a self-held observer used strictly through the write API."""
+
+    def relay(self, message):
+        """Forward a message, counting it on the way."""
+        delivered = self._channel.send(message)
+        if self._obs.enabled:
+            self._obs.count("channel.sent")
+            self._obs.instant("channel.relay", stamp=message.stamp)
+        return delivered

@@ -47,6 +47,11 @@ class TestLifecycle:
         assert code == EXIT_OK
         assert status["finished"] is True
         assert status["completed_chunks"] == 2
+        # Operational fields from the journal: retries and wall time.
+        assert status["total_retries"] == 0
+        assert status["chunk_retries"] == {}
+        assert status["elapsed"]["chunks_timed"] == 2
+        assert status["elapsed"]["total_seconds"] >= 0.0
 
         code = main(["verify", "--dir", str(directory)])
         out = capsys.readouterr().out

@@ -26,6 +26,7 @@ RULE_FIXTURES = {
     "SFL008": ("units_docstring", "repro.dynamics.fixture"),
     "SFL009": ("no_dynamic_code", "repro.analysis.fixture"),
     "SFL010": ("silent_except", "repro.analysis.fixture"),
+    "SFL011": ("obs_flow", "repro.sim.fixture"),
     "SFL100": ("dim_add", "repro.dynamics.fixture"),
     "SFL101": ("dim_compare", "repro.dynamics.fixture"),
     "SFL102": ("dim_call", "repro.dynamics.fixture"),

@@ -1,0 +1,212 @@
+"""Unit tests for the observability core: tracer, metrics, exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, metric_key
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, resolve_observer
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    """Deterministic clock so span durations are asserted exactly."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_span_records_relative_ts_and_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.now = 101.0
+        handle = tracer.begin("engine.step", step=3)
+        clock.now = 101.5
+        tracer.end(handle, outcome="ok")
+        (event,) = tracer.events
+        assert event["kind"] == "span"
+        assert event["name"] == "engine.step"
+        assert event["ts"] == pytest.approx(1.0)
+        assert event["dur"] == pytest.approx(0.5)
+        assert event["attrs"] == {"step": 3, "outcome": "ok"}
+
+    def test_end_unknown_handle_is_silent(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.end(999)
+        tracer.end(-1)
+        assert tracer.events == []
+
+    def test_spans_may_close_out_of_order(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.end(outer)
+        tracer.end(inner)
+        assert [e["name"] for e in tracer.events] == ["outer", "inner"]
+        assert tracer.n_open == 0
+
+    def test_span_context_manager(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("chunk", index=2):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "chunk"
+        assert event["attrs"] == {"index": 2}
+
+    def test_instant_and_sample(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.now = 100.25
+        tracer.instant("shield.engage", cause="boundary")
+        tracer.sample("shield.margin", 3.5, t=1.0)
+        instant, sample = tracer.events
+        assert instant["kind"] == "instant"
+        assert instant["ts"] == pytest.approx(0.25)
+        assert sample["kind"] == "sample"
+        assert sample["value"] == 3.5
+        assert tracer.events_named("shield.margin") == [sample]
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("runs")
+        registry.count("runs", 2)
+        assert registry.counter_value("runs") == 3
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.count("sent", channel="veh1")
+        registry.count("sent", channel="veh2")
+        assert registry.counter_value("sent", channel="veh1") == 1
+        series = registry.counter_series("sent")
+        assert set(series) == {"sent{channel=veh1}", "sent{channel=veh2}"}
+
+    def test_metric_key_is_order_stable(self):
+        assert metric_key("m", {"b": 1, "a": 2}) == metric_key("m", {"a": 2, "b": 1})
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("margin", 3.0)
+        registry.gauge("margin", -1.0)
+        assert registry.gauge_value("margin") == -1.0
+
+    def test_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.01, 0.1):
+            registry.observe("delay", value)
+        snapshot = registry.snapshot()
+        hist = snapshot["histograms"]["delay"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.111)
+        assert sum(hist["counts"]) == 3
+        assert len(hist["counts"]) == len(DEFAULT_BUCKETS) + 1
+        assert hist["min"] == pytest.approx(0.001)
+        assert hist["max"] == pytest.approx(0.1)
+
+
+class TestObserverFacade:
+    def test_resolve_defaults_to_shared_null(self):
+        assert resolve_observer(None) is NULL_OBSERVER
+        observer = Observer()
+        assert resolve_observer(observer) is observer
+
+    def test_null_observer_is_inert(self):
+        null = NullObserver()
+        assert null.enabled is False
+        assert null.begin("x") == -1
+        null.end(-1)
+        null.instant("x")
+        null.sample("x", 1.0)
+        null.count("x")
+        null.gauge("x", 1.0)
+        null.observe("x", 1.0)
+        with null.span("x") as handle:
+            assert handle == -1
+
+    def test_observer_routes_to_tracer_and_metrics(self):
+        observer = Observer(tracer=Tracer(clock=FakeClock()))
+        with observer.span("s"):
+            observer.instant("i")
+        observer.count("c", 2)
+        observer.gauge("g", 1.5)
+        observer.observe("h", 0.01)
+        assert [e["name"] for e in observer.tracer.events] == ["i", "s"]
+        assert observer.metrics.counter_value("c") == 2
+
+
+class TestExport:
+    def _observer(self):
+        clock = FakeClock()
+        observer = Observer(tracer=Tracer(clock=clock))
+        handle = observer.begin("engine.step", step=0)
+        clock.now = 100.001
+        observer.end(handle)
+        observer.instant("shield.engage", cause="unsafe", t=0.5)
+        observer.sample("shield.margin", 2.5, t=0.5)
+        observer.sample("shield.margin", float("nan"), t=0.6)
+        observer.count("engine.runs")
+        return observer
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        observer = self._observer()
+        path = write_jsonl(
+            tmp_path / "trace.jsonl", observer.tracer, observer.metrics
+        )
+        header, events, snapshot = read_jsonl(path)
+        assert header["stream"] == "reprotrace"
+        assert len(events) == len(observer.tracer.events)
+        assert snapshot["counters"]["engine.runs"] == 1
+
+    def test_read_rejects_foreign_stream(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "stream": "other"}\n')
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_read_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "instant", "name": "x", "ts": 0}\n')
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_chrome_trace_shapes(self):
+        observer = self._observer()
+        document = to_chrome_trace(observer.tracer.events)
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases[0] == "M"
+        assert "X" in phases and "i" in phases and "C" in phases
+        # The NaN sample must be skipped, not emitted.
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        span = next(e for e in document["traceEvents"] if e["ph"] == "X")
+        assert span["dur"] == pytest.approx(1000.0)  # 1 ms in microseconds
+
+    def test_written_chrome_trace_validates(self, tmp_path):
+        observer = self._observer()
+        path = write_chrome_trace(tmp_path / "t.json", observer.tracer.events)
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_validator_reports_problems(self):
+        assert validate_chrome_trace([]) == ["trace document is not a JSON object"]
+        assert validate_chrome_trace({}) == ["traceEvents is missing or not an array"]
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "s", "ts": 0.0, "dur": -1.0, "pid": 0, "tid": 0}]}
+        )
+        assert any("negative" in p for p in problems)
+        problems = validate_chrome_trace({"traceEvents": [{"ph": "??"}]})
+        assert any("unknown phase" in p for p in problems)
