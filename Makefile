@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
+.PHONY: lint safelint safedim lint-shape ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -17,8 +17,14 @@ safelint:
 safedim:
 	$(PYTHON) -m repro.lint src --select SFL1 --no-baseline
 
+# The safeshape family alone (SFL200-SFL205), baseline-free: the array
+# core must stay shape-certified with zero suppressions (the
+# precondition for the vectorized batch engine; see docs/LINTING.md).
+lint-shape:
+	$(PYTHON) -m repro.lint src --select SFL2 --no-baseline
+
 # What CI's lint job runs; mirror of .pre-commit-config.yaml.
-precommit: safelint safedim ruff mypy
+precommit: safelint safedim lint-shape ruff mypy
 
 ruff:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \

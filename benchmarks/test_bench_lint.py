@@ -1,0 +1,58 @@
+"""Benchmarks of the safelint static-analysis passes themselves.
+
+The lint gates run on every commit (pre-commit) and every CI push, so
+their wall time is part of the development loop's budget.  These
+benchmarks time the full rule set and the two baseline-free families
+(safedim SFL1xx, safeshape SFL2xx) over ``src/`` and, under ``make
+bench-record``, persist the durations into ``BENCH_lint.json`` so a
+later PR that slows the analyzers down regresses against a recorded
+baseline instead of an anecdote.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, load_project_config
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def lint_config() -> LintConfig:
+    pyproject = SRC.parent / "pyproject.toml"
+    if pyproject.exists():
+        return load_project_config(pyproject)
+    return LintConfig()
+
+
+def _select(config: LintConfig, prefix: str) -> LintConfig:
+    from dataclasses import replace
+
+    return replace(config, select=frozenset({prefix}), baseline=None)
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_full_rule_set_over_src(benchmark, lint_config):
+    result = benchmark(lint_paths, [SRC], lint_config)
+    assert result.files_checked > 0
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_dim_gate_over_src(benchmark, lint_config):
+    result = benchmark(lint_paths, [SRC], _select(lint_config, "SFL1"))
+    assert result.findings == []
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_shape_gate_over_src(benchmark, lint_config):
+    """The safeshape pass alone: the cost of the SFL200-series gate.
+
+    Also re-asserts the acceptance invariant the CI gate enforces —
+    zero findings and zero suppressions over ``src/`` — so the recorded
+    duration always measures a *clean* pass, never one inflated by
+    finding construction.
+    """
+    result = benchmark(lint_paths, [SRC], _select(lint_config, "SFL2"))
+    assert result.findings == []
+    assert result.suppressed == 0

@@ -52,7 +52,10 @@ class VehicleState:
                 raise ConfigurationError(f"VehicleState.{name} must not be NaN")
 
     def as_vector(self) -> np.ndarray:
-        """Return the ``[p, v]`` column vector used by the Kalman filter."""
+        """Return the ``[p, v]`` column vector used by the Kalman filter.
+
+        Shapes: -> [2, 1]
+        """
         return np.array([[self.position], [self.velocity]], dtype=float)
 
     def with_acceleration(self, acceleration: float) -> "VehicleState":

@@ -177,19 +177,31 @@ class Trajectory:
     # Bulk accessors (for metrics / plotting-style reporting)
     # ------------------------------------------------------------------
     def times(self) -> np.ndarray:
-        """All sample times as an array."""
+        """All sample times as an array.
+
+        Shapes: -> [N]
+        """
         return np.asarray(self._times, dtype=float)
 
     def positions(self) -> np.ndarray:
-        """All positions as an array."""
+        """All positions as an array.
+
+        Shapes: -> [N]
+        """
         return np.asarray([p.position for p in self._points], dtype=float)
 
     def velocities(self) -> np.ndarray:
-        """All velocities as an array."""
+        """All velocities as an array.
+
+        Shapes: -> [N]
+        """
         return np.asarray([p.velocity for p in self._points], dtype=float)
 
     def accelerations(self) -> np.ndarray:
-        """All applied accelerations as an array."""
+        """All applied accelerations as an array.
+
+        Shapes: -> [N]
+        """
         return np.asarray([p.acceleration for p in self._points], dtype=float)
 
     def first_time_when(self, predicate) -> Optional[float]:

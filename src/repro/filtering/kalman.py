@@ -57,6 +57,8 @@ def symmetrize_psd(covariance: np.ndarray, floor: float = 0.0) -> np.ndarray:
 
     A matrix that already satisfies all three comes back unchanged up to
     the symmetrization average.
+
+    Shapes: covariance [2, 2] -> [2, 2]
     """
     p = np.asarray(covariance, dtype=float)
     p = 0.5 * (p + p.T)
@@ -176,22 +178,34 @@ class KalmanFilter:
 
     @property
     def f_matrix(self) -> np.ndarray:
-        """State-transition matrix ``F`` (copy)."""
+        """State-transition matrix ``F`` (copy).
+
+        Shapes: -> [2, 2]
+        """
         return self._f.copy()
 
     @property
     def g_matrix(self) -> np.ndarray:
-        """Control matrix ``G`` (copy)."""
+        """Control matrix ``G`` (copy).
+
+        Shapes: -> [2, 1]
+        """
         return self._g.copy()
 
     @property
     def q_matrix(self) -> np.ndarray:
-        """Process-noise covariance ``Q`` (copy)."""
+        """Process-noise covariance ``Q`` (copy).
+
+        Shapes: -> [2, 2]
+        """
         return self._q.copy()
 
     @property
     def r_matrix(self) -> np.ndarray:
-        """Measurement-noise covariance ``R`` (copy)."""
+        """Measurement-noise covariance ``R`` (copy).
+
+        Shapes: -> [2, 2]
+        """
         return self._r.copy()
 
     @property

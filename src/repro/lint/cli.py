@@ -210,7 +210,9 @@ def _render_github(result: LintResult) -> str:
             f"::{command} "
             f"file={_escape_gh_property(finding.path)},"
             f"line={finding.line},"
+            f"endLine={finding.end_line},"
             f"col={finding.column + 1},"
+            f"endColumn={finding.end_column + 1},"
             f"title={_escape_gh_property('safelint ' + finding.rule_id)}"
             f"::{_escape_gh_data(finding.message)}"
         )

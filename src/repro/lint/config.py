@@ -13,6 +13,8 @@ inject a fake module name such as ``repro.sim.fixture``):
 * ``units`` — public physical-quantity APIs (docstring-units rule);
 * ``dim`` — the kinematics core covered by the safedim dimensional
   analysis (SFL100–SFL105);
+* ``shape`` — the array core covered by the safeshape shape/dtype
+  analysis (SFL200–SFL205);
 * ``all`` — everything.
 
 ``select``/``ignore`` entries are *prefixes*: ``SFL1`` selects the
@@ -67,6 +69,13 @@ _DEFAULT_DIM: Tuple[str, ...] = (
     "repro.sensing",
     "repro.core",
 )
+_DEFAULT_SHAPE: Tuple[str, ...] = (
+    "repro.nn",
+    "repro.filtering",
+    "repro.dynamics",
+    "repro.scenarios",
+    "repro.sim",
+)
 
 
 @dataclass(frozen=True)
@@ -86,7 +95,7 @@ class LintConfig:
         sequence is skipped (``tests/lint_fixtures`` keeps the
         deliberately-bad fixtures out of the gate).
     critical_packages, sim_packages, math_packages, planner_packages,
-    units_packages, dim_packages:
+    units_packages, dim_packages, shape_packages:
         Dotted module prefixes defining each rule scope.
     """
 
@@ -100,6 +109,7 @@ class LintConfig:
     planner_packages: Tuple[str, ...] = _DEFAULT_PLANNER
     units_packages: Tuple[str, ...] = _DEFAULT_UNITS
     dim_packages: Tuple[str, ...] = _DEFAULT_DIM
+    shape_packages: Tuple[str, ...] = _DEFAULT_SHAPE
 
     def packages_for(self, scope: str) -> Tuple[str, ...]:
         """The module-prefix list of a named scope (empty for ``all``)."""
@@ -111,6 +121,7 @@ class LintConfig:
             "planner": self.planner_packages,
             "units": self.units_packages,
             "dim": self.dim_packages,
+            "shape": self.shape_packages,
         }[scope]
 
     def module_in_scope(self, module: str, scope: str) -> bool:
@@ -206,6 +217,7 @@ def load_project_config(pyproject: Path) -> LintConfig:
         ("planner-packages", "planner_packages"),
         ("units-packages", "units_packages"),
         ("dim-packages", "dim_packages"),
+        ("shape-packages", "shape_packages"),
     ):
         value = _get_list(table, key)
         if value is not None:

@@ -23,30 +23,61 @@ found on the way (malformed unit, unknown parameter name) — the checker
 turns those into SFL104 findings rather than silently ignoring them,
 because an annotation that does not parse is an annotation that does
 not protect anything.
+
+The directive/``Annotated`` plumbing itself is shared with the shape
+pass (:mod:`repro.lint.specs`); only the unit grammar lives here.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.lint.dim.lattice import Dim, UnitSyntaxError, parse_unit
+from repro.lint.dim.lattice import Dim, parse_unit
+from repro.lint.specs import (
+    SpecIssue,
+    SpecSyntaxError,
+    directive_pattern,
+    docstring_lines,
+    parse_directive_payload,
+    spec_from_annotated,
+)
 
 __all__ = ["FunctionUnits", "UnitIssue", "extract_function_units"]
 
-_UNITS_LINE = re.compile(r"^\s*Units:\s*(?P<payload>.*\S)\s*$")
-_ENTRY = re.compile(r"^(?P<name>\w+)\s*\[(?P<unit>[^\[\]]*)\]$")
-_ARROW = re.compile(r"\s*->\s*\[(?P<unit>[^\[\]]*)\]\s*$")
+#: Back-compat alias: a unit-annotation problem is a plain spec issue.
+UnitIssue = SpecIssue
+
+_UNITS_LINE = directive_pattern("Units")
 
 
-@dataclass(frozen=True, slots=True)
-class UnitIssue:
-    """One problem with a unit declaration (feeds SFL104)."""
+def _parse_unit_entry(text: str, bracketed: bool) -> Dim:
+    """Docstring-entry grammar: the unit must be bracketed."""
+    if not bracketed:
+        raise SpecSyntaxError(
+            f"unit {text!r} must be bracketed (write '[{text}]')"
+        )
+    return parse_unit(text)
 
-    line: int
-    message: str
+
+def _parse_unit_metadata(text: str, bracketed: bool) -> Optional[Dim]:
+    """``Annotated`` metadata grammar: brackets are optional.
+
+    Metadata failing the unit grammar but passing the *shape* grammar
+    (``"[B,4]"``) is addressed to the shape pass, not broken: yield
+    ``None`` (keep scanning) instead of an issue.
+    """
+    try:
+        return parse_unit(text)
+    except SpecSyntaxError as unit_error:
+        from repro.lint.shape.lattice import ShapeSyntaxError, parse_shape
+
+        try:
+            parse_shape(text, bracketed)
+        except ShapeSyntaxError:
+            raise unit_error from None
+        return None
 
 
 @dataclass(frozen=True)
@@ -77,109 +108,13 @@ class FunctionUnits:
         return bool(self.params) or self.returns is not None
 
 
-def _annotated_metadata(annotation: ast.expr) -> List[ast.Constant]:
-    """String metadata constants of an ``Annotated[...]`` hint, if any."""
-    if not isinstance(annotation, ast.Subscript):
-        return []
-    target = annotation.value
-    name = target.attr if isinstance(target, ast.Attribute) else (
-        target.id if isinstance(target, ast.Name) else ""
-    )
-    if name != "Annotated":
-        return []
-    inner = annotation.slice
-    elements = inner.elts[1:] if isinstance(inner, ast.Tuple) else []
-    return [
-        element
-        for element in elements
-        if isinstance(element, ast.Constant) and isinstance(element.value, str)
-    ]
-
-
 def _unit_from_annotated(
     annotation: Optional[ast.expr],
     issues: List[UnitIssue],
 ) -> Optional[Dim]:
-    if annotation is None:
-        return None
-    for constant in _annotated_metadata(annotation):
-        text = constant.value.strip()
-        bracketed = text.startswith("[") and text.endswith("]")
-        try:
-            return parse_unit(text[1:-1] if bracketed else text)
-        except UnitSyntaxError as exc:
-            if bracketed:
-                # An explicit bracket is unambiguously a unit: a parse
-                # failure is a broken declaration, not free-form metadata.
-                issues.append(UnitIssue(constant.lineno, str(exc)))
-            continue
-    return None
-
-
-def _docstring_lines(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
-    """Yield ``(absolute_line, text)`` for each raw docstring line."""
-    if not func.body:
-        return
-    first = func.body[0]
-    if not (
-        isinstance(first, ast.Expr)
-        and isinstance(first.value, ast.Constant)
-        and isinstance(first.value.value, str)
-    ):
-        return
-    for offset, text in enumerate(first.value.value.splitlines()):
-        yield first.value.lineno + offset, text
-
-
-def _parse_units_payload(
-    payload: str,
-    line: int,
-    known_names: frozenset,
-    params: Dict[str, Dim],
-    issues: List[UnitIssue],
-) -> Optional[Dim]:
-    """Parse one ``Units:`` payload; returns the declared return dim."""
-    returns: Optional[Dim] = None
-    arrow = _ARROW.search(payload)
-    if arrow is not None:
-        try:
-            returns = parse_unit(arrow.group("unit"))
-        except UnitSyntaxError as exc:
-            issues.append(UnitIssue(line, f"return unit: {exc}"))
-        payload = payload[: arrow.start()]
-    for raw_entry in payload.split(","):
-        entry = raw_entry.strip()
-        if not entry:
-            continue
-        match = _ENTRY.match(entry)
-        if match is None:
-            issues.append(
-                UnitIssue(
-                    line,
-                    f"unparseable Units: entry {entry!r} "
-                    "(expected 'name [unit]')",
-                )
-            )
-            continue
-        name = match.group("name")
-        try:
-            dim = parse_unit(match.group("unit"))
-        except UnitSyntaxError as exc:
-            issues.append(UnitIssue(line, f"{name}: {exc}"))
-            continue
-        if name == "return":
-            returns = dim
-        elif name not in known_names:
-            issues.append(
-                UnitIssue(
-                    line,
-                    f"Units: names {name!r}, which is not a parameter "
-                    "of this function",
-                )
-            )
-        else:
-            params[name] = dim
-    return returns
+    return spec_from_annotated(
+        annotation, parse_spec=_parse_unit_metadata, issues=issues
+    )
 
 
 def extract_function_units(
@@ -204,12 +139,18 @@ def extract_function_units(
 
     params: Dict[str, Dim] = {}
     returns: Optional[Dim] = None
-    for line, text in _docstring_lines(func):
+    for line, text in docstring_lines(func):
         match = _UNITS_LINE.match(text)
         if match is None:
             continue
-        declared = _parse_units_payload(
-            match.group("payload"), line, known_names, params, issues
+        declared = parse_directive_payload(
+            match.group("payload"),
+            line,
+            directive="Units",
+            parse_spec=_parse_unit_entry,
+            known_names=known_names,
+            params=params,
+            issues=issues,
         )
         if declared is not None:
             returns = declared

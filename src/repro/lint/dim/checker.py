@@ -18,6 +18,11 @@ Containers are transparent: an ``Interval`` of metres *is* ``[m]`` here
 because the safety algebra treats interval endpoints exactly like the
 scalars they bound.
 
+The statement-walking skeleton (assignment targets, branch merging,
+loop widening) is shared with the shape pass through
+:class:`repro.lint.interp.AbstractInterpreter`; this module holds only
+the dimensional expression semantics and the checks.
+
 Violations carry a ``kind`` that the SFL100–SFL105 rule family splits
 on; the expensive analysis runs once per file and is cached across the
 six rules.
@@ -55,6 +60,7 @@ from repro.lint.dim.signatures import (
     build_import_map,
     build_signature_table,
 )
+from repro.lint.interp import AbstractInterpreter, dotted_chain, iter_functions
 
 __all__ = ["DimViolation", "analyze"]
 
@@ -90,8 +96,8 @@ def _fmt(value: AbstractDim) -> str:
     return f"[{value}]" if is_dim(value) else "[?]"
 
 
-class _FunctionInterpreter:
-    """Abstract interpretation of one function body."""
+class _FunctionInterpreter(AbstractInterpreter):
+    """Abstract interpretation of one function body over dimensions."""
 
     def __init__(
         self,
@@ -103,14 +109,13 @@ class _FunctionInterpreter:
         imports: Dict[str, str],
         violations: List[DimViolation],
     ) -> None:
+        super().__init__(func)
         self.module = module
         self.class_name = class_name
-        self.func = func
         self.units = units
         self.table = table
         self.imports = imports
         self.violations = violations
-        self.env: Dict[str, AbstractDim] = {}
         all_args = [
             *func.args.posonlyargs,
             *func.args.args,
@@ -118,6 +123,13 @@ class _FunctionInterpreter:
         ]
         for arg in all_args:
             self.env[arg.arg] = units.params.get(arg.arg, UNKNOWN)
+
+    # -- lattice hooks --------------------------------------------------
+    def unknown(self) -> AbstractDim:
+        return UNKNOWN
+
+    def join_values(self, a: AbstractDim, b: AbstractDim) -> AbstractDim:
+        return join(a, b)
 
     # -- reporting ------------------------------------------------------
     def _report(self, node: ast.AST, kind: str, message: str) -> None:
@@ -131,27 +143,10 @@ class _FunctionInterpreter:
         )
 
     # -- expression evaluation -----------------------------------------
-    def eval(self, node: Optional[ast.expr]) -> AbstractDim:
-        """Abstract dimension of an expression (reporting on the way)."""
-        if node is None:
-            return UNKNOWN
-        method = getattr(self, f"_eval_{type(node).__name__}", None)
-        if method is not None:
-            return method(node)
-        # Unmodelled node: evaluate child expressions for their side
-        # effects (nested comparisons/calls) and return no information.
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                self.eval(child)
-        return UNKNOWN
-
     def _eval_Constant(self, node: ast.Constant) -> AbstractDim:
         if isinstance(node.value, (int, float, complex)):
             return NUM
         return UNKNOWN
-
-    def _eval_Name(self, node: ast.Name) -> AbstractDim:
-        return self.env.get(node.id, UNKNOWN)
 
     def _eval_Attribute(self, node: ast.Attribute) -> AbstractDim:
         if node.attr in PRESERVING_ATTRS:
@@ -185,10 +180,6 @@ class _FunctionInterpreter:
         for value in node.values:
             result = join(result, self.eval(value))
         return result
-
-    def _eval_IfExp(self, node: ast.IfExp) -> AbstractDim:
-        self.eval(node.test)
-        return join(self.eval(node.body), self.eval(node.orelse))
 
     def _eval_BinOp(self, node: ast.BinOp) -> AbstractDim:
         left = self.eval(node.left)
@@ -286,59 +277,6 @@ class _FunctionInterpreter:
                 )
         return NUM
 
-    def _eval_Tuple(self, node: ast.Tuple) -> AbstractDim:
-        for element in node.elts:
-            self.eval(element)
-        return UNKNOWN
-
-    _eval_List = _eval_Tuple
-    _eval_Set = _eval_Tuple
-
-    def _eval_Dict(self, node: ast.Dict) -> AbstractDim:
-        for key in node.keys:
-            if key is not None:
-                self.eval(key)
-        for value in node.values:
-            self.eval(value)
-        return UNKNOWN
-
-    def _eval_Subscript(self, node: ast.Subscript) -> AbstractDim:
-        self.eval(node.value)
-        self.eval(node.slice)
-        return UNKNOWN
-
-    def _eval_Starred(self, node: ast.Starred) -> AbstractDim:
-        self.eval(node.value)
-        return UNKNOWN
-
-    def _eval_JoinedStr(self, node: ast.JoinedStr) -> AbstractDim:
-        for value in node.values:
-            if isinstance(value, ast.FormattedValue):
-                self.eval(value.value)
-        return UNKNOWN
-
-    def _eval_Lambda(self, node: ast.Lambda) -> AbstractDim:
-        return UNKNOWN
-
-    def _eval_comprehension_like(self, node) -> AbstractDim:
-        for generator in node.generators:
-            self.eval(generator.iter)
-            for name in _assigned_names(generator.target):
-                self.env[name] = UNKNOWN
-            for condition in generator.ifs:
-                self.eval(condition)
-        if isinstance(node, ast.DictComp):
-            self.eval(node.key)
-            self.eval(node.value)
-        else:
-            self.eval(node.elt)
-        return UNKNOWN
-
-    _eval_ListComp = _eval_comprehension_like
-    _eval_SetComp = _eval_comprehension_like
-    _eval_GeneratorExp = _eval_comprehension_like
-    _eval_DictComp = _eval_comprehension_like
-
     # -- calls ----------------------------------------------------------
     def _eval_Call(self, node: ast.Call) -> AbstractDim:
         arg_dims = [self.eval(arg) for arg in node.args]
@@ -388,7 +326,7 @@ class _FunctionInterpreter:
         arg_dims: List[AbstractDim],
         keyword_dims: Dict[str, AbstractDim],
     ) -> AbstractDim:
-        chain = _dotted_chain(func)
+        chain = dotted_chain(func)
         if chain is not None and chain[0] in self.imports:
             fq = ".".join([self.imports[chain[0]], *chain[1:]])
             if fq.startswith("math."):
@@ -557,64 +495,8 @@ class _FunctionInterpreter:
                 f"[{declared}] but receives {_fmt(dim)}",
             )
 
-    # -- statement interpretation --------------------------------------
-    def run(self) -> None:
-        """Interpret the function body."""
-        self._exec_block(self.func.body)
-
-    def _exec_block(self, statements: Sequence[ast.stmt]) -> None:
-        for statement in statements:
-            self._exec(statement)
-
-    def _exec(self, statement: ast.stmt) -> None:
-        method = getattr(
-            self, f"_exec_{type(statement).__name__}", None
-        )
-        if method is not None:
-            method(statement)
-            return
-        # Unmodelled statement: evaluate its expressions.
-        for child in ast.iter_child_nodes(statement):
-            if isinstance(child, ast.expr):
-                self.eval(child)
-
-    def _exec_Expr(self, statement: ast.Expr) -> None:
-        self.eval(statement.value)
-
-    def _exec_Assign(self, statement: ast.Assign) -> None:
-        if (
-            isinstance(statement.value, ast.Tuple)
-            and len(statement.targets) == 1
-            and isinstance(statement.targets[0], (ast.Tuple, ast.List))
-            and len(statement.targets[0].elts)
-            == len(statement.value.elts)
-        ):
-            element_dims = [
-                self.eval(element) for element in statement.value.elts
-            ]
-            for target, dim in zip(
-                statement.targets[0].elts, element_dims
-            ):
-                self._bind_target(target, dim)
-            return
-        value = self.eval(statement.value)
-        for target in statement.targets:
-            self._bind_target(target, value)
-
-    def _bind_target(self, target: ast.expr, value: AbstractDim) -> None:
-        if isinstance(target, ast.Name):
-            self.env[target.id] = value
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                self._bind_target(element, UNKNOWN)
-        elif isinstance(target, ast.Attribute):
-            self._check_field_store(target, value)
-        elif isinstance(target, ast.Starred):
-            self._bind_target(target.value, UNKNOWN)
-        elif isinstance(target, ast.Subscript):
-            self.eval(target.value)
-
-    def _check_field_store(
+    # -- statement checks ----------------------------------------------
+    def _store_attribute(
         self, target: ast.Attribute, value: AbstractDim
     ) -> None:
         declared = FIELD_UNITS.get(target.attr)
@@ -627,28 +509,21 @@ class _FunctionInterpreter:
                 f"[{declared}]",
             )
 
-    def _exec_AugAssign(self, statement: ast.AugAssign) -> None:
-        value = self.eval(statement.value)
-        if isinstance(statement.target, ast.Name):
-            current = self.env.get(statement.target.id, UNKNOWN)
-        elif isinstance(statement.target, ast.Attribute):
-            current = self.eval(statement.target)
-        else:
-            current = UNKNOWN
+    def _augmented_result(
+        self,
+        statement: ast.AugAssign,
+        current: AbstractDim,
+        value: AbstractDim,
+    ) -> AbstractDim:
         op = statement.op
         if isinstance(op, (ast.Add, ast.Sub)):
             verb = "adding" if isinstance(op, ast.Add) else "subtracting"
-            result = self._additive(statement, current, value, verb)
-        elif isinstance(op, ast.Mult):
-            result = self._multiplicative(current, value, invert=False)
-        elif isinstance(op, (ast.Div, ast.FloorDiv)):
-            result = self._multiplicative(current, value, invert=True)
-        else:
-            result = UNKNOWN
-        if isinstance(statement.target, ast.Name):
-            self.env[statement.target.id] = result
-        elif isinstance(statement.target, ast.Attribute):
-            self._check_field_store(statement.target, result)
+            return self._additive(statement, current, value, verb)
+        if isinstance(op, ast.Mult):
+            return self._multiplicative(current, value, invert=False)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._multiplicative(current, value, invert=True)
+        return UNKNOWN
 
     def _exec_AnnAssign(self, statement: ast.AnnAssign) -> None:
         from repro.lint.dim.annotations import _unit_from_annotated
@@ -688,145 +563,6 @@ class _FunctionInterpreter:
                 f"returns {_fmt(value)} but the function declares "
                 f"-> [{declared}]",
             )
-
-    def _exec_If(self, statement: ast.If) -> None:
-        self.eval(statement.test)
-        self._merge_branches([statement.body, statement.orelse])
-
-    def _exec_While(self, statement: ast.While) -> None:
-        self.eval(statement.test)
-        self._merge_branches([statement.body, []])
-        self._exec_block(statement.orelse)
-
-    def _exec_For(self, statement: ast.For) -> None:
-        self.eval(statement.iter)
-        before = dict(self.env)
-        for name in _assigned_names(statement.target):
-            self.env[name] = UNKNOWN
-        self._exec_block(statement.body)
-        self._merge_env(before)
-        self._exec_block(statement.orelse)
-
-    _exec_AsyncFor = _exec_For
-
-    def _exec_With(self, statement: ast.With) -> None:
-        for item in statement.items:
-            self.eval(item.context_expr)
-            if item.optional_vars is not None:
-                for name in _assigned_names(item.optional_vars):
-                    self.env[name] = UNKNOWN
-        self._exec_block(statement.body)
-
-    _exec_AsyncWith = _exec_With
-
-    def _exec_Try(self, statement: ast.Try) -> None:
-        branches = [statement.body]
-        for handler in statement.handlers:
-            branches.append(handler.body)
-        self._merge_branches(branches)
-        self._exec_block(statement.orelse)
-        self._exec_block(statement.finalbody)
-
-    def _exec_Assert(self, statement: ast.Assert) -> None:
-        self.eval(statement.test)
-        if statement.msg is not None:
-            self.eval(statement.msg)
-
-    def _exec_Raise(self, statement: ast.Raise) -> None:
-        if statement.exc is not None:
-            self.eval(statement.exc)
-
-    def _exec_Delete(self, statement: ast.Delete) -> None:
-        for target in statement.targets:
-            if isinstance(target, ast.Name):
-                self.env.pop(target.id, None)
-
-    def _exec_FunctionDef(self, statement: ast.FunctionDef) -> None:
-        # Nested defs are opaque: bind the name, skip the body (the
-        # outer environment does not flow into closures soundly).
-        self.env[statement.name] = UNKNOWN
-
-    _exec_AsyncFunctionDef = _exec_FunctionDef
-
-    def _exec_ClassDef(self, statement: ast.ClassDef) -> None:
-        self.env[statement.name] = UNKNOWN
-
-    def _exec_Global(self, statement: ast.Global) -> None:
-        for name in statement.names:
-            self.env[name] = UNKNOWN
-
-    _exec_Nonlocal = _exec_Global
-
-    def _merge_branches(
-        self, branch_bodies: Sequence[Sequence[ast.stmt]]
-    ) -> None:
-        """Interpret each branch on a copy and join the environments."""
-        outcomes = []
-        before = dict(self.env)
-        for body in branch_bodies:
-            self.env = dict(before)
-            self._exec_block(body)
-            outcomes.append(self.env)
-        merged: Dict[str, AbstractDim] = {}
-        keys = set()
-        for outcome in outcomes:
-            keys.update(outcome)
-        for key in keys:
-            value: AbstractDim = None
-            first = True
-            for outcome in outcomes:
-                branch_value = outcome.get(key, UNKNOWN)
-                value = branch_value if first else join(value, branch_value)
-                first = False
-            merged[key] = value
-        self.env = merged
-
-    def _merge_env(self, other: Dict[str, AbstractDim]) -> None:
-        """Join the current environment with ``other`` in place."""
-        for key in set(self.env) | set(other):
-            self.env[key] = join(
-                self.env.get(key, UNKNOWN), other.get(key, UNKNOWN)
-            )
-
-
-def _dotted_chain(node: ast.expr) -> Optional[List[str]]:
-    """Flatten a pure Name/Attribute chain to its parts, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return list(reversed(parts))
-    return None
-
-
-def _assigned_names(target: ast.expr):
-    """Yield plain names bound by an assignment/loop target."""
-    if isinstance(target, ast.Name):
-        yield target.id
-    elif isinstance(target, (ast.Tuple, ast.List)):
-        for element in target.elts:
-            yield from _assigned_names(element)
-    elif isinstance(target, ast.Starred):
-        yield from _assigned_names(target.value)
-
-
-def _iter_functions(
-    tree: ast.Module,
-) -> List[Tuple[Optional[str], _FuncNode]]:
-    """Module-level functions and class methods, with owning class."""
-    found: List[Tuple[Optional[str], _FuncNode]] = []
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            found.append((None, node))
-        elif isinstance(node, ast.ClassDef):
-            for member in node.body:
-                if isinstance(
-                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
-                ):
-                    found.append((node.name, member))
-    return found
 
 
 def _check_missing_units(
@@ -871,7 +607,7 @@ def _analyze_uncached(context, tree: ast.Module) -> Tuple[DimViolation, ...]:
         table = build_signature_table([(context.module, tree)])
     imports = build_import_map(context.module, tree)
     violations: List[DimViolation] = []
-    for class_name, func in _iter_functions(tree):
+    for class_name, func in iter_functions(tree):
         dotted = (
             f"{context.module}.{class_name}.{func.name}"
             if class_name

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Union
 
+from repro.lint.specs import SpecSyntaxError
+
 __all__ = [
     "Dim",
     "NUM",
@@ -47,7 +49,7 @@ __all__ = [
 ]
 
 
-class UnitSyntaxError(ValueError):
+class UnitSyntaxError(SpecSyntaxError):
     """A bracketed unit token that does not follow the grammar."""
 
 

@@ -24,9 +24,10 @@ from typing import Dict, Iterable, Optional, Tuple, Union
 from repro.lint.dim.annotations import (
     FunctionUnits,
     UnitIssue,
+    _unit_from_annotated,
     extract_function_units,
 )
-from repro.lint.dim.lattice import Dim, UnitSyntaxError, parse_unit
+from repro.lint.dim.lattice import Dim
 
 __all__ = ["SignatureTable", "build_signature_table", "build_import_map"]
 
@@ -94,27 +95,7 @@ def _class_field_units(node: ast.ClassDef) -> FunctionUnits:
 def _annotated_field_unit(
     statement: ast.AnnAssign, issues: list
 ) -> Optional[Dim]:
-    annotation = statement.annotation
-    if not isinstance(annotation, ast.Subscript):
-        return None
-    target = annotation.value
-    name = target.attr if isinstance(target, ast.Attribute) else (
-        target.id if isinstance(target, ast.Name) else ""
-    )
-    if name != "Annotated" or not isinstance(annotation.slice, ast.Tuple):
-        return None
-    for element in annotation.slice.elts[1:]:
-        if isinstance(element, ast.Constant) and isinstance(
-            element.value, str
-        ):
-            text = element.value.strip()
-            bracketed = text.startswith("[") and text.endswith("]")
-            try:
-                return parse_unit(text[1:-1] if bracketed else text)
-            except UnitSyntaxError as exc:
-                if bracketed:
-                    issues.append(UnitIssue(element.lineno, str(exc)))
-    return None
+    return _unit_from_annotated(statement.annotation, issues)
 
 
 class SignatureTable:

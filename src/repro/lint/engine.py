@@ -7,12 +7,15 @@ touches the filesystem, the suppression map and the baseline — and the
 only place tests need to stub.
 
 ``lint_paths`` runs in two passes: the first parses every file and
-feeds the trees to the cross-module
-:class:`~repro.lint.dim.signatures.SignatureTable`, the second runs the
-rules with that table available through
-:attr:`~repro.lint.rules.base.FileContext.signatures` — this is what
-lets the (per-file) dimensional rules check call sites against units
-declared in *other* files, while rules themselves still never do I/O.
+feeds the trees to the cross-module signature tables (the dim pass's
+:class:`~repro.lint.dim.signatures.SignatureTable` and the shape
+pass's :class:`~repro.lint.shape.signatures.ShapeTable`), the second
+runs the rules with those tables available through
+:attr:`~repro.lint.rules.base.FileContext.signatures` and
+:attr:`~repro.lint.rules.base.FileContext.shape_signatures` — this is
+what lets the (per-file) dimensional and shape rules check call sites
+against declarations in *other* files, while rules themselves still
+never do I/O.
 
 A file that does not parse yields a single ``SFL000`` finding (not an
 exception): the gate must fail on broken code, not crash.
@@ -29,6 +32,7 @@ from repro.errors import LintError
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig
 from repro.lint.dim.signatures import SignatureTable, build_signature_table
+from repro.lint.shape.signatures import ShapeTable, build_shape_table
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import all_rules
 from repro.lint.rules.base import FileContext
@@ -86,6 +90,7 @@ def _lint_one(
     config: LintConfig,
     *,
     signatures: Optional[SignatureTable] = None,
+    shape_signatures: Optional[ShapeTable] = None,
     tree: Optional[ast.Module] = None,
 ) -> Tuple[List[Finding], int]:
     """Lint one source string -> (surviving findings, suppressed count)."""
@@ -98,6 +103,7 @@ def _lint_one(
         source=source,
         lines=lines,
         signatures=signatures,
+        shape_signatures=shape_signatures,
     )
     try:
         if tree is None:
@@ -205,11 +211,13 @@ def lint_paths(
         except SyntaxError:
             tree = None
         entries.append((posix, source, module, tree))
-    signatures = build_signature_table(
+    parsed = [
         (module, tree)
         for _, _, module, tree in entries
         if tree is not None
-    )
+    ]
+    signatures = build_signature_table(parsed)
+    shape_signatures = build_shape_table(parsed)
 
     # Pass 2: run the rules with the table in scope.
     findings: List[Finding] = []
@@ -218,7 +226,13 @@ def lint_paths(
     for posix, source, module, tree in entries:
         files += 1
         file_findings, file_suppressed = _lint_one(
-            source, posix, module, config, signatures=signatures, tree=tree
+            source,
+            posix,
+            module,
+            config,
+            signatures=signatures,
+            shape_signatures=shape_signatures,
+            tree=tree,
         )
         findings.extend(file_findings)
         suppressed += file_suppressed

@@ -20,7 +20,8 @@ from typing import Any, Dict, List, Sequence
 __all__ = ["Severity", "Finding", "SCHEMA_VERSION", "report_to_dict"]
 
 #: Version of the ``--format json`` output schema.
-SCHEMA_VERSION = 1
+#: 2: findings gained ``end_line``/``end_column``.
+SCHEMA_VERSION = 2
 
 
 class Severity(str, Enum):
@@ -52,6 +53,11 @@ class Finding:
         Triage severity (both severities fail the gate).
     source_line:
         The stripped text of the offending line (fingerprint input).
+    end_line, end_column:
+        End of the offending span (1-based line, 0-based exclusive
+        column).  Constructors that only know a point location may
+        leave them at 0; they are normalized to the start position, so
+        consumers can always rely on ``end_line >= line``.
     """
 
     path: str
@@ -61,6 +67,15 @@ class Finding:
     message: str
     severity: Severity
     source_line: str = ""
+    end_line: int = 0
+    end_column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+            object.__setattr__(self, "end_column", self.column)
+        elif self.end_line == self.line and self.end_column < self.column:
+            object.__setattr__(self, "end_column", self.column)
 
     @property
     def fingerprint(self) -> str:
@@ -74,6 +89,8 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
             "rule": self.rule_id,
             "message": self.message,
             "severity": self.severity.value,

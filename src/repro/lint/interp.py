@@ -1,0 +1,353 @@
+"""The shared intraprocedural abstract-interpretation skeleton.
+
+The dim pass (SFL100–SFL105) and the shape pass (SFL200–SFL205) are
+the same analysis over different lattices: seed an environment from the
+function's declared parameter facts, interpret statements in order,
+interpret branches on copies of the environment and merge with the
+lattice join so a name that differs across paths degrades to *unknown*
+instead of guessing.  This module holds that skeleton once.
+
+:class:`AbstractInterpreter` is parameterised by three hooks —
+:meth:`~AbstractInterpreter.unknown` (the no-information value),
+:meth:`~AbstractInterpreter.join_values` (the least upper bound), and
+the ``_eval_*`` expression methods each domain supplies.  Statement
+handling (assignment targets, control-flow merging, loops widened to
+one join with the pre-state, opaque nested defs) is identical across
+domains and lives here; domains override only the statements where
+their checks attach (``Return``, ``AnnAssign``, augmented assignment,
+attribute stores).
+
+The expression fallback mirrors the statement fallback: an unmodelled
+node evaluates its child expressions for their side effects (nested
+calls and comparisons still get checked) and yields no information.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "AbstractInterpreter",
+    "dotted_chain",
+    "assigned_names",
+    "iter_functions",
+]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_chain(node: ast.expr) -> Optional[List[str]]:
+    """Flatten a pure Name/Attribute chain to its parts, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def assigned_names(target: ast.expr) -> Iterator[str]:
+    """Yield plain names bound by an assignment/loop target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from assigned_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from assigned_names(target.value)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> List[Tuple[Optional[str], _FuncNode]]:
+    """Module-level functions and class methods, with owning class."""
+    found: List[Tuple[Optional[str], _FuncNode]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append((None, node))
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    found.append((node.name, member))
+    return found
+
+
+class AbstractInterpreter:
+    """One abstract interpretation of one function body.
+
+    Subclasses hold their own construction signature; they must set
+    ``self.func`` (the function node, used as the fallback location for
+    reports) and may pre-seed ``self.env`` before calling :meth:`run`.
+    """
+
+    def __init__(self, func: _FuncNode) -> None:
+        self.func = func
+        self.env: Dict[str, Any] = {}
+
+    # -- domain hooks ---------------------------------------------------
+    def unknown(self) -> Any:
+        """The no-information abstract value of this domain."""
+        return None
+
+    def join_values(self, a: Any, b: Any) -> Any:
+        """Least upper bound used when control-flow paths merge."""
+        raise NotImplementedError
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, node: Optional[ast.expr]) -> Any:
+        """Abstract value of an expression (reporting on the way)."""
+        if node is None:
+            return self.unknown()
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # Unmodelled node: evaluate child expressions for their side
+        # effects (nested comparisons/calls) and return no information.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return self.unknown()
+
+    def _eval_Name(self, node: ast.Name) -> Any:
+        return self.env.get(node.id, self.unknown())
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Any:
+        self.eval(node.test)
+        return self.join_values(self.eval(node.body), self.eval(node.orelse))
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Any:
+        for element in node.elts:
+            self.eval(element)
+        return self.unknown()
+
+    _eval_List = _eval_Tuple
+    _eval_Set = _eval_Tuple
+
+    def _eval_Dict(self, node: ast.Dict) -> Any:
+        for key in node.keys:
+            if key is not None:
+                self.eval(key)
+        for value in node.values:
+            self.eval(value)
+        return self.unknown()
+
+    def _eval_Starred(self, node: ast.Starred) -> Any:
+        self.eval(node.value)
+        return self.unknown()
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> Any:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self.eval(value.value)
+        return self.unknown()
+
+    def _eval_Lambda(self, node: ast.Lambda) -> Any:
+        return self.unknown()
+
+    def _eval_comprehension_like(self, node) -> Any:
+        for generator in node.generators:
+            self.eval(generator.iter)
+            for name in assigned_names(generator.target):
+                self.env[name] = self.unknown()
+            for condition in generator.ifs:
+                self.eval(condition)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key)
+            self.eval(node.value)
+        else:
+            self.eval(node.elt)
+        return self.unknown()
+
+    _eval_ListComp = _eval_comprehension_like
+    _eval_SetComp = _eval_comprehension_like
+    _eval_GeneratorExp = _eval_comprehension_like
+    _eval_DictComp = _eval_comprehension_like
+
+    # -- statement interpretation --------------------------------------
+    def run(self) -> None:
+        """Interpret the function body."""
+        self._exec_block(self.func.body)
+
+    def _exec_block(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self._exec(statement)
+
+    def _exec(self, statement: ast.stmt) -> None:
+        method = getattr(
+            self, f"_exec_{type(statement).__name__}", None
+        )
+        if method is not None:
+            method(statement)
+            return
+        # Unmodelled statement: evaluate its expressions.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+
+    def _exec_Expr(self, statement: ast.Expr) -> None:
+        self.eval(statement.value)
+
+    def _exec_Assign(self, statement: ast.Assign) -> None:
+        if (
+            isinstance(statement.value, ast.Tuple)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], (ast.Tuple, ast.List))
+            and len(statement.targets[0].elts)
+            == len(statement.value.elts)
+        ):
+            element_values = [
+                self.eval(element) for element in statement.value.elts
+            ]
+            for target, value in zip(
+                statement.targets[0].elts, element_values
+            ):
+                self._bind_target(target, value)
+            return
+        value = self.eval(statement.value)
+        for target in statement.targets:
+            self._bind_target(target, value)
+
+    def _bind_target(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, self.unknown())
+        elif isinstance(target, ast.Attribute):
+            self._store_attribute(target, value)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, self.unknown())
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.value)
+
+    def _store_attribute(self, target: ast.Attribute, value: Any) -> None:
+        """Hook for ``obj.attr = value`` stores (domains attach checks)."""
+        self.eval(target.value)
+
+    def _exec_AugAssign(self, statement: ast.AugAssign) -> None:
+        value = self.eval(statement.value)
+        if isinstance(statement.target, ast.Name):
+            current = self.env.get(statement.target.id, self.unknown())
+        elif isinstance(statement.target, ast.Attribute):
+            current = self.eval(statement.target)
+        else:
+            current = self.unknown()
+        result = self._augmented_result(statement, current, value)
+        if isinstance(statement.target, ast.Name):
+            self.env[statement.target.id] = result
+        elif isinstance(statement.target, ast.Attribute):
+            self._store_attribute(statement.target, result)
+
+    def _augmented_result(
+        self, statement: ast.AugAssign, current: Any, value: Any
+    ) -> Any:
+        """Abstract result of ``target op= value`` (domains add checks)."""
+        return self.unknown()
+
+    def _exec_If(self, statement: ast.If) -> None:
+        self.eval(statement.test)
+        self._merge_branches([statement.body, statement.orelse])
+
+    def _exec_While(self, statement: ast.While) -> None:
+        self.eval(statement.test)
+        self._merge_branches([statement.body, []])
+        self._exec_block(statement.orelse)
+
+    def _exec_For(self, statement: ast.For) -> None:
+        self.eval(statement.iter)
+        before = dict(self.env)
+        for name in assigned_names(statement.target):
+            self.env[name] = self.unknown()
+        self._exec_block(statement.body)
+        self._merge_env(before)
+        self._exec_block(statement.orelse)
+
+    _exec_AsyncFor = _exec_For
+
+    def _exec_With(self, statement: ast.With) -> None:
+        for item in statement.items:
+            self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                for name in assigned_names(item.optional_vars):
+                    self.env[name] = self.unknown()
+        self._exec_block(statement.body)
+
+    _exec_AsyncWith = _exec_With
+
+    def _exec_Try(self, statement: ast.Try) -> None:
+        branches = [statement.body]
+        for handler in statement.handlers:
+            branches.append(handler.body)
+        self._merge_branches(branches)
+        self._exec_block(statement.orelse)
+        self._exec_block(statement.finalbody)
+
+    def _exec_Assert(self, statement: ast.Assert) -> None:
+        self.eval(statement.test)
+        if statement.msg is not None:
+            self.eval(statement.msg)
+
+    def _exec_Raise(self, statement: ast.Raise) -> None:
+        if statement.exc is not None:
+            self.eval(statement.exc)
+
+    def _exec_Delete(self, statement: ast.Delete) -> None:
+        for target in statement.targets:
+            if isinstance(target, ast.Name):
+                self.env.pop(target.id, None)
+
+    def _exec_FunctionDef(self, statement: ast.FunctionDef) -> None:
+        # Nested defs are opaque: bind the name, skip the body (the
+        # outer environment does not flow into closures soundly).
+        self.env[statement.name] = self.unknown()
+
+    _exec_AsyncFunctionDef = _exec_FunctionDef
+
+    def _exec_ClassDef(self, statement: ast.ClassDef) -> None:
+        self.env[statement.name] = self.unknown()
+
+    def _exec_Global(self, statement: ast.Global) -> None:
+        for name in statement.names:
+            self.env[name] = self.unknown()
+
+    _exec_Nonlocal = _exec_Global
+
+    def _merge_branches(
+        self, branch_bodies: Sequence[Sequence[ast.stmt]]
+    ) -> None:
+        """Interpret each branch on a copy and join the environments."""
+        outcomes = []
+        before = dict(self.env)
+        for body in branch_bodies:
+            self.env = dict(before)
+            self._exec_block(body)
+            outcomes.append(self.env)
+        merged: Dict[str, Any] = {}
+        keys = set()
+        for outcome in outcomes:
+            keys.update(outcome)
+        for key in keys:
+            value: Any = None
+            first = True
+            for outcome in outcomes:
+                branch_value = outcome.get(key, self.unknown())
+                value = (
+                    branch_value
+                    if first
+                    else self.join_values(value, branch_value)
+                )
+                first = False
+            merged[key] = value
+        self.env = merged
+
+    def _merge_env(self, other: Dict[str, Any]) -> None:
+        """Join the current environment with ``other`` in place."""
+        for key in set(self.env) | set(other):
+            self.env[key] = self.join_values(
+                self.env.get(key, self.unknown()), other.get(key, self.unknown())
+            )

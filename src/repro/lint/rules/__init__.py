@@ -18,9 +18,11 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     no_dynamic_code,
     obs_flow,
     plan_clamp,
+    shape_rules,
     silent_except,
     units_docstring,
     unguarded_division,
+    unseeded_rng,
     wall_clock,
 )
 from repro.lint.rules.base import FileContext, Rule

@@ -18,6 +18,7 @@ from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lint.dim.signatures import SignatureTable
+    from repro.lint.shape.signatures import ShapeTable
 
 __all__ = [
     "FileContext",
@@ -48,6 +49,9 @@ class FileContext:
         dimensional rules (SFL100–SFL105); ``None`` outside an engine
         run, in which case the dim checker falls back to a table built
         from the file itself.
+    shape_signatures:
+        Cross-file shape-signature table built by the engine for the
+        shape rules (SFL200–SFL205); same fallback convention.
     """
 
     path: str
@@ -55,6 +59,7 @@ class FileContext:
     source: str
     lines: Sequence[str]
     signatures: Optional["SignatureTable"] = None
+    shape_signatures: Optional["ShapeTable"] = None
 
     def line_text(self, line: int) -> str:
         """Stripped text of a 1-based line ('' when out of range)."""
@@ -104,7 +109,7 @@ class Rule(ast.NodeVisitor):
     def report(
         self, node: ast.AST, message: str, *, severity: Severity | None = None
     ) -> None:
-        """Record a finding anchored at ``node``."""
+        """Record a finding spanning ``node``'s source extent."""
         line = getattr(node, "lineno", 1)
         column = getattr(node, "col_offset", 0)
         self.findings.append(
@@ -116,6 +121,8 @@ class Rule(ast.NodeVisitor):
                 message=message,
                 severity=severity or self.severity,
                 source_line=self.context.line_text(line),
+                end_line=getattr(node, "end_lineno", None) or line,
+                end_column=getattr(node, "end_col_offset", None) or column,
             )
         )
 

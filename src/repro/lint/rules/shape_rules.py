@@ -1,0 +1,170 @@
+"""SFL200–SFL205: the safeshape array shape/dtype rule family.
+
+The heavy lifting happens in :mod:`repro.lint.shape.checker`, which
+runs one abstract interpretation per file (cached, so the six rules
+cost a single pass) and tags each violation with a *kind*.  Each rule
+here surfaces one kind under its own id, so suppressions, ``--select``
+and the baseline can address, say, matmul contractions separately from
+missing annotations.
+
+Why this is a safety gate and not a style check: the roadmap's
+vectorized batch engine replaces per-scenario scalar code with
+``[B, ...]`` array algebra, and numpy fails *open* — a transposed
+Kalman gain, a row-vs-column state vector or a silently broadcast
+residual produces plausible numbers of the wrong meaning, not an
+exception.  A certified-clean shape discipline on the kinematics,
+filtering and nn core is the precondition for trusting that migration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+from repro.lint.shape.checker import (
+    KIND_AXIS,
+    KIND_BINDING,
+    KIND_BROADCAST,
+    KIND_DTYPE,
+    KIND_MATMUL,
+    KIND_MISSING,
+    analyze,
+)
+
+__all__ = [
+    "ShapeMatmulRule",
+    "ShapeBroadcastRule",
+    "ShapeAxisRule",
+    "ShapeDtypeNarrowingRule",
+    "ShapeMissingRule",
+    "ShapeBindingRule",
+]
+
+
+class _ShapeRule(Rule):
+    """Shared plumbing: surface one violation kind as findings."""
+
+    kind: ClassVar[str] = ""
+    scope: ClassVar[str] = "shape"
+
+    def check(self, tree: ast.AST) -> List[Finding]:
+        assert isinstance(tree, ast.Module)
+        for violation in analyze(self.context, tree):
+            if violation.kind != self.kind:
+                continue
+            self.findings.append(
+                Finding(
+                    path=self.context.path,
+                    line=violation.line,
+                    column=violation.column,
+                    rule_id=self.rule_id,
+                    message=violation.message,
+                    severity=self.severity,
+                    source_line=self.context.line_text(violation.line),
+                )
+            )
+        return self.findings
+
+
+@register
+class ShapeMatmulRule(_ShapeRule):
+    """SFL200: a matmul whose inner extents can never contract."""
+
+    rule_id = "SFL200"
+    name = "shape-matmul"
+    rationale = (
+        "An '@' whose inner extents provably differ — the classic "
+        "transposed-gain bug — either crashes at runtime on one input "
+        "or, worse, contracts the wrong axes of a batched operand and "
+        "yields plausible numbers with the wrong meaning."
+    )
+    severity = Severity.ERROR
+    kind = KIND_MATMUL
+
+
+@register
+class ShapeBroadcastRule(_ShapeRule):
+    """SFL201: an elementwise op that cannot or mutually broadcasts."""
+
+    rule_id = "SFL201"
+    name = "shape-broadcast"
+    rationale = (
+        "Two extents that can never broadcast are a guaranteed crash; "
+        "a *mutual* stretch — (2,1)+(2,) silently exploding to (2,2), "
+        "matching neither operand — is numpy failing open on a "
+        "row/column orientation bug, corrupting every element of the "
+        "result while looking like a successful update."
+    )
+    severity = Severity.ERROR
+    kind = KIND_BROADCAST
+
+
+@register
+class ShapeAxisRule(_ShapeRule):
+    """SFL202: an axis argument outside the operand's known rank."""
+
+    rule_id = "SFL202"
+    name = "shape-axis"
+    rationale = (
+        "Reducing or stacking along an axis a known-rank operand does "
+        "not have is either an immediate AxisError or — after a rank "
+        "change elsewhere — a reduction over the *wrong* axis, turning "
+        "per-scenario statistics into cross-scenario soup."
+    )
+    severity = Severity.ERROR
+    kind = KIND_AXIS
+
+
+@register
+class ShapeDtypeNarrowingRule(_ShapeRule):
+    """SFL203: an in-place accumulation into a narrower dtype."""
+
+    rule_id = "SFL203"
+    name = "shape-dtype-narrowing"
+    rationale = (
+        "numpy casts 'same-kind' silently on in-place ops: a float32 "
+        "accumulator fed float64 increments truncates every step, and "
+        "safety margins computed from the drifted sum are quietly "
+        "wrong — the kind of bug that only shows at batch scale."
+    )
+    severity = Severity.ERROR
+    kind = KIND_DTYPE
+
+
+@register
+class ShapeMissingRule(_ShapeRule):
+    """SFL204: a public array API without machine-checkable shapes."""
+
+    rule_id = "SFL204"
+    name = "shape-missing"
+    rationale = (
+        "Public ndarray entry points without a declared shape are "
+        "blind spots: the shape pass can neither check their bodies "
+        "nor their call sites, so orientation bugs concentrate exactly "
+        "where the analysis is silent.  Malformed shape specs land "
+        "here too — an annotation that does not parse protects "
+        "nothing while looking like it does."
+    )
+    severity = Severity.ERROR
+    kind = KIND_MISSING
+
+
+@register
+class ShapeBindingRule(_ShapeRule):
+    """SFL205: a value contradicting a declared shape or dim binding."""
+
+    rule_id = "SFL205"
+    name = "shape-binding"
+    rationale = (
+        "Shape declarations are contracts: an argument whose concrete "
+        "extents contradict the callee's declaration, a symbolic dim "
+        "bound to two different extents in one call, or a return value "
+        "contradicting '-> [spec]' all mean caller and callee disagree "
+        "about the data layout — the row-vs-column state swap that "
+        "type checkers cannot see."
+    )
+    severity = Severity.ERROR
+    kind = KIND_BINDING

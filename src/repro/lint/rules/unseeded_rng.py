@@ -1,0 +1,77 @@
+"""SFL012 — RNG constructors must be given an explicit seed.
+
+SFL005 bans *draws* from hidden global streams; this rule closes the
+complementary hole on the sanctioned path: constructing a generator
+without a seed (``np.random.default_rng()``, ``RngStream()``,
+``random.Random()``) pulls OS entropy, so two invocations of the same
+certification campaign draw different disturbances and the run stops
+being a re-runnable certificate.  Every generator must descend from an
+explicit seed — a literal, a config field, or a spawned
+``SeedSequence`` — and ``seed=None`` spelled out is the same entropy
+pull with extra letters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = ["UnseededRngRule"]
+
+#: Constructor names whose first argument (or ``seed=`` keyword) is the
+#: seed.  Covers numpy (``default_rng``, legacy ``RandomState``), the
+#: stdlib (``Random``) and the repo's own :class:`repro.utils.rng.RngStream`.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "RandomState", "Random", "RngStream"}
+)
+
+#: Keyword spellings that satisfy the requirement when non-None.
+_SEED_KEYWORDS = frozenset({"seed", "seed_seq", "seed_material"})
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class UnseededRngRule(Rule):
+    """Flag RNG constructions that fall back to OS entropy."""
+
+    rule_id = "SFL012"
+    name = "unseeded-rng"
+    rationale = (
+        "An unseeded generator draws OS entropy, so the same campaign "
+        "command produces different disturbance realizations on every "
+        "invocation — the certificate stops being re-runnable and a "
+        "failure found today cannot be reproduced tomorrow. Thread an "
+        "explicit seed (or a spawned SeedSequence) into every "
+        "constructor."
+    )
+    scope = "all"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check one call expression."""
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _SEEDED_CONSTRUCTORS:
+            seeded = any(
+                not _is_none(argument) for argument in node.args
+            ) or any(
+                keyword.arg in _SEED_KEYWORDS
+                and not _is_none(keyword.value)
+                for keyword in node.keywords
+            )
+            if not seeded:
+                self.report(
+                    node,
+                    f"{name}() constructed without a seed draws OS "
+                    "entropy; pass an explicit seed so the run stays "
+                    "re-runnable",
+                )
+        self.generic_visit(node)

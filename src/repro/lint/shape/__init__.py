@@ -1,0 +1,53 @@
+"""safeshape: static array shape/dtype analysis (SFL200–SFL205).
+
+The vectorized batch engine on the roadmap turns every per-scenario
+scalar path into ``[B, ...]`` array algebra; a transposed gain or a
+silently broadcast residual there produces *plausible* numbers, not
+exceptions.  This package certifies the path: an abstract shape
+lattice (:mod:`~repro.lint.shape.lattice`), shape declarations shared
+between docstrings and ``Annotated`` hints
+(:mod:`~repro.lint.shape.annotations`), a cross-module signature table
+(:mod:`~repro.lint.shape.signatures`), and an intraprocedural abstract
+interpreter modeling the repo's numpy surface
+(:mod:`~repro.lint.shape.checker`).
+"""
+
+from repro.lint.shape.annotations import (
+    FunctionShapes,
+    ShapeIssue,
+    extract_function_shapes,
+)
+from repro.lint.shape.checker import ShapeViolation, analyze
+from repro.lint.shape.lattice import (
+    ANY_ARRAY,
+    SCALAR,
+    UNKNOWN,
+    Shape,
+    ShapeSyntaxError,
+    broadcast,
+    format_shape,
+    join,
+    matmul,
+    parse_shape,
+)
+from repro.lint.shape.signatures import ShapeTable, build_shape_table
+
+__all__ = [
+    "ANY_ARRAY",
+    "SCALAR",
+    "UNKNOWN",
+    "FunctionShapes",
+    "Shape",
+    "ShapeIssue",
+    "ShapeSyntaxError",
+    "ShapeTable",
+    "ShapeViolation",
+    "analyze",
+    "broadcast",
+    "build_shape_table",
+    "extract_function_shapes",
+    "format_shape",
+    "join",
+    "matmul",
+    "parse_shape",
+]

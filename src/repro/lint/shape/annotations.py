@@ -1,0 +1,160 @@
+"""Extraction of shape declarations from function definitions.
+
+Two equivalent, machine-checked spellings (the repo convention, see
+docs/API.md), mirroring the unit declarations of the dim pass:
+
+* a ``Shapes:`` directive line in the docstring::
+
+      Shapes: x [B,4], gain [2,2] -> [B,2]
+
+  Entries are comma-separated ``name [spec]`` pairs (commas inside the
+  brackets belong to the spec); an optional trailing ``-> [spec]``
+  declares the return shape.  ``scalar`` and ``array`` are bare
+  keywords: ``Shapes: dt scalar``.  A function may carry several
+  ``Shapes:`` lines (they merge).
+
+* an ``Annotated`` type hint whose metadata carries a shape string::
+
+      def forward(self, x: Annotated[np.ndarray, "[B,4; f8]"]): ...
+
+Both feed :func:`extract_function_shapes`; malformed or misaddressed
+declarations come back as issues (surfaced as SFL204) rather than being
+silently ignored.
+
+The directive/``Annotated`` plumbing is shared with the dim pass
+(:mod:`repro.lint.specs`); only the shape grammar
+(:func:`repro.lint.shape.lattice.parse_shape`) lives in this package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lint.shape.lattice import Shape, parse_shape
+from repro.lint.specs import (
+    SpecIssue,
+    directive_pattern,
+    docstring_lines,
+    parse_directive_payload,
+    spec_from_annotated,
+)
+
+__all__ = ["FunctionShapes", "ShapeIssue", "extract_function_shapes"]
+
+#: A shape-annotation problem is a plain spec issue.
+ShapeIssue = SpecIssue
+
+_SHAPES_LINE = directive_pattern("Shapes")
+
+
+def _parse_shape_metadata(text: str, bracketed: bool) -> Optional[Shape]:
+    """``Annotated`` metadata grammar, skipping unit specs quietly.
+
+    A parameter may carry ``Annotated[float, "[s]"]`` for the dim pass;
+    that string is not a broken shape declaration, so anything passing
+    the *unit* grammar yields ``None`` (keep scanning) instead of an
+    issue.  The unit grammar is consulted first so the one overlapping
+    spelling — ``"[1]"``, dimensionless *and* a length-1 vector — reads
+    as the far more common unit.
+    """
+    from repro.lint.dim.lattice import UnitSyntaxError, parse_unit
+
+    try:
+        parse_unit(text)
+    except UnitSyntaxError:
+        return parse_shape(text, bracketed)
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionShapes:
+    """The declared shapes of one function.
+
+    Attributes
+    ----------
+    param_order:
+        Positional parameter names in call order (including ``self``
+        for methods, which callers skip when resolving ``obj.m(...)``).
+    params:
+        Parameter name -> declared :class:`Shape`.
+    returns:
+        Declared return shape, if any.
+    issues:
+        Malformed or misaddressed declarations found during extraction.
+    """
+
+    param_order: Tuple[str, ...] = ()
+    params: Dict[str, Shape] = field(default_factory=dict)
+    returns: Optional[Shape] = None
+    issues: Tuple[ShapeIssue, ...] = ()
+
+    @property
+    def has_declarations(self) -> bool:
+        """Whether anything at all was declared."""
+        return bool(self.params) or self.returns is not None
+
+
+def _shape_from_annotated(
+    annotation: Optional[ast.expr],
+    issues: List[ShapeIssue],
+) -> Optional[Shape]:
+    """Shape spec carried by ``Annotated`` metadata, if any."""
+    return spec_from_annotated(
+        annotation, parse_spec=_parse_shape_metadata, issues=issues
+    )
+
+
+def extract_function_shapes(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> FunctionShapes:
+    """Collect the declared shapes of ``func``.
+
+    ``Annotated`` hints win over docstring entries for the same
+    parameter (they are closer to the code), though in practice the
+    repo uses one spelling per function.
+    """
+    issues: List[ShapeIssue] = []
+    positional = [*func.args.posonlyargs, *func.args.args]
+    param_order = tuple(arg.arg for arg in positional)
+    every_arg = [
+        *positional,
+        *func.args.kwonlyargs,
+        *([func.args.vararg] if func.args.vararg else []),
+        *([func.args.kwarg] if func.args.kwarg else []),
+    ]
+    known_names = frozenset(arg.arg for arg in every_arg)
+
+    params: Dict[str, Shape] = {}
+    returns: Optional[Shape] = None
+    for line, text in docstring_lines(func):
+        match = _SHAPES_LINE.match(text)
+        if match is None:
+            continue
+        declared = parse_directive_payload(
+            match.group("payload"),
+            line,
+            directive="Shapes",
+            parse_spec=parse_shape,
+            known_names=known_names,
+            params=params,
+            issues=issues,
+        )
+        if declared is not None:
+            returns = declared
+
+    for arg in every_arg:
+        shape = _shape_from_annotated(arg.annotation, issues)
+        if shape is not None:
+            params[arg.arg] = shape
+    annotated_return = _shape_from_annotated(func.returns, issues)
+    if annotated_return is not None:
+        returns = annotated_return
+
+    return FunctionShapes(
+        param_order=param_order,
+        params=params,
+        returns=returns,
+        issues=tuple(issues),
+    )

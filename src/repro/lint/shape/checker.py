@@ -1,0 +1,1132 @@
+"""The safeshape abstract interpreter.
+
+One intraprocedural pass per function over the shape lattice: the
+environment maps local names to abstract shapes
+(:class:`~repro.lint.shape.lattice.Shape` or ``UNKNOWN``), seeded from
+the function's declared parameter shapes.  Statements are interpreted
+in order on the shared skeleton of
+:class:`repro.lint.interp.AbstractInterpreter`; this module supplies
+the numpy expression semantics — ``@`` contraction, elementwise
+broadcasting, builders, reductions, reshaping, indexing — and the
+checks.
+
+The pass is deliberately *optimistic*: it reports only definite
+contradictions between two known facts (a concrete inner-extent
+mismatch, a pair of extents that can never broadcast, an axis index
+outside a known rank, an accumulator dtype strictly narrower than its
+increment, a concrete extent contradicting a declaration).  Symbolic
+extents unify rather than guess, so ``(B,2) + (2,)`` bias adds stay
+silent while ``(2,1) + (2,)`` mutual stretches are flagged.
+
+Violations carry a ``kind`` that the SFL200–SFL205 rule family splits
+on; the analysis runs once per file and is cached across the six rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.interp import AbstractInterpreter, dotted_chain, iter_functions
+from repro.lint.shape.annotations import (
+    FunctionShapes,
+    _shape_from_annotated,
+    extract_function_shapes,
+)
+from repro.lint.shape.domain import (
+    BUILDER_FUNCS,
+    ELEMENTWISE_BINARY,
+    ELEMENTWISE_TERNARY,
+    ELEMENTWISE_UNARY,
+    FLATTEN_METHODS,
+    LIKE_FUNCS,
+    MATMUL_FUNCS,
+    PASSTHROUGH_FUNCS,
+    REDUCTIONS,
+    SAME_SHAPE_METHODS,
+    SCALAR_METHODS,
+)
+from repro.lint.shape.lattice import (
+    ANY_ARRAY,
+    SCALAR,
+    UNKNOWN,
+    AbstractShape,
+    Axis,
+    Shape,
+    broadcast,
+    dtype_order,
+    format_shape,
+    is_shape,
+    join,
+    matmul,
+    normalize_dtype,
+)
+from repro.lint.shape.signatures import ShapeTable, build_shape_table
+from repro.lint.dim.signatures import build_import_map
+
+__all__ = ["ShapeViolation", "analyze"]
+
+#: Violation kinds, consumed by the SFL200–SFL205 rule family.
+KIND_MATMUL = "matmul"
+KIND_BROADCAST = "broadcast"
+KIND_AXIS = "axis"
+KIND_DTYPE = "dtype"
+KIND_MISSING = "missing"
+KIND_BINDING = "binding"
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: numpy module attributes that are plain scalars.
+_NUMPY_SCALAR_ATTRS = frozenset({"pi", "e", "inf", "nan", "euler_gamma"})
+
+#: numpy scalar-type constructors (np.float64(x) and friends).
+_NUMPY_SCALAR_TYPES = frozenset({
+    "float64", "float32", "float16", "int64", "int32", "int16", "int8",
+    "uint8", "bool_",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeViolation:
+    """One shape/dtype inconsistency found by the pass."""
+
+    line: int
+    column: int
+    kind: str
+    message: str
+
+
+def _dtype_from_node(node: Optional[ast.expr]) -> Optional[str]:
+    """Canonical dtype of a ``dtype=`` argument node, best effort."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return normalize_dtype(node.value)
+    if isinstance(node, ast.Attribute):
+        return normalize_dtype(node.attr)
+    if isinstance(node, ast.Name):
+        return normalize_dtype(node.id)
+    return None
+
+
+def _literal_int(node: ast.expr) -> Optional[int]:
+    """The value of an integer literal (incl. unary minus), if any."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_int(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _definite_conflict(
+    declared: Shape,
+    actual: Shape,
+    bindings: Dict[str, Axis],
+) -> Optional[str]:
+    """Why ``actual`` can never satisfy ``declared``, or ``None``.
+
+    Symbolic extents in ``declared`` unify through ``bindings`` (shared
+    across a call site's arguments); a symbol bound to two different
+    concrete extents is a conflict.  Anything unknown is compatible.
+    """
+    if declared.dims is None or actual.dims is None:
+        return None
+    if len(declared.dims) != len(actual.dims):
+        return (
+            f"rank {len(actual.dims)} value where rank "
+            f"{len(declared.dims)} ({format_shape(declared)}) is declared"
+        )
+    for index, (want, got) in enumerate(zip(declared.dims, actual.dims)):
+        if got is None:
+            continue
+        if isinstance(want, int):
+            if isinstance(got, int) and want != got:
+                return (
+                    f"axis {index} has extent {got} where the "
+                    f"declaration requires {want}"
+                )
+        elif isinstance(want, str):
+            previous = bindings.get(want)
+            if previous is None:
+                bindings[want] = got
+            elif (
+                isinstance(previous, int)
+                and isinstance(got, int)
+                and previous != got
+            ):
+                return (
+                    f"symbolic dim '{want}' already bound to {previous} "
+                    f"but axis {index} has extent {got}"
+                )
+    return None
+
+
+def _substitute(shape: Shape, bindings: Dict[str, Axis]) -> Shape:
+    """Instantiate a declared shape with a call site's symbol bindings."""
+    if shape.dims is None:
+        return shape
+    dims = tuple(
+        bindings.get(dim) if isinstance(dim, str) else dim
+        for dim in shape.dims
+    )
+    return Shape(dims=dims, dtype=shape.dtype)
+
+
+class _FunctionInterpreter(AbstractInterpreter):
+    """Abstract interpretation of one function body over shapes."""
+
+    def __init__(
+        self,
+        module: str,
+        class_name: Optional[str],
+        func: _FuncNode,
+        shapes: FunctionShapes,
+        table: ShapeTable,
+        imports: Dict[str, str],
+        violations: List[ShapeViolation],
+    ) -> None:
+        super().__init__(func)
+        self.module = module
+        self.class_name = class_name
+        self.shapes = shapes
+        self.table = table
+        self.imports = imports
+        self.violations = violations
+        all_args = [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        ]
+        for arg in all_args:
+            self.env[arg.arg] = shapes.params.get(arg.arg, UNKNOWN)
+
+    # -- lattice hooks --------------------------------------------------
+    def unknown(self) -> AbstractShape:
+        return UNKNOWN
+
+    def join_values(self, a: AbstractShape, b: AbstractShape) -> AbstractShape:
+        return join(a, b)
+
+    # -- reporting ------------------------------------------------------
+    def _report(self, node: ast.AST, kind: str, message: str) -> None:
+        self.violations.append(
+            ShapeViolation(
+                line=getattr(node, "lineno", self.func.lineno),
+                column=getattr(node, "col_offset", 0),
+                kind=kind,
+                message=message,
+            )
+        )
+
+    # -- expression evaluation -----------------------------------------
+    def _eval_Constant(self, node: ast.Constant) -> AbstractShape:
+        if isinstance(node.value, (bool, int, float, complex)):
+            # Python scalars are weakly typed: they adapt to the array
+            # they meet (so ``f4_array + 1.0`` is not a widening).
+            return SCALAR
+        return UNKNOWN
+
+    def _eval_Attribute(self, node: ast.Attribute) -> AbstractShape:
+        value = self.eval(node.value)
+        if node.attr == "T":
+            if is_shape(value) and value.dims is not None:
+                return value.with_dims(tuple(reversed(value.dims)))
+            return value if is_shape(value) else UNKNOWN
+        if node.attr in ("real", "imag"):
+            return value if is_shape(value) else UNKNOWN
+        if node.attr in ("ndim", "size"):
+            return Shape(dims=(), dtype="i8") if is_shape(value) else UNKNOWN
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_name is not None
+        ):
+            own = self.table.lookup(f"{self.module}.{self.class_name}")
+            if own is not None and node.attr in own.params:
+                return own.params[node.attr]
+        if node.attr in _NUMPY_SCALAR_ATTRS and isinstance(
+            node.value, ast.Name
+        ):
+            if self.imports.get(node.value.id) == "numpy":
+                return SCALAR
+        return UNKNOWN
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> AbstractShape:
+        operand = self.eval(node.operand)
+        if isinstance(node.op, ast.Not):
+            return SCALAR
+        return operand
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> AbstractShape:
+        result: AbstractShape = self.eval(node.values[0])
+        for value in node.values[1:]:
+            result = join(result, self.eval(value))
+        return result
+
+    def _eval_BinOp(self, node: ast.BinOp) -> AbstractShape:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(node, left, right)
+        if isinstance(
+            node.op,
+            (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+             ast.Mod, ast.Pow),
+        ):
+            return self._elementwise(node, [left, right])
+        return UNKNOWN
+
+    def _matmul(
+        self, node: ast.AST, left: AbstractShape, right: AbstractShape
+    ) -> AbstractShape:
+        if not is_shape(left) or not is_shape(right):
+            return UNKNOWN
+        result = matmul(left, right)
+        if result.error is not None:
+            self._report(node, KIND_MATMUL, result.error)
+        return result.shape
+
+    def _elementwise(
+        self, node: ast.AST, operands: Sequence[AbstractShape]
+    ) -> AbstractShape:
+        """Broadcast-combine operands, reporting definite conflicts."""
+        known = [value for value in operands if is_shape(value)]
+        if len(known) != len(operands):
+            return UNKNOWN
+        result = known[0]
+        for value in known[1:]:
+            outcome = broadcast(result, value)
+            if outcome.mismatch is not None:
+                first, second = outcome.mismatch
+                self._report(
+                    node,
+                    KIND_BROADCAST,
+                    f"operands {format_shape(result)} and "
+                    f"{format_shape(value)} can never broadcast "
+                    f"(extents {first} vs {second})",
+                )
+            elif outcome.mutual:
+                self._report(
+                    node,
+                    KIND_BROADCAST,
+                    f"silent mutual broadcast: {format_shape(result)} "
+                    f"and {format_shape(value)} stretch each other to "
+                    f"{format_shape(outcome.shape)}, matching neither "
+                    "operand — almost always a row/column orientation "
+                    "bug",
+                )
+            result = outcome.shape
+        return result
+
+    def _eval_Compare(self, node: ast.Compare) -> AbstractShape:
+        operands = [self.eval(item) for item in [node.left, *node.comparators]]
+        result = self._elementwise(node, operands)
+        if is_shape(result):
+            return Shape(dims=result.dims, dtype="bool")
+        return UNKNOWN
+
+    # -- indexing -------------------------------------------------------
+    def _eval_Subscript(self, node: ast.Subscript) -> AbstractShape:
+        value = self.eval(node.value)
+        items = (
+            list(node.slice.elts)
+            if isinstance(node.slice, ast.Tuple)
+            else [node.slice]
+        )
+        for item in items:
+            if not isinstance(item, ast.Slice):
+                self.eval(item)
+            else:
+                for part in (item.lower, item.upper, item.step):
+                    if part is not None:
+                        self.eval(part)
+        if not is_shape(value):
+            return UNKNOWN
+        if value.dims is None:
+            return value
+        dims = list(value.dims)
+        out: List[Axis] = []
+        position = 0
+        for item in items:
+            if self._is_newaxis(item):
+                out.append(1)
+                continue
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                # Give up on axis accounting but keep "is an array".
+                return Shape(dims=None, dtype=value.dtype)
+            if position >= len(dims):
+                return Shape(dims=None, dtype=value.dtype)
+            if isinstance(item, ast.Slice):
+                out.append(self._sliced_axis(dims[position], item))
+            elif isinstance(item, ast.List):
+                # Fancy list index keeps the axis with unknown extent.
+                out.append(None)
+            # else: a scalar index (literal or variable) drops the axis.
+            position += 1
+        out.extend(dims[position:])
+        return Shape(dims=tuple(out), dtype=value.dtype)
+
+    @staticmethod
+    def _is_newaxis(item: ast.expr) -> bool:
+        if isinstance(item, ast.Constant) and item.value is None:
+            return True
+        return isinstance(item, ast.Attribute) and item.attr == "newaxis"
+
+    @staticmethod
+    def _sliced_axis(axis: Axis, item: ast.Slice) -> Axis:
+        if item.lower is None and item.upper is None and item.step is None:
+            return axis
+        return None
+
+    # -- calls ----------------------------------------------------------
+    def _eval_Call(self, node: ast.Call) -> AbstractShape:
+        arg_shapes = [self.eval(arg) for arg in node.args]
+        keyword_shapes: Dict[str, AbstractShape] = {}
+        for keyword in node.keywords:
+            value = self.eval(keyword.value)
+            if keyword.arg is not None:
+                keyword_shapes[keyword.arg] = value
+
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._call_name(node, func.id, arg_shapes, keyword_shapes)
+        if isinstance(func, ast.Attribute):
+            return self._call_attribute(node, func, arg_shapes, keyword_shapes)
+        self.eval(func)
+        return UNKNOWN
+
+    def _call_name(
+        self,
+        node: ast.Call,
+        name: str,
+        arg_shapes: List[AbstractShape],
+        keyword_shapes: Dict[str, AbstractShape],
+    ) -> AbstractShape:
+        fq = self.imports.get(name)
+        if fq is None and self.table.lookup(f"{self.module}.{name}"):
+            fq = f"{self.module}.{name}"
+        if fq is not None:
+            declared = self.table.lookup(fq)
+            if declared is not None:
+                return self._check_against_shapes(
+                    node, name, declared, arg_shapes, keyword_shapes,
+                    skip_self=False,
+                )
+        if name == "len":
+            return Shape(dims=(), dtype="i8")
+        if name in ("float", "int", "bool", "round"):
+            return SCALAR
+        if name == "abs" and arg_shapes:
+            return arg_shapes[0]
+        return UNKNOWN
+
+    def _call_attribute(
+        self,
+        node: ast.Call,
+        func: ast.Attribute,
+        arg_shapes: List[AbstractShape],
+        keyword_shapes: Dict[str, AbstractShape],
+    ) -> AbstractShape:
+        chain = dotted_chain(func)
+        if chain is not None and self.imports.get(chain[0]) == "numpy":
+            return self._call_numpy(
+                node, tuple(chain[1:]), arg_shapes, keyword_shapes
+            )
+        if chain is not None and chain[0] in self.imports:
+            fq = ".".join([self.imports[chain[0]], *chain[1:]])
+            declared = self.table.lookup(fq)
+            if declared is not None:
+                return self._check_against_shapes(
+                    node, chain[-1], declared, arg_shapes, keyword_shapes,
+                    skip_self=False,
+                )
+        if (
+            chain is not None
+            and chain[0] == "self"
+            and len(chain) == 2
+            and self.class_name is not None
+        ):
+            fq = f"{self.module}.{self.class_name}.{chain[1]}"
+            declared = self.table.lookup(fq)
+            if declared is not None:
+                return self._check_against_shapes(
+                    node, chain[1], declared, arg_shapes, keyword_shapes,
+                    skip_self=True,
+                )
+        receiver = self.eval(func.value)
+        method_result = self._call_array_method(
+            node, func.attr, receiver, arg_shapes, keyword_shapes
+        )
+        if method_result is not NotImplemented:
+            return method_result
+        by_name = self.table.lookup_method(func.attr)
+        if by_name is not None and by_name.has_declarations:
+            return self._check_against_shapes(
+                node, func.attr, by_name, arg_shapes, keyword_shapes,
+                skip_self=True,
+            )
+        return UNKNOWN
+
+    # -- numpy functions ------------------------------------------------
+    def _call_numpy(
+        self,
+        node: ast.Call,
+        tail: Tuple[str, ...],
+        arg_shapes: List[AbstractShape],
+        keyword_shapes: Dict[str, AbstractShape],
+    ) -> AbstractShape:
+        if len(tail) == 2 and tail[0] == "linalg":
+            return self._call_linalg(node, tail[1], arg_shapes)
+        if len(tail) != 1:
+            return UNKNOWN
+        name = tail[0]
+        dtype = _dtype_from_node(self._keyword_node(node, "dtype"))
+
+        if name in BUILDER_FUNCS:
+            dims = self._shape_from_shape_arg(node.args[0]) if node.args \
+                else None
+            if dtype is None and name != "empty":
+                dtype = "f8"  # numpy's default fill dtype
+            return Shape(dims=dims, dtype=dtype)
+        if name in LIKE_FUNCS and arg_shapes:
+            base = arg_shapes[0]
+            if is_shape(base):
+                return Shape(dims=base.dims, dtype=dtype or base.dtype)
+            return ANY_ARRAY
+        if name == "eye":
+            first = _literal_int(node.args[0]) if node.args else None
+            second = (
+                _literal_int(node.args[1]) if len(node.args) > 1 else first
+            )
+            return Shape(dims=(first, second), dtype=dtype or "f8")
+        if name == "arange":
+            return Shape(dims=(None,), dtype=dtype)
+        if name == "linspace":
+            count = (
+                _literal_int(node.args[2]) if len(node.args) > 2 else None
+            )
+            return Shape(dims=(count,), dtype=dtype or "f8")
+        if name == "array":
+            return self._np_array(node, arg_shapes, dtype)
+        if name in PASSTHROUGH_FUNCS and arg_shapes:
+            base = arg_shapes[0]
+            if is_shape(base):
+                return Shape(dims=base.dims, dtype=dtype or base.dtype)
+            return UNKNOWN
+        if name in _NUMPY_SCALAR_TYPES:
+            return Shape(dims=(), dtype=normalize_dtype(name))
+        if name in MATMUL_FUNCS and len(arg_shapes) >= 2:
+            return self._matmul(node, arg_shapes[0], arg_shapes[1])
+        if name in ELEMENTWISE_UNARY and arg_shapes:
+            return arg_shapes[0] if is_shape(arg_shapes[0]) else UNKNOWN
+        if name in ELEMENTWISE_BINARY and len(arg_shapes) >= 2:
+            return self._elementwise(node, arg_shapes[:2])
+        if name in ELEMENTWISE_TERNARY and arg_shapes:
+            present = [s for s in arg_shapes[:3]]
+            if all(is_shape(s) for s in present):
+                return self._elementwise(node, present)
+            return UNKNOWN
+        if name in REDUCTIONS and arg_shapes:
+            return self._reduction(
+                node, name, arg_shapes[0], args_offset=1
+            )
+        if name == "reshape" and len(node.args) >= 2:
+            return self._reshape(arg_shapes[0], node.args[1:])
+        if name == "transpose" and arg_shapes:
+            return self._transpose(arg_shapes[0], node.args[1:])
+        if name == "expand_dims" and arg_shapes:
+            return self._expand_dims(node, arg_shapes[0])
+        if name == "squeeze" and arg_shapes:
+            base = arg_shapes[0]
+            return Shape(dims=None, dtype=base.dtype) if is_shape(base) \
+                else UNKNOWN
+        if name == "stack":
+            return self._stack(node, stacked=True)
+        if name == "concatenate":
+            return self._stack(node, stacked=False)
+        return UNKNOWN
+
+    def _call_linalg(
+        self, node: ast.Call, name: str, arg_shapes: List[AbstractShape]
+    ) -> AbstractShape:
+        if not arg_shapes or not is_shape(arg_shapes[0]):
+            return UNKNOWN
+        first = arg_shapes[0]
+        if name in ("inv", "pinv", "cholesky"):
+            return first
+        if name == "solve" and len(arg_shapes) > 1:
+            second = arg_shapes[1]
+            return second if is_shape(second) else UNKNOWN
+        if name == "norm":
+            return SCALAR if self._keyword_node(node, "axis") is None \
+                else Shape(dims=None, dtype=first.dtype)
+        if name == "det":
+            return SCALAR
+        return UNKNOWN
+
+    # -- array methods --------------------------------------------------
+    def _call_array_method(
+        self,
+        node: ast.Call,
+        method: str,
+        receiver: AbstractShape,
+        arg_shapes: List[AbstractShape],
+        keyword_shapes: Dict[str, AbstractShape],
+    ):
+        """Model ``array.method(...)``; NotImplemented when unmodeled."""
+        if not is_shape(receiver):
+            if method in REDUCTIONS or method in (
+                "reshape", "astype", "transpose",
+            ) or method in SAME_SHAPE_METHODS | FLATTEN_METHODS \
+                    | SCALAR_METHODS:
+                return UNKNOWN
+            return NotImplemented
+        if method in REDUCTIONS:
+            return self._reduction(node, method, receiver, args_offset=0)
+        if method == "reshape":
+            return self._reshape(receiver, list(node.args))
+        if method == "astype":
+            dtype = _dtype_from_node(node.args[0]) if node.args else None
+            return Shape(dims=receiver.dims, dtype=dtype)
+        if method == "transpose":
+            return self._transpose(receiver, list(node.args))
+        if method in SAME_SHAPE_METHODS:
+            return receiver
+        if method in FLATTEN_METHODS:
+            return Shape(dims=(None,), dtype=receiver.dtype)
+        if method in SCALAR_METHODS:
+            return Shape(dims=(), dtype=receiver.dtype)
+        if method == "fill":
+            return UNKNOWN
+        return NotImplemented
+
+    # -- numpy helpers --------------------------------------------------
+    @staticmethod
+    def _keyword_node(node: ast.Call, name: str) -> Optional[ast.expr]:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def _shape_from_shape_arg(
+        self, node: ast.expr
+    ) -> Optional[Tuple[Axis, ...]]:
+        """Dims described by a ``shape=`` argument (literal-aware)."""
+        single = _literal_int(node)
+        if single is not None:
+            return (single,)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(_literal_int(element) for element in node.elts)
+        return None
+
+    def _np_array(
+        self,
+        node: ast.Call,
+        arg_shapes: List[AbstractShape],
+        dtype: Optional[str],
+    ) -> AbstractShape:
+        if not node.args:
+            return UNKNOWN
+        literal = self._literal_dims(node.args[0])
+        if literal is not None:
+            dims, inferred = literal
+            return Shape(dims=dims, dtype=dtype or inferred)
+        base = arg_shapes[0]
+        if is_shape(base):
+            return Shape(dims=base.dims, dtype=dtype or base.dtype)
+        return UNKNOWN
+
+    def _literal_dims(
+        self, node: ast.expr
+    ) -> Optional[Tuple[Tuple[Axis, ...], Optional[str]]]:
+        """Dims and element dtype of a nested list/tuple literal."""
+        if isinstance(node, (ast.List, ast.Tuple)):
+            if not node.elts:
+                return (0,), None
+            children = [self._literal_dims(child) for child in node.elts]
+            if any(child is None for child in children):
+                # Elements with known *shapes* still stack.
+                element_shapes = [self.eval(child) for child in node.elts]
+                if all(
+                    is_shape(shape) and shape.dims is not None
+                    for shape in element_shapes
+                ):
+                    inner = element_shapes[0]
+                    for other in element_shapes[1:]:
+                        joined = join(inner, other)
+                        if joined is UNKNOWN or joined.dims is None:
+                            return None
+                        inner = joined
+                    return (
+                        (len(node.elts),) + inner.dims,
+                        inner.dtype,
+                    )
+                return None
+            first_dims = children[0][0]
+            if any(child[0] != first_dims for child in children):
+                return None
+            dtypes = {child[1] for child in children}
+            dtype = dtypes.pop() if len(dtypes) == 1 else None
+            return (len(node.elts),) + first_dims, dtype
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (bool, int, float)
+        ):
+            if isinstance(node.value, bool):
+                return (), "bool"
+            return (), ("f8" if isinstance(node.value, float) else "i8")
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            return self._literal_dims(node.operand)
+        return None
+
+    def _axis_arguments(
+        self, node: ast.Call, args_offset: int
+    ) -> Tuple[Optional[List[int]], bool, bool]:
+        """(axes, axis_given, keepdims) of a reduction call."""
+        axis_node = self._keyword_node(node, "axis")
+        if axis_node is None and len(node.args) > args_offset:
+            axis_node = node.args[args_offset]
+        keepdims_node = self._keyword_node(node, "keepdims")
+        keepdims = (
+            isinstance(keepdims_node, ast.Constant)
+            and keepdims_node.value is True
+        )
+        if axis_node is None or (
+            isinstance(axis_node, ast.Constant) and axis_node.value is None
+        ):
+            return None, False, keepdims
+        single = _literal_int(axis_node)
+        if single is not None:
+            return [single], True, keepdims
+        if isinstance(axis_node, (ast.Tuple, ast.List)):
+            axes = [_literal_int(element) for element in axis_node.elts]
+            if all(axis is not None for axis in axes):
+                return [axis for axis in axes if axis is not None], True, \
+                    keepdims
+        return None, True, keepdims
+
+    def _reduction(
+        self,
+        node: ast.Call,
+        name: str,
+        base: AbstractShape,
+        *,
+        args_offset: int,
+    ) -> AbstractShape:
+        if not is_shape(base):
+            return UNKNOWN
+        axes, axis_given, keepdims = self._axis_arguments(node, args_offset)
+        dtype = base.dtype
+        if name in ("argmax", "argmin"):
+            dtype = "i8"
+        elif name in ("all", "any"):
+            dtype = "bool"
+        if base.dims is None:
+            return Shape(dims=None, dtype=dtype)
+        rank = len(base.dims)
+        if axes is None:
+            if axis_given:
+                return Shape(dims=None, dtype=dtype)
+            if keepdims:
+                return Shape(dims=(1,) * rank, dtype=dtype)
+            return Shape(dims=(), dtype=dtype)
+        for axis in axes:
+            if not (-rank <= axis < rank):
+                self._report(
+                    node,
+                    KIND_AXIS,
+                    f"axis {axis} is out of range for the rank-{rank} "
+                    f"operand {format_shape(base)} of {name}()",
+                )
+                return Shape(dims=None, dtype=dtype)
+        normalized = {axis % rank for axis in axes}
+        dims = tuple(
+            1 if index in normalized else extent
+            for index, extent in enumerate(base.dims)
+            if keepdims or index not in normalized
+        )
+        return Shape(dims=dims, dtype=dtype)
+
+    def _reshape(
+        self, base: AbstractShape, shape_args: List[ast.expr]
+    ) -> AbstractShape:
+        dtype = base.dtype if is_shape(base) else None
+        if len(shape_args) == 1 and isinstance(
+            shape_args[0], (ast.Tuple, ast.List)
+        ):
+            shape_args = list(shape_args[0].elts)
+        dims: List[Axis] = []
+        for argument in shape_args:
+            literal = _literal_int(argument)
+            dims.append(
+                literal if literal is not None and literal >= 0 else None
+            )
+        if not dims:
+            return Shape(dims=None, dtype=dtype)
+        return Shape(dims=tuple(dims), dtype=dtype)
+
+    def _transpose(
+        self, base: AbstractShape, axis_args: List[ast.expr]
+    ) -> AbstractShape:
+        if not is_shape(base):
+            return UNKNOWN
+        if base.dims is None:
+            return base
+        if not axis_args:
+            return base.with_dims(tuple(reversed(base.dims)))
+        if len(axis_args) == 1 and isinstance(
+            axis_args[0], (ast.Tuple, ast.List)
+        ):
+            axis_args = list(axis_args[0].elts)
+        order = [_literal_int(argument) for argument in axis_args]
+        rank = len(base.dims)
+        if all(
+            axis is not None and -rank <= axis < rank for axis in order
+        ) and len(order) == rank:
+            return base.with_dims(
+                tuple(base.dims[axis % rank] for axis in order)  # type: ignore[union-attr]
+            )
+        return Shape(dims=None, dtype=base.dtype)
+
+    def _expand_dims(
+        self, node: ast.Call, base: AbstractShape
+    ) -> AbstractShape:
+        if not is_shape(base) or base.dims is None:
+            return base if is_shape(base) else UNKNOWN
+        axis_node = self._keyword_node(node, "axis")
+        if axis_node is None and len(node.args) > 1:
+            axis_node = node.args[1]
+        axis = _literal_int(axis_node) if axis_node is not None else None
+        rank = len(base.dims)
+        if axis is None:
+            return Shape(dims=None, dtype=base.dtype)
+        if not (-(rank + 1) <= axis <= rank):
+            self._report(
+                node,
+                KIND_AXIS,
+                f"axis {axis} is out of range for expand_dims of the "
+                f"rank-{rank} operand {format_shape(base)}",
+            )
+            return Shape(dims=None, dtype=base.dtype)
+        position = axis % (rank + 1)
+        dims = base.dims[:position] + (1,) + base.dims[position:]
+        return Shape(dims=dims, dtype=base.dtype)
+
+    def _stack(self, node: ast.Call, *, stacked: bool) -> AbstractShape:
+        if not node.args or not isinstance(
+            node.args[0], (ast.List, ast.Tuple)
+        ):
+            return UNKNOWN
+        elements = [self.eval(element) for element in node.args[0].elts]
+        if not elements or not all(
+            is_shape(element) and element.dims is not None
+            for element in elements
+        ):
+            return UNKNOWN
+        common = elements[0]
+        for other in elements[1:]:
+            joined = join(common, other)
+            if joined is UNKNOWN or joined.dims is None:
+                return UNKNOWN
+            common = joined
+        assert common.dims is not None
+        rank = len(common.dims)
+        axis_node = self._keyword_node(node, "axis")
+        if axis_node is None and len(node.args) > 1:
+            axis_node = node.args[1]
+        axis = 0 if axis_node is None else _literal_int(axis_node)
+        if axis is None:
+            return Shape(dims=None, dtype=common.dtype)
+        limit = rank + 1 if stacked else rank
+        if not (-limit <= axis < limit):
+            name = "stack" if stacked else "concatenate"
+            self._report(
+                node,
+                KIND_AXIS,
+                f"axis {axis} is out of range for {name}() over "
+                f"rank-{rank} elements {format_shape(common)}",
+            )
+            return Shape(dims=None, dtype=common.dtype)
+        if stacked:
+            position = axis % (rank + 1)
+            dims = (
+                common.dims[:position]
+                + (len(elements),)
+                + common.dims[position:]
+            )
+            return Shape(dims=dims, dtype=common.dtype)
+        position = axis % rank if rank else 0
+        extents = [element.dims[position] for element in elements]  # type: ignore[index]
+        total: Axis = (
+            sum(extents) if all(isinstance(e, int) for e in extents)
+            else None
+        )
+        dims = (
+            common.dims[:position] + (total,) + common.dims[position + 1:]
+        )
+        return Shape(dims=dims, dtype=common.dtype)
+
+    # -- declared-signature checking -------------------------------------
+    def _check_against_shapes(
+        self,
+        node: ast.Call,
+        display: str,
+        declared: FunctionShapes,
+        arg_shapes: List[AbstractShape],
+        keyword_shapes: Dict[str, AbstractShape],
+        *,
+        skip_self: bool,
+    ) -> AbstractShape:
+        order = declared.param_order
+        if skip_self and order and order[0] in ("self", "cls"):
+            order = order[1:]
+        bindings: Dict[str, Axis] = {}
+        has_star = any(isinstance(arg, ast.Starred) for arg in node.args)
+        pairs: List[Tuple[str, AbstractShape]] = []
+        if not has_star:
+            pairs.extend(
+                (order[index], shape)
+                for index, shape in enumerate(arg_shapes)
+                if index < len(order)
+            )
+        pairs.extend(keyword_shapes.items())
+        for name, actual in pairs:
+            want = declared.params.get(name)
+            if want is None or not is_shape(actual):
+                continue
+            conflict = _definite_conflict(want, actual, bindings)
+            if conflict is not None:
+                self._report(
+                    node,
+                    KIND_BINDING,
+                    f"argument '{name}' of {display}() is declared "
+                    f"{format_shape(want)} but {conflict}",
+                )
+        if declared.returns is None:
+            return UNKNOWN
+        return _substitute(declared.returns, bindings)
+
+    # -- statement checks ----------------------------------------------
+    def _augmented_result(
+        self,
+        statement: ast.AugAssign,
+        current: AbstractShape,
+        value: AbstractShape,
+    ) -> AbstractShape:
+        if isinstance(statement.op, ast.MatMult):
+            return self._matmul(statement, current, value)
+        if (
+            is_shape(current)
+            and is_shape(value)
+            and current.dims != ()
+            and current.dtype is not None
+            and value.dtype is not None
+            and dtype_order(current.dtype) < dtype_order(value.dtype)
+        ):
+            self._report(
+                statement,
+                KIND_DTYPE,
+                f"in-place accumulation narrows: the {current.dtype} "
+                f"target silently truncates every {value.dtype} "
+                "increment",
+            )
+        if not isinstance(
+            statement.op,
+            (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+             ast.Mod, ast.Pow),
+        ):
+            return UNKNOWN
+        result = self._elementwise(statement, [current, value])
+        if is_shape(result) and is_shape(current):
+            # In-place ops keep the target's dtype.
+            return Shape(dims=result.dims, dtype=current.dtype)
+        return result
+
+    def _exec_AnnAssign(self, statement: ast.AnnAssign) -> None:
+        issues: list = []
+        declared = _shape_from_annotated(statement.annotation, issues)
+        for issue in issues:
+            self._report(
+                statement,
+                KIND_MISSING,
+                f"bad shape annotation: {issue.message}",
+            )
+        value = (
+            self.eval(statement.value)
+            if statement.value is not None
+            else UNKNOWN
+        )
+        if declared is not None and is_shape(value):
+            conflict = _definite_conflict(declared, value, {})
+            if conflict is not None:
+                self._report(
+                    statement,
+                    KIND_BINDING,
+                    f"assigned value contradicts the annotation "
+                    f"{format_shape(declared)}: {conflict}",
+                )
+        if isinstance(statement.target, ast.Name):
+            self.env[statement.target.id] = (
+                declared if declared is not None else value
+            )
+
+    def _exec_Return(self, statement: ast.Return) -> None:
+        value = self.eval(statement.value)
+        declared = self.shapes.returns
+        if declared is not None and is_shape(value):
+            conflict = _definite_conflict(declared, value, {})
+            if conflict is not None:
+                self._report(
+                    statement,
+                    KIND_BINDING,
+                    f"returns a value contradicting the declared "
+                    f"-> {format_shape(declared)}: {conflict}",
+                )
+
+
+def _annotation_head(node: ast.expr) -> Optional[str]:
+    """The rightmost name of a ``Name``/``Attribute`` annotation head."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mentions_ndarray(annotation: Optional[ast.expr]) -> bool:
+    """Whether an annotation is *directly* an array type.
+
+    ``np.ndarray``, ``NDArray[...]``, ``Optional[np.ndarray]``,
+    ``Annotated[np.ndarray, ...]`` and ``np.ndarray | None`` all count.
+    Containers that merely mention arrays (``Dict[str, np.ndarray]``,
+    ``List[np.ndarray]``) do not: the shape grammar has nothing
+    truthful to say about them, so SFL204 must not demand a spec there.
+    """
+    if annotation is None:
+        return False
+    node: ast.expr = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    head = _annotation_head(node)
+    if head in ("ndarray", "NDArray"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _mentions_ndarray(node.left) or _mentions_ndarray(node.right)
+    if isinstance(node, ast.Subscript):
+        head = _annotation_head(node.value)
+        if head in ("ndarray", "NDArray"):
+            return True
+        if head in ("Optional", "Union", "Annotated"):
+            inner = node.slice
+            elements = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            if head == "Annotated":
+                elements = elements[:1]
+            return any(_mentions_ndarray(element) for element in elements)
+    return False
+
+
+def _check_missing_shapes(
+    class_name: Optional[str],
+    func: _FuncNode,
+    shapes: FunctionShapes,
+    violations: List[ShapeViolation],
+) -> None:
+    """SFL204: public array APIs must declare their shapes."""
+    if func.name.startswith("_") and func.name != "__init__":
+        return
+    if class_name is not None and class_name.startswith("_"):
+        return
+    undeclared = [
+        arg.arg
+        for arg in (
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        )
+        if _mentions_ndarray(arg.annotation)
+        and arg.arg not in shapes.params
+    ]
+    if _mentions_ndarray(func.returns) and shapes.returns is None:
+        undeclared.append("return")
+    if undeclared:
+        violations.append(
+            ShapeViolation(
+                line=func.lineno,
+                column=func.col_offset,
+                kind=KIND_MISSING,
+                message=(
+                    "ndarray parameter(s) "
+                    + ", ".join(repr(name) for name in undeclared)
+                    + " carry no machine-checkable shape; add a "
+                    "'Shapes: name [spec]' docstring line or an "
+                    "Annotated hint (grammar: docs/LINTING.md)"
+                ),
+            )
+        )
+
+
+def _analyze_uncached(context, tree: ast.Module) -> Tuple[ShapeViolation, ...]:
+    table: Optional[ShapeTable] = getattr(
+        context, "shape_signatures", None
+    )
+    if table is None:
+        table = build_shape_table([(context.module, tree)])
+    imports = build_import_map(context.module, tree)
+    violations: List[ShapeViolation] = []
+    for class_name, func in iter_functions(tree):
+        dotted = (
+            f"{context.module}.{class_name}.{func.name}"
+            if class_name
+            else f"{context.module}.{func.name}"
+        )
+        shapes = table.lookup(dotted) or extract_function_shapes(func)
+        for issue in shapes.issues:
+            violations.append(
+                ShapeViolation(
+                    line=issue.line,
+                    column=0,
+                    kind=KIND_MISSING,
+                    message=issue.message,
+                )
+            )
+        _check_missing_shapes(class_name, func, shapes, violations)
+        interpreter = _FunctionInterpreter(
+            module=context.module,
+            class_name=class_name,
+            func=func,
+            shapes=shapes,
+            table=table,
+            imports=imports,
+            violations=violations,
+        )
+        interpreter.run()
+    return tuple(violations)
+
+
+#: (path, source) -> analysis result; the six SFL20x rules all consume
+#: the same per-file analysis, so a tiny cache makes the family cost
+#: one pass instead of six.
+_CACHE: Dict[Tuple[str, str], Tuple[ShapeViolation, ...]] = {}
+_CACHE_LIMIT = 8
+
+
+def analyze(context, tree: ast.Module) -> Tuple[ShapeViolation, ...]:
+    """Shape/dtype violations of one parsed file (cached per file)."""
+    key = (context.path, context.source)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _analyze_uncached(context, tree)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = result
+    return result

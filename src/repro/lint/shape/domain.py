@@ -1,0 +1,155 @@
+"""Curated numpy knowledge of the safeshape pass.
+
+The checker models exactly the numpy surface this repo's kinematics,
+filtering and nn core actually use — array builders, elementwise ufuncs
+with broadcasting, axis reductions, linear algebra, and the reshaping
+family.  Everything else evaluates to *unknown* and stays silent; the
+pass is optimistic by construction.
+
+Tables, not code: keeping the knowledge declarative makes the modeled
+surface auditable at a glance and trivially extensible when the
+vectorized batch engine pulls in new idioms.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = [
+    "ELEMENTWISE_UNARY",
+    "ELEMENTWISE_BINARY",
+    "ELEMENTWISE_TERNARY",
+    "REDUCTIONS",
+    "BUILDER_FUNCS",
+    "LIKE_FUNCS",
+    "PASSTHROUGH_FUNCS",
+    "MATMUL_FUNCS",
+    "SAME_SHAPE_METHODS",
+    "FLATTEN_METHODS",
+    "SCALAR_METHODS",
+    "ARRAY_PARAM_NAMES",
+]
+
+#: numpy functions applying one array elementwise (shape-preserving).
+ELEMENTWISE_UNARY: FrozenSet[str] = frozenset({
+    "abs",
+    "absolute",
+    "arccos",
+    "arcsin",
+    "arctan",
+    "cbrt",
+    "ceil",
+    "cos",
+    "cosh",
+    "exp",
+    "expm1",
+    "floor",
+    "isfinite",
+    "isinf",
+    "isnan",
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "negative",
+    "reciprocal",
+    "rint",
+    "sign",
+    "sin",
+    "sinh",
+    "sqrt",
+    "square",
+    "tan",
+    "tanh",
+})
+
+#: numpy functions combining two arrays by broadcasting.
+ELEMENTWISE_BINARY: FrozenSet[str] = frozenset({
+    "add",
+    "arctan2",
+    "divide",
+    "equal",
+    "fmax",
+    "fmin",
+    "greater",
+    "greater_equal",
+    "hypot",
+    "less",
+    "less_equal",
+    "logical_and",
+    "logical_or",
+    "maximum",
+    "minimum",
+    "mod",
+    "multiply",
+    "not_equal",
+    "power",
+    "subtract",
+    "true_divide",
+})
+
+#: numpy functions combining three arrays by broadcasting.
+ELEMENTWISE_TERNARY: FrozenSet[str] = frozenset({"clip", "where"})
+
+#: Axis reductions (function and method spellings share this set).
+REDUCTIONS: FrozenSet[str] = frozenset({
+    "all",
+    "any",
+    "argmax",
+    "argmin",
+    "max",
+    "mean",
+    "median",
+    "min",
+    "nanmax",
+    "nanmean",
+    "nanmin",
+    "nansum",
+    "prod",
+    "std",
+    "sum",
+    "var",
+})
+
+#: Builders whose first argument is the result shape.
+BUILDER_FUNCS: FrozenSet[str] = frozenset({"zeros", "ones", "empty", "full"})
+
+#: Builders copying another array's shape.
+LIKE_FUNCS: FrozenSet[str] = frozenset({
+    "zeros_like",
+    "ones_like",
+    "empty_like",
+    "full_like",
+})
+
+#: Functions returning their first argument's shape unchanged.
+PASSTHROUGH_FUNCS: FrozenSet[str] = frozenset({
+    "asarray",
+    "ascontiguousarray",
+    "asfarray",
+    "atleast_1d",
+    "copy",
+    "nan_to_num",
+    "sort",
+})
+
+#: Function spellings of the matmul contraction.
+MATMUL_FUNCS: FrozenSet[str] = frozenset({"matmul", "dot"})
+
+#: Array methods preserving shape (dtype untouched unless noted).
+SAME_SHAPE_METHODS: FrozenSet[str] = frozenset({"copy", "clip", "round"})
+
+#: Array methods collapsing to rank 1 of unknown extent.
+FLATTEN_METHODS: FrozenSet[str] = frozenset({"ravel", "flatten"})
+
+#: Array methods returning a scalar.
+SCALAR_METHODS: FrozenSet[str] = frozenset({"item", "trace"})
+
+#: Parameter names that strongly suggest an array API even without an
+#: ``ndarray`` annotation; used by the SFL204 coverage rule.
+ARRAY_PARAM_NAMES: FrozenSet[str] = frozenset({
+    "matrix",
+    "weights",
+    "gain",
+    "covariance",
+})

@@ -1,0 +1,400 @@
+"""The array-shape lattice of the safeshape pass.
+
+An abstract *shape* is what the checker knows statically about a numpy
+value: its rank, its per-axis extents, and its dtype.  Each axis is one
+of
+
+* a concrete ``int`` extent (``2`` in ``[2,2]``),
+* a *symbolic* name (``"B"`` in ``[B,4]``) standing for an extent that
+  is fixed per call but unknown statically — the batch axis of the
+  planner stack, the horizon ``N`` of a rollout, and
+* :data:`None` — an unknown extent (spelled ``?`` in annotations).
+
+The value lattice has three levels of information:
+
+* :data:`UNKNOWN` (``None``) — nothing known, absorbs everything;
+* ``Shape(dims=None)`` — known to be an array, rank unknown;
+* ``Shape(dims=(...))`` — known rank with per-axis knowledge; rank 0
+  (``dims=()``) is a scalar.
+
+Dtypes are canonical short tokens (``f8``, ``f4``, ``f2``, ``i8``,
+``i4``, ``bool``, ...) ordered by information capacity so the checker
+can call ``f4 += f8`` a narrowing accumulation.  ``None`` means the
+dtype is unknown.
+
+:func:`broadcast` implements numpy's general broadcasting (align right,
+1-extends) and additionally reports the *mutual-stretch* criterion used
+by SFL201: an elementwise result whose shape differs from **both**
+operands — ``(2,1) + (2,) -> (2,2)`` — is almost always an orientation
+bug (row vector meets column vector), while one-sided stretching such
+as the ``(B,2) + (2,)`` bias-add idiom is the bread and butter of numpy
+code and stays silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.lint.specs import SpecSyntaxError
+
+__all__ = [
+    "Axis",
+    "Shape",
+    "SCALAR",
+    "ANY_ARRAY",
+    "UNKNOWN",
+    "AbstractShape",
+    "ShapeSyntaxError",
+    "parse_shape",
+    "format_shape",
+    "join",
+    "join_axis",
+    "is_shape",
+    "broadcast",
+    "BroadcastResult",
+    "matmul",
+    "MatmulResult",
+    "normalize_dtype",
+    "dtype_order",
+    "promote_dtype",
+]
+
+#: One axis: concrete extent, symbolic name, or unknown (``?``).
+Axis = Union[int, str, None]
+
+
+class ShapeSyntaxError(SpecSyntaxError):
+    """A shape spec that does not follow the grammar."""
+
+
+#: Canonical dtype tokens, ordered by information capacity.  The order
+#: backs the SFL203 narrowing check: accumulating a later token into a
+#: variable holding an earlier one silently loses precision.
+_DTYPE_RANK = {
+    "bool": 0,
+    "u1": 1,
+    "i1": 1,
+    "u2": 2,
+    "i2": 2,
+    "u4": 3,
+    "i4": 3,
+    "u8": 4,
+    "i8": 4,
+    "f2": 5,
+    "f4": 6,
+    "f8": 7,
+    "c8": 8,
+    "c16": 9,
+}
+
+#: Accepted spellings -> canonical token (numpy names and letter codes).
+_DTYPE_ALIASES = {
+    **{token: token for token in _DTYPE_RANK},
+    "float64": "f8",
+    "float32": "f4",
+    "float16": "f2",
+    "float": "f8",
+    "double": "f8",
+    "int64": "i8",
+    "int32": "i4",
+    "int16": "i2",
+    "int8": "i1",
+    "int": "i8",
+    "uint8": "u1",
+    "uint16": "u2",
+    "uint32": "u4",
+    "uint64": "u8",
+    "bool_": "bool",
+    "complex64": "c8",
+    "complex128": "c16",
+}
+
+
+def normalize_dtype(text: str) -> Optional[str]:
+    """Canonical dtype token for a spelling, or ``None`` if unknown."""
+    return _DTYPE_ALIASES.get(text.strip())
+
+
+def dtype_order(token: str) -> int:
+    """Information-capacity rank of a canonical dtype token."""
+    return _DTYPE_RANK[token]
+
+
+def promote_dtype(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Result dtype of combining two operands (widest wins).
+
+    Unknown (``None``) is contagious: if either side is unknown the
+    result is unknown, keeping the pass optimistic.
+    """
+    if a is None or b is None:
+        return None
+    return a if _DTYPE_RANK[a] >= _DTYPE_RANK[b] else b
+
+
+@dataclass(frozen=True, slots=True)
+class Shape:
+    """What is statically known about one array value.
+
+    Attributes
+    ----------
+    dims:
+        Per-axis extents, or ``None`` when only "is an array" is known.
+        ``()`` is a scalar (rank 0).
+    dtype:
+        Canonical dtype token, or ``None`` when unknown.
+    """
+
+    dims: Optional[Tuple[Axis, ...]]
+    dtype: Optional[str] = None
+
+    @property
+    def rank(self) -> Optional[int]:
+        """Number of axes, or ``None`` when the rank is unknown."""
+        return None if self.dims is None else len(self.dims)
+
+    @property
+    def is_scalar(self) -> bool:
+        """Whether this is a known rank-0 value."""
+        return self.dims == ()
+
+    def with_dims(self, dims: Optional[Tuple[Axis, ...]]) -> "Shape":
+        """Same dtype, different dims."""
+        return Shape(dims=dims, dtype=self.dtype)
+
+    def __str__(self) -> str:
+        return format_shape(self)
+
+
+#: A known scalar of unknown dtype.
+SCALAR = Shape(dims=())
+
+#: Known to be an array; rank and dtype unknown.
+ANY_ARRAY = Shape(dims=None)
+
+#: The no-information abstract value.
+UNKNOWN = None
+
+#: What an expression may evaluate to in the abstract interpretation.
+AbstractShape = Optional[Shape]
+
+
+def is_shape(value: AbstractShape) -> bool:
+    """Whether ``value`` carries any shape information at all."""
+    return isinstance(value, Shape)
+
+
+def _format_axis(axis: Axis) -> str:
+    return "?" if axis is None else str(axis)
+
+
+def format_shape(shape: Shape) -> str:
+    """Canonical annotation-grammar rendering, for messages."""
+    if shape.dims is None:
+        body = "array"
+    elif shape.dims == ():
+        body = "scalar"
+    else:
+        body = "[" + ",".join(_format_axis(d) for d in shape.dims) + "]"
+    if shape.dtype is not None:
+        if body in ("array", "scalar"):
+            return f"{body}; {shape.dtype}"
+        return body[:-1] + f"; {shape.dtype}]"
+    return body
+
+
+def _parse_axis(token: str) -> Axis:
+    token = token.strip()
+    if token == "?":
+        return None
+    if token.lstrip("-").isdigit():
+        value = int(token)
+        if value < 0:
+            raise ShapeSyntaxError(f"negative extent {token!r}")
+        return value
+    if token.isidentifier() and token[0].isupper():
+        return token
+    raise ShapeSyntaxError(
+        f"bad axis {token!r} (want an int, an Uppercase-led symbolic "
+        "name, or '?')"
+    )
+
+
+def parse_shape(text: str, bracketed: bool) -> Shape:
+    """Parse one shape spec into a :class:`Shape`.
+
+    The grammar (docs/LINTING.md)::
+
+        spec  := "scalar" | "array" | "[" axes? (";" dtype)? "]"
+        axes  := axis ("," axis)*
+        axis  := INT | SYMBOL | "?"
+
+    ``scalar`` and ``array`` are bare keywords (no brackets); bracketed
+    forms are ``[B,4]``, ``[2,2]``, ``[N]``, ``[]`` (scalar), optionally
+    with a dtype suffix: ``[B,4; f8]``.  Symbolic axes start with an
+    uppercase letter — that is what keeps the shape grammar disjoint
+    from the (lowercase) unit grammar, so ``[s]`` can never be misread
+    as a rank-1 array.
+
+    Raises
+    ------
+    ShapeSyntaxError
+        On anything outside the grammar.
+    """
+    text = text.strip()
+    if not bracketed:
+        if text == "scalar":
+            return SCALAR
+        if text == "array":
+            return ANY_ARRAY
+        raise ShapeSyntaxError(
+            f"bare shape keyword must be 'scalar' or 'array', got {text!r}"
+        )
+    body, semicolon, dtype_text = text.partition(";")
+    dtype: Optional[str] = None
+    if semicolon:
+        dtype = normalize_dtype(dtype_text)
+        if dtype is None:
+            raise ShapeSyntaxError(
+                f"unknown dtype {dtype_text.strip()!r} in shape spec"
+            )
+    body = body.strip()
+    if not body:
+        return Shape(dims=(), dtype=dtype)
+    dims = tuple(_parse_axis(token) for token in body.split(","))
+    return Shape(dims=dims, dtype=dtype)
+
+
+def join_axis(left: Axis, right: Axis) -> Axis:
+    """Least upper bound of two axes (differ -> unknown)."""
+    return left if left == right else None
+
+
+def join(a: AbstractShape, b: AbstractShape) -> AbstractShape:
+    """Least upper bound used when control-flow paths merge."""
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    dtype = a.dtype if a.dtype == b.dtype else None
+    if a.dims is None or b.dims is None or len(a.dims) != len(b.dims):
+        return Shape(dims=None, dtype=dtype)
+    dims = tuple(join_axis(x, y) for x, y in zip(a.dims, b.dims))
+    return Shape(dims=dims, dtype=dtype)
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastResult:
+    """Outcome of abstract broadcasting two operand shapes.
+
+    Attributes
+    ----------
+    shape:
+        The result shape (always a :class:`Shape`; unknown rank when an
+        operand's rank is unknown).
+    mismatch:
+        The pair of concrete extents that can never broadcast, if any.
+    mutual:
+        Whether both operands were stretched (the SFL201 criterion).
+    """
+
+    shape: Shape
+    mismatch: Optional[Tuple[int, int]] = None
+    mutual: bool = False
+
+
+def broadcast(a: Shape, b: Shape) -> BroadcastResult:
+    """Numpy general broadcasting over abstract shapes.
+
+    Axes align right; missing leading axes count as extent 1.  A pair
+    of unequal concrete extents neither of which is 1 is a definite
+    error (``mismatch``).  When each operand gets stretched along some
+    axis by a concrete extent of the other — so the result matches
+    *neither* input — ``mutual`` is set.
+    """
+    dtype = promote_dtype(a.dtype, b.dtype)
+    if a.dims is None or b.dims is None:
+        return BroadcastResult(shape=Shape(dims=None, dtype=dtype))
+    rank = max(len(a.dims), len(b.dims))
+    a_dims = (1,) * (rank - len(a.dims)) + a.dims
+    b_dims = (1,) * (rank - len(b.dims)) + b.dims
+    out = []
+    a_stretched = b_stretched = False
+    mismatch: Optional[Tuple[int, int]] = None
+    for ax, bx in zip(a_dims, b_dims):
+        if ax == bx:
+            out.append(ax)
+        elif ax == 1:
+            out.append(bx)
+            if isinstance(bx, int) and bx > 1:
+                a_stretched = True
+        elif bx == 1:
+            out.append(ax)
+            if isinstance(ax, int) and ax > 1:
+                b_stretched = True
+        elif isinstance(ax, int) and isinstance(bx, int):
+            mismatch = mismatch or (ax, bx)
+            out.append(None)
+        else:
+            # Symbolic vs concrete or two different symbols: either may
+            # be 1 at runtime, so stay optimistic.
+            out.append(None)
+    return BroadcastResult(
+        shape=Shape(dims=tuple(out), dtype=dtype),
+        mismatch=mismatch,
+        mutual=a_stretched and b_stretched,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MatmulResult:
+    """Outcome of abstract ``a @ b``.
+
+    Attributes
+    ----------
+    shape:
+        The result shape.
+    error:
+        Human-readable description of a definite contraction error
+        (inner-extent mismatch or a scalar operand), or ``None``.
+    """
+
+    shape: Shape
+    error: Optional[str] = None
+
+
+def _inner_conflict(ax: Axis, bx: Axis) -> bool:
+    return isinstance(ax, int) and isinstance(bx, int) and ax != bx
+
+
+def matmul(a: Shape, b: Shape) -> MatmulResult:
+    """Numpy ``@`` semantics (vector promotion, batched leading axes)."""
+    dtype = promote_dtype(a.dtype, b.dtype)
+    if a.dims == () or b.dims == ():
+        return MatmulResult(
+            shape=Shape(dims=None, dtype=dtype),
+            error="matmul does not accept scalar operands",
+        )
+    if a.dims is None or b.dims is None:
+        return MatmulResult(shape=Shape(dims=None, dtype=dtype))
+    a_dims, b_dims = a.dims, b.dims
+    inner_a = a_dims[-1]
+    inner_b = b_dims[0] if len(b_dims) == 1 else b_dims[-2]
+    error = None
+    if _inner_conflict(inner_a, inner_b):
+        error = (
+            f"inner extents {inner_a} and {inner_b} do not match "
+            f"({format_shape(a)} @ {format_shape(b)})"
+        )
+    if len(a_dims) == 1 and len(b_dims) == 1:
+        dims: Tuple[Axis, ...] = ()
+    elif len(a_dims) == 1:
+        dims = b_dims[:-2] + (b_dims[-1],)
+    elif len(b_dims) == 1:
+        dims = a_dims[:-1]
+    else:
+        lead = broadcast(
+            Shape(dims=a_dims[:-2]), Shape(dims=b_dims[:-2])
+        ).shape.dims
+        if lead is None:  # pragma: no cover - both ranks known here
+            lead = ()
+        dims = lead + (a_dims[-2], b_dims[-1])
+    return MatmulResult(shape=Shape(dims=dims, dtype=dtype), error=error)

@@ -1,0 +1,159 @@
+"""The cross-module shape-signature table.
+
+The shape pass is *intra*procedural — it never inlines callees — but
+call sites are still checked against the callee's declared shapes, and
+returned shapes flow from the callee's ``->`` declaration.  The engine
+builds one :class:`ShapeTable` per run, indexing every function, method
+and dataclass constructor of every linted file by fully-qualified
+dotted name, exactly like the dim pass's
+:class:`~repro.lint.dim.signatures.SignatureTable`.
+
+Method calls on objects of unknown type resolve through the
+*unambiguous-method-name* index: if every declaration of that method
+name across the run agrees, the call is checked against it;
+conflicting homonyms disable the check rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.lint.shape.annotations import (
+    FunctionShapes,
+    ShapeIssue,
+    _shape_from_annotated,
+    extract_function_shapes,
+)
+from repro.lint.shape.lattice import Shape
+
+__all__ = ["ShapeTable", "build_shape_table"]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Sentinel marking a method name declared incompatibly in two classes.
+_CONFLICT = object()
+
+
+def _class_field_shapes(node: ast.ClassDef) -> FunctionShapes:
+    """Constructor-like shapes of a class from its fields and docstring.
+
+    Dataclasses have no ``__init__`` in the AST; their keyword interface
+    is the ordered annotated fields.  Field shapes come from a
+    ``Shapes:`` directive in the *class* docstring (same grammar as
+    functions) or an ``Annotated`` field hint.
+    """
+    order = []
+    params: Dict[str, Shape] = {}
+    issues: list = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if name.isupper():
+                continue  # class-level constant, not a field
+            order.append(name)
+
+    docstring = ast.get_docstring(node, clean=False) or ""
+    if "Shapes:" in docstring:
+        # Reuse the function-level parser by faking a function whose
+        # parameters are the field names.
+        shim = ast.parse(
+            "def _shim({}):\n    pass".format(", ".join(order))
+        ).body[0]
+        assert isinstance(shim, ast.FunctionDef)
+        shim.body.insert(
+            0, ast.Expr(value=ast.Constant(value=docstring))
+        )
+        ast.fix_missing_locations(shim)
+        extracted = extract_function_shapes(shim)
+        params.update(extracted.params)
+        base_line = node.body[0].lineno if node.body else node.lineno
+        issues.extend(
+            ShapeIssue(base_line, issue.message)
+            for issue in extracted.issues
+        )
+
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            shape = _shape_from_annotated(statement.annotation, issues)
+            if shape is not None:
+                params[statement.target.id] = shape
+
+    return FunctionShapes(
+        param_order=tuple(order),
+        params=params,
+        returns=None,
+        issues=tuple(issues),
+    )
+
+
+class ShapeTable:
+    """Declared shapes of every function/method/class in a lint run."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionShapes] = {}
+        self._by_method_name: Dict[str, object] = {}
+
+    def add_module(self, module: str, tree: ast.Module) -> None:
+        """Index one parsed module."""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._functions[f"{module}.{node.name}"] = (
+                    extract_function_shapes(node)
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._functions[f"{module}.{node.name}"] = (
+                    _class_field_shapes(node)
+                )
+                for member in node.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        shapes = extract_function_shapes(member)
+                        self._functions[
+                            f"{module}.{node.name}.{member.name}"
+                        ] = shapes
+                        self._index_method(member.name, shapes)
+
+    def _index_method(self, name: str, shapes: FunctionShapes) -> None:
+        existing = self._by_method_name.get(name)
+        if existing is None:
+            self._by_method_name[name] = shapes
+        elif existing is not _CONFLICT:
+            assert isinstance(existing, FunctionShapes)
+            same = (
+                existing.params == shapes.params
+                and existing.returns == shapes.returns
+                and existing.param_order == shapes.param_order
+            )
+            if not same:
+                self._by_method_name[name] = _CONFLICT
+
+    def lookup(self, dotted: str) -> Optional[FunctionShapes]:
+        """Shapes of a fully-qualified function/method/class, if indexed."""
+        return self._functions.get(dotted)
+
+    def lookup_method(self, name: str) -> Optional[FunctionShapes]:
+        """Shapes of a method name unambiguous across the whole run."""
+        found = self._by_method_name.get(name)
+        if found is _CONFLICT or found is None:
+            return None
+        assert isinstance(found, FunctionShapes)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+def build_shape_table(
+    modules: Iterable[Tuple[str, ast.Module]],
+) -> ShapeTable:
+    """Index every ``(module_name, parsed_tree)`` pair into one table."""
+    table = ShapeTable()
+    for module, tree in modules:
+        table.add_module(module, tree)
+    return table

@@ -1,0 +1,247 @@
+"""Shared annotation-spec machinery for the dim and shape passes.
+
+Both analysis families declare per-parameter facts the same two ways —
+a docstring directive line (``Units: dt [s]`` / ``Shapes: x [B,4]``)
+and string metadata on an ``Annotated`` hint — and both need the same
+plumbing: find the directive lines of a docstring, split a payload into
+``name <spec>`` entries plus an optional ``-> <spec>`` return clause,
+and pull string constants out of ``Annotated[...]`` slices.  This
+module holds that plumbing once, parameterised by the *spec grammar*
+(a callable that parses the bracket contents and raises
+:class:`SpecSyntaxError` on anything outside its grammar), so the two
+passes cannot drift apart on how declarations are spelled.
+
+The grammar callables live with their lattices
+(:func:`repro.lint.dim.lattice.parse_unit`,
+:func:`repro.lint.shape.lattice.parse_shape_spec`); what is shared here
+is *where declarations live*, not *what they mean*.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+__all__ = [
+    "SpecSyntaxError",
+    "SpecIssue",
+    "annotated_metadata",
+    "docstring_lines",
+    "directive_pattern",
+    "parse_directive_payload",
+    "spec_from_annotated",
+]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+SpecT = TypeVar("SpecT")
+
+
+class SpecSyntaxError(ValueError):
+    """A declaration spec that does not follow its grammar.
+
+    Both the unit grammar (``m/s^2``) and the shape grammar (``B,4``)
+    raise this (or a subclass) so the shared directive parser can turn
+    any malformed spec into an issue without knowing which pass it
+    serves.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class SpecIssue:
+    """One problem with a declaration (malformed or misaddressed).
+
+    The dim pass surfaces these as SFL104, the shape pass as SFL204 —
+    an annotation that does not parse is an annotation that does not
+    protect anything.
+    """
+
+    line: int
+    message: str
+
+
+def annotated_metadata(annotation: Optional[ast.expr]) -> List[ast.Constant]:
+    """String metadata constants of an ``Annotated[...]`` hint, if any.
+
+    Returns the ``ast.Constant`` nodes (not just their values) so
+    callers can anchor issues at the exact metadata line.
+    """
+    if not isinstance(annotation, ast.Subscript):
+        return []
+    target = annotation.value
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else ""
+    )
+    if name != "Annotated":
+        return []
+    inner = annotation.slice
+    elements = inner.elts[1:] if isinstance(inner, ast.Tuple) else []
+    return [
+        element
+        for element in elements
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def docstring_lines(func: _FuncNode) -> Iterator[Tuple[int, str]]:
+    """Yield ``(absolute_line, text)`` for each raw docstring line."""
+    if not func.body:
+        return
+    first = func.body[0]
+    if not (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    ):
+        return
+    for offset, text in enumerate(first.value.value.splitlines()):
+        yield first.value.lineno + offset, text
+
+
+def directive_pattern(directive: str) -> re.Pattern:
+    """The compiled line pattern of a ``<Directive>:`` docstring line."""
+    return re.compile(
+        r"^\s*" + re.escape(directive) + r":\s*(?P<payload>.*\S)\s*$"
+    )
+
+
+#: ``name [spec]`` or ``name keyword`` (the shape grammar has bare
+#: keyword specs such as ``scalar``; the dim grammar rejects them in
+#: its parse callable).
+_ENTRY = re.compile(r"^(?P<name>\w+)\s*(?P<spec>\[[^\[\]]*\]|[A-Za-z_]\w*)$")
+_ARROW = re.compile(r"\s*->\s*(?P<spec>\[[^\[\]]*\]|[A-Za-z_]\w*)\s*$")
+
+
+def _strip_brackets(spec: str) -> Tuple[str, bool]:
+    spec = spec.strip()
+    if spec.startswith("[") and spec.endswith("]"):
+        return spec[1:-1], True
+    return spec, False
+
+
+def _split_entries(payload: str) -> List[str]:
+    """Split a payload on top-level commas only.
+
+    Shape specs carry commas *inside* their brackets (``x [B,4]``), so
+    a naive ``split(',')`` would shred them.
+    """
+    entries: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for character in payload:
+        if character == "[":
+            depth += 1
+        elif character == "]":
+            depth = max(0, depth - 1)
+        if character == "," and depth == 0:
+            entries.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    entries.append("".join(current))
+    return entries
+
+
+def parse_directive_payload(
+    payload: str,
+    line: int,
+    *,
+    directive: str,
+    parse_spec: Callable[[str, bool], SpecT],
+    known_names: frozenset,
+    params: Dict[str, SpecT],
+    issues: List[SpecIssue],
+) -> Optional[SpecT]:
+    """Parse one directive payload into ``params``; return the return spec.
+
+    ``parse_spec(text, bracketed)`` receives the spec with brackets
+    stripped plus whether they were present, and must raise
+    :class:`SpecSyntaxError` on anything outside its grammar.  Entries
+    naming a non-parameter, and entries that fail the grammar, are
+    recorded as issues rather than silently dropped.
+    """
+    returns: Optional[SpecT] = None
+    arrow = _ARROW.search(payload)
+    if arrow is not None:
+        text, bracketed = _strip_brackets(arrow.group("spec"))
+        try:
+            returns = parse_spec(text, bracketed)
+        except SpecSyntaxError as exc:
+            issues.append(SpecIssue(line, f"return spec: {exc}"))
+        payload = payload[: arrow.start()]
+    for raw_entry in _split_entries(payload):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        match = _ENTRY.match(entry)
+        if match is None:
+            issues.append(
+                SpecIssue(
+                    line,
+                    f"unparseable {directive}: entry {entry!r} "
+                    "(expected 'name [spec]')",
+                )
+            )
+            continue
+        name = match.group("name")
+        text, bracketed = _strip_brackets(match.group("spec"))
+        try:
+            spec = parse_spec(text, bracketed)
+        except SpecSyntaxError as exc:
+            issues.append(SpecIssue(line, f"{name}: {exc}"))
+            continue
+        if name == "return":
+            returns = spec
+        elif name not in known_names:
+            issues.append(
+                SpecIssue(
+                    line,
+                    f"{directive}: names {name!r}, which is not a "
+                    "parameter of this function",
+                )
+            )
+        else:
+            params[name] = spec
+    return returns
+
+
+def spec_from_annotated(
+    annotation: Optional[ast.expr],
+    *,
+    parse_spec: Callable[[str, bool], SpecT],
+    issues: List[SpecIssue],
+) -> Optional[SpecT]:
+    """Extract a spec from ``Annotated`` string metadata, if present.
+
+    Metadata that parses under the grammar wins; explicitly bracketed
+    metadata that *fails* the grammar is a broken declaration and is
+    recorded as an issue (unbracketed failures are treated as free-form
+    metadata addressed to some other tool and skipped).  A parse
+    callable may also return ``None`` to say "valid, but addressed to
+    the *other* pass" — the dim pass skips shape specs this way and
+    vice versa — in which case scanning continues.
+    """
+    if annotation is None:
+        return None
+    for constant in annotated_metadata(annotation):
+        text, bracketed = _strip_brackets(constant.value)
+        try:
+            spec = parse_spec(text, bracketed)
+        except SpecSyntaxError as exc:
+            if bracketed:
+                issues.append(SpecIssue(constant.lineno, str(exc)))
+            continue
+        if spec is not None:
+            return spec
+    return None

@@ -25,11 +25,17 @@ class Layer:
     """Base class: a differentiable map with (possibly empty) parameters."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Compute the layer output, caching for :meth:`backward`."""
+        """Compute the layer output, caching for :meth:`backward`.
+
+        Shapes: x [B, F] -> [B, G]
+        """
         raise NotImplementedError
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Propagate the gradient; accumulate parameter gradients."""
+        """Propagate the gradient; accumulate parameter gradients.
+
+        Shapes: grad_output [B, G] -> [B, F]
+        """
         raise NotImplementedError
 
     def parameters(self) -> Dict[str, np.ndarray]:
@@ -86,6 +92,10 @@ class Dense(Layer):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine map ``x W + b`` over the batch.
+
+        Shapes: x [B, F] -> [B, G]
+        """
         x = check_2d(x, "Dense input")
         if x.shape[1] != self.in_features:
             raise ConfigurationError(
@@ -95,6 +105,10 @@ class Dense(Layer):
         return x @ self.weight + self.bias
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Input gradient ``g W'``; accumulates ``x' g`` and column sums.
+
+        Shapes: grad_output [B, G] -> [B, F]
+        """
         if self._input is None:
             raise ConfigurationError("backward called before forward")
         grad_output = check_2d(grad_output, "Dense grad_output")
@@ -207,11 +221,19 @@ class Sequential(Layer):
         self.layers: List[Layer] = list(layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Feed ``x`` through every layer in order.
+
+        Shapes: x [B, F] -> [B, G]
+        """
         for layer in self.layers:
             x = layer.forward(x)
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Feed the loss gradient through the layers in reverse.
+
+        Shapes: grad_output [B, G] -> [B, F]
+        """
         for layer in reversed(self.layers):
             grad_output = layer.backward(grad_output)
         return grad_output
@@ -241,7 +263,10 @@ class Sequential(Layer):
         }
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Alias of :meth:`forward` for inference-flavoured call sites."""
+        """Alias of :meth:`forward` for inference-flavoured call sites.
+
+        Shapes: x [B, F] -> [B, G]
+        """
         return self.forward(x)
 
     def __iter__(self) -> Iterable[Layer]:

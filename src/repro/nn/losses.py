@@ -19,11 +19,17 @@ class Loss:
     """Base class for losses over ``(batch, outputs)`` arrays."""
 
     def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
-        """Mean loss over the batch."""
+        """Mean loss over the batch.
+
+        Shapes: predicted [B, F], target [B, F]
+        """
         raise NotImplementedError
 
     def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
-        """Derivative of :meth:`value` with respect to ``predicted``."""
+        """Derivative of :meth:`value` with respect to ``predicted``.
+
+        Shapes: predicted [B, F], target [B, F] -> [B, F]
+        """
         raise NotImplementedError
 
     @staticmethod
@@ -41,10 +47,18 @@ class MSELoss(Loss):
     """Mean squared error."""
 
     def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Mean squared error over the batch.
+
+        Shapes: predicted [B, F], target [B, F]
+        """
         p, t = self._validate(predicted, target)
         return float(np.mean((p - t) ** 2))
 
     def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient ``2 (p - t) / n`` of the batch-mean MSE.
+
+        Shapes: predicted [B, F], target [B, F] -> [B, F]
+        """
         p, t = self._validate(predicted, target)
         return 2.0 * (p - t) / p.size
 
@@ -53,10 +67,18 @@ class MAELoss(Loss):
     """Mean absolute error (subgradient 0 at exact zero residual)."""
 
     def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Mean absolute error over the batch.
+
+        Shapes: predicted [B, F], target [B, F]
+        """
         p, t = self._validate(predicted, target)
         return float(np.mean(np.abs(p - t)))
 
     def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Subgradient ``sign(p - t) / n`` of the batch-mean MAE.
+
+        Shapes: predicted [B, F], target [B, F] -> [B, F]
+        """
         p, t = self._validate(predicted, target)
         return np.sign(p - t) / p.size
 
@@ -77,6 +99,10 @@ class HuberLoss(Loss):
         self.delta = float(delta)
 
     def value(self, predicted: np.ndarray, target: np.ndarray) -> float:
+        """Mean Huber loss over the batch.
+
+        Shapes: predicted [B, F], target [B, F]
+        """
         p, t = self._validate(predicted, target)
         residual = p - t
         abs_r = np.abs(residual)
@@ -85,6 +111,10 @@ class HuberLoss(Loss):
         return float(np.mean(np.where(abs_r <= self.delta, quad, lin)))
 
     def gradient(self, predicted: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient ``clip(p - t, ±delta) / n`` of the batch-mean Huber loss.
+
+        Shapes: predicted [B, F], target [B, F] -> [B, F]
+        """
         p, t = self._validate(predicted, target)
         residual = p - t
         clipped = np.clip(residual, -self.delta, self.delta)

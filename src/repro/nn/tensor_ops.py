@@ -24,7 +24,10 @@ __all__ = [
 def he_init(
     fan_in: int, fan_out: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """He-normal initialisation, suited to ReLU layers."""
+    """He-normal initialisation, suited to ReLU layers.
+
+    Shapes: -> [I, O]
+    """
     _check_fans(fan_in, fan_out)
     std = np.sqrt(2.0 / fan_in)
     return rng.normal(0.0, std, size=(fan_in, fan_out))
@@ -33,14 +36,20 @@ def he_init(
 def xavier_init(
     fan_in: int, fan_out: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Xavier/Glorot-uniform initialisation, suited to tanh layers."""
+    """Xavier/Glorot-uniform initialisation, suited to tanh layers.
+
+    Shapes: -> [I, O]
+    """
     _check_fans(fan_in, fan_out)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=(fan_in, fan_out))
 
 
 def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
-    """All-zero initialisation (used for biases)."""
+    """All-zero initialisation (used for biases).
+
+    Shapes: -> [I, O]
+    """
     _check_fans(fan_in, fan_out)
     return np.zeros((fan_in, fan_out))
 
@@ -50,6 +59,8 @@ def as_batch(x: np.ndarray) -> np.ndarray:
 
     The planner inference path feeds one feature vector at a time; the
     layers operate on ``(batch, features)`` arrays.
+
+    Shapes: x array -> [B, F]
     """
     arr = np.asarray(x, dtype=float)
     if arr.ndim == 1:
@@ -62,7 +73,10 @@ def as_batch(x: np.ndarray) -> np.ndarray:
 
 
 def check_2d(x: np.ndarray, name: str) -> np.ndarray:
-    """Validate that ``x`` is a 2-D float array and return it as such."""
+    """Validate that ``x`` is a 2-D float array and return it as such.
+
+    Shapes: x array -> [B, F]
+    """
     arr = np.asarray(x, dtype=float)
     if arr.ndim != 2:
         raise ConfigurationError(

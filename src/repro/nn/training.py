@@ -94,6 +94,8 @@ class Trainer:
     ) -> TrainingHistory:
         """Train for up to ``epochs`` epochs with optional early stopping.
 
+        Shapes: inputs [N, I], targets [N, O]
+
         Parameters
         ----------
         inputs, targets:
@@ -160,7 +162,10 @@ class Trainer:
         return history
 
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
-        """Mean loss over a dataset without updating the model."""
+        """Mean loss over a dataset without updating the model.
+
+        Shapes: inputs [N, I], targets [N, O]
+        """
         x = check_2d(inputs, "inputs")
         y = check_2d(targets, "targets")
         predictions = self.model.forward(x)

@@ -1,0 +1,11 @@
+"""Bad fixture for SFL202: a reduction axis outside the known rank."""
+
+import numpy as np
+
+
+def per_scenario_total(samples: np.ndarray) -> np.ndarray:
+    """Reduces a rank-2 batch along a third axis it does not have.
+
+    Shapes: samples [B, 2] -> array
+    """
+    return np.sum(samples, axis=2)

@@ -1,0 +1,19 @@
+"""Good fixture for SFL202: reduction axes inside the rank."""
+
+import numpy as np
+
+
+def per_scenario_total(samples: np.ndarray) -> np.ndarray:
+    """Sums the feature axis, keeping one total per scenario.
+
+    Shapes: samples [B, 2] -> [B]
+    """
+    return np.sum(samples, axis=1)
+
+
+def batch_total(samples: np.ndarray) -> np.ndarray:
+    """Negative axes that resolve inside the rank are fine too.
+
+    Shapes: samples [B, 2] -> [B]
+    """
+    return np.sum(samples, axis=-1)

@@ -1,0 +1,42 @@
+"""Bad fixture for SFL205: values contradicting declared shapes.
+
+Both bugs below are layout disagreements a type checker cannot see:
+a row vector fed where a column state is declared, and one symbolic
+dim bound to two different extents in a single call.
+"""
+
+import numpy as np
+
+
+def advance(state: np.ndarray) -> np.ndarray:
+    """One kinematic step of the column state.
+
+    Shapes: state [2, 1] -> [2, 1]
+    """
+    f = np.array([[1.0, 0.1], [0.0, 1.0]])
+    return f @ state
+
+
+def advance_row_state() -> np.ndarray:
+    """Feeds a row vector where the column state is declared.
+
+    Shapes: -> [2, 1]
+    """
+    state = np.zeros((1, 2))
+    return advance(state)
+
+
+def weighted_residual(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Elementwise weighting; both operands share the length ``N``.
+
+    Shapes: values [N], weights [N] -> [N]
+    """
+    return values * weights
+
+
+def mismatched_lengths() -> np.ndarray:
+    """Binds ``N`` to 3 and 4 in the same call.
+
+    Shapes: -> [3]
+    """
+    return weighted_residual(np.zeros(3), np.zeros(4))

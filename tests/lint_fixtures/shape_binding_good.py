@@ -1,0 +1,37 @@
+"""Good fixture for SFL205: callers honour the declared shapes."""
+
+import numpy as np
+
+
+def advance(state: np.ndarray) -> np.ndarray:
+    """One kinematic step of the column state.
+
+    Shapes: state [2, 1] -> [2, 1]
+    """
+    f = np.array([[1.0, 0.1], [0.0, 1.0]])
+    return f @ state
+
+
+def advance_column_state() -> np.ndarray:
+    """Feeds the declared column orientation.
+
+    Shapes: -> [2, 1]
+    """
+    state = np.zeros((2, 1))
+    return advance(state)
+
+
+def weighted_residual(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Elementwise weighting; both operands share the length ``N``.
+
+    Shapes: values [N], weights [N] -> [N]
+    """
+    return values * weights
+
+
+def consistent_lengths() -> np.ndarray:
+    """Binds ``N`` to the same extent on both arguments.
+
+    Shapes: -> [3]
+    """
+    return weighted_residual(np.zeros(3), np.zeros(3))

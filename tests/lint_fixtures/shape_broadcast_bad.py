@@ -1,0 +1,16 @@
+"""Bad fixture for SFL201: a silent mutual broadcast.
+
+``(2, 1) - (2,)`` explodes to ``(2, 2)`` — every element of the result
+is a cross-term matching neither operand, and numpy raises nothing.
+"""
+
+import numpy as np
+
+
+def innovation(measured: np.ndarray) -> np.ndarray:
+    """Subtracts a flat measurement from a column prediction.
+
+    Shapes: measured [2] -> array
+    """
+    predicted = np.zeros((2, 1))
+    return predicted - measured

@@ -1,0 +1,21 @@
+"""Good fixture for SFL201: broadcasts that match an operand."""
+
+import numpy as np
+
+
+def innovation(measured: np.ndarray) -> np.ndarray:
+    """Reshapes the measurement to the prediction's orientation first.
+
+    Shapes: measured [2] -> [2, 1]
+    """
+    predicted = np.zeros((2, 1))
+    return predicted - measured.reshape(2, 1)
+
+
+def add_bias(activations: np.ndarray) -> np.ndarray:
+    """A one-sided stretch (bias add) is the idiomatic broadcast.
+
+    Shapes: activations [B, 2] -> [B, 2]
+    """
+    bias = np.zeros(2)
+    return activations + bias

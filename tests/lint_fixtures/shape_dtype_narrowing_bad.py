@@ -1,0 +1,13 @@
+"""Bad fixture for SFL203: accumulating float64 into a float32 buffer."""
+
+import numpy as np
+
+
+def accumulate(updates: np.ndarray) -> np.ndarray:
+    """Every ``+=`` silently truncates the wide increments.
+
+    Shapes: updates [4; f8] -> [4; f4]
+    """
+    total = np.zeros(4, dtype=np.float32)
+    total += updates
+    return total

@@ -1,0 +1,23 @@
+"""Good fixture for SFL203: the accumulator is at least as wide."""
+
+import numpy as np
+
+
+def accumulate(updates: np.ndarray) -> np.ndarray:
+    """A float64 accumulator absorbs float64 increments losslessly.
+
+    Shapes: updates [4; f8] -> [4; f8]
+    """
+    total = np.zeros(4)
+    total += updates
+    return total
+
+
+def accumulate_narrow(updates: np.ndarray) -> np.ndarray:
+    """Like-width accumulation is fine too.
+
+    Shapes: updates [4; f4] -> [4; f4]
+    """
+    total = np.zeros(4, dtype=np.float32)
+    total += updates
+    return total

@@ -1,0 +1,13 @@
+"""Bad fixture for SFL200: a transposed gain that can never contract."""
+
+import numpy as np
+
+
+def update_state(state: np.ndarray) -> np.ndarray:
+    """Applies the observation matrix transposed, so the inner extents
+    are 1 vs 2 and the contraction is impossible.
+
+    Shapes: state [2, 1] -> [2, 1]
+    """
+    h = np.array([[1.0, 0.0]])
+    return h.T @ state

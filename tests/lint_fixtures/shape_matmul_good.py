@@ -1,0 +1,12 @@
+"""Good fixture for SFL200: inner extents contract as declared."""
+
+import numpy as np
+
+
+def observe_state(state: np.ndarray) -> np.ndarray:
+    """Projects the column state through the observation matrix.
+
+    Shapes: state [2, 1] -> [1, 1]
+    """
+    h = np.array([[1.0, 0.0]])
+    return h @ state

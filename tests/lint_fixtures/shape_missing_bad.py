@@ -1,0 +1,8 @@
+"""Bad fixture for SFL204: public array APIs without declared shapes."""
+
+import numpy as np
+
+
+def normalize(samples: np.ndarray) -> np.ndarray:
+    """No ``Shapes:`` line — the pass is blind at every call site."""
+    return samples / np.sum(samples)

@@ -1,0 +1,16 @@
+"""Good fixture for SFL204: every public array API declares shapes."""
+
+import numpy as np
+
+
+def normalize(samples: np.ndarray) -> np.ndarray:
+    """Scales the sample vector to unit sum.
+
+    Shapes: samples [N] -> [N]
+    """
+    return samples / np.sum(samples)
+
+
+def _internal_scratch(buffer: np.ndarray) -> np.ndarray:
+    """Private helpers are outside the public-API contract."""
+    return buffer

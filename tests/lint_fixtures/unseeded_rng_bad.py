@@ -1,0 +1,17 @@
+"""Bad fixture for SFL012: generators constructed without a seed."""
+
+import random
+
+import numpy as np
+
+
+def sample_disturbance() -> float:
+    """Draws from a generator seeded by OS entropy (not re-runnable)."""
+    rng = np.random.default_rng()
+    return float(rng.uniform(-1.0, 1.0))
+
+
+def sample_latency() -> float:
+    """``seed=None`` spelled out is the same entropy pull."""
+    rng = random.Random(None)
+    return rng.random()

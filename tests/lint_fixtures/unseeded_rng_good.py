@@ -1,0 +1,22 @@
+"""Good fixture for SFL012: every generator descends from a seed."""
+
+import random
+
+import numpy as np
+
+
+def sample_disturbance(seed: int) -> float:
+    """Draws from an explicitly seeded generator."""
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform(-1.0, 1.0))
+
+
+def sample_latency() -> float:
+    """A literal seed keeps the draw re-runnable."""
+    rng = random.Random(1234)
+    return rng.random()
+
+
+def spawned_stream(seed_seq: np.random.SeedSequence) -> np.random.Generator:
+    """Seeding from a spawned SeedSequence also counts."""
+    return np.random.default_rng(seed_seq)

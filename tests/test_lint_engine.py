@@ -169,7 +169,7 @@ def test_json_report_schema_is_stable():
         "findings",
         "summary",
     }
-    assert report["schema_version"] == SCHEMA_VERSION == 1
+    assert report["schema_version"] == SCHEMA_VERSION == 2
     assert report["tool"] == "safelint"
     assert set(report["summary"]) == {
         "total",
@@ -182,13 +182,65 @@ def test_json_report_schema_is_stable():
         "path",
         "line",
         "column",
+        "end_line",
+        "end_column",
         "rule",
         "message",
         "severity",
         "fingerprint",
     }
     assert entry["severity"] in ("error", "warning")
+    assert entry["end_line"] >= entry["line"]
     json.dumps(report)  # must be serializable as-is
+
+
+def test_findings_carry_ast_end_positions():
+    # The offending expression spans two physical lines; the finding
+    # must cover the whole span, not just its first character.
+    source = (
+        "def f(t, t_goal):\n"
+        "    '''d.'''\n"
+        "    return (t ==\n"
+        "            t_goal)\n"
+    )
+    (finding,) = lint_source(source, module="repro.x")
+    assert finding.rule_id == "SFL001"
+    assert finding.line == 3
+    assert finding.end_line == 4
+    assert finding.end_column > 0
+
+
+def test_finding_end_position_defaults_to_start():
+    from repro.lint.findings import Finding, Severity
+
+    finding = Finding(
+        path="x.py",
+        line=7,
+        column=4,
+        rule_id="SFL001",
+        message="m",
+        severity=Severity.ERROR,
+    )
+    assert (finding.end_line, finding.end_column) == (7, 4)
+
+
+def test_github_format_emits_end_positions(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "'''Doc.'''\n\n\ndef f(t, t_goal):\n    '''D.'''\n"
+        "    return (t ==\n            t_goal)\n",
+        encoding="utf-8",
+    )
+    code = main([str(bad), "--format", "github", "--no-project-config"])
+    assert code == 1
+    out = capsys.readouterr().out
+    (annotation,) = [
+        line for line in out.splitlines() if line.startswith("::error ")
+    ]
+    assert "line=6," in annotation
+    assert "endLine=7," in annotation
+    assert "col=13," in annotation
+    assert "endColumn=" in annotation
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +297,109 @@ def test_cli_write_then_use_baseline(tmp_path, capsys):
         == 0
     )
     assert "1 baselined" in capsys.readouterr().out
+
+
+def _write_two_finding_file(tmp_path):
+    # One SFL001 (float equality on a kinematic name) and one SFL002
+    # (mutable default), so select/ignore visibly narrow the run.
+    src = tmp_path / "two.py"
+    src.write_text(
+        '"""Doc."""\n\n\n'
+        "def f(t, t_goal, into=[]):\n"
+        '    """D."""\n'
+        "    if t == t_goal:\n"
+        "        return into\n"
+        "    return into\n",
+        encoding="utf-8",
+    )
+    return src
+
+
+def test_cli_select_narrows_findings_and_exit_code(tmp_path, capsys):
+    src = _write_two_finding_file(tmp_path)
+    assert main([str(src), "--no-project-config"]) == 1
+    out = capsys.readouterr().out
+    assert "SFL001" in out and "SFL002" in out
+
+    assert main([str(src), "--select", "SFL002", "--no-project-config"]) == 1
+    out = capsys.readouterr().out
+    assert "SFL002" in out and "SFL001" not in out
+
+    # Selecting a family that has nothing to say -> clean exit.
+    assert main([str(src), "--select", "SFL2", "--no-project-config"]) == 0
+
+
+def test_cli_ignore_drops_rules(tmp_path, capsys):
+    src = _write_two_finding_file(tmp_path)
+    assert main([str(src), "--ignore", "SFL001", "--no-project-config"]) == 1
+    out = capsys.readouterr().out
+    assert "SFL002" in out and "SFL001" not in out
+
+    assert (
+        main([str(src), "--ignore", "SFL001,SFL002", "--no-project-config"])
+        == 0
+    )
+
+
+def test_cli_ignore_wins_over_select(tmp_path, capsys):
+    src = _write_two_finding_file(tmp_path)
+    assert (
+        main(
+            [
+                str(src),
+                "--select",
+                "SFL001",
+                "--ignore",
+                "SFL001",
+                "--no-project-config",
+            ]
+        )
+        == 0
+    )
+
+
+def test_cli_select_interacts_with_baseline(tmp_path, capsys):
+    src = _write_two_finding_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    # A baseline written under --select only records the selected rule.
+    assert (
+        main(
+            [
+                str(src),
+                "--select",
+                "SFL001",
+                "--write-baseline",
+                "--baseline",
+                str(baseline),
+                "--no-project-config",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                str(src),
+                "--select",
+                "SFL001",
+                "--baseline",
+                str(baseline),
+                "--no-project-config",
+            ]
+        )
+        == 0
+    )
+    assert "1 baselined" in capsys.readouterr().out
+    # Widening the run past the baselined selection exposes the rest.
+    assert (
+        main(
+            [str(src), "--baseline", str(baseline), "--no-project-config"]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "SFL002" in out and "SFL001" not in out
 
 
 def test_cli_unknown_rule_id_is_usage_error(tmp_path, capsys):

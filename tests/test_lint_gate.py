@@ -42,13 +42,33 @@ def test_src_tree_is_lint_clean():
     )
 
 
+def test_shape_pass_is_clean_with_zero_suppressions():
+    # The safeshape acceptance bar is stricter than the general gate:
+    # the SFL200-series must hold on src/ without inline suppressions
+    # or baseline entries — a suppressed shape finding is a blind spot
+    # exactly where the vectorized-batch migration needs certainty.
+    from dataclasses import replace
+
+    config = (
+        load_project_config(PYPROJECT) if PYPROJECT.is_file() else LintConfig()
+    )
+    config = replace(config, select=frozenset({"SFL2"}), baseline=None)
+    result = lint_paths([SRC], config)
+    assert result.findings == [], "shape findings in src/:\n" + "\n".join(
+        f.format_text() for f in result.findings
+    )
+    assert result.suppressed == 0, "shape findings must not be suppressed"
+    assert result.baselined == 0, "shape findings must not be baselined"
+
+
 def test_gate_exercises_every_rule_scope():
     # A gate that silently skipped scoped rules would pass vacuously;
     # assert the scoped packages exist so every rule really ran.
     config = (
         load_project_config(PYPROJECT) if PYPROJECT.is_file() else LintConfig()
     )
-    for scope in ("critical", "sim", "math", "planner", "units", "dim"):
+    scopes = ("critical", "sim", "math", "planner", "units", "dim", "shape")
+    for scope in scopes:
         for prefix in config.packages_for(scope):
             package_dir = SRC / Path(*prefix.split("."))
             assert package_dir.is_dir(), (

@@ -27,12 +27,19 @@ RULE_FIXTURES = {
     "SFL009": ("no_dynamic_code", "repro.analysis.fixture"),
     "SFL010": ("silent_except", "repro.analysis.fixture"),
     "SFL011": ("obs_flow", "repro.sim.fixture"),
+    "SFL012": ("unseeded_rng", "repro.analysis.fixture"),
     "SFL100": ("dim_add", "repro.dynamics.fixture"),
     "SFL101": ("dim_compare", "repro.dynamics.fixture"),
     "SFL102": ("dim_call", "repro.dynamics.fixture"),
     "SFL103": ("dim_return", "repro.dynamics.fixture"),
     "SFL104": ("dim_annotation", "repro.dynamics.fixture"),
     "SFL105": ("dim_missing_units", "repro.dynamics.fixture"),
+    "SFL200": ("shape_matmul", "repro.filtering.fixture"),
+    "SFL201": ("shape_broadcast", "repro.filtering.fixture"),
+    "SFL202": ("shape_axis", "repro.nn.fixture"),
+    "SFL203": ("shape_dtype_narrowing", "repro.nn.fixture"),
+    "SFL204": ("shape_missing", "repro.nn.fixture"),
+    "SFL205": ("shape_binding", "repro.filtering.fixture"),
 }
 
 

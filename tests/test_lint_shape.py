@@ -1,0 +1,344 @@
+"""Unit tests for the safeshape core: lattice, annotations, table, checker.
+
+The SFL200-series rule behaviour over realistic sources is covered by
+the fixture pairs in ``lint_fixtures/``; this module pins the abstract
+semantics those rules are built on — broadcasting, matmul contraction,
+the spec grammar, and the cross-module signature table.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.shape import (
+    ANY_ARRAY,
+    SCALAR,
+    Shape,
+    ShapeSyntaxError,
+    broadcast,
+    build_shape_table,
+    extract_function_shapes,
+    format_shape,
+    join,
+    matmul,
+    parse_shape,
+)
+from repro.lint.shape.lattice import dtype_order, promote_dtype
+
+
+def _func(source):
+    node = ast.parse(source).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def _shape_findings(source, module="repro.nn.fixture"):
+    findings = lint_source(
+        source, module=module, config=LintConfig()
+    )
+    return [f for f in findings if f.rule_id.startswith("SFL2")]
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+def test_parse_shape_concrete_and_symbolic():
+    assert parse_shape("B,4", True) == Shape(dims=("B", 4))
+    assert parse_shape("2,2", True) == Shape(dims=(2, 2))
+    assert parse_shape("N", True) == Shape(dims=("N",))
+    assert parse_shape("?,3", True) == Shape(dims=(None, 3))
+
+
+def test_parse_shape_keywords_and_empty_brackets():
+    assert parse_shape("scalar", False) == SCALAR
+    assert parse_shape("array", False) == ANY_ARRAY
+    assert parse_shape("", True) == Shape(dims=())
+
+
+def test_parse_shape_dtype_suffix():
+    assert parse_shape("B,4; f8", True) == Shape(dims=("B", 4), dtype="f8")
+    assert parse_shape("N; float32", True) == Shape(dims=("N",), dtype="f4")
+
+
+@pytest.mark.parametrize(
+    "text,bracketed",
+    [
+        ("b,4", True),  # symbolic axes must be uppercase-led
+        ("-3", True),  # negative extent
+        ("B,4; q9", True),  # unknown dtype
+        ("B 4", True),  # missing comma
+        ("matrix", False),  # bad bare keyword
+    ],
+)
+def test_parse_shape_rejects_bad_specs(text, bracketed):
+    with pytest.raises(ShapeSyntaxError):
+        parse_shape(text, bracketed)
+
+
+def test_format_shape_roundtrips_through_the_grammar():
+    for spec in ("B,4", "2,2", "N; f8", "?,3"):
+        shape = parse_shape(spec, True)
+        rendered = format_shape(shape)
+        assert rendered.startswith("[") and rendered.endswith("]")
+        assert parse_shape(rendered[1:-1], True) == shape
+    assert format_shape(SCALAR) == "scalar"
+    assert format_shape(ANY_ARRAY) == "array"
+
+
+# ----------------------------------------------------------------------
+# Lattice operations
+# ----------------------------------------------------------------------
+def test_join_keeps_agreement_and_drops_disagreement():
+    column = Shape(dims=(2, 1), dtype="f8")
+    assert join(column, Shape(dims=(2, 1), dtype="f8")) == column
+    joined = join(column, Shape(dims=(2, 3), dtype="f4"))
+    assert joined.dims == (2, None)
+    assert joined.dtype is None
+    # rank disagreement drops to unknown rank; UNKNOWN absorbs
+    assert join(column, Shape(dims=(2, 1, 1))).dims is None
+    assert join(column, None) is None
+
+
+def test_dtype_promotion_and_order():
+    assert promote_dtype("f4", "f8") == "f8"
+    assert promote_dtype("i8", "f4") == "f4"
+    assert promote_dtype("f8", None) is None  # unknown is contagious
+    assert dtype_order("f4") < dtype_order("f8")
+    assert dtype_order("bool") < dtype_order("i8")
+
+
+# ----------------------------------------------------------------------
+# Broadcasting
+# ----------------------------------------------------------------------
+def test_broadcast_equal_shapes_is_identity():
+    result = broadcast(Shape(dims=(2, 1)), Shape(dims=(2, 1)))
+    assert result.shape.dims == (2, 1)
+    assert result.mismatch is None and not result.mutual
+
+
+def test_broadcast_bias_add_is_one_sided():
+    result = broadcast(Shape(dims=("B", 2)), Shape(dims=(2,)))
+    assert result.shape.dims == ("B", 2)
+    assert not result.mutual
+
+
+def test_broadcast_mutual_stretch_is_flagged():
+    result = broadcast(Shape(dims=(2, 1)), Shape(dims=(2,)))
+    assert result.shape.dims == (2, 2)
+    assert result.mutual
+    assert result.mismatch is None
+
+
+def test_broadcast_concrete_mismatch():
+    result = broadcast(Shape(dims=(3,)), Shape(dims=(4,)))
+    assert result.mismatch == (3, 4)
+
+
+def test_broadcast_symbolic_vs_concrete_stays_optimistic():
+    result = broadcast(Shape(dims=("N",)), Shape(dims=(4,)))
+    assert result.mismatch is None and not result.mutual
+    assert result.shape.dims == (None,)
+
+
+def test_broadcast_unknown_rank_gives_unknown_rank():
+    result = broadcast(ANY_ARRAY, Shape(dims=(2, 2)))
+    assert result.shape.dims is None
+    assert result.mismatch is None
+
+
+# ----------------------------------------------------------------------
+# Matmul
+# ----------------------------------------------------------------------
+def test_matmul_matrix_times_column():
+    result = matmul(Shape(dims=(2, 2)), Shape(dims=(2, 1)))
+    assert result.shape.dims == (2, 1) and result.error is None
+
+
+def test_matmul_inner_mismatch_is_an_error():
+    result = matmul(Shape(dims=(2, 1)), Shape(dims=(2, 1)))
+    assert result.error is not None
+    assert "inner extents" in result.error
+
+
+def test_matmul_vector_promotion():
+    assert matmul(Shape(dims=(3,)), Shape(dims=(3,))).shape.dims == ()
+    assert matmul(Shape(dims=(2, 3)), Shape(dims=(3,))).shape.dims == (2,)
+    assert matmul(Shape(dims=(3,)), Shape(dims=(3, 4))).shape.dims == (4,)
+
+
+def test_matmul_batched_leading_axes():
+    result = matmul(Shape(dims=("B", 2, 3)), Shape(dims=(3, 4)))
+    assert result.shape.dims == ("B", 2, 4) and result.error is None
+
+
+def test_matmul_scalar_operand_is_an_error():
+    assert matmul(SCALAR, Shape(dims=(2, 2))).error is not None
+
+
+# ----------------------------------------------------------------------
+# Annotation extraction
+# ----------------------------------------------------------------------
+def test_extract_from_docstring_directive():
+    func = _func(
+        "def f(x, gain):\n"
+        '    """D.\n\n    Shapes: x [B,4], gain [2,2] -> [B,2]\n    """\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert shapes.params["x"] == Shape(dims=("B", 4))
+    assert shapes.params["gain"] == Shape(dims=(2, 2))
+    assert shapes.returns == Shape(dims=("B", 2))
+    assert not shapes.issues
+
+
+def test_extract_from_annotated_hint():
+    func = _func(
+        "def f(x: Annotated[np.ndarray, '[B,4; f8]']):\n"
+        '    """D."""\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert shapes.params["x"] == Shape(dims=("B", 4), dtype="f8")
+
+
+def test_annotated_wins_over_docstring():
+    func = _func(
+        "def f(x: Annotated[np.ndarray, '[2,2]']):\n"
+        '    """D.\n\n    Shapes: x [B,4]\n    """\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert shapes.params["x"] == Shape(dims=(2, 2))
+
+
+def test_malformed_docstring_spec_is_an_issue():
+    func = _func(
+        "def f(x):\n"
+        '    """D.\n\n    Shapes: x [b,4]\n    """\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert shapes.issues
+    assert "x" not in shapes.params
+
+
+def test_directive_naming_a_non_parameter_is_an_issue():
+    func = _func(
+        "def f(x):\n"
+        '    """D.\n\n    Shapes: y [2,2]\n    """\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert any("not a" in issue.message for issue in shapes.issues)
+
+
+# ----------------------------------------------------------------------
+# Signature table
+# ----------------------------------------------------------------------
+def _table(source, module="repro.mod"):
+    return build_shape_table([(module, ast.parse(source))])
+
+
+def test_table_indexes_functions_and_methods():
+    table = _table(
+        "def f(x):\n"
+        '    """D.\n\n    Shapes: x [2,1] -> [2,1]\n    """\n'
+        "class C:\n"
+        '    """D."""\n'
+        "    def m(self, y):\n"
+        '        """D.\n\n        Shapes: y [N] -> [N]\n        """\n'
+    )
+    assert table.lookup("repro.mod.f").params["x"] == Shape(dims=(2, 1))
+    assert table.lookup("repro.mod.C.m").params["y"] == Shape(dims=("N",))
+    assert table.lookup_method("m").returns == Shape(dims=("N",))
+
+
+def test_table_conflicting_method_homonyms_resolve_to_none():
+    table = _table(
+        "class A:\n"
+        '    """D."""\n'
+        "    def m(self, y):\n"
+        '        """D.\n\n        Shapes: y [N]\n        """\n'
+        "class B:\n"
+        '    """D."""\n'
+        "    def m(self, y):\n"
+        '        """D.\n\n        Shapes: y [2,2]\n        """\n'
+    )
+    assert table.lookup_method("m") is None
+    assert table.lookup("repro.mod.A.m") is not None
+
+
+def test_table_class_fields_from_annotated_hints():
+    table = _table(
+        "class State:\n"
+        '    """D."""\n'
+        "    x_hat: Annotated[np.ndarray, '[2,1]']\n"
+        "    covariance: Annotated[np.ndarray, '[2,2]']\n"
+    )
+    fields = table.lookup("repro.mod.State")
+    assert fields.params["x_hat"] == Shape(dims=(2, 1))
+    assert fields.param_order == ("x_hat", "covariance")
+
+
+# ----------------------------------------------------------------------
+# Checker end-to-end (through lint_source)
+# ----------------------------------------------------------------------
+def test_checker_cross_function_return_flow():
+    # The callee's declared return shape flows into the caller, where
+    # the transposed use breaks the contraction.
+    source = (
+        '"""D."""\n'
+        "import numpy as np\n\n\n"
+        "def gain() -> np.ndarray:\n"
+        '    """D.\n\n    Shapes: -> [2, 1]\n    """\n'
+        "    return np.zeros((2, 1))\n\n\n"
+        "def apply() -> np.ndarray:\n"
+        '    """D.\n\n    Shapes: -> array\n    """\n'
+        "    return gain() @ np.zeros((2, 2))\n"
+    )
+    findings = _shape_findings(source)
+    assert [f.rule_id for f in findings] == ["SFL200"]
+
+
+def test_checker_return_contradicting_declaration():
+    source = (
+        '"""D."""\n'
+        "import numpy as np\n\n\n"
+        "def column() -> np.ndarray:\n"
+        '    """D.\n\n    Shapes: -> [2, 1]\n    """\n'
+        "    return np.zeros((1, 2))\n"
+    )
+    findings = _shape_findings(source)
+    assert [f.rule_id for f in findings] == ["SFL205"]
+
+
+def test_checker_stays_silent_on_unknown_shapes():
+    source = (
+        '"""D."""\n'
+        "import numpy as np\n\n\n"
+        "def mix(a_raw, b_raw):\n"
+        '    """D."""\n'
+        "    return a_raw @ b_raw + a_raw\n"
+    )
+    assert _shape_findings(source) == []
+
+
+def test_checker_models_indexing_and_newaxis():
+    source = (
+        '"""D."""\n'
+        "import numpy as np\n\n\n"
+        "def widen() -> np.ndarray:\n"
+        '    """D.\n\n    Shapes: -> [2, 1]\n    """\n'
+        "    flat = np.zeros(2)\n"
+        "    return flat[:, np.newaxis]\n"
+    )
+    assert _shape_findings(source) == []
+
+
+def test_checker_flags_annassign_contradiction():
+    source = (
+        '"""D."""\n'
+        "import numpy as np\n\n\n"
+        "def f() -> None:\n"
+        '    """D."""\n'
+        "    x: Annotated[np.ndarray, '[2, 2]'] = np.zeros((3, 3))\n"
+        "    del x\n"
+    )
+    findings = _shape_findings(source)
+    assert [f.rule_id for f in findings] == ["SFL205"]

@@ -1,0 +1,273 @@
+"""Tests for the shared spec machinery behind the dim and shape passes.
+
+Both passes declare facts the same two ways (``Units:``/``Shapes:``
+docstring directives and ``Annotated`` string metadata) through
+:mod:`repro.lint.specs`.  These tests pin the shared plumbing — payload
+splitting, malformed-spec reporting, the cross-grammar skip protocol —
+and the symbolic-dim unification corners of the shape pass.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.dim.annotations import extract_function_units
+from repro.lint.dim.lattice import DIMENSIONLESS
+from repro.lint.shape import Shape, extract_function_shapes
+from repro.lint.shape.checker import _definite_conflict
+from repro.lint.specs import (
+    SpecIssue,
+    SpecSyntaxError,
+    _split_entries,
+    annotated_metadata,
+    parse_directive_payload,
+    spec_from_annotated,
+)
+
+
+def _func(source):
+    node = ast.parse(source).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Payload splitting
+# ----------------------------------------------------------------------
+def test_split_entries_ignores_commas_inside_brackets():
+    assert _split_entries("x [B,4], gain [2,2]") == ["x [B,4]", " gain [2,2]"]
+
+
+def test_split_entries_plain_commas_still_split():
+    assert _split_entries("a [m], b [s]") == ["a [m]", " b [s]"]
+
+
+def test_split_entries_single_entry():
+    assert _split_entries("x [B,4,2]") == ["x [B,4,2]"]
+
+
+# ----------------------------------------------------------------------
+# Directive payload parsing (grammar-agnostic plumbing)
+# ----------------------------------------------------------------------
+def _parse_upper(text, bracketed):
+    # Toy grammar: accepts single uppercase words only.
+    if not text.isupper() or not text.isalpha():
+        raise SpecSyntaxError(f"not uppercase: {text!r}")
+    return text
+
+
+def _run_payload(payload, known=("x", "y")):
+    params = {}
+    issues = []
+    returns = parse_directive_payload(
+        payload,
+        7,
+        directive="Specs",
+        parse_spec=_parse_upper,
+        known_names=frozenset(known),
+        params=params,
+        issues=issues,
+    )
+    return params, returns, issues
+
+
+def test_payload_entries_and_return_clause():
+    params, returns, issues = _run_payload("x [AA], y [BB] -> [CC]")
+    assert params == {"x": "AA", "y": "BB"}
+    assert returns == "CC"
+    assert not issues
+
+
+def test_payload_malformed_spec_is_an_issue_not_a_crash():
+    params, returns, issues = _run_payload("x [lower]")
+    assert params == {}
+    assert issues and issues[0].line == 7
+    assert "x" in issues[0].message
+
+
+def test_payload_unknown_parameter_name_is_an_issue():
+    params, _, issues = _run_payload("z [AA]")
+    assert params == {}
+    assert any("not a" in issue.message for issue in issues)
+
+
+def test_payload_unparseable_entry_shape_is_an_issue():
+    _, _, issues = _run_payload("x[AA extra junk")
+    assert issues
+    assert "unparseable" in issues[0].message
+
+
+def test_payload_bad_return_spec_is_an_issue():
+    _, returns, issues = _run_payload("x [AA] -> [bad]")
+    assert returns is None
+    assert any("return spec" in issue.message for issue in issues)
+
+
+# ----------------------------------------------------------------------
+# Annotated metadata extraction
+# ----------------------------------------------------------------------
+def _annotation(source):
+    node = ast.parse(source).body[0]
+    assert isinstance(node, ast.AnnAssign)
+    return node.annotation
+
+
+def test_annotated_metadata_returns_string_constants():
+    annotation = _annotation("x: Annotated[np.ndarray, '[B,4]', 'note']")
+    assert [c.value for c in annotated_metadata(annotation)] == [
+        "[B,4]",
+        "note",
+    ]
+
+
+def test_annotated_metadata_ignores_plain_annotations():
+    assert annotated_metadata(_annotation("x: np.ndarray")) == []
+
+
+def test_spec_from_annotated_bracketed_failure_is_an_issue():
+    issues = []
+    spec = spec_from_annotated(
+        _annotation("x: Annotated[np.ndarray, '[lower]']"),
+        parse_spec=_parse_upper,
+        issues=issues,
+    )
+    assert spec is None
+    assert issues
+
+
+def test_spec_from_annotated_unbracketed_failure_is_skipped():
+    # Free-form metadata addressed to some other tool must not be
+    # reported as a broken declaration.
+    issues = []
+    spec = spec_from_annotated(
+        _annotation("x: Annotated[np.ndarray, 'frozen']"),
+        parse_spec=_parse_upper,
+        issues=issues,
+    )
+    assert spec is None
+    assert not issues
+
+
+def test_spec_from_annotated_none_means_keep_scanning():
+    # A parse callable may return None to say "valid under the *other*
+    # pass's grammar"; scanning must continue to later metadata.
+    def parse(text, bracketed):
+        if text == "SKIP":
+            return None
+        return _parse_upper(text, bracketed)
+
+    issues = []
+    spec = spec_from_annotated(
+        _annotation("x: Annotated[np.ndarray, '[SKIP]', '[AA]']"),
+        parse_spec=parse,
+        issues=issues,
+    )
+    assert spec == "AA"
+    assert not issues
+
+
+# ----------------------------------------------------------------------
+# Cross-grammar disambiguation between the dim and shape passes
+# ----------------------------------------------------------------------
+def test_shape_pass_skips_unit_metadata():
+    func = _func(
+        "def f(dt: Annotated[float, '[s]']):\n"
+        '    """D."""\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert "dt" not in shapes.params
+    assert not shapes.issues
+
+
+def test_dim_pass_skips_shape_metadata():
+    func = _func(
+        "def f(x: Annotated[np.ndarray, '[B,4]']):\n"
+        '    """D."""\n'
+    )
+    units = extract_function_units(func)
+    assert "x" not in units.params
+    assert not units.issues
+
+
+def test_dimensionless_bracket_one_resolves_as_unit():
+    # "[1]" parses under both grammars; the unit reading (dimensionless)
+    # wins and the shape pass quietly steps aside.
+    func = _func(
+        "def f(ratio: Annotated[float, '[1]']):\n"
+        '    """D."""\n'
+    )
+    units = extract_function_units(func)
+    assert units.params["ratio"] == DIMENSIONLESS
+    shapes = extract_function_shapes(func)
+    assert "ratio" not in shapes.params
+    assert not shapes.issues
+
+
+def test_each_pass_picks_its_own_metadata_from_a_mixed_hint():
+    func = _func(
+        "def f(x: Annotated[np.ndarray, '[m/s]', '[N; f8]']):\n"
+        '    """D."""\n'
+    )
+    units = extract_function_units(func)
+    shapes = extract_function_shapes(func)
+    assert units.params["x"] is not None
+    assert shapes.params["x"] == Shape(dims=("N",), dtype="f8")
+    assert not units.issues and not shapes.issues
+
+
+def test_garbage_bracketed_metadata_is_an_issue_for_the_shape_pass():
+    # Valid under neither grammar: the shape pass must surface it
+    # rather than silently treating it as someone else's metadata.
+    func = _func(
+        "def f(x: Annotated[np.ndarray, '[B,4'] ):\n"
+        '    """D."""\n'
+    )
+    shapes = extract_function_shapes(func)
+    assert "x" not in shapes.params
+
+
+# ----------------------------------------------------------------------
+# Symbolic-dim unification corners
+# ----------------------------------------------------------------------
+def test_repeated_symbol_must_bind_consistently():
+    declared = Shape(dims=("N", "N"))
+    assert _definite_conflict(declared, Shape(dims=(3, 3)), {}) is None
+    message = _definite_conflict(declared, Shape(dims=(3, 4)), {})
+    assert message is not None and "'N'" in message
+
+
+def test_bindings_unify_across_a_call_site():
+    bindings = {}
+    declared = Shape(dims=("N",))
+    assert _definite_conflict(declared, Shape(dims=(3,)), bindings) is None
+    assert bindings["N"] == 3
+    assert _definite_conflict(declared, Shape(dims=(4,)), bindings)
+
+
+def test_unknown_axes_never_conflict():
+    declared = Shape(dims=("N", 2))
+    assert _definite_conflict(declared, Shape(dims=(None, None)), {}) is None
+    assert _definite_conflict(declared, Shape(dims=None), {}) is None
+
+
+def test_rank_mismatch_is_a_conflict():
+    message = _definite_conflict(
+        Shape(dims=(2, 1)), Shape(dims=(2,)), {}
+    )
+    assert message is not None and "rank" in message
+
+
+def test_symbol_bound_to_symbol_stays_optimistic():
+    bindings = {}
+    declared = Shape(dims=("N",))
+    assert _definite_conflict(declared, Shape(dims=("M",)), bindings) is None
+    # A later concrete binding may still conflict with nothing: the
+    # symbolic first binding must not poison it.
+    assert (
+        _definite_conflict(declared, Shape(dims=("K",)), bindings) is None
+    )
+
+
+def test_spec_issue_is_a_plain_value_object():
+    issue = SpecIssue(3, "message")
+    assert (issue.line, issue.message) == (3, "message")
