@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim lint-shape ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
+.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -23,8 +23,21 @@ safedim:
 lint-shape:
 	$(PYTHON) -m repro.lint src --select SFL2 --no-baseline
 
-# What CI's lint job runs; mirror of .pre-commit-config.yaml.
-precommit: safelint safedim lint-shape ruff mypy
+# The safeflow family alone (SFL300-SFL306), baseline-free: purity/
+# effect contradictions and vectorization blockers in src/ can never be
+# grandfathered (see docs/LINTING.md).
+lint-flow:
+	$(PYTHON) -m repro.lint src --select SFL3 --no-baseline
+
+# All four gate families in ONE interpreter (--gates shares the parse
+# cache across them), baseline-free over src.
+gates:
+	$(PYTHON) -m repro.lint src --gates lint,dim,shape,flow --no-baseline
+
+# What CI's lint job runs; mirror of .pre-commit-config.yaml.  The
+# per-family gates run through `gates` (one process); the full-tree
+# safelint pass still covers tests/ and benchmarks/.
+precommit: safelint gates ruff mypy
 
 ruff:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \

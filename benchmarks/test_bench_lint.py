@@ -2,18 +2,21 @@
 
 The lint gates run on every commit (pre-commit) and every CI push, so
 their wall time is part of the development loop's budget.  These
-benchmarks time the full rule set and the two baseline-free families
-(safedim SFL1xx, safeshape SFL2xx) over ``src/`` and, under ``make
-bench-record``, persist the durations into ``BENCH_lint.json`` so a
-later PR that slows the analyzers down regresses against a recorded
-baseline instead of an anecdote.
+benchmarks time the full rule set and the three baseline-free families
+(safedim SFL1xx, safeshape SFL2xx, safeflow SFL3xx) over ``src/``,
+plus the cold-vs-warm cost of the shared parse cache that ``--gates``
+leans on, and, under ``make bench-record``, persist the durations into
+``BENCH_lint.json`` so a later PR that slows the analyzers down
+regresses against a recorded baseline instead of an anecdote.
 """
 
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.lint import LintConfig, lint_paths, load_project_config
+from repro.lint.astcache import cache_info, clear_cache
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
@@ -56,3 +59,47 @@ def test_lint_shape_gate_over_src(benchmark, lint_config):
     result = benchmark(lint_paths, [SRC], _select(lint_config, "SFL2"))
     assert result.findings == []
     assert result.suppressed == 0
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_flow_gate_over_src(benchmark, lint_config):
+    """The safeflow pass alone: the cost of the SFL300-series gate.
+
+    Re-asserts the acceptance invariant: src is flow-clean with exactly
+    the one documented SFL302 suppression (the trajectory recorder), so
+    the recorded duration always measures a clean pass.
+    """
+    result = benchmark(lint_paths, [SRC], _select(lint_config, "SFL3"))
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_shared_ast_cache_warm_vs_cold(benchmark, lint_config):
+    """Cold-vs-warm cost of the process-level parse cache.
+
+    The first ``lint_paths`` call in a process reads and parses every
+    file; later calls (each gate of ``--gates``, every gate test of a
+    pytest run) reuse the cached trees.  The benchmark times a *warm*
+    full run; the cold/warm split and the hit count are printed so
+    ``make bench-record -s`` captures the speedup alongside the
+    recorded duration.
+    """
+    clear_cache()
+    cold_start = time.perf_counter()
+    lint_paths([SRC], lint_config)
+    cold = time.perf_counter() - cold_start
+    assert cache_info()["hits"] == 0
+
+    result = benchmark(lint_paths, [SRC], lint_config)
+    assert result.files_checked > 0
+    info = cache_info()
+    assert info["hits"] > 0, "warm run must hit the parse cache"
+    warm_start = time.perf_counter()
+    lint_paths([SRC], lint_config)
+    warm = time.perf_counter() - warm_start
+    print(
+        f"\nshared-AST cache: cold {cold:.3f}s, warm {warm:.3f}s "
+        f"({cold / warm:.2f}x), hits={info['hits']} "
+        f"misses={info['misses']}"
+    )

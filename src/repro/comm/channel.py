@@ -119,6 +119,10 @@ class Channel:
         observer=None,
         name: str = "",
     ) -> None:
+        """Bind the channel's configuration and fault processes.
+
+        Effects: mutates-args, draws-rng
+        """
         self._period = check_positive(period, "period")
         if faults is not None and disturbance is not None:
             raise ConfigurationError(

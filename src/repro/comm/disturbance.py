@@ -63,7 +63,10 @@ class DisturbanceModel:
         return self.drop_probability >= 1.0
 
     def is_dropped(self, rng: RngStream) -> bool:
-        """Draw the drop decision for one message."""
+        """Draw the drop decision for one message.
+
+        Effects: draws-rng
+        """
         return rng.bernoulli(self.drop_probability)
 
     def delivery_delay(self) -> float:

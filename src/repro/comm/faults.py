@@ -125,6 +125,7 @@ class _StatelessProcess(FaultProcess):
         """Delegate to the model's pure per-message transform.
 
         Units: -> [s]
+        Effects: draws-rng
         """
         return self._model._transform(offsets, rng)  # type: ignore[attr-defined]
 
@@ -180,6 +181,10 @@ class IndependentLoss(FaultModel):
     def _transform(
         self, offsets: List[float], rng: Optional[RngStream]
     ) -> List[float]:
+        """Drop each copy independently.
+
+        Effects: draws-rng
+        """
         if self.probability == 0.0:
             return offsets
         if self.probability >= 1.0:  # safelint: disable=SFL001 - prob sentinel
@@ -268,6 +273,7 @@ class _GilbertElliottProcess(FaultProcess):
         """Advance the Markov state once, then drop per-copy.
 
         Units: -> [s]
+        Effects: mutates-args, draws-rng
         """
         assert rng is not None  # model is always stochastic
         m = self._model
@@ -345,6 +351,10 @@ class UniformJitter(FaultModel):
     def _transform(
         self, offsets: List[float], rng: Optional[RngStream]
     ) -> List[float]:
+        """Shift every copy by one shared uniform draw.
+
+        Effects: draws-rng
+        """
         if self.high <= self.low:
             return [o + self.low for o in offsets]
         assert rng is not None  # enforced by Channel for stochastic models
@@ -393,6 +403,10 @@ class GaussianJitter(FaultModel):
         return _StatelessProcess(self)
 
     def _draw(self, rng: RngStream) -> float:
+        """One truncated-normal delay sample.
+
+        Effects: draws-rng
+        """
         if self.std == 0.0:
             return min(max(self.mean, self.low), self.high)
         for _ in range(self._MAX_REDRAWS):
@@ -404,6 +418,10 @@ class GaussianJitter(FaultModel):
     def _transform(
         self, offsets: List[float], rng: Optional[RngStream]
     ) -> List[float]:
+        """Shift each copy by an independent truncated-normal draw.
+
+        Effects: draws-rng
+        """
         if not self.is_stochastic:
             fixed = min(max(self.mean, self.low), self.high)
             return [o + fixed for o in offsets]
@@ -449,6 +467,10 @@ class Duplication(FaultModel):
     def _transform(
         self, offsets: List[float], rng: Optional[RngStream]
     ) -> List[float]:
+        """Emit each copy, plus a lagged duplicate with probability p.
+
+        Effects: draws-rng
+        """
         if self.probability == 0.0:
             return offsets
         assert rng is not None  # enforced by Channel for stochastic models
@@ -505,6 +527,7 @@ class _ComposedProcess(FaultProcess):
         """Pipe the copies through every stage, stopping once dropped.
 
         Units: -> [s]
+        Effects: mutates-args, draws-rng
         """
         for process in self._processes:
             offsets = process.transform(offsets, rng)

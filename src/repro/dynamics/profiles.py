@@ -83,6 +83,10 @@ class RandomSequenceProfile:
         a_low: float = -2.0,
         a_high: float = 2.0,
     ) -> None:
+        """Bind the stream and bounds; draws happen lazily per step.
+
+        Effects: mutates-args, draws-rng
+        """
         self._rng = rng
         self._a_low, self._a_high = check_range(a_low, a_high, "a_low", "a_high")
         self._sequence: List[float] = []
@@ -119,6 +123,10 @@ class RandomWalkProfile:
         max_step: float = 0.5,
         initial: float = 0.0,
     ) -> None:
+        """Bind the stream and walk bounds; draws happen lazily per step.
+
+        Effects: mutates-args, draws-rng
+        """
         self._rng = rng
         self._a_low, self._a_high = check_range(a_low, a_high, "a_low", "a_high")
         self._max_step = check_positive(max_step, "max_step")

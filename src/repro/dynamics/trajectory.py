@@ -78,7 +78,13 @@ class Trajectory:
                 f"trajectory times must be strictly increasing: "
                 f"{t} after {self._times[-1]}"
             )
-        self._times.append(t)
+        # Kept as append-then-asarray deliberately: episodes terminate
+        # early (collision/arrival) so the final length is unknown here,
+        # list append is amortized O(1), and the bulk accessors run once
+        # per episode for reporting, not per step.  The preallocated
+        # structure-of-arrays layout belongs to the vectorized batch
+        # engine (ROADMAP item 1), not this scalar recorder.
+        self._times.append(t)  # safelint: disable=SFL302 - length unknown until terminal step
         self._points.append(TrajectoryPoint(time=t, state=state))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""A process-level shared parse cache for the lint passes.
+
+Within one :func:`~repro.lint.engine.lint_paths` call every pass
+(safelint, safedim, safeshape, safeflow) already shares a single parse
+per file; what used to re-parse the tree was *repeated invocations in
+the same process* — each gate test in a test run, every iteration of a
+lint benchmark, and each gate of the CLI's ``--gates`` mode.  This
+cache keys on ``(device, inode, mtime_ns, size)`` so a file re-read
+between edits is re-parsed exactly when its bytes could have changed,
+and hands back the same source text and tree object otherwise.
+
+Sharing tree objects across runs is sound because every rule is a
+read-only :class:`ast.NodeVisitor` — nothing in the lint stack mutates
+a tree.  ``make bench-record`` captures the cold-vs-warm speedup in
+``BENCH_lint.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = ["cache_info", "clear_cache", "read_and_parse"]
+
+#: path -> (stat fingerprint, source, tree or None when unparseable).
+_CACHE: Dict[
+    str, Tuple[Tuple[int, int, int, int], str, Optional[ast.Module]]
+] = {}
+#: Generous bound — the whole src tree is ~couple hundred files; the
+#: cap only guards against linting something unboundedly larger.
+_LIMIT = 2048
+
+_HITS = 0
+_MISSES = 0
+
+
+def _fingerprint(stat: os.stat_result) -> Tuple[int, int, int, int]:
+    return (stat.st_dev, stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
+
+def read_and_parse(path: Path) -> Tuple[str, Optional[ast.Module]]:
+    """``(source, tree)`` of a file; ``tree`` is None when unparseable.
+
+    Raises :class:`OSError` for unreadable files, exactly like the
+    uncached ``read_text`` path did.
+    """
+    global _HITS, _MISSES
+    key = str(path)
+    fingerprint = _fingerprint(os.stat(path))
+    cached = _CACHE.get(key)
+    if cached is not None and cached[0] == fingerprint:
+        _HITS += 1
+        return cached[1], cached[2]
+    _MISSES += 1
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree: Optional[ast.Module] = ast.parse(source, filename=key)
+    except SyntaxError:
+        tree = None
+    if len(_CACHE) >= _LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = (fingerprint, source, tree)
+    return source, tree
+
+
+def clear_cache() -> None:
+    """Drop every cached parse (tests and benchmarks use this)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters for benchmarks and diagnostics."""
+    return {"hits": _HITS, "misses": _MISSES, "size": len(_CACHE)}

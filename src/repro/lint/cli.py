@@ -6,6 +6,9 @@
     $ python -m repro.lint src --format json    # machine-readable report
     $ python -m repro.lint --list-rules         # rule catalogue
     $ python -m repro.lint src --write-baseline # grandfather current tree
+    $ python -m repro.lint src --batch-report run_episode  # effect report
+    $ python -m repro.lint src --gates lint,dim,shape,flow # all gates,
+    #   one process (shared parse cache), exit 1 if any gate fails
 
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 Configuration comes from ``[tool.safelint]`` in the nearest
@@ -33,11 +36,27 @@ from repro.lint.config import (
     find_pyproject,
     load_project_config,
 )
-from repro.lint.engine import LintResult, lint_paths
+from repro.lint.engine import (
+    LintResult,
+    build_effect_table_for,
+    lint_paths,
+)
 from repro.lint.findings import Severity, report_to_dict
+from repro.lint.flow.report import batchability_report
 from repro.lint.registry import all_rules, get_rule, rule_ids
 
 __all__ = ["main", "build_parser"]
+
+#: ``--gates`` family name -> rule-id prefix.  Each family is one gate:
+#: the core safety rules, the dimensional pass, the shape pass and the
+#: flow pass.  Running several via ``--gates`` shares one process (and
+#: therefore one AST cache) instead of one interpreter start per gate.
+GATE_FAMILIES = {
+    "lint": "SFL0",
+    "dim": "SFL1",
+    "shape": "SFL2",
+    "flow": "SFL3",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +129,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-project-config",
         action="store_true",
         help="ignore [tool.safelint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--batch-report",
+        metavar="NAME",
+        help=(
+            "emit the JSON batchability report for the function NAME "
+            "(e.g. run_episode) instead of linting: every function "
+            "reachable from it with its inferred/declared effects and "
+            "whether the whole call tree is safe to batch"
+        ),
+    )
+    parser.add_argument(
+        "--gates",
+        metavar="FAMILIES",
+        help=(
+            "run several gates in this one process (comma-separated "
+            "from: " + ", ".join(sorted(GATE_FAMILIES)) + "); shares "
+            "the parse cache across gates, exits 1 if any gate fails"
+        ),
     )
     return parser
 
@@ -233,6 +271,74 @@ def _render_text(result: LintResult) -> str:
     return "\n".join(lines)
 
 
+def _run_batch_report(args: argparse.Namespace) -> int:
+    """``--batch-report``: print the JSON batchability report."""
+    try:
+        config = _resolve_config(args)
+        table = build_effect_table_for(
+            [Path(p) for p in args.paths], config
+        )
+        report = batchability_report(table, args.batch_report)
+    except LintError as exc:
+        print(f"safelint: error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"safelint: error: {exc}", file=sys.stderr)
+        return 2
+    _print(json.dumps(report, indent=2))
+    return 0
+
+
+def _run_gates(args: argparse.Namespace) -> int:
+    """``--gates``: several gates, one process, one shared parse cache."""
+    names = [part.strip() for part in args.gates.split(",") if part.strip()]
+    unknown = [name for name in names if name not in GATE_FAMILIES]
+    if not names or unknown:
+        print(
+            "safelint: error: --gates takes a comma-separated subset of "
+            + ", ".join(sorted(GATE_FAMILIES))
+            + (f" (got: {', '.join(unknown)})" if unknown else ""),
+            file=sys.stderr,
+        )
+        return 2
+    from dataclasses import replace
+
+    try:
+        config = _resolve_config(args)
+        baseline_path: Optional[Path] = None
+        if not args.no_baseline:
+            if args.baseline is not None:
+                baseline_path = Path(args.baseline)
+            elif config.baseline is not None:
+                baseline_path = config.baseline
+        baseline = (
+            load_baseline(baseline_path)
+            if baseline_path is not None
+            else Baseline()
+        )
+        exit_code = 0
+        paths = [Path(p) for p in args.paths]
+        for name in names:
+            gate_config = replace(
+                config, select=frozenset({GATE_FAMILIES[name]})
+            )
+            result = lint_paths(paths, gate_config, baseline=baseline)
+            for finding in result.findings:
+                _print(finding.format_text())
+            _print(
+                f"safelint[{name}]: {len(result.findings)} finding(s) "
+                f"in {result.files_checked} file(s) "
+                f"({result.suppressed} suppressed, "
+                f"{result.baselined} baselined)"
+            )
+            if not result.ok:
+                exit_code = 1
+    except LintError as exc:
+        print(f"safelint: error: {exc}", file=sys.stderr)
+        return 2
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the CLI; returns the process exit code."""
     parser = build_parser()
@@ -241,6 +347,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         _print(_list_rules())
         return 0
+
+    if args.batch_report is not None:
+        return _run_batch_report(args)
+
+    if args.gates is not None:
+        return _run_gates(args)
 
     try:
         config = _resolve_config(args)

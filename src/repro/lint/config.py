@@ -15,6 +15,8 @@ inject a fake module name such as ``repro.sim.fixture``):
   analysis (SFL100–SFL105);
 * ``shape`` — the array core covered by the safeshape shape/dtype
   analysis (SFL200–SFL205);
+* ``flow`` — the episode hot path covered by the safeflow
+  purity/effect analysis (SFL300–SFL306);
 * ``all`` — everything.
 
 ``select``/``ignore`` entries are *prefixes*: ``SFL1`` selects the
@@ -76,6 +78,13 @@ _DEFAULT_SHAPE: Tuple[str, ...] = (
     "repro.scenarios",
     "repro.sim",
 )
+_DEFAULT_FLOW: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.planners",
+    "repro.filtering",
+    "repro.dynamics",
+    "repro.comm",
+)
 
 
 @dataclass(frozen=True)
@@ -95,7 +104,7 @@ class LintConfig:
         sequence is skipped (``tests/lint_fixtures`` keeps the
         deliberately-bad fixtures out of the gate).
     critical_packages, sim_packages, math_packages, planner_packages,
-    units_packages, dim_packages, shape_packages:
+    units_packages, dim_packages, shape_packages, flow_packages:
         Dotted module prefixes defining each rule scope.
     """
 
@@ -110,6 +119,7 @@ class LintConfig:
     units_packages: Tuple[str, ...] = _DEFAULT_UNITS
     dim_packages: Tuple[str, ...] = _DEFAULT_DIM
     shape_packages: Tuple[str, ...] = _DEFAULT_SHAPE
+    flow_packages: Tuple[str, ...] = _DEFAULT_FLOW
 
     def packages_for(self, scope: str) -> Tuple[str, ...]:
         """The module-prefix list of a named scope (empty for ``all``)."""
@@ -122,6 +132,7 @@ class LintConfig:
             "units": self.units_packages,
             "dim": self.dim_packages,
             "shape": self.shape_packages,
+            "flow": self.flow_packages,
         }[scope]
 
     def module_in_scope(self, module: str, scope: str) -> bool:
@@ -218,6 +229,7 @@ def load_project_config(pyproject: Path) -> LintConfig:
         ("units-packages", "units_packages"),
         ("dim-packages", "dim_packages"),
         ("shape-packages", "shape_packages"),
+        ("flow-packages", "flow_packages"),
     ):
         value = _get_list(table, key)
         if value is not None:

@@ -12,10 +12,16 @@ feeds the trees to the cross-module signature tables (the dim pass's
 pass's :class:`~repro.lint.shape.signatures.ShapeTable`), the second
 runs the rules with those tables available through
 :attr:`~repro.lint.rules.base.FileContext.signatures` and
-:attr:`~repro.lint.rules.base.FileContext.shape_signatures` — this is
-what lets the (per-file) dimensional and shape rules check call sites
-against declarations in *other* files, while rules themselves still
-never do I/O.
+:attr:`~repro.lint.rules.base.FileContext.shape_signatures`, plus the
+safeflow pass's program-wide
+:class:`~repro.lint.flow.fixpoint.EffectTable` through
+:attr:`~repro.lint.rules.base.FileContext.effect_table` — this is
+what lets the (per-file) dimensional, shape and flow rules check call
+sites against declarations in *other* files, while rules themselves
+still never do I/O.  File reads and parses go through the process-level
+:mod:`repro.lint.astcache`, so repeated invocations in one process
+(gate tests, benchmarks, the CLI's ``--gates`` mode) parse each file
+once.
 
 A file that does not parse yields a single ``SFL000`` finding (not an
 exception): the gate must fail on broken code, not crash.
@@ -29,16 +35,24 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import LintError
+from repro.lint.astcache import read_and_parse
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig
 from repro.lint.dim.signatures import SignatureTable, build_signature_table
+from repro.lint.flow.fixpoint import EffectTable, build_effect_table
 from repro.lint.shape.signatures import ShapeTable, build_shape_table
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import all_rules
 from repro.lint.rules.base import FileContext
 from repro.lint.suppressions import parse_suppressions
 
-__all__ = ["LintResult", "lint_source", "lint_paths", "iter_python_files"]
+__all__ = [
+    "LintResult",
+    "build_effect_table_for",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
 
 #: Pseudo-rule id for files that fail to parse (not suppressible).
 PARSE_ERROR_ID = "SFL000"
@@ -83,6 +97,23 @@ def _module_name(path: Path) -> str:
     return path.stem
 
 
+def _package_modules(parsed):
+    """The subset of ``(module, tree)`` pairs inside the real package.
+
+    The effect table resolves untyped receivers through a program-wide
+    method-name index, so it must only see importable package modules:
+    stem-named files (tests, benchmarks, scripts) define test doubles
+    whose methods would otherwise smear their effects over same-named
+    methods in ``src`` — and the src gate's verdict would depend on
+    which test files happened to be on the command line.
+    """
+    return {
+        module: tree
+        for module, tree in parsed
+        if module == "repro" or module.startswith("repro.")
+    }
+
+
 def _lint_one(
     source: str,
     path: str,
@@ -91,6 +122,7 @@ def _lint_one(
     *,
     signatures: Optional[SignatureTable] = None,
     shape_signatures: Optional[ShapeTable] = None,
+    effect_table: Optional[EffectTable] = None,
     tree: Optional[ast.Module] = None,
 ) -> Tuple[List[Finding], int]:
     """Lint one source string -> (surviving findings, suppressed count)."""
@@ -104,6 +136,7 @@ def _lint_one(
         lines=lines,
         signatures=signatures,
         shape_signatures=shape_signatures,
+        effect_table=effect_table,
     )
     try:
         if tree is None:
@@ -134,6 +167,10 @@ def _lint_one(
         for f in raw
         if not suppressions.is_suppressed(f.rule_id, f.line)
     ]
+    # Deterministic order even for single-file runs: rules run in
+    # registration order, so without this sort a finding's position
+    # would depend on which pass produced it.
+    surviving.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
     return surviving, len(raw) - len(surviving)
 
 
@@ -183,6 +220,29 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
                 yield candidate
 
 
+def build_effect_table_for(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+) -> EffectTable:
+    """The program-wide effect table of files/directories.
+
+    The CLI's ``--batch-report`` uses this to answer reachability
+    questions without running any rules.
+    """
+    config = config or LintConfig()
+    modules = {}
+    for file_path in iter_python_files(paths):
+        if config.path_excluded(file_path.as_posix()):
+            continue
+        try:
+            _, tree = read_and_parse(file_path)
+        except OSError as exc:
+            raise LintError(f"unreadable file {file_path}: {exc}") from exc
+        if tree is not None:
+            modules[_module_name(file_path)] = tree
+    return build_effect_table(_package_modules(modules.items()))
+
+
 def lint_paths(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
@@ -202,14 +262,10 @@ def lint_paths(
         if config.path_excluded(posix):
             continue
         try:
-            source = file_path.read_text(encoding="utf-8")
+            source, tree = read_and_parse(file_path)
         except OSError as exc:
             raise LintError(f"unreadable file {file_path}: {exc}") from exc
         module = _module_name(file_path)
-        try:
-            tree: Optional[ast.Module] = ast.parse(source, filename=posix)
-        except SyntaxError:
-            tree = None
         entries.append((posix, source, module, tree))
     parsed = [
         (module, tree)
@@ -218,6 +274,7 @@ def lint_paths(
     ]
     signatures = build_signature_table(parsed)
     shape_signatures = build_shape_table(parsed)
+    effect_table = build_effect_table(_package_modules(parsed))
 
     # Pass 2: run the rules with the table in scope.
     findings: List[Finding] = []
@@ -232,6 +289,7 @@ def lint_paths(
             config,
             signatures=signatures,
             shape_signatures=shape_signatures,
+            effect_table=effect_table,
             tree=tree,
         )
         findings.extend(file_findings)

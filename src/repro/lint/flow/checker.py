@@ -1,0 +1,196 @@
+"""The per-file safeflow analysis consumed by rules SFL300-SFL306.
+
+Mirrors the dim/shape layering: the engine builds one program-wide
+:class:`~repro.lint.flow.fixpoint.EffectTable` per lint invocation and
+hands it to every file via ``FileContext.effect_table``; outside an
+engine run (unit tests poking a single file) the checker falls back to
+a table built from the file alone.  The analysis runs once per file and
+is cached, so the seven rules of the family cost a single pass.
+
+Violations carry a ``kind``:
+
+========================  ======  =====================================
+kind                      rule    meaning
+========================  ======  =====================================
+``vectorize``             SFL300  numpy op applied per element in a loop
+``global-mutation``       SFL301  reachable from ``run_episode`` and
+                                  mutates module-global/closure state
+``accumulate``            SFL302  append-in-loop then ``np.array``
+``nondeterminism``        SFL303  unordered/environmental source feeds
+                                  a return value
+``hoist``                 SFL304  loop-invariant pure call inside loop
+``contradiction``         SFL305  declared ``Effects:`` contradicted by
+                                  inference (or malformed spec)
+``rng-undeclared``        SFL306  RNG threaded through an undeclared
+                                  function
+========================  ======  =====================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.flow.effects import (
+    DRAWS_RNG,
+    MUTATES_GLOBAL,
+    format_effects,
+)
+from repro.lint.flow.fixpoint import EffectTable, build_effect_table
+from repro.lint.flow.loops import (
+    KIND_ACCUMULATE,
+    KIND_HOIST,
+    KIND_NONDET,
+    KIND_VECTORIZE,
+    FlowViolation,
+    append_then_convert,
+    class_accumulations,
+    hoistable_calls,
+    nondeterministic_returns,
+    per_element_numpy,
+)
+from repro.lint.interp import iter_functions
+
+__all__ = [
+    "KIND_ACCUMULATE",
+    "KIND_CONTRADICTION",
+    "KIND_GLOBAL",
+    "KIND_HOIST",
+    "KIND_NONDET",
+    "KIND_RNG",
+    "KIND_VECTORIZE",
+    "FlowViolation",
+    "analyze",
+]
+
+KIND_GLOBAL = "global-mutation"
+KIND_CONTRADICTION = "contradiction"
+KIND_RNG = "rng-undeclared"
+
+#: The batching entry point whose reachable set SFL301 polices.
+EPISODE_ROOT = "run_episode"
+
+
+def _episode_reachable(table: EffectTable) -> frozenset:
+    """Qualnames reachable from any function named ``run_episode``."""
+    reachable: set = set()
+    for qualname, node in table.graph.nodes.items():
+        if node.name == EPISODE_ROOT:
+            reachable.update(table.reachable_from(qualname))
+    return frozenset(reachable)
+
+
+def _analyze_uncached(context, tree: ast.Module) -> Tuple[FlowViolation, ...]:
+    table: Optional[EffectTable] = getattr(context, "effect_table", None)
+    if table is None:
+        table = build_effect_table({context.module: tree})
+    imports = table.graph.imports.get(context.module, {})
+    reachable = _episode_reachable(table)
+    violations: List[FlowViolation] = []
+
+    for statement in tree.body:
+        if isinstance(statement, ast.ClassDef):
+            class_accumulations(statement, imports, violations)
+
+    for class_name, func in iter_functions(tree):
+        per_element_numpy(func, imports, violations)
+        append_then_convert(func, imports, violations)
+        nondeterministic_returns(func, imports, violations)
+        hoistable_calls(func, context.module, table, violations)
+
+        verdict = table.lookup_function(context.module, class_name, func.name)
+        if verdict is None:
+            continue
+
+        for issue in verdict.spec.issues:
+            violations.append(
+                FlowViolation(
+                    line=issue.line,
+                    column=0,
+                    kind=KIND_CONTRADICTION,
+                    message=f"malformed Effects spec: {issue.message}",
+                )
+            )
+
+        undeclared = verdict.contradictions
+        if undeclared:
+            extras = []
+            for effect in sorted(undeclared):
+                line, why = verdict.evidence.get(effect, (verdict.line, "?"))
+                extras.append(f"{effect} (line {line}: {why})")
+            violations.append(
+                FlowViolation(
+                    line=verdict.spec.line,
+                    column=0,
+                    kind=KIND_CONTRADICTION,
+                    message=(
+                        f"declares 'Effects: "
+                        f"{format_effects(verdict.declared)}' but is "
+                        f"inferred to also {'; '.join(extras)}"
+                    ),
+                )
+            )
+
+        if verdict.rng_params_used and (
+            verdict.declared is None or DRAWS_RNG not in verdict.declared
+        ):
+            params = ", ".join(repr(p) for p in verdict.rng_params_used)
+            violations.append(
+                FlowViolation(
+                    line=func.lineno,
+                    column=func.col_offset,
+                    kind=KIND_RNG,
+                    message=(
+                        f"threads RNG parameter {params} but does not "
+                        "declare 'Effects: draws-rng'; the batch engine "
+                        "must know every function on a stream's path "
+                        "to thread a batched stream through it"
+                    ),
+                )
+            )
+
+        if MUTATES_GLOBAL in verdict.inferred and (
+            verdict.qualname in reachable
+        ):
+            line, why = verdict.evidence.get(
+                MUTATES_GLOBAL, (verdict.line, "inferred")
+            )
+            violations.append(
+                FlowViolation(
+                    line=line,
+                    column=0,
+                    kind=KIND_GLOBAL,
+                    message=(
+                        f"{verdict.qualname} is reachable from "
+                        f"{EPISODE_ROOT} and mutates module-global/"
+                        f"closure state ({why}); batched episodes "
+                        "sharing this state would cross-contaminate"
+                    ),
+                )
+            )
+
+    return tuple(violations)
+
+
+#: (path, source) -> (effect table the result was computed against,
+#: result).  The seven SFL30x rules all consume the same per-file
+#: analysis; identity-comparing the table keeps a stale program-wide
+#: result from leaking into a run with a different table.
+_CACHE: Dict[
+    Tuple[str, str], Tuple[Optional[EffectTable], Tuple[FlowViolation, ...]]
+] = {}
+_CACHE_LIMIT = 8
+
+
+def analyze(context, tree: ast.Module) -> Tuple[FlowViolation, ...]:
+    """Flow violations of one parsed file (cached per file)."""
+    key = (context.path, context.source)
+    supplied = getattr(context, "effect_table", None)
+    cached = _CACHE.get(key)
+    if cached is not None and cached[0] is supplied:
+        return cached[1]
+    result = _analyze_uncached(context, tree)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = (supplied, result)
+    return result

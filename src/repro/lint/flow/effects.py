@@ -1,0 +1,103 @@
+"""The effect lattice of the safeflow pass.
+
+An effect set is a plain ``frozenset`` of the atoms below; the lattice
+order is subset inclusion, join is union, and *pure* is the bottom
+element (the empty set).  A function's **inferred** effects are the
+join of its local facts and its callees' effects; a **declared**
+``Effects:`` spec is an upper bound the inference must stay under
+(checked by SFL305).
+
+The vocabulary is deliberately small and batching-oriented:
+
+``reads-state``
+    Reads a mutable module-level binding (or ``os.environ``).  Two
+    batched episodes sharing that binding may observe each other.
+``mutates-args``
+    Mutates an object reachable from a parameter (``self`` included).
+    Batchable when the mutated object is per-episode; the batch engine
+    must replicate it per lane.
+``mutates-global``
+    Writes a module-level binding or closure cell (``global`` /
+    ``nonlocal`` / mutation of a module object).  A hard batching
+    blocker: lanes would cross-contaminate.
+``does-io``
+    Touches the filesystem, a stream, a socket or a subprocess.
+``draws-rng``
+    Draws from (or threads) a seeded RNG stream.  Batchable only by
+    threading a batched stream explicitly — hence SFL306 insists it be
+    declared wherever an RNG flows through.
+``reads-clock``
+    Reads the wall clock (``time.*``, ``datetime.now``) — forbidden in
+    results (SFL004 bans it in the sim core); tolerated only in the
+    write-only observer layer, whose zero-interference contract PR 5
+    certifies.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+__all__ = [
+    "READS_STATE",
+    "MUTATES_ARGS",
+    "MUTATES_GLOBAL",
+    "DOES_IO",
+    "DRAWS_RNG",
+    "READS_CLOCK",
+    "PURE",
+    "PURE_KEYWORD",
+    "EFFECT_ORDER",
+    "ALL_EFFECTS",
+    "BLOCKING_EFFECTS",
+    "format_effects",
+    "join_effects",
+]
+
+READS_STATE = "reads-state"
+MUTATES_ARGS = "mutates-args"
+MUTATES_GLOBAL = "mutates-global"
+DOES_IO = "does-io"
+DRAWS_RNG = "draws-rng"
+READS_CLOCK = "reads-clock"
+
+#: Canonical display/report order (roughly "least to most disruptive").
+EFFECT_ORDER = (
+    READS_STATE,
+    MUTATES_ARGS,
+    MUTATES_GLOBAL,
+    DOES_IO,
+    DRAWS_RNG,
+    READS_CLOCK,
+)
+
+ALL_EFFECTS: FrozenSet[str] = frozenset(EFFECT_ORDER)
+
+#: The bottom element: no effects at all.
+PURE: FrozenSet[str] = frozenset()
+
+#: The spelling of the bottom element in ``Effects:`` specs.
+PURE_KEYWORD = "pure"
+
+#: Effects that outright block lock-step batching of episodes
+#: (cross-lane contamination / nondeterminism the seed cannot fix).
+#: ``mutates-args``/``draws-rng``/``reads-state`` are refactor
+#: advisories instead: per-lane state and threaded batched streams
+#: handle them.
+BLOCKING_EFFECTS: FrozenSet[str] = frozenset(
+    {MUTATES_GLOBAL, DOES_IO, READS_CLOCK}
+)
+
+
+def format_effects(effects: Iterable[str]) -> str:
+    """Render an effect set in canonical order (``pure`` when empty)."""
+    present = set(effects)
+    ordered = [effect for effect in EFFECT_ORDER if effect in present]
+    return ", ".join(ordered) if ordered else PURE_KEYWORD
+
+
+def join_effects(*sets: Iterable[str]) -> FrozenSet[str]:
+    """The lattice join (union) of any number of effect sets."""
+    joined: set = set()
+    for effects in sets:
+        joined.update(effects)
+    return frozenset(joined)

@@ -1,0 +1,459 @@
+"""Per-function *local* effect facts.
+
+This module answers, for one function body in isolation: which effects
+does the code perform **directly**?  The interprocedural half — what a
+function's callees do — is the fixpoint's job
+(:mod:`repro.lint.flow.fixpoint`); keeping leaf extraction separate
+makes it unit-testable against source strings and keeps the fixpoint a
+pure graph algorithm.
+
+The extraction is deliberately syntactic and biased toward
+*under*-reporting on genuinely ambiguous code (an alias of a parameter
+mutated through a fresh local name is missed): the flow gate demands a
+clean ``src`` with zero suppressions, so a heuristic that cries wolf
+would be fixed by weakening the gate — the opposite of the point.  The
+known blind spots are documented in docs/LINTING.md.
+
+Scoping follows Python's rule approximately: any name assigned anywhere
+in the function (parameters included) is local unless declared
+``global``; reads of non-local module-level *variables* are
+``reads-state`` (UPPERCASE module names are trusted as constants), and
+stores through them are ``mutates-global``.  Nested ``def``/``lambda``
+bodies are folded into the enclosing function — a closure's effects
+happen on the enclosing function's watch — and ``nonlocal`` writes
+count as closure-state mutation (``mutates-global``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.lint.flow.effects import (
+    DOES_IO,
+    DRAWS_RNG,
+    MUTATES_ARGS,
+    MUTATES_GLOBAL,
+    READS_CLOCK,
+    READS_STATE,
+)
+from repro.lint.interp import assigned_names, dotted_chain
+
+__all__ = ["LocalFacts", "extract_local_facts", "is_rng_param"]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Mutating methods of the builtin containers (and deque).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "appendleft",
+        "popleft",
+        "rotate",
+    }
+)
+
+#: Builtin callables that perform I/O.
+_IO_BUILTINS = frozenset({"open", "print", "input", "breakpoint"})
+
+#: Modules whose calls are I/O wholesale.
+_IO_MODULES = frozenset(
+    {"subprocess", "socket", "shutil", "logging", "tempfile", "io"}
+)
+
+#: Filesystem/stream method names (``pathlib.Path``, file handles).
+_IO_METHODS = frozenset(
+    {
+        "write_text",
+        "read_text",
+        "write_bytes",
+        "read_bytes",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "touch",
+        "rename",
+        "replace",
+        "iterdir",
+        "glob",
+        "rglob",
+        "hardlink_to",
+        "symlink_to",
+        "writelines",
+        "flush",
+        "fsync",
+    }
+)
+
+#: ``os.<attr>`` exemptions: pure path algebra and environment reads.
+_OS_PURE = frozenset({"path", "fspath", "name", "sep", "linesep", "curdir"})
+_OS_READS = frozenset({"environ", "getenv", "cpu_count", "getcwd", "getpid"})
+
+#: Wall-clock attribute names under ``datetime``/``date``.
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+#: Names that mark a value as an RNG stream by convention.
+_RNG_NAMES = frozenset({"rng", "generator", "_generator", "random_state"})
+
+#: Annotation type names that mark an RNG parameter.
+_RNG_TYPES = frozenset({"RngStream", "Generator", "BitGenerator"})
+
+
+def _is_rng_name(name: str) -> bool:
+    return name in _RNG_NAMES or name.endswith("_rng")
+
+
+def is_rng_param(arg: ast.arg) -> bool:
+    """Whether a parameter is RNG-like by name or annotation."""
+    if _is_rng_name(arg.arg):
+        return True
+    if arg.annotation is not None:
+        chain = dotted_chain(_strip_optional(arg.annotation))
+        if chain and chain[-1] in _RNG_TYPES:
+            return True
+    return False
+
+
+def _strip_optional(annotation: ast.expr) -> ast.expr:
+    """``Optional[X]``/``X | None`` -> ``X`` (best effort)."""
+    if isinstance(annotation, ast.Subscript):
+        chain = dotted_chain(annotation.value)
+        if chain and chain[-1] in {"Optional", "Annotated"}:
+            inner = annotation.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return inner.elts[0]
+            return inner
+    if isinstance(annotation, ast.BinOp) and isinstance(
+        annotation.op, ast.BitOr
+    ):
+        return _strip_optional(annotation.left)
+    return annotation
+
+
+@dataclass(frozen=True)
+class LocalFacts:
+    """The directly-performed effects of one function body.
+
+    Attributes
+    ----------
+    effects:
+        The local effect set (callees not included).
+    evidence:
+        Effect -> ``(line, description)`` of the first occurrence, used
+        to anchor findings and explain the batchability report.
+    rng_params_used:
+        RNG-like parameters that the body actually references (feeds
+        SFL306).
+    """
+
+    effects: FrozenSet[str] = frozenset()
+    evidence: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    rng_params_used: Tuple[str, ...] = ()
+
+
+class _FactVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        func: _FuncNode,
+        module_vars: FrozenSet[str],
+        imports: Dict[str, str],
+    ) -> None:
+        self.func = func
+        self.module_vars = module_vars
+        self.imports = imports
+        self.evidence: Dict[str, Tuple[int, str]] = {}
+        self.rng_params_used: Set[str] = set()
+
+        every_arg = [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+            *([func.args.vararg] if func.args.vararg else []),
+            *([func.args.kwarg] if func.args.kwarg else []),
+        ]
+        self.params: Set[str] = {arg.arg for arg in every_arg}
+        self.rng_params: Set[str] = {
+            arg.arg for arg in every_arg if is_rng_param(arg)
+        }
+        self.globals_declared: Set[str] = set()
+        self.locals: Set[str] = set(self.params)
+        self._collect_bindings(func)
+        #: Locals bound from ``np.random.default_rng(...)`` etc.
+        self.rng_locals: Set[str] = set()
+
+    # -- scope prepass --------------------------------------------------
+    def _collect_bindings(self, func: _FuncNode) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                self.globals_declared.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self.locals.update(assigned_names(target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self.locals.update(assigned_names(node.target))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self.locals.update(
+                            assigned_names(item.optional_vars)
+                        )
+            elif isinstance(node, ast.comprehension):
+                self.locals.update(assigned_names(node.target))
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self.locals.add(node.name)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node is not func:
+                self.locals.add(node.name)
+        self.locals -= self.globals_declared
+
+    # -- recording ------------------------------------------------------
+    def _record(self, effect: str, node: ast.AST, why: str) -> None:
+        if effect not in self.evidence:
+            self.evidence[effect] = (getattr(node, "lineno", 1), why)
+
+    # -- classification helpers ----------------------------------------
+    def _root_kind(self, name: str) -> str:
+        """'local' | 'param' | 'module' | 'other' for a chain root."""
+        if name in self.params:
+            return "param"
+        if name in self.locals:
+            return "local"
+        if name in self.globals_declared or name in self.module_vars:
+            return "module"
+        return "other"
+
+    def _classify_store(self, target: ast.expr, node: ast.AST) -> None:
+        """A store through ``x.attr`` / ``x[i]`` (not a plain rebind)."""
+        base = target
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        chain = dotted_chain(
+            target if isinstance(target, ast.Attribute) else base
+        )
+        root = chain[0] if chain else (
+            base.id if isinstance(base, ast.Name) else None
+        )
+        if root is None:
+            return
+        if chain and root == "os" and len(chain) > 1 and chain[1] == "environ":
+            self._record(
+                MUTATES_GLOBAL, node, "writes os.environ"
+            )
+            return
+        kind = self._root_kind(root)
+        if kind == "param":
+            self._record(
+                MUTATES_ARGS, node, f"stores through parameter {root!r}"
+            )
+        elif kind == "module":
+            self._record(
+                MUTATES_GLOBAL,
+                node,
+                f"stores through module-level {root!r}",
+            )
+
+    # -- statements -----------------------------------------------------
+    def visit_Global(self, node: ast.Global) -> None:
+        # The declaration alone is not a write; stores are caught below.
+        pass
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._record(
+            MUTATES_GLOBAL,
+            node,
+            f"rebinds closure state ({', '.join(node.names)})",
+        )
+
+    def _handle_bind(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self._record(
+                    MUTATES_GLOBAL,
+                    node,
+                    f"rebinds module-level {target.id!r} (global)",
+                )
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._classify_store(target, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_bind(element, node)
+        elif isinstance(target, ast.Starred):
+            self._handle_bind(target.value, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._handle_bind(target, node)
+        self._maybe_rng_binding(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_bind(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_bind(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._classify_store(target, node)
+        self.generic_visit(node)
+
+    def _maybe_rng_binding(self, node: ast.Assign) -> None:
+        """Track ``gen = np.random.default_rng(...)``-style locals."""
+        if not isinstance(node.value, ast.Call):
+            return
+        chain = dotted_chain(node.value.func)
+        if chain and chain[-1] in {"default_rng", "RandomState"}:
+            for target in node.targets:
+                self.rng_locals.update(assigned_names(target))
+
+    # -- expressions ----------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id in self.rng_params:
+                self.rng_params_used.add(node.id)
+            if (
+                self._root_kind(node.id) == "module"
+                and node.id in self.module_vars
+                and not node.id.isupper()
+            ):
+                self._record(
+                    READS_STATE,
+                    node,
+                    f"reads module-level variable {node.id!r}",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_chain(node.func)
+        if chain:
+            self._classify_call(chain, node)
+        self.generic_visit(node)
+
+    def _classify_call(self, chain: List[str], node: ast.Call) -> None:
+        root = chain[0]
+        dotted = ".".join(chain)
+        resolved = self.imports.get(root, root if len(chain) > 1 else None)
+
+        # RNG draws: a call through an RNG-named link, the stdlib/numpy
+        # global generators, or secrets.
+        if any(_is_rng_name(part) for part in chain[:-1]) or (
+            len(chain) == 1 and _is_rng_name(root)
+        ):
+            self._record(DRAWS_RNG, node, f"draws from {dotted}")
+            return
+        if root in self.rng_locals:
+            self._record(DRAWS_RNG, node, f"draws from {dotted}")
+            return
+        if resolved == "random" or resolved == "secrets":
+            self._record(DRAWS_RNG, node, f"calls {dotted}")
+            return
+        if resolved == "numpy" and len(chain) > 2 and chain[1] == "random":
+            self._record(DRAWS_RNG, node, f"calls {dotted}")
+            return
+
+        # Wall clock.
+        if resolved == "time":
+            self._record(READS_CLOCK, node, f"calls {dotted}")
+            return
+        if chain[-1] in _DATETIME_NOW and (
+            resolved == "datetime" or "datetime" in chain or "date" in chain
+        ):
+            self._record(READS_CLOCK, node, f"calls {dotted}")
+            return
+
+        # I/O.
+        if len(chain) == 1 and root in _IO_BUILTINS:
+            self._record(DOES_IO, node, f"calls {root}()")
+            return
+        if resolved in _IO_MODULES:
+            self._record(DOES_IO, node, f"calls {dotted}")
+            return
+        if resolved == "os" and len(chain) > 1:
+            if chain[1] in _OS_READS:
+                self._record(READS_STATE, node, f"reads {dotted}")
+            elif chain[1] not in _OS_PURE:
+                self._record(DOES_IO, node, f"calls {dotted}")
+            return
+        if resolved == "sys" and len(chain) > 2 and chain[1] in {
+            "stdout",
+            "stderr",
+            "stdin",
+        }:
+            self._record(DOES_IO, node, f"writes {dotted}")
+            return
+        if len(chain) > 1 and chain[-1] in _IO_METHODS:
+            self._record(DOES_IO, node, f"calls {dotted}")
+            return
+
+        # Container mutation through a parameter or module object.
+        if len(chain) > 1 and chain[-1] in MUTATOR_METHODS:
+            kind = self._root_kind(root)
+            if kind == "param":
+                self._record(
+                    MUTATES_ARGS,
+                    node,
+                    f"mutates parameter {root!r} via .{chain[-1]}()",
+                )
+            elif kind == "module":
+                self._record(
+                    MUTATES_GLOBAL,
+                    node,
+                    f"mutates module-level {root!r} via .{chain[-1]}()",
+                )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = dotted_chain(node)
+        if (
+            chain
+            and chain[0] == "os"
+            and len(chain) > 1
+            and chain[1] == "environ"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self._record(READS_STATE, node, "reads os.environ")
+        self.generic_visit(node)
+
+
+def extract_local_facts(
+    func: _FuncNode,
+    *,
+    module_vars: FrozenSet[str] = frozenset(),
+    imports: Optional[Dict[str, str]] = None,
+) -> LocalFacts:
+    """The local effect facts of one function body.
+
+    ``module_vars`` are the module-level variable names of the defining
+    module (stores through them are ``mutates-global``, reads of the
+    lowercase ones ``reads-state``); ``imports`` is the defining
+    module's local-name -> dotted-module map
+    (:func:`repro.lint.dim.signatures.build_import_map`).
+    """
+    visitor = _FactVisitor(func, module_vars, imports or {})
+    for statement in func.body:
+        visitor.visit(statement)
+    return LocalFacts(
+        effects=frozenset(visitor.evidence),
+        evidence=dict(visitor.evidence),
+        rng_params_used=tuple(sorted(visitor.rng_params_used)),
+    )

@@ -1,0 +1,249 @@
+"""Interprocedural effect inference over the call graph.
+
+One bottom-up sweep over the SCC condensation (callees first): each
+component's inferred effects are the union of its members' local facts
+plus the *exported* effects of every callee outside the component,
+where exported means the declared ``Effects:`` upper bound when the
+callee carries one and the inferred set otherwise.  Declarations are
+thus assume-guarantee boundaries: a caller of the observer layer trusts
+its declared ``reads-clock`` instead of re-deriving it, and SFL305
+separately checks every declaration against its own body's inference.
+
+Two refinements keep the over-approximation honest:
+
+* ``mutates-args`` propagates only along edges that syntactically pass
+  a caller parameter (receiver or argument) — a callee mutating a
+  freshly-built local of the caller is the caller's private business;
+* threading an RNG parameter counts as ``draws-rng`` even without a
+  visible draw, so the effect follows the stream through plumbing
+  functions (and SFL306 insists the plumbing declares it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.lint.flow.annotations import EffectSpec, extract_function_effects
+from repro.lint.flow.callgraph import CallGraph, build_call_graph
+from repro.lint.flow.effects import (
+    DRAWS_RNG,
+    MUTATES_ARGS,
+    format_effects,
+)
+from repro.lint.flow.facts import LocalFacts, extract_local_facts
+
+__all__ = ["EffectTable", "FunctionEffects", "build_effect_table"]
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """The complete effect verdict for one function.
+
+    Attributes
+    ----------
+    qualname:
+        Dotted qualname in the call graph.
+    line:
+        Line of the ``def``.
+    local:
+        Effects the body performs directly (RNG threading included).
+    inferred:
+        ``local`` joined with callees' exported effects — the fixpoint
+        result.
+    declared:
+        The ``Effects:`` upper bound, or ``None`` when undeclared.
+    spec:
+        The raw extracted spec (line + syntax issues) for anchoring.
+    evidence:
+        Effect -> ``(line, why)``; local evidence wins over the first
+        propagating call edge.
+    rng_params_used:
+        RNG-like parameters the body references (drives SFL306).
+    """
+
+    qualname: str
+    line: int
+    local: FrozenSet[str]
+    inferred: FrozenSet[str]
+    declared: Optional[FrozenSet[str]]
+    spec: EffectSpec
+    evidence: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    rng_params_used: Tuple[str, ...] = ()
+
+    @property
+    def exported(self) -> FrozenSet[str]:
+        """What callers should assume: declared if present, else inferred."""
+        return self.declared if self.declared is not None else self.inferred
+
+    @property
+    def contradictions(self) -> FrozenSet[str]:
+        """Inferred effects the declaration fails to admit (SFL305)."""
+        if self.declared is None:
+            return frozenset()
+        return self.inferred - self.declared
+
+
+class EffectTable:
+    """Program-wide effect verdicts, addressable like the call graph."""
+
+    def __init__(
+        self, graph: CallGraph, functions: Dict[str, FunctionEffects]
+    ) -> None:
+        self.graph = graph
+        self.functions = functions
+
+    def lookup(self, qualname: str) -> Optional[FunctionEffects]:
+        """The verdict of an exact qualname, or None."""
+        return self.functions.get(qualname)
+
+    def lookup_function(
+        self, module: str, class_name: Optional[str], name: str
+    ) -> Optional[FunctionEffects]:
+        """The verdict for a definition seen while visiting a file."""
+        qualname = (
+            f"{module}.{class_name}.{name}"
+            if class_name
+            else f"{module}.{name}"
+        )
+        return self.functions.get(qualname)
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Resolve a (possibly partial) dotted name; see CallGraph."""
+        return self.graph.resolve(name)
+
+    def reachable_from(self, root: str) -> List[str]:
+        """Sorted qualnames reachable from ``root`` (inclusive)."""
+        return self.graph.reachable_from(root)
+
+    def is_pure_callable(
+        self, module: str, chain: List[str], local_names: FrozenSet[str]
+    ) -> bool:
+        """Whether a call chain resolves to a provably pure function.
+
+        Used by the hoisting detector (SFL304): only calls whose target
+        resolves in this table *and* exports the empty effect set are
+        safe to hoist out of a loop.
+        """
+        target = self._resolve_chain(module, chain, local_names)
+        if target is None:
+            return False
+        verdict = self.functions.get(target)
+        return verdict is not None and not verdict.exported
+
+    def _resolve_chain(
+        self, module: str, chain: List[str], local_names: FrozenSet[str]
+    ) -> Optional[str]:
+        if not chain:
+            return None
+        root = chain[0]
+        imports = self.graph.imports.get(module, {})
+        if len(chain) == 1:
+            if root in local_names and root not in imports:
+                return None
+            direct = f"{module}.{root}"
+            if direct in self.functions:
+                return direct
+            if direct in self.graph.class_inits:
+                return self.graph.class_inits[direct]
+            if root in imports:
+                dotted = imports[root]
+                if dotted in self.functions:
+                    return dotted
+                return self.graph.class_inits.get(dotted)
+            return None
+        resolved_root = imports.get(root)
+        if resolved_root is None:
+            if f"{module}.{root}" in self.graph.class_inits:
+                resolved_root = f"{module}.{root}"
+            else:
+                return None
+        dotted = ".".join([resolved_root, *chain[1:]])
+        if dotted in self.functions:
+            return dotted
+        return self.graph.class_inits.get(dotted)
+
+
+def build_effect_table(modules: Mapping[str, ast.Module]) -> EffectTable:
+    """Infer effects for every function of ``module name -> tree``."""
+    graph = build_call_graph(modules)
+
+    local_facts: Dict[str, LocalFacts] = {}
+    specs: Dict[str, EffectSpec] = {}
+    locals_plus: Dict[str, FrozenSet[str]] = {}
+    for qualname, node in graph.nodes.items():
+        facts = extract_local_facts(
+            node.func,
+            module_vars=graph.module_vars.get(node.module, frozenset()),
+            imports=graph.imports.get(node.module, {}),
+        )
+        local_facts[qualname] = facts
+        specs[qualname] = extract_function_effects(node.func)
+        seed = set(facts.effects)
+        if facts.rng_params_used:
+            # Threading a stream is an effect on the stream's schedule
+            # even if this frame never draws.
+            seed.add(DRAWS_RNG)
+        locals_plus[qualname] = frozenset(seed)
+
+    inferred: Dict[str, FrozenSet[str]] = {}
+    call_evidence: Dict[str, Dict[str, Tuple[int, str]]] = {
+        qualname: {} for qualname in graph.nodes
+    }
+
+    def exported(qualname: str) -> FrozenSet[str]:
+        declared = specs[qualname].declared
+        if declared is not None:
+            return declared
+        return inferred.get(qualname, locals_plus[qualname])
+
+    for component in graph.sccs():
+        members: Set[str] = set(component)
+        combined: Set[str] = set()
+        for member in component:
+            combined |= locals_plus[member]
+        for member in component:
+            for edge in graph.edges.get(member, ()):
+                if edge.callee in members or edge.callee not in graph.nodes:
+                    continue
+                incoming = exported(edge.callee)
+                if not edge.passes_params:
+                    incoming = incoming - {MUTATES_ARGS}
+                for effect in incoming:
+                    evidence = call_evidence[member]
+                    if effect not in evidence:
+                        evidence[effect] = (
+                            edge.line,
+                            f"calls {edge.callee} "
+                            f"({format_effects(incoming)})",
+                        )
+                combined |= incoming
+        frozen = frozenset(combined)
+        for member in component:
+            inferred[member] = frozen
+
+    functions: Dict[str, FunctionEffects] = {}
+    for qualname, node in graph.nodes.items():
+        facts = local_facts[qualname]
+        spec = specs[qualname]
+        evidence: Dict[str, Tuple[int, str]] = dict(facts.evidence)
+        if DRAWS_RNG not in evidence and facts.rng_params_used:
+            evidence[DRAWS_RNG] = (
+                node.line,
+                "threads RNG parameter "
+                + ", ".join(repr(p) for p in facts.rng_params_used),
+            )
+        for effect, anchor in call_evidence[qualname].items():
+            evidence.setdefault(effect, anchor)
+        functions[qualname] = FunctionEffects(
+            qualname=qualname,
+            line=node.line,
+            local=locals_plus[qualname],
+            inferred=inferred.get(qualname, locals_plus[qualname]),
+            declared=spec.declared,
+            spec=spec,
+            evidence=evidence,
+            rng_params_used=facts.rng_params_used,
+        )
+    return EffectTable(graph, functions)

@@ -1,0 +1,651 @@
+"""Vectorization-readiness and determinism detectors (SFL300/302/303/304).
+
+These are intraprocedural pattern detectors over one function (or one
+class, for the accumulate-then-convert pattern) that complement the
+interprocedural effect inference: where the fixpoint asks *may this
+call tree touch hidden state*, these ask *is this loop already shaped
+like the batched code the roadmap's vectorized engine needs*.
+
+Each detector is deliberately narrow — it fires only on the syntactic
+shape it names, because the flow gate keeps ``src`` at zero findings
+and a chatty heuristic would get the gate weakened rather than the
+code fixed:
+
+* SFL300 fires only when a ``numpy`` call's argument *is* the loop
+  variable (or an element indexed by it) — a sequential dependence
+  loop that merely calls numpy on whole arrays is left alone;
+* SFL302 fires only on the full triad init-``[]`` / append-in-loop /
+  ``np.array``-style conversion (function-local), or its class-level
+  twin (``self._xs = []`` in ``__init__``, append in one method,
+  conversion in another);
+* SFL303 fires only when a genuinely unordered or environmental source
+  (set iteration, ``set.pop``, ``time.*``, ``os.environ``) reaches a
+  ``return`` without passing through an order-erasing function
+  (``sorted``/``len``/``min``/``max``/``sum``/aggregates);
+* SFL304 fires only when every argument of a pure call is provably
+  loop-invariant and the result is bound once to a non-target name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Union
+
+from repro.lint.interp import assigned_names, dotted_chain
+
+__all__ = [
+    "FlowViolation",
+    "KIND_ACCUMULATE",
+    "KIND_HOIST",
+    "KIND_NONDET",
+    "KIND_VECTORIZE",
+    "append_then_convert",
+    "class_accumulations",
+    "hoistable_calls",
+    "nondeterministic_returns",
+    "per_element_numpy",
+]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+KIND_VECTORIZE = "vectorize"
+KIND_ACCUMULATE = "accumulate"
+KIND_NONDET = "nondeterminism"
+KIND_HOIST = "hoist"
+
+
+@dataclass(frozen=True, slots=True)
+class FlowViolation:
+    """One flow finding, split by kind across SFL300-SFL306."""
+
+    line: int
+    column: int
+    kind: str
+    message: str
+
+
+#: numpy callables that materialize a list into an array.
+ARRAY_BUILDERS = frozenset(
+    {
+        "array",
+        "asarray",
+        "stack",
+        "concatenate",
+        "vstack",
+        "hstack",
+        "column_stack",
+    }
+)
+
+#: Aggregations that erase iteration order (and so launder set taint).
+_ORDER_ERASERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "frozenset", "set"}
+)
+
+_APPENDERS = frozenset({"append", "extend", "insert"})
+
+
+def _is_numpy_chain(
+    chain: Optional[List[str]], imports: Dict[str, str]
+) -> bool:
+    return (
+        chain is not None
+        and len(chain) > 1
+        and imports.get(chain[0]) == "numpy"
+    )
+
+
+def _loop_functions(func: _FuncNode) -> List[ast.For]:
+    """Every ``for`` loop of ``func``, nested defs excluded."""
+    loops: List[ast.For] = []
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.For):
+            loops.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return loops
+
+
+def _stored_names(nodes: Sequence[ast.AST]) -> Set[str]:
+    names: Set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    names.update(assigned_names(target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                names.update(assigned_names(node.target))
+            elif isinstance(node, ast.comprehension):
+                names.update(assigned_names(node.target))
+    return names
+
+
+# ---------------------------------------------------------------------
+# SFL300: per-element numpy call inside a Python loop.
+# ---------------------------------------------------------------------
+def per_element_numpy(
+    func: _FuncNode,
+    imports: Dict[str, str],
+    violations: List[FlowViolation],
+) -> None:
+    """SFL300: numpy called on the loop variable (or an element of it)."""
+    for loop in _loop_functions(func):
+        loop_names = set(assigned_names(loop.target))
+        if not loop_names:
+            continue
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if not _is_numpy_chain(chain, imports):
+                continue
+            if any(
+                _is_element_of(arg, loop_names) for arg in node.args
+            ):
+                dotted = ".".join(chain)
+                violations.append(
+                    FlowViolation(
+                        line=node.lineno,
+                        column=node.col_offset,
+                        kind=KIND_VECTORIZE,
+                        message=(
+                            f"{dotted}() is applied to one element per "
+                            "iteration of this loop; apply it to the "
+                            "whole array once instead (numpy dispatch "
+                            "per element serializes a batchable op)"
+                        ),
+                    )
+                )
+
+
+def _is_element_of(arg: ast.expr, loop_names: Set[str]) -> bool:
+    if isinstance(arg, ast.Name):
+        return arg.id in loop_names
+    if isinstance(arg, ast.Subscript):
+        return any(
+            isinstance(node, ast.Name) and node.id in loop_names
+            for node in ast.walk(arg.slice)
+        )
+    return False
+
+
+# ---------------------------------------------------------------------
+# SFL302: append-in-loop then np.array conversion.
+# ---------------------------------------------------------------------
+def append_then_convert(
+    func: _FuncNode,
+    imports: Dict[str, str],
+    violations: List[FlowViolation],
+) -> None:
+    """The function-local triad: ``xs = []`` / append in loop / builder."""
+    empty_lists: Set[str] = set()
+    for node in ast.walk(func):
+        for target, value in _binding_pairs(node):
+            if _is_empty_list(value) and isinstance(target, ast.Name):
+                empty_lists.add(target.id)
+    if not empty_lists:
+        return
+
+    appended: Dict[str, ast.Call] = {}
+    for loop in _loop_functions(func):
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _APPENDERS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in empty_lists
+            ):
+                appended.setdefault(node.func.value.id, node)
+    if not appended:
+        return
+
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if not _is_numpy_chain(chain, imports):
+            continue
+        if chain[-1] not in ARRAY_BUILDERS or not node.args:
+            continue
+        target = node.args[0]
+        if isinstance(target, ast.Name) and target.id in appended:
+            append_site = appended[target.id]
+            violations.append(
+                FlowViolation(
+                    line=append_site.lineno,
+                    column=append_site.col_offset,
+                    kind=KIND_ACCUMULATE,
+                    message=(
+                        f"list {target.id!r} grows by append in this "
+                        f"loop and is materialized with "
+                        f"np.{chain[-1]}() at line {node.lineno}; "
+                        "preallocate the array (the length is known "
+                        "here) or build it in one vectorized "
+                        "expression"
+                    ),
+                )
+            )
+
+
+def _binding_pairs(node: ast.AST):
+    """``(target, value)`` pairs of plain and annotated assignments."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield target, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.target, node.value
+
+
+def _is_empty_list(value: ast.expr) -> bool:
+    if isinstance(value, ast.List) and not value.elts:
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "list"
+        and not value.args
+        and not value.keywords
+    )
+
+
+def class_accumulations(
+    classdef: ast.ClassDef,
+    imports: Dict[str, str],
+    violations: List[FlowViolation],
+) -> None:
+    """The class-level triad: ``self._xs = []`` in ``__init__``, an
+    appending method, and a sibling method converting with a builder."""
+    list_attrs: Set[str] = set()
+    for method in classdef.body:
+        if (
+            isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and method.name == "__init__"
+        ):
+            for node in ast.walk(method):
+                for target, value in _binding_pairs(node):
+                    if _is_empty_list(value) and _is_self_attr(target):
+                        list_attrs.add(target.attr)
+    if not list_attrs:
+        return
+
+    append_sites: Dict[str, ast.Call] = {}
+    converted: Dict[str, ast.Call] = {}
+    converter_method: Dict[str, str] = {}
+    for method in classdef.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _APPENDERS
+                and _is_self_attr(node.func.value)
+                and node.func.value.attr in list_attrs
+            ):
+                append_sites.setdefault(node.func.value.attr, node)
+            chain = dotted_chain(node.func)
+            if (
+                _is_numpy_chain(chain, imports)
+                and chain[-1] in ARRAY_BUILDERS
+                and node.args
+                and _is_self_attr(node.args[0])
+                and node.args[0].attr in list_attrs
+            ):
+                converted.setdefault(node.args[0].attr, node)
+                converter_method.setdefault(node.args[0].attr, method.name)
+
+    for attr in sorted(set(append_sites) & set(converted)):
+        site = append_sites[attr]
+        conversion = converted[attr]
+        violations.append(
+            FlowViolation(
+                line=site.lineno,
+                column=site.col_offset,
+                kind=KIND_ACCUMULATE,
+                message=(
+                    f"self.{attr} accumulates one element per call here "
+                    f"and is materialized with np."
+                    f"{dotted_chain(conversion.func)[-1]}() in "
+                    f"{converter_method[attr]}() at line "
+                    f"{conversion.lineno}; preallocate or expose a "
+                    "structure-of-arrays layout"
+                ),
+            )
+        )
+
+
+def _is_self_attr(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+# ---------------------------------------------------------------------
+# SFL303: nondeterminism feeding a return value.
+# ---------------------------------------------------------------------
+class _TaintTracker:
+    def __init__(
+        self, imports: Dict[str, str], violations: List[FlowViolation]
+    ) -> None:
+        self.imports = imports
+        self.violations = violations
+        #: name -> human description of its nondeterminism source.
+        self.tainted: Dict[str, str] = {}
+        #: names currently bound to set objects.
+        self.set_names: Set[str] = set()
+
+    # -- expression classification -------------------------------------
+    def is_set_valued(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_valued(node.left) or self.is_set_valued(
+                node.right
+            )
+        return False
+
+    def taint_reason(self, node: ast.expr) -> Optional[str]:
+        """Why this expression is nondeterministic, or None."""
+        if isinstance(node, ast.Name):
+            return self.tainted.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.Subscript):
+            chain = dotted_chain(node.value)
+            if chain == ["os", "environ"]:
+                return "os.environ read"
+            return self.taint_reason(node.value) or self.taint_reason(
+                node.slice
+            )
+        if isinstance(node, ast.Attribute):
+            return self.taint_reason(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.taint_reason(node.left) or self.taint_reason(
+                node.right
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_reason(node.operand)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                reason = self.taint_reason(value)
+                if reason:
+                    return reason
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                reason = self.taint_reason(element)
+                if reason:
+                    return reason
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    reason = self.taint_reason(value)
+                    if reason:
+                        return reason
+            return None
+        if isinstance(node, ast.IfExp):
+            return self.taint_reason(node.body) or self.taint_reason(
+                node.orelse
+            )
+        if isinstance(node, ast.Starred):
+            return self.taint_reason(node.value)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if self.is_set_valued(generator.iter):
+                    return "iteration over a set (unordered)"
+                reason = self.taint_reason(generator.iter)
+                if reason:
+                    return reason
+            return self.taint_reason(node.elt)
+        return None
+
+    def _call_taint(self, node: ast.Call) -> Optional[str]:
+        chain = dotted_chain(node.func)
+        if chain is not None:
+            resolved = self.imports.get(
+                chain[0], chain[0] if len(chain) > 1 else None
+            )
+            if resolved == "time":
+                return f"{'.'.join(chain)}() wall-clock read"
+            if chain[-1] == "getenv" and resolved == "os":
+                return "os.environ read"
+            if (
+                len(chain) > 2
+                and chain[0] == "os"
+                and chain[1] == "environ"
+            ):
+                return "os.environ read"
+            if chain[-1] == "pop" and len(chain) > 1:
+                receiver_root = chain[0]
+                if receiver_root in self.set_names:
+                    return "set.pop() (arbitrary element)"
+            if len(chain) == 1 and chain[0] in _ORDER_ERASERS:
+                return None  # order-erasing aggregate launders taint
+            if (
+                len(chain) == 1
+                and chain[0] in {"list", "tuple", "iter"}
+                and node.args
+                and self.is_set_valued(node.args[0])
+            ):
+                return "materialization of a set (unordered)"
+        # An unmodelled call transmits its arguments' taint.
+        for arg in node.args:
+            reason = self.taint_reason(arg)
+            if reason:
+                return reason
+        for keyword in node.keywords:
+            reason = self.taint_reason(keyword.value)
+            if reason:
+                return reason
+        return None
+
+    # -- statement walk ------------------------------------------------
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self._statement(statement)
+
+    def _bind(self, target: ast.expr, reason: Optional[str]) -> None:
+        for name in assigned_names(target):
+            if reason:
+                self.tainted[name] = reason
+            else:
+                self.tainted.pop(name, None)
+
+    def _statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        if isinstance(statement, ast.Assign):
+            reason = self.taint_reason(statement.value)
+            for target in statement.targets:
+                self._bind(target, reason)
+                if isinstance(target, ast.Name):
+                    if self.is_set_valued(statement.value):
+                        self.set_names.add(target.id)
+                    else:
+                        self.set_names.discard(target.id)
+            return
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                self._bind(
+                    statement.target, self.taint_reason(statement.value)
+                )
+            return
+        if isinstance(statement, ast.AugAssign):
+            reason = self.taint_reason(statement.value)
+            if reason:
+                self._bind(statement.target, reason)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            if self.is_set_valued(statement.iter):
+                self._bind(
+                    statement.target, "iteration over a set (unordered)"
+                )
+            else:
+                self._bind(
+                    statement.target, self.taint_reason(statement.iter)
+                )
+            self.run(statement.body)
+            self.run(statement.orelse)
+            return
+        if isinstance(statement, (ast.While, ast.If)):
+            self.run(statement.body)
+            self.run(statement.orelse)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            self.run(statement.body)
+            return
+        if isinstance(statement, ast.Try):
+            self.run(statement.body)
+            for handler in statement.handlers:
+                self.run(handler.body)
+            self.run(statement.orelse)
+            self.run(statement.finalbody)
+            return
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Call
+        ):
+            call = statement.value
+            # ``out.append(tainted)`` taints the container.
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _APPENDERS | {"add", "update"}
+                and isinstance(call.func.value, ast.Name)
+            ):
+                for arg in call.args:
+                    reason = self.taint_reason(arg)
+                    if reason:
+                        self.tainted[call.func.value.id] = reason
+                        break
+            return
+        if isinstance(statement, ast.Return):
+            if statement.value is None:
+                return
+            reason = self.taint_reason(statement.value)
+            if reason:
+                self.violations.append(
+                    FlowViolation(
+                        line=statement.lineno,
+                        column=statement.col_offset,
+                        kind=KIND_NONDET,
+                        message=(
+                            f"return value derives from {reason}; "
+                            "results must be a deterministic function "
+                            "of config and seed (sort, or use an "
+                            "ordered container, before returning)"
+                        ),
+                    )
+                )
+
+
+def nondeterministic_returns(
+    func: _FuncNode,
+    imports: Dict[str, str],
+    violations: List[FlowViolation],
+) -> None:
+    """SFL303: an unordered/environmental source reaching a return."""
+    tracker = _TaintTracker(imports, violations)
+    tracker.run(func.body)
+
+
+# ---------------------------------------------------------------------
+# SFL304: loop-invariant pure call.
+# ---------------------------------------------------------------------
+def hoistable_calls(
+    func: _FuncNode,
+    module: str,
+    effect_table,
+    violations: List[FlowViolation],
+) -> None:
+    """SFL304: a pure, loop-invariant call bound once inside a loop."""
+    local_names = frozenset(_stored_names(list(func.body))) | frozenset(
+        arg.arg
+        for arg in [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        ]
+    )
+    for loop in _loop_functions(func):
+        loop_names = set(assigned_names(loop.target))
+        stored_in_loop = _stored_names(list(loop.body)) | loop_names
+        for statement in loop.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            if len(statement.targets) != 1 or not isinstance(
+                statement.targets[0], ast.Name
+            ):
+                continue
+            bound = statement.targets[0].id
+            if bound in loop_names:
+                continue
+            if not isinstance(statement.value, ast.Call):
+                continue
+            call = statement.value
+            chain = dotted_chain(call.func)
+            if chain is None:
+                continue
+            if not effect_table.is_pure_callable(
+                module, chain, local_names
+            ):
+                continue
+            mentioned = {
+                node.id
+                for arg in [
+                    *call.args,
+                    *[keyword.value for keyword in call.keywords],
+                ]
+                for node in ast.walk(arg)
+                if isinstance(node, ast.Name)
+            }
+            if mentioned & stored_in_loop:
+                continue
+            if _store_count(loop, bound) != 1:
+                continue
+            violations.append(
+                FlowViolation(
+                    line=statement.lineno,
+                    column=statement.col_offset,
+                    kind=KIND_HOIST,
+                    message=(
+                        f"{'.'.join(chain)}() is pure and all its "
+                        "arguments are loop-invariant; hoist the call "
+                        "above the loop instead of re-evaluating it "
+                        "every iteration"
+                    ),
+                )
+            )
+
+
+def _store_count(loop: ast.For, name: str) -> int:
+    count = 0
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if name in set(assigned_names(target)):
+                    count += 1
+    return count

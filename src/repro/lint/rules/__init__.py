@@ -13,6 +13,7 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     broad_except,
     dim_rules,
     float_equality,
+    flow_rules,
     global_rng,
     mutable_default,
     no_dynamic_code,

@@ -18,6 +18,7 @@ from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lint.dim.signatures import SignatureTable
+    from repro.lint.flow.fixpoint import EffectTable
     from repro.lint.shape.signatures import ShapeTable
 
 __all__ = [
@@ -52,6 +53,10 @@ class FileContext:
     shape_signatures:
         Cross-file shape-signature table built by the engine for the
         shape rules (SFL200–SFL205); same fallback convention.
+    effect_table:
+        Program-wide effect table built by the engine for the flow
+        rules (SFL300–SFL306); same fallback convention (the flow
+        checker builds a single-file table when absent).
     """
 
     path: str
@@ -60,6 +65,7 @@ class FileContext:
     lines: Sequence[str]
     signatures: Optional["SignatureTable"] = None
     shape_signatures: Optional["ShapeTable"] = None
+    effect_table: Optional["EffectTable"] = None
 
     def line_text(self, line: int) -> str:
         """Stripped text of a 1-based line ('' when out of range)."""

@@ -1,0 +1,178 @@
+"""SFL300–SFL306: the safeflow purity/effect & vectorization family.
+
+The heavy lifting happens in :mod:`repro.lint.flow.checker`, which runs
+one analysis per file against the engine's program-wide effect table
+(cached, so the seven rules cost a single pass) and tags each violation
+with a *kind*; each rule here surfaces one kind under its own id so
+suppressions, ``--select`` and the baseline can address them separately.
+
+Severity split: the loop-shape rules (SFL300/302/304) are WARNINGs —
+they flag code that is *slower* than it should be on the road to the
+vectorized batch engine; the state rules (SFL301/303/305/306) are
+ERRORs — hidden global mutation, unordered sources in results, or a
+lying/missing ``Effects:`` declaration breaks the determinism and
+batching contracts outright.  Both severities fail the gate; the split
+is for human triage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.checker import (
+    KIND_ACCUMULATE,
+    KIND_CONTRADICTION,
+    KIND_GLOBAL,
+    KIND_HOIST,
+    KIND_NONDET,
+    KIND_RNG,
+    KIND_VECTORIZE,
+    analyze,
+)
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule
+
+__all__ = [
+    "FlowPerElementRule",
+    "FlowGlobalMutationRule",
+    "FlowAccumulateRule",
+    "FlowNondeterminismRule",
+    "FlowHoistRule",
+    "FlowContradictionRule",
+    "FlowRngUndeclaredRule",
+]
+
+
+class _FlowRule(Rule):
+    """Shared plumbing: surface one violation kind as findings."""
+
+    kind: ClassVar[str] = ""
+    scope: ClassVar[str] = "flow"
+
+    def check(self, tree: ast.AST) -> List[Finding]:
+        assert isinstance(tree, ast.Module)
+        for violation in analyze(self.context, tree):
+            if violation.kind != self.kind:
+                continue
+            self.findings.append(
+                Finding(
+                    path=self.context.path,
+                    line=violation.line,
+                    column=violation.column,
+                    rule_id=self.rule_id,
+                    message=violation.message,
+                    severity=self.severity,
+                    source_line=self.context.line_text(violation.line),
+                )
+            )
+        return self.findings
+
+
+@register
+class FlowPerElementRule(_FlowRule):
+    """SFL300: a numpy op dispatched once per Python loop iteration."""
+
+    rule_id = "SFL300"
+    name = "numpy-per-element"
+    rationale = (
+        "Calling a numpy function on one element per loop iteration "
+        "pays the full dispatch overhead N times for work one batched "
+        "call does in a single kernel; these loops are exactly what "
+        "the vectorized engine replaces."
+    )
+    severity = Severity.WARNING
+    kind = KIND_VECTORIZE
+
+
+@register
+class FlowGlobalMutationRule(_FlowRule):
+    """SFL301: episode-reachable mutation of module-global state."""
+
+    rule_id = "SFL301"
+    name = "episode-mutates-global"
+    rationale = (
+        "A function reachable from run_episode that writes a module "
+        "global or closure cell makes batched episodes observe each "
+        "other; every batch lane must own its state."
+    )
+    severity = Severity.ERROR
+    kind = KIND_GLOBAL
+
+
+@register
+class FlowAccumulateRule(_FlowRule):
+    """SFL302: append-per-iteration then ``np.array`` materialization."""
+
+    rule_id = "SFL302"
+    name = "append-then-array"
+    rationale = (
+        "Growing a Python list one element at a time and converting it "
+        "with np.array re-boxes every element; preallocating (or one "
+        "vectorized expression) is both faster and batch-ready."
+    )
+    severity = Severity.WARNING
+    kind = KIND_ACCUMULATE
+
+
+@register
+class FlowNondeterminismRule(_FlowRule):
+    """SFL303: an unordered or environmental source feeds a return."""
+
+    rule_id = "SFL303"
+    name = "nondeterministic-return"
+    rationale = (
+        "Set iteration order, wall-clock reads and os.environ are not "
+        "functions of (config, seed); a result derived from them "
+        "breaks bit-identical replay and cross-machine agreement."
+    )
+    severity = Severity.ERROR
+    kind = KIND_NONDET
+
+
+@register
+class FlowHoistRule(_FlowRule):
+    """SFL304: a loop-invariant pure call evaluated every iteration."""
+
+    rule_id = "SFL304"
+    name = "hoistable-pure-call"
+    rationale = (
+        "A call whose target is provably pure and whose arguments do "
+        "not change inside the loop computes the same value every "
+        "iteration; hoist it once above the loop."
+    )
+    severity = Severity.WARNING
+    kind = KIND_HOIST
+
+
+@register
+class FlowContradictionRule(_FlowRule):
+    """SFL305: a declared ``Effects:`` spec the inference contradicts."""
+
+    rule_id = "SFL305"
+    name = "effects-contradiction"
+    rationale = (
+        "A declared effect set is an assume-guarantee boundary that "
+        "callers trust instead of re-deriving; a declaration the "
+        "inference exceeds (directly or through a callee) is a hole "
+        "in every proof built on it."
+    )
+    severity = Severity.ERROR
+    kind = KIND_CONTRADICTION
+
+
+@register
+class FlowRngUndeclaredRule(_FlowRule):
+    """SFL306: an RNG stream threaded through an undeclared function."""
+
+    rule_id = "SFL306"
+    name = "rng-undeclared"
+    rationale = (
+        "The batch engine must thread a batched stream through every "
+        "function an RNG flows through; a function that takes a "
+        "stream without declaring 'Effects: draws-rng' hides a "
+        "resequencing point from that migration."
+    )
+    severity = Severity.ERROR
+    kind = KIND_RNG

@@ -40,6 +40,7 @@ __all__ = [
     "docstring_lines",
     "directive_pattern",
     "parse_directive_payload",
+    "parse_keyword_payload",
     "spec_from_annotated",
 ]
 
@@ -214,6 +215,65 @@ def parse_directive_payload(
         else:
             params[name] = spec
     return returns
+
+
+def parse_keyword_payload(
+    payload: str,
+    line: int,
+    *,
+    directive: str,
+    vocabulary: frozenset,
+    bottom_keyword: Optional[str],
+    issues: List[SpecIssue],
+) -> Optional[frozenset]:
+    """Parse a *function-level* keyword directive payload.
+
+    Where :func:`parse_directive_payload` handles per-parameter
+    ``name [spec]`` grammars (units, shapes), this handles directives
+    that declare facts about the function as a whole — a comma-separated
+    list of bare keywords drawn from ``vocabulary``, e.g.::
+
+        Effects: draws-rng, mutates-args
+
+    ``bottom_keyword`` (``pure`` for the effect grammar) stands for the
+    empty set and must appear alone; combining it with other keywords,
+    or naming a keyword outside the vocabulary, is recorded as an issue
+    (a declaration that does not parse protects nothing).  Returns the
+    parsed frozenset, or ``None`` when no entry survived.
+    """
+    keywords = []
+    bad = False
+    for raw in payload.split(","):
+        word = raw.strip()
+        if not word:
+            continue
+        if word == bottom_keyword or word in vocabulary:
+            keywords.append(word)
+        else:
+            known = ", ".join(sorted(vocabulary))
+            issues.append(
+                SpecIssue(
+                    line,
+                    f"unknown {directive} keyword {word!r} "
+                    f"(known: {bottom_keyword}, {known})",
+                )
+            )
+            bad = True
+    if bottom_keyword is not None and bottom_keyword in keywords:
+        if len(keywords) > 1:
+            issues.append(
+                SpecIssue(
+                    line,
+                    f"{directive}: {bottom_keyword!r} must stand alone, "
+                    "not alongside other keywords",
+                )
+            )
+            keywords = [word for word in keywords if word != bottom_keyword]
+        else:
+            return frozenset()
+    if not keywords:
+        return None if bad or not payload.strip() else frozenset()
+    return frozenset(keywords)
 
 
 def spec_from_annotated(

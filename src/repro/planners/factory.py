@@ -161,7 +161,10 @@ def build_expert(
 
 
 def build_network(rng: np.random.Generator, hidden: int = 64) -> Sequential:
-    """The planner architecture: a 5-h-h-1 tanh/ReLU MLP."""
+    """The planner architecture: a 5-h-h-1 tanh/ReLU MLP.
+
+    Effects: mutates-args, draws-rng
+    """
     return Sequential(
         [
             Dense(5, hidden, rng, init="xavier"),

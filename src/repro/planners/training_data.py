@@ -29,7 +29,12 @@ from repro.dynamics.vehicle import VehicleModel
 from repro.errors import ConfigurationError
 from repro.filtering.fusion import FusedEstimate
 from repro.planners.expert import LeftTurnExpertPlanner
-from repro.planners.nn_planner import WINDOW_FAR, WINDOW_PAST, planner_features
+from repro.planners.nn_planner import (
+    N_FEATURES,
+    WINDOW_FAR,
+    WINDOW_PAST,
+    planner_features,
+)
 from repro.utils.intervals import Interval
 from repro.utils.rng import RngStream
 
@@ -90,6 +95,8 @@ def generate_demonstrations(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Produce ``(features, labels)`` arrays from the expert.
 
+    Effects: mutates-args, draws-rng
+
     Returns
     -------
     tuple
@@ -118,7 +125,10 @@ def _random_samples(
     config: DemonstrationConfig,
     rng: RngStream,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Uniformly sampled (state, window) pairs labelled by the expert."""
+    """Uniformly sampled (state, window) pairs labelled by the expert.
+
+    Effects: mutates-args, draws-rng
+    """
     n = config.n_random
     features = np.empty((n, 5))
     labels = np.empty((n, 1))
@@ -149,6 +159,8 @@ def _rollout_samples(
     paper's evaluation workload); the expert sees its *true* state, so
     the demonstrations capture the expert's intended behaviour rather
     than estimator noise.
+
+    Effects: mutates-args, draws-rng
     """
     geometry = expert.window_estimator.geometry
     oncoming_limits = expert.window_estimator.limits
@@ -157,8 +169,15 @@ def _rollout_samples(
     dt = config.rollout_dt
     n_steps = int(round(config.rollout_horizon / dt))
 
-    feature_rows = []
-    label_rows = []
+    # Preallocated to the worst case (every rollout runs the full
+    # horizon); a rollout that reaches the target early just leaves
+    # rows unused, and the tail is sliced off before returning.  The
+    # previous append-a-list-then-np.asarray version was safeflow's
+    # first real SFL302 catch.
+    capacity = config.n_rollouts * n_steps
+    features = np.empty((capacity, N_FEATURES), dtype=float)
+    labels = np.empty((capacity, 1), dtype=float)
+    filled = 0
     for _ in range(config.n_rollouts):
         episode_rng = rng.child()
         ego = VehicleState(position=-30.0, velocity=float(
@@ -176,16 +195,17 @@ def _rollout_samples(
             accel = expert.plan_from_window(
                 t, ego.position, ego.velocity, window
             )
-            feature_rows.append(
-                planner_features(t, ego.position, ego.velocity, window)
+            features[filled] = planner_features(
+                t, ego.position, ego.velocity, window
             )
-            label_rows.append([accel])
+            labels[filled, 0] = accel
+            filled += 1
             ego = ego_model.step(ego, accel, dt)
             oncoming_accel = profile(step, t, oncoming)
             oncoming = oncoming_model.step(oncoming, oncoming_accel, dt)
             if geometry.ego_reached_target(ego.position):
                 break
-    return np.asarray(feature_rows), np.asarray(label_rows)
+    return features[:filled].copy(), labels[:filled].copy()
 
 
 def _exact_estimate(time: float, state: VehicleState) -> FusedEstimate:

@@ -49,7 +49,12 @@ from repro.sim.results import Outcome, SimulationResult
 from repro.utils.rng import RngStream
 from repro.utils.validation import check_positive
 
-__all__ = ["CommSetup", "SimulationConfig", "SimulationEngine"]
+__all__ = [
+    "CommSetup",
+    "SimulationConfig",
+    "SimulationEngine",
+    "run_episode",
+]
 
 #: Builds a fresh estimator for one observed vehicle at the start of a run.
 EstimatorFactory = Callable[[int], EstimateProvider]
@@ -193,6 +198,8 @@ class SimulationEngine:
             Optional :class:`~repro.obs.observer.Observer`; records
             per-step spans and per-stage timing.  Observation is
             write-only — traced runs are bit-identical to untraced ones.
+
+        Effects: mutates-args, draws-rng
         """
         obs = resolve_observer(observer)
         traced = obs.enabled
@@ -420,3 +427,28 @@ class SimulationEngine:
         trajectories[0].append(t, ego)
         for i, vehicle_state in stamped.items():
             trajectories[i].append(t, vehicle_state)
+
+
+# ---------------------------------------------------------------------------
+# Module-level episode entry point
+# ---------------------------------------------------------------------------
+def run_episode(
+    engine: SimulationEngine,
+    planner: Planner,
+    estimator_factory: EstimatorFactory,
+    rng: RngStream,
+    observer=None,
+) -> SimulationResult:
+    """Run one scalar episode — the stable batching contract.
+
+    The vectorized batch engine (ROADMAP item 1) will run thousands of
+    episodes in lock step while keeping this function's semantics as
+    its per-lane specification, so its effect envelope is the contract
+    the migration certifies against: ``repro-lint --batch-report
+    run_episode`` reports every effectful function reachable from here,
+    and SFL301 forbids anything in that set from mutating module-global
+    state.
+
+    Effects: mutates-args, draws-rng
+    """
+    return engine.run(planner, estimator_factory, rng, observer=observer)

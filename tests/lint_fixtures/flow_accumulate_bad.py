@@ -1,0 +1,32 @@
+"""Bad fixture for SFL302: append-per-iteration then np.array."""
+
+import numpy as np
+
+
+def sample_grid(n: int) -> np.ndarray:
+    """Builds a length-n grid by appending, then materializes it.
+
+    Shapes: -> [N]
+    """
+    samples = []
+    for i in range(n):
+        samples.append(float(i) * 0.1)
+    return np.asarray(samples, dtype=float)
+
+
+class Recorder:
+    """The class-level triad: init-[], appending method, converter."""
+
+    def __init__(self) -> None:
+        self._values: list = []
+
+    def record(self, value: float) -> None:
+        """Appends one sample per call."""
+        self._values.append(float(value))
+
+    def values(self) -> np.ndarray:
+        """Materializes the accumulated samples.
+
+        Shapes: -> [N]
+        """
+        return np.asarray(self._values, dtype=float)

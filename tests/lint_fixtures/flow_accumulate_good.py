@@ -1,0 +1,34 @@
+"""Good fixture for SFL302: preallocation instead of append-then-array."""
+
+import numpy as np
+
+
+def sample_grid(n: int) -> np.ndarray:
+    """Builds a length-n grid into a preallocated array.
+
+    Shapes: -> [N]
+    """
+    samples = np.empty(n, dtype=float)
+    for i in range(n):
+        samples[i] = float(i) * 0.1
+    return samples
+
+
+class Recorder:
+    """Stores samples in a preallocated array, no list detour."""
+
+    def __init__(self, capacity: int) -> None:
+        self._values = np.empty(capacity, dtype=float)
+        self._filled = 0
+
+    def record(self, value: float) -> None:
+        """Writes one sample per call into the preallocated slot."""
+        self._values[self._filled] = float(value)
+        self._filled += 1
+
+    def values(self) -> np.ndarray:
+        """The filled prefix of the buffer.
+
+        Shapes: -> [N]
+        """
+        return self._values[: self._filled]

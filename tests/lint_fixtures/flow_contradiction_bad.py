@@ -1,0 +1,32 @@
+"""Bad fixture for SFL305: Effects declarations the inference refutes."""
+
+
+def log_and_scale(value: float) -> float:
+    """Claims purity while printing.
+
+    Effects: pure
+    """
+    print(f"scaling {value}")
+    return value * 2.0
+
+
+def scale_quietly(value: float) -> float:
+    """Declares an effect keyword outside the vocabulary.
+
+    Effects: draws-entropy
+    """
+    return value * 2.0
+
+
+def _write_log(value: float) -> None:
+    """Undeclared helper whose IO leaks through callers' declarations."""
+    print(f"value={value}")
+
+
+def scale_and_record(value: float) -> float:
+    """Contradicted transitively: the callee does the printing.
+
+    Effects: pure
+    """
+    _write_log(value)
+    return value * 2.0

@@ -1,0 +1,27 @@
+"""Good fixture for SFL305: declarations that match the inference."""
+
+
+def log_and_scale(value: float) -> float:
+    """Declares exactly what it does.
+
+    Effects: does-io
+    """
+    print(f"scaling {value}")
+    return value * 2.0
+
+
+def scale(value: float) -> float:
+    """A true purity claim.
+
+    Effects: pure
+    """
+    return value * 2.0
+
+
+def scale_and_record(value: float) -> float:
+    """Inherits the callee's declared effect and declares it too.
+
+    Effects: does-io
+    """
+    log_and_scale(value)
+    return value * 2.0

@@ -1,0 +1,17 @@
+"""Bad fixture for SFL301: run_episode reaches a module-global mutator."""
+
+_call_counts = {"steps": 0}
+
+
+def _bump() -> None:
+    """Tallies a step in module-global state (the violation)."""
+    _call_counts["steps"] += 1
+
+
+def run_episode(steps: int) -> int:
+    """Runs one fake episode whose call tree mutates a module global."""
+    total = 0
+    for _ in range(steps):
+        _bump()
+        total += 1
+    return total

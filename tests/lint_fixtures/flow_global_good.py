@@ -1,0 +1,19 @@
+"""Good fixture for SFL301: episode state is threaded, never global."""
+
+
+def _bump(counts: dict) -> None:
+    """Tallies a step in caller-owned state.
+
+    Effects: mutates-args
+    """
+    counts["steps"] += 1
+
+
+def run_episode(steps: int) -> int:
+    """Runs one fake episode; every mutation targets local state."""
+    counts = {"steps": 0}
+    total = 0
+    for _ in range(steps):
+        _bump(counts)
+        total += 1
+    return total

@@ -1,0 +1,15 @@
+"""Bad fixture for SFL304: a loop-invariant pure call inside the loop."""
+
+
+def _threshold(limit: float) -> float:
+    """Doubles the limit (pure helper)."""
+    return limit * 2.0
+
+
+def capped_total(values: list, limit: float) -> float:
+    """Re-evaluates the invariant threshold on every iteration."""
+    total = 0.0
+    for v in values:
+        cap = _threshold(limit)
+        total += min(float(v), cap)
+    return total

@@ -1,0 +1,24 @@
+"""Good fixture for SFL304: invariant pure calls hoisted above loops."""
+
+
+def _threshold(limit: float) -> float:
+    """Doubles the limit (pure helper)."""
+    return limit * 2.0
+
+
+def capped_total(values: list, limit: float) -> float:
+    """Evaluates the invariant threshold once, above the loop."""
+    cap = _threshold(limit)
+    total = 0.0
+    for v in values:
+        total += min(float(v), cap)
+    return total
+
+
+def scaled_total(values: list, limit: float) -> float:
+    """A loop-varying call argument is not hoistable (and not flagged)."""
+    total = 0.0
+    for v in values:
+        scaled = _threshold(limit + float(v))
+        total += scaled
+    return total

@@ -1,0 +1,25 @@
+"""Bad fixture for SFL303: unordered/environmental sources feed returns."""
+
+import os
+
+
+def active_ids(flags: dict) -> list:
+    """Returns ids in set-iteration order (unordered)."""
+    seen = set(flags)
+    ordered = list(seen)
+    return ordered
+
+
+def worker_label(prefix: str) -> str:
+    """Derives a result from os.environ."""
+    host = os.environ["HOSTNAME"]
+    return prefix + host
+
+
+def collect_tagged(flags: dict) -> list:
+    """Appends set-ordered elements into the returned container."""
+    out = []
+    tags = set(flags)
+    for tag in tags:
+        out.append(tag)
+    return out

@@ -1,0 +1,22 @@
+"""Good fixture for SFL303: set taint laundered before every return."""
+
+
+def active_ids(flags: dict) -> list:
+    """Sorting erases set-iteration order before the return."""
+    seen = set(flags)
+    ordered = sorted(seen)
+    return ordered
+
+
+def flag_count(flags: dict) -> int:
+    """Aggregates over a set; the count is order-independent."""
+    seen = set(flags)
+    return len(seen)
+
+
+def collect_tagged(flags: dict) -> list:
+    """Iterates the dict itself (insertion-ordered, deterministic)."""
+    out = []
+    for tag in flags:
+        out.append(tag)
+    return out

@@ -1,0 +1,11 @@
+"""Bad fixture for SFL306: RNG streams threaded without a declaration."""
+
+
+def jitter(value: float, rng) -> float:
+    """Draws from a threaded stream but never declares draws-rng."""
+    return value + float(rng.normal(0.0, 0.1))
+
+
+def delegate_jitter(value: float, noise_rng) -> float:
+    """Forwards a stream onward, still undeclared."""
+    return jitter(value, noise_rng)

@@ -1,0 +1,22 @@
+"""Good fixture for SFL306: every stream-threading function declares it."""
+
+
+def jitter(value: float, rng) -> float:
+    """Draws from a threaded stream and says so.
+
+    Effects: draws-rng
+    """
+    return value + float(rng.normal(0.0, 0.1))
+
+
+def delegate_jitter(value: float, noise_rng) -> float:
+    """Forwards a stream onward, declared.
+
+    Effects: draws-rng
+    """
+    return jitter(value, noise_rng)
+
+
+def scale(value: float) -> float:
+    """No stream parameter, nothing to declare."""
+    return value * 2.0

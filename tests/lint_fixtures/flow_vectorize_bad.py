@@ -1,0 +1,25 @@
+"""Bad fixture for SFL300: numpy dispatched once per loop element."""
+
+import numpy as np
+
+
+def clamp_all(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Clamps each sample with one numpy call per element.
+
+    Shapes: values [N] -> [N]
+    """
+    out = np.empty_like(values)
+    for i, v in enumerate(values):
+        out[i] = np.clip(v, lo, hi)
+    return out
+
+
+def total_magnitude(values: np.ndarray) -> float:
+    """Sums absolute values, indexing one element per iteration.
+
+    Shapes: values [N] -> scalar
+    """
+    total = 0.0
+    for i in range(len(values)):
+        total = total + float(np.abs(values[i]))
+    return total

@@ -1,0 +1,30 @@
+"""Good fixture for SFL300: whole-array numpy calls, no per-element loop."""
+
+import numpy as np
+
+
+def clamp_all(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Clamps every sample in one batched call.
+
+    Shapes: values [N] -> [N]
+    """
+    return np.clip(values, lo, hi)
+
+
+def total_magnitude(values: np.ndarray) -> float:
+    """Sums absolute values in one reduction.
+
+    Shapes: values [N] -> scalar
+    """
+    return float(np.sum(np.abs(values)))
+
+
+def running_total(values: np.ndarray) -> float:
+    """A sequential-dependence loop that never calls numpy per element.
+
+    Shapes: values [N] -> scalar
+    """
+    total = 0.0
+    for v in values:
+        total = 0.5 * total + float(v)
+    return total

@@ -146,7 +146,13 @@ def test_ignore_drops_rule():
 
 
 def test_scope_configuration_is_respected():
-    config = LintConfig(sim_packages=("repro.custom",))
+    # flow_packages moves with sim_packages here: the default flow scope
+    # also covers repro.sim, and this test wants the module fully out of
+    # every scope so the SFL004-only assertion stays exact.
+    config = LintConfig(
+        sim_packages=("repro.custom",),
+        flow_packages=("repro.custom.flowless",),
+    )
     source = "import time\ndef f():\n    '''d.'''\n    return time.time()\n"
     in_scope = lint_source(source, module="repro.custom.mod", config=config)
     out_scope = lint_source(source, module="repro.sim.mod", config=config)

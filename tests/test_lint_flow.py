@@ -1,0 +1,374 @@
+"""safeflow tests: call graph, effect fixpoint, report, gate, ordering.
+
+The per-rule bad/good fixture pairs live in ``test_lint_rules.py`` with
+every other rule family; this module tests the machinery underneath
+them — name resolution in the cross-module call graph, the effect
+inference and its assume-guarantee use of declared ``Effects:`` specs,
+the ``--batch-report`` JSON, and the two gate-level guarantees the
+repo relies on (src flow-clean with exactly one documented
+suppression; deterministic finding order).
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_paths
+from repro.lint.flow import (
+    DOES_IO,
+    DRAWS_RNG,
+    MUTATES_ARGS,
+    MUTATES_GLOBAL,
+    batchability_report,
+    build_call_graph,
+    build_effect_table,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _graph(**sources):
+    """Call graph of ``{suffix: source}`` under ``repro.sim.``."""
+    return build_call_graph(
+        {
+            f"repro.sim.{suffix}": ast.parse(text)
+            for suffix, text in sources.items()
+        }
+    )
+
+
+def _table(**sources):
+    return build_effect_table(
+        {
+            f"repro.sim.{suffix}": ast.parse(text)
+            for suffix, text in sources.items()
+        }
+    )
+
+
+# ---------------------------------------------------------------------
+# Call graph construction
+# ---------------------------------------------------------------------
+def test_mutual_recursion_forms_one_scc_ordered_callees_first():
+    graph = _graph(
+        fx=(
+            "def even(n):\n"
+            "    return True if n <= 0 else odd(n - 1)\n"
+            "def odd(n):\n"
+            "    return False if n <= 0 else even(n - 1)\n"
+            "def main(n):\n"
+            "    return even(n)\n"
+        )
+    )
+    sccs = graph.sccs()
+    cycle = next(scc for scc in sccs if len(scc) > 1)
+    assert set(cycle) == {"repro.sim.fx.even", "repro.sim.fx.odd"}
+    main_scc = sccs.index(["repro.sim.fx.main"])
+    assert sccs.index(cycle) < main_scc  # callees before callers
+
+
+def test_constructor_call_edges_to_init():
+    graph = _graph(
+        fx=(
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.value = 1\n"
+            "def make():\n"
+            "    return Widget()\n"
+        )
+    )
+    callees = {
+        e.callee for e in graph.edges["repro.sim.fx.make"]
+    }
+    assert "repro.sim.fx.Widget.__init__" in callees
+
+
+def test_typed_receiver_resolves_to_the_annotated_class():
+    graph = _graph(
+        fx=(
+            "class Engine:\n"
+            "    def run(self, steps):\n"
+            "        return steps\n"
+            "class Runner:\n"
+            "    def run(self, jobs):\n"
+            "        return jobs\n"
+            "def drive(engine: Engine):\n"
+            "    return engine.run(3)\n"
+        )
+    )
+    callees = {e.callee for e in graph.edges["repro.sim.fx.drive"]}
+    assert callees == {"repro.sim.fx.Engine.run"}
+
+
+def test_untyped_receiver_over_approximates_via_method_index():
+    graph = _graph(
+        fx=(
+            "class Engine:\n"
+            "    def run(self, steps):\n"
+            "        return steps\n"
+            "def drive(engine):\n"
+            "    return engine.run(3)\n"
+        )
+    )
+    edges = graph.edges["repro.sim.fx.drive"]
+    assert [e.callee for e in edges] == ["repro.sim.fx.Engine.run"]
+    assert all(e.via_index for e in edges)
+
+
+def test_container_mutator_names_never_enter_the_method_index():
+    # ``j.append`` on an untyped receiver must NOT edge to a user
+    # method that happens to be called ``append`` — list.append is the
+    # overwhelmingly common binding and the edge would smear that
+    # method's effects over every list-append in the tree.
+    graph = _graph(
+        fx=(
+            "class Journal:\n"
+            "    def append(self, item):\n"
+            "        print(item)\n"
+            "def record(j):\n"
+            "    j.append(1)\n"
+        )
+    )
+    assert graph.edges["repro.sim.fx.record"] == []
+
+
+def test_aliased_function_and_module_imports_resolve():
+    graph = _graph(
+        alpha="def helper(x):\n    return x\n",
+        beta=(
+            "from repro.sim.alpha import helper as h\n"
+            "import repro.sim.alpha as alpha_mod\n"
+            "def caller(x):\n"
+            "    return h(x) + alpha_mod.helper(x)\n"
+        ),
+    )
+    callees = [e.callee for e in graph.edges["repro.sim.beta.caller"]]
+    assert callees == ["repro.sim.alpha.helper"] * 2
+
+
+def test_reachability_crosses_modules():
+    graph = _graph(
+        alpha="def helper(x):\n    return x\n",
+        beta=(
+            "from repro.sim.alpha import helper\n"
+            "def caller(x):\n"
+            "    return helper(x)\n"
+        ),
+    )
+    reachable = graph.reachable_from("repro.sim.beta.caller")
+    assert "repro.sim.alpha.helper" in reachable
+
+
+# ---------------------------------------------------------------------
+# Effect fixpoint
+# ---------------------------------------------------------------------
+def test_effects_propagate_transitively():
+    table = _table(
+        fx=(
+            "def _log(msg):\n"
+            "    print(msg)\n"
+            "def outer(msg):\n"
+            "    _log(msg)\n"
+        )
+    )
+    outer = table.lookup("repro.sim.fx.outer")
+    assert DOES_IO in outer.inferred
+    # Evidence names the call edge, not the print itself.
+    line, why = outer.evidence[DOES_IO]
+    assert "repro.sim.fx._log" in why
+
+
+def test_mutates_args_propagates_only_through_passed_params():
+    table = _table(
+        fx=(
+            "def fill(items):\n"
+            "    items.append(1)\n"
+            "def fill_mine(items):\n"
+            "    fill(items)\n"
+            "def fill_fresh():\n"
+            "    items = []\n"
+            "    fill(items)\n"
+            "    return items\n"
+        )
+    )
+    assert MUTATES_ARGS in table.lookup("repro.sim.fx.fill").inferred
+    assert MUTATES_ARGS in table.lookup("repro.sim.fx.fill_mine").inferred
+    # Mutating a freshly-built local is invisible to *this* caller's
+    # callers: the effect must not leak past the allocation site.
+    assert (
+        MUTATES_ARGS
+        not in table.lookup("repro.sim.fx.fill_fresh").inferred
+    )
+
+
+def test_declared_spec_is_the_assume_guarantee_boundary():
+    table = _table(
+        fx=(
+            "def sneaky():\n"
+            "    '''d.\n"
+            "\n"
+            "    Effects: pure\n"
+            "    '''\n"
+            "    print('x')\n"
+            "def caller():\n"
+            "    return sneaky()\n"
+        )
+    )
+    sneaky = table.lookup("repro.sim.fx.sneaky")
+    # The lie is caught locally (SFL305 feeds on .contradictions)...
+    assert DOES_IO in sneaky.contradictions
+    # ...but callers trust the declaration, not the inference.
+    assert DOES_IO not in table.lookup("repro.sim.fx.caller").inferred
+
+
+def test_threading_an_rng_parameter_is_draws_rng():
+    table = _table(
+        fx=(
+            "def forward(value, rng):\n"
+            "    '''d.\n"
+            "\n"
+            "    Effects: draws-rng\n"
+            "    '''\n"
+            "    return helper(value, rng)\n"
+            "def helper(value, noise_rng):\n"
+            "    '''d.\n"
+            "\n"
+            "    Effects: draws-rng\n"
+            "    '''\n"
+            "    return value + noise_rng.normal()\n"
+        )
+    )
+    forward = table.lookup("repro.sim.fx.forward")
+    assert forward.rng_params_used == ("rng",)
+    assert DRAWS_RNG in forward.inferred
+
+
+def test_recursive_scc_converges_to_the_union():
+    table = _table(
+        fx=(
+            "def ping(n):\n"
+            "    print(n)\n"
+            "    return pong(n - 1) if n > 0 else 0\n"
+            "def pong(n):\n"
+            "    global _depth\n"
+            "    _depth = n\n"
+            "    return ping(n - 1) if n > 0 else 0\n"
+        )
+    )
+    for name in ("ping", "pong"):
+        inferred = table.lookup(f"repro.sim.fx.{name}").inferred
+        assert DOES_IO in inferred
+        assert MUTATES_GLOBAL in inferred
+
+
+# ---------------------------------------------------------------------
+# Batchability report
+# ---------------------------------------------------------------------
+_EPISODE = (
+    "def _step(state, rng):\n"
+    "    '''d.\n"
+    "\n"
+    "    Effects: mutates-args, draws-rng\n"
+    "    '''\n"
+    "    state['x'] = state['x'] + rng.normal()\n"
+    "def run_episode(state, rng):\n"
+    "    '''d.\n"
+    "\n"
+    "    Effects: mutates-args, draws-rng\n"
+    "    '''\n"
+    "    for _ in range(3):\n"
+    "        _step(state, rng)\n"
+    "    return state['x']\n"
+)
+
+
+def test_batch_report_schema_and_batchable_flag():
+    report = batchability_report(_table(fx=_EPISODE), "run_episode")
+    assert report["schema"] == 1
+    assert report["root"] == "repro.sim.fx.run_episode"
+    assert report["batchable"] is True
+    assert report["blocking"] == []
+    names = [f["qualname"] for f in report["functions"]]
+    assert names == sorted(names)
+    assert "repro.sim.fx._step" in names
+
+
+def test_batch_report_flags_blocking_effects():
+    source = _EPISODE + (
+        "_hits = [0]\n"
+        "def tally():\n"
+        "    _hits[0] = _hits[0] + 1\n"
+    )
+    source = source.replace(
+        "        _step(state, rng)\n",
+        "        _step(state, rng)\n        tally()\n",
+    )
+    report = batchability_report(_table(fx=source), "run_episode")
+    assert report["batchable"] is False
+    assert "repro.sim.fx.tally" in report["blocking"]
+
+
+def test_batch_report_unresolvable_root_raises():
+    with pytest.raises(ValueError):
+        batchability_report(_table(fx=_EPISODE), "no_such_function")
+
+
+def test_batch_report_is_byte_stable():
+    first = batchability_report(_table(fx=_EPISODE), "run_episode")
+    second = batchability_report(_table(fx=_EPISODE), "run_episode")
+    assert json.dumps(first) == json.dumps(second)
+
+
+def test_cli_batch_report_over_src(capsys):
+    exit_code = lint_main(
+        [str(SRC), "--batch-report", "run_episode"]
+    )
+    assert exit_code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["root"] == "repro.sim.engine.run_episode"
+    assert report["batchable"] is True
+    assert report["reachable"] == len(report["functions"]) + len(
+        report["pure"]
+    )
+
+
+# ---------------------------------------------------------------------
+# Gate guarantees
+# ---------------------------------------------------------------------
+def test_src_is_flow_clean_with_exactly_one_documented_suppression():
+    config = LintConfig(select=frozenset({"SFL3"}))
+    result = lint_paths([SRC], config)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_the_one_flow_suppression_is_the_trajectory_recorder():
+    carriers = [
+        path
+        for path in sorted(SRC.rglob("*.py"))
+        if "disable=SFL3" in path.read_text(encoding="utf-8")
+    ]
+    assert [p.name for p in carriers] == ["trajectory.py"]
+
+
+def test_findings_are_ordered_by_line_column_and_rule():
+    source = (
+        "import numpy as np\n"
+        "def late(values, rng):\n"
+        "    out = np.empty_like(values)\n"
+        "    for i, v in enumerate(values):\n"
+        "        out[i] = np.clip(v, rng.normal(), 1.0)\n"
+        "    return out\n"
+        "def early(value, rng):\n"
+        "    return value + rng.normal()\n"
+    )
+    findings = lint_source(
+        source, module="repro.sim.fixture", config=LintConfig()
+    )
+    keys = [(f.line, f.column, f.rule_id) for f in findings]
+    assert len(keys) >= 3  # two SFL306 defs plus the SFL300 loop body
+    assert keys == sorted(keys)

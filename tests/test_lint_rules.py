@@ -40,6 +40,13 @@ RULE_FIXTURES = {
     "SFL203": ("shape_dtype_narrowing", "repro.nn.fixture"),
     "SFL204": ("shape_missing", "repro.nn.fixture"),
     "SFL205": ("shape_binding", "repro.filtering.fixture"),
+    "SFL300": ("flow_vectorize", "repro.sim.fixture"),
+    "SFL301": ("flow_global", "repro.sim.fixture"),
+    "SFL302": ("flow_accumulate", "repro.sim.fixture"),
+    "SFL303": ("flow_nondet", "repro.sim.fixture"),
+    "SFL304": ("flow_hoist", "repro.sim.fixture"),
+    "SFL305": ("flow_contradiction", "repro.sim.fixture"),
+    "SFL306": ("flow_rng", "repro.sim.fixture"),
 }
 
 

@@ -15,12 +15,14 @@ from repro.lint.dim.annotations import extract_function_units
 from repro.lint.dim.lattice import DIMENSIONLESS
 from repro.lint.shape import Shape, extract_function_shapes
 from repro.lint.shape.checker import _definite_conflict
+from repro.lint.flow.annotations import extract_function_effects
 from repro.lint.specs import (
     SpecIssue,
     SpecSyntaxError,
     _split_entries,
     annotated_metadata,
     parse_directive_payload,
+    parse_keyword_payload,
     spec_from_annotated,
 )
 
@@ -271,3 +273,86 @@ def test_symbol_bound_to_symbol_stays_optimistic():
 def test_spec_issue_is_a_plain_value_object():
     issue = SpecIssue(3, "message")
     assert (issue.line, issue.message) == (3, "message")
+
+
+# ----------------------------------------------------------------------
+# Keyword payloads (the Effects: grammar)
+# ----------------------------------------------------------------------
+_VOCAB = frozenset({"does-io", "draws-rng", "mutates-args"})
+
+
+def _parse_keywords(payload, issues):
+    return parse_keyword_payload(
+        payload,
+        7,
+        directive="Effects",
+        vocabulary=_VOCAB,
+        bottom_keyword="pure",
+        issues=issues,
+    )
+
+
+def test_keyword_payload_parses_a_comma_list():
+    issues = []
+    parsed = _parse_keywords("draws-rng, mutates-args", issues)
+    assert parsed == frozenset({"draws-rng", "mutates-args"})
+    assert issues == []
+
+
+def test_keyword_payload_pure_is_the_empty_set():
+    issues = []
+    assert _parse_keywords("pure", issues) == frozenset()
+    assert issues == []
+
+
+def test_keyword_payload_pure_must_stand_alone():
+    issues = []
+    parsed = _parse_keywords("pure, draws-rng", issues)
+    assert parsed == frozenset({"draws-rng"})
+    assert len(issues) == 1 and "stand alone" in issues[0].message
+
+
+def test_keyword_payload_unknown_keyword_is_an_issue():
+    issues = []
+    assert _parse_keywords("draws-entropy", issues) is None
+    assert len(issues) == 1
+    assert "draws-entropy" in issues[0].message
+    assert issues[0].line == 7
+
+
+# ----------------------------------------------------------------------
+# Effects: extraction from functions
+# ----------------------------------------------------------------------
+def test_effects_lines_merge_by_union():
+    func = _func(
+        "def f(x):\n"
+        "    '''d.\n"
+        "\n"
+        "    Effects: draws-rng\n"
+        "    Effects: mutates-args\n"
+        "    '''\n"
+        "    return x\n"
+    )
+    spec = extract_function_effects(func)
+    assert spec.declared == frozenset({"draws-rng", "mutates-args"})
+    assert spec.issues == ()
+
+
+def test_effects_annotated_metadata_wins_over_docstring():
+    func = _func(
+        "def f(x) -> Annotated[float, 'effects: pure']:\n"
+        "    '''d.\n"
+        "\n"
+        "    Effects: draws-rng\n"
+        "    '''\n"
+        "    return x\n"
+    )
+    spec = extract_function_effects(func)
+    assert spec.declared == frozenset()
+
+
+def test_effects_undeclared_function_has_no_spec():
+    func = _func("def f(x):\n    '''d.'''\n    return x\n")
+    spec = extract_function_effects(func)
+    assert spec.declared is None
+    assert spec.line == 1
