@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke trace-smoke baseline
+.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke shard-smoke trace-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -76,6 +76,15 @@ chaos:
 # See the Durability section of docs/ROBUSTNESS.md.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
+
+# Shard chaos smoke (~60 s): shards a campaign across three worker
+# processes, SIGKILLs one worker and then the coordinator itself,
+# shard-resumes with a fresh fleet, and requires the merged
+# aggregate.json to be byte-identical to a sequential reference — all
+# through the repro-campaign CLI.  See the Distribution section of
+# docs/ROBUSTNESS.md.
+shard-smoke:
+	$(PYTHON) scripts/shard_smoke.py
 
 # Observability smoke (~30 s): records a fully traced episode + a small
 # traced campaign, validates the Chrome trace-event export, checks the

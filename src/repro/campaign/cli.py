@@ -11,10 +11,20 @@ Subcommands
     Read-only progress summary (safe while a campaign is running).
 ``verify``
     Cross-check journal, chunk snapshots, and aggregate digests.
+``shard-run``
+    Start a campaign sharded across N worker processes with
+    lease-based chunk claims (see :mod:`repro.campaign.shard`).
+``shard-resume``
+    Continue a sharded campaign after any crash — worker *or*
+    coordinator; progress is replayed purely from the journal.
+``shard-status``
+    Read-only per-worker summary: leases, heartbeats, steals,
+    speculative dispatches, duplicate completions.
 
 Exit codes: 0 success; 1 verification found problems; 2 campaign error
-(bad manifest, fingerprint mismatch, corrupt journal); 3 the run was
-interrupted by SIGINT/SIGTERM after a clean drain (resume to continue).
+(bad manifest, fingerprint mismatch, corrupt journal, invalid flag);
+3 the run was interrupted by SIGINT/SIGTERM after a clean drain
+(resume to continue).
 """
 
 from __future__ import annotations
@@ -33,7 +43,8 @@ from repro.campaign.runner import (
     campaign_status,
     verify_campaign,
 )
-from repro.errors import ReproError
+from repro.campaign.shard import ShardCoordinator, shard_status
+from repro.errors import CampaignError, ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+
+    shard_run = sub.add_parser(
+        "shard-run",
+        help="start a campaign sharded across worker processes",
+    )
+    shard_run.add_argument(
+        "--manifest", required=True, help="manifest JSON file"
+    )
+    shard_run.add_argument("--dir", required=True, help="campaign directory")
+    _add_exec_options(shard_run)
+    _add_shard_options(shard_run)
+
+    shard_resume = sub.add_parser(
+        "shard-resume",
+        help="continue a sharded campaign after any crash",
+    )
+    shard_resume.add_argument(
+        "--dir", required=True, help="campaign directory"
+    )
+    _add_exec_options(shard_resume)
+    _add_shard_options(shard_resume)
+
+    shard_stat = sub.add_parser(
+        "shard-status",
+        help="per-worker leases, heartbeats, steals (read-only)",
+    )
+    shard_stat.add_argument("--dir", required=True, help="campaign directory")
+    shard_stat.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -90,6 +131,72 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
         default=3,
         help="full-chunk attempts for transient (worker/timeout) failures",
     )
+    sub.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-simulation time budget in seconds (default: no watchdog)",
+    )
+
+
+def _add_shard_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds of heartbeat silence before a lease expires",
+    )
+    sub.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker liveness heartbeats",
+    )
+    sub.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=4.0,
+        help="lease-age multiple of the TTL before speculative re-dispatch",
+    )
+
+
+def _validate_exec_options(args: argparse.Namespace) -> None:
+    """Reject nonsensical knob values before anything touches disk."""
+    if args.workers < 1:
+        raise CampaignError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_retries < 0:
+        raise CampaignError(
+            f"--max-retries must be >= 0, got {args.max_retries}"
+        )
+    if args.chunk_attempts < 1:
+        raise CampaignError(
+            f"--chunk-attempts must be >= 1, got {args.chunk_attempts}"
+        )
+    if args.chunk_timeout is not None and args.chunk_timeout <= 0.0:
+        raise CampaignError(
+            f"--chunk-timeout must be > 0 seconds, got {args.chunk_timeout}"
+        )
+    if hasattr(args, "lease_ttl"):
+        if args.lease_ttl <= 0.0:
+            raise CampaignError(
+                f"--lease-ttl must be > 0 seconds, got {args.lease_ttl}"
+            )
+        if args.heartbeat_interval <= 0.0:
+            raise CampaignError(
+                f"--heartbeat-interval must be > 0 seconds, got "
+                f"{args.heartbeat_interval}"
+            )
+        if args.heartbeat_interval >= args.lease_ttl:
+            raise CampaignError(
+                f"--heartbeat-interval ({args.heartbeat_interval}) must be "
+                f"below --lease-ttl ({args.lease_ttl}); every healthy "
+                "lease would expire"
+            )
+        if args.straggler_factor < 1.0:
+            raise CampaignError(
+                f"--straggler-factor must be >= 1, got "
+                f"{args.straggler_factor}"
+            )
 
 
 def _runner(args: argparse.Namespace, manifest: CampaignManifest) -> CampaignRunner:
@@ -98,7 +205,24 @@ def _runner(args: argparse.Namespace, manifest: CampaignManifest) -> CampaignRun
         args.dir,
         n_workers=args.workers,
         max_retries=args.max_retries,
+        timeout_per_sim=args.chunk_timeout,
         backoff=BackoffPolicy(max_attempts=args.chunk_attempts),
+    )
+
+
+def _coordinator(
+    args: argparse.Namespace, manifest: CampaignManifest
+) -> ShardCoordinator:
+    return ShardCoordinator(
+        manifest,
+        args.dir,
+        n_workers=args.workers,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        straggler_factor=args.straggler_factor,
+        backoff=BackoffPolicy(max_attempts=args.chunk_attempts),
+        max_retries=args.max_retries,
+        timeout_per_sim=args.chunk_timeout,
     )
 
 
@@ -126,24 +250,56 @@ def _print_report(report: CampaignReport) -> None:
         print("interrupted — resume with: repro-campaign resume --dir <dir>")
 
 
+def _print_shard_status(summary: dict) -> None:
+    for key in (
+        "name",
+        "fingerprint",
+        "n_chunks",
+        "completed_chunks",
+        "coordinator_epochs",
+        "lease_expirations",
+        "duplicate_completions",
+        "journal_records",
+        "torn_tail",
+        "finished",
+    ):
+        print(f"{key}: {summary[key]}")
+    for worker, entry in sorted(summary["workers"].items()):
+        print(
+            f"worker {worker}: pid={entry['pid']} alive={entry['alive']} "
+            f"leases={entry['leases']} steals={entry['steals']} "
+            f"speculative={entry['speculative']} "
+            f"heartbeats={entry['heartbeats']} "
+            f"completions={entry['completions']} "
+            f"expirations={entry['expirations']} errors={entry['errors']}"
+        )
+
+
+def _report_exit(report: CampaignReport) -> int:
+    _print_report(report)
+    return EXIT_OK if report.status == "completed" else EXIT_INTERRUPTED
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
         if args.command == "run":
+            _validate_exec_options(args)
             manifest = CampaignManifest.load(args.manifest)
-            report = _runner(args, manifest).run()
-            _print_report(report)
-            return (
-                EXIT_OK if report.status == "completed" else EXIT_INTERRUPTED
-            )
+            return _report_exit(_runner(args, manifest).run())
         if args.command == "resume":
+            _validate_exec_options(args)
             manifest = CampaignManifest.load(f"{args.dir}/{MANIFEST_FILE}")
-            report = _runner(args, manifest).resume()
-            _print_report(report)
-            return (
-                EXIT_OK if report.status == "completed" else EXIT_INTERRUPTED
-            )
+            return _report_exit(_runner(args, manifest).resume())
+        if args.command == "shard-run":
+            _validate_exec_options(args)
+            manifest = CampaignManifest.load(args.manifest)
+            return _report_exit(_coordinator(args, manifest).run())
+        if args.command == "shard-resume":
+            _validate_exec_options(args)
+            manifest = CampaignManifest.load(f"{args.dir}/{MANIFEST_FILE}")
+            return _report_exit(_coordinator(args, manifest).resume())
         if args.command == "status":
             summary = campaign_status(args.dir)
             if args.json:
@@ -151,6 +307,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 for key, value in summary.items():
                     print(f"{key}: {value}")
+            return EXIT_OK
+        if args.command == "shard-status":
+            summary = shard_status(args.dir)
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                _print_shard_status(summary)
             return EXIT_OK
         # verify
         outcome = verify_campaign(args.dir)

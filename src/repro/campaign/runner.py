@@ -44,6 +44,7 @@ from repro.campaign.store import atomic_write_json, load_json
 from repro.errors import (
     CampaignError,
     FingerprintMismatchError,
+    JournalCorruptionError,
     SerializationError,
 )
 from repro.obs.observer import resolve_observer
@@ -60,9 +61,15 @@ from repro.sim.serialization import (
 )
 
 __all__ = [
+    "CampaignProgress",
     "CampaignReport",
     "CampaignRunner",
     "campaign_status",
+    "chunk_path",
+    "finalise_campaign",
+    "load_chunk_snapshot",
+    "persist_chunk_snapshot",
+    "replay_progress",
     "verify_campaign",
     "MANIFEST_FILE",
     "JOURNAL_FILE",
@@ -85,8 +92,56 @@ _CHUNK_DIR = "chunks"
 ChunkExecutor = Callable[[List[int], int, int], ChunkResult]
 
 
-def _chunk_path(directory: Path, chunk: int) -> Path:
+def chunk_path(directory: Path, chunk: int) -> Path:
+    """The atomic snapshot file of chunk ``chunk`` under ``directory``."""
     return directory / _CHUNK_DIR / f"chunk-{chunk:05d}.json"
+
+
+# Backwards-compatible private alias (older call sites / tests).
+_chunk_path = chunk_path
+
+
+def persist_chunk_snapshot(
+    directory: Path, fingerprint: str, chunk: int, result: ChunkResult
+) -> str:
+    """Atomically persist one chunk's results; returns the content digest.
+
+    The snapshot layout is canonical (sorted keys, fixed float encoding),
+    so any process that runs chunk ``chunk`` of the same manifest —
+    sequential runner, shard worker, speculative duplicate — writes
+    byte-identical files and computes the same digest.  That idempotency
+    is what makes duplicate completions harmless.
+    """
+    snapshot = {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "chunk": chunk,
+        "indices": result.indices,
+        "results": {
+            str(index): result_to_dict(result.results[index])
+            for index in result.indices
+            if index in result.results
+        },
+        "failures": [failure_to_dict(f) for f in result.failures],
+    }
+    atomic_write_json(snapshot, chunk_path(directory, chunk))
+    return content_digest(snapshot)
+
+
+def load_chunk_snapshot(
+    directory: Path, chunk: int, expected_digest: str
+) -> dict:
+    """Load a chunk snapshot, refusing one whose digest drifted."""
+    path = chunk_path(directory, chunk)
+    snapshot = load_json(path)
+    if not isinstance(snapshot, dict):
+        raise SerializationError(f"chunk snapshot {path} is not an object")
+    if content_digest(snapshot) != expected_digest:
+        raise CampaignError(
+            f"chunk snapshot {path} does not match its journaled "
+            "digest; the file was modified after it was journaled"
+        )
+    return snapshot
 
 
 @dataclass(frozen=True)
@@ -129,13 +184,55 @@ class CampaignReport:
 
 
 @dataclass
-class _CampaignState:
+class CampaignProgress:
     """Journal-derived progress: which chunks are durably done."""
 
     fingerprint: str
     completed: Dict[int, str] = field(default_factory=dict)  # chunk -> digest
     finished: bool = False
     next_seq: int = 0
+
+
+def replay_progress(records: List[dict], fingerprint: str) -> CampaignProgress:
+    """Rebuild campaign progress from journal records.
+
+    Shared by the single-process runner and the shard coordinator.
+    Checks every record's fingerprint against ``fingerprint`` and is
+    **idempotent over duplicate** ``chunk_completed`` records: the shard
+    layer's speculative re-dispatch may journal the same chunk twice
+    (two workers raced it to completion), and because chunk ``k`` is
+    content-deterministic both records must carry the same digest.  A
+    duplicate with a *different* digest means the workload is not
+    deterministic (or a snapshot was forged) and raises
+    :class:`~repro.errors.JournalCorruptionError` rather than letting
+    either record silently win.
+    """
+    progress = CampaignProgress(fingerprint=fingerprint, next_seq=len(records))
+    for record in records:
+        recorded = record.get("fingerprint")
+        if recorded is not None and recorded != fingerprint:
+            raise FingerprintMismatchError(
+                f"journal record {record.get('seq')} carries "
+                f"fingerprint {str(recorded)[:12]}... but the manifest "
+                f"fingerprints to {fingerprint[:12]}...; this "
+                "journal belongs to a different workload"
+            )
+        record_type = record.get("type")
+        if record_type == "chunk_completed":
+            chunk = int(record["chunk"])
+            digest = str(record["digest"])
+            previous = progress.completed.get(chunk)
+            if previous is not None and previous != digest:
+                raise JournalCorruptionError(
+                    f"journal record {record.get('seq')} completes chunk "
+                    f"{chunk} with digest {digest[:12]}... but an earlier "
+                    f"record journaled {previous[:12]}...; duplicate "
+                    "completions must be byte-identical"
+                )
+            progress.completed[chunk] = digest
+        elif record_type == "campaign_finished":
+            progress.finished = True
+    return progress
 
 
 class CampaignRunner:
@@ -152,6 +249,11 @@ class CampaignRunner:
         Worker processes per chunk (operational — not fingerprinted).
     max_retries:
         Per-index retry budget inside the batch layer.
+    timeout_per_sim:
+        Optional per-simulation time budget [s] forwarded to
+        :class:`~repro.sim.parallel.ParallelBatchRunner`; a chunk of
+        ``m`` indices is given ``m * timeout_per_sim`` seconds before
+        its workers are terminated and the indices retried.
     backoff:
         Chunk-level retry policy for transient (worker/timeout)
         failures.
@@ -174,6 +276,7 @@ class CampaignRunner:
         directory: Union[str, Path],
         n_workers: int = 1,
         max_retries: int = 2,
+        timeout_per_sim: Optional[float] = None,
         backoff: Optional[BackoffPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         chunk_executor: Optional[ChunkExecutor] = None,
@@ -184,6 +287,7 @@ class CampaignRunner:
         self._fingerprint = manifest.fingerprint
         self._n_workers = n_workers
         self._max_retries = max_retries
+        self._timeout_per_sim = timeout_per_sim
         self._backoff = backoff if backoff is not None else BackoffPolicy()
         self._sleep = sleep
         self._executor = chunk_executor
@@ -239,7 +343,7 @@ class CampaignRunner:
                 )
         self._directory.mkdir(parents=True, exist_ok=True)
         self._manifest.save(manifest_path)
-        state = _CampaignState(fingerprint=self._fingerprint)
+        state = CampaignProgress(fingerprint=self._fingerprint)
         with JournalWriter(
             journal_path, next_seq=0, observer=self._obs
         ) as journal:
@@ -280,7 +384,7 @@ class CampaignRunner:
                 "campaign"
             )
         records = recover_journal(journal_path)
-        state = self._replay(records)
+        state = replay_progress(records, self._fingerprint)
         if not manifest_path.exists():
             # The crash hit between mkdir and manifest.save; re-write it.
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -299,32 +403,11 @@ class CampaignRunner:
                 state.next_seq = journal.next_seq
             return self._execute(state, journal)
 
-    def _replay(self, records: List[dict]) -> _CampaignState:
-        """Rebuild progress from journal records, checking fingerprints."""
-        state = _CampaignState(
-            fingerprint=self._fingerprint, next_seq=len(records)
-        )
-        for record in records:
-            recorded = record.get("fingerprint")
-            if recorded is not None and recorded != self._fingerprint:
-                raise FingerprintMismatchError(
-                    f"journal record {record.get('seq')} carries "
-                    f"fingerprint {str(recorded)[:12]}... but the manifest "
-                    f"fingerprints to {self._fingerprint[:12]}...; this "
-                    "journal belongs to a different workload"
-                )
-            record_type = record.get("type")
-            if record_type == "chunk_completed":
-                state.completed[int(record["chunk"])] = str(record["digest"])
-            elif record_type == "campaign_finished":
-                state.finished = True
-        return state
-
     # ------------------------------------------------------------------
     # The chunk loop
     # ------------------------------------------------------------------
     def _execute(
-        self, state: _CampaignState, journal: JournalWriter
+        self, state: CampaignProgress, journal: JournalWriter
     ) -> CampaignReport:
         manifest = self._manifest
         if state.finished:
@@ -429,6 +512,7 @@ class CampaignRunner:
             estimator_kind=kind,
             n_workers=self._n_workers,
             max_retries=self._max_retries,
+            timeout_per_sim=self._timeout_per_sim,
             observer=(self._obs if self._obs.enabled else None),
         )
 
@@ -442,117 +526,22 @@ class CampaignRunner:
     # Persistence
     # ------------------------------------------------------------------
     def _persist_chunk(self, chunk: int, result: ChunkResult) -> str:
-        snapshot = {
-            "schema_version": SCHEMA_VERSION,
-            "fingerprint": self._fingerprint,
-            "chunk": chunk,
-            "indices": result.indices,
-            "results": {
-                str(index): result_to_dict(result.results[index])
-                for index in result.indices
-                if index in result.results
-            },
-            "failures": [failure_to_dict(f) for f in result.failures],
-        }
-        atomic_write_json(snapshot, _chunk_path(self._directory, chunk))
-        return content_digest(snapshot)
+        return persist_chunk_snapshot(
+            self._directory, self._fingerprint, chunk, result
+        )
 
     def _load_chunk(self, chunk: int, expected_digest: str) -> dict:
-        path = _chunk_path(self._directory, chunk)
-        snapshot = load_json(path)
-        if not isinstance(snapshot, dict):
-            raise SerializationError(f"chunk snapshot {path} is not an object")
-        if content_digest(snapshot) != expected_digest:
-            raise CampaignError(
-                f"chunk snapshot {path} does not match its journaled "
-                "digest; the file was modified after it was journaled"
-            )
-        return snapshot
+        return load_chunk_snapshot(self._directory, chunk, expected_digest)
 
     def _finalise(
-        self, state: _CampaignState, chunks_run: int, journal: JournalWriter
+        self, state: CampaignProgress, chunks_run: int, journal: JournalWriter
     ) -> CampaignReport:
-        """Aggregate from the on-disk snapshots and journal completion.
-
-        Reading the snapshots back (instead of using in-memory results)
-        means an uninterrupted run and any interrupt/resume sequence
-        aggregate from byte-identical inputs.
-        """
-        manifest = self._manifest
-        per_index: List[Optional[dict]] = [None] * manifest.n_sims
-        failures: List[dict] = []
-        for chunk in range(manifest.n_chunks):
-            snapshot = self._load_chunk(chunk, state.completed[chunk])
-            for key, record in snapshot.get("results", {}).items():
-                per_index[int(key)] = record
-            failures.extend(snapshot.get("failures", []))
-        failures.sort(key=lambda f: int(f.get("index", -1)))
-        results_digest = content_digest(per_index)
-        completed = [
-            result_from_dict(record)
-            for record in per_index
-            if record is not None
-        ]
-        aggregate: Optional[dict] = None
-        if completed:
-            stats = AggregateStats.from_results(completed)
-            aggregate = {
-                "n_runs": stats.n_runs,
-                "n_safe": stats.n_safe,
-                "n_reached": stats.n_reached,
-                "mean_reaching_time": stats.mean_reaching_time,
-                "mean_eta": stats.mean_eta,
-                "mean_emergency_frequency": stats.mean_emergency_frequency,
-                "safe_rate": stats.safe_rate,
-            }
-        document = {
-            "schema_version": SCHEMA_VERSION,
-            "fingerprint": self._fingerprint,
-            "name": manifest.name,
-            "n_sims": manifest.n_sims,
-            "n_failed": len(failures),
-            "results_digest": results_digest,
-            "aggregate": aggregate,
-            "failures": failures,
-        }
-        atomic_write_json(document, self._directory / AGGREGATE_FILE)
-        journal.append(
-            "campaign_finished",
-            fingerprint=self._fingerprint,
-            results_digest=results_digest,
-            n_failed=len(failures),
+        return finalise_campaign(
+            self._manifest, self._directory, state, chunks_run, journal
         )
-        self._write_metrics()
-        return CampaignReport(
-            status="completed",
-            fingerprint=self._fingerprint,
-            n_chunks=manifest.n_chunks,
-            completed_chunks=len(state.completed),
-            chunks_run=chunks_run,
-            n_failed=len(failures),
-            aggregate=aggregate,
-            results_digest=results_digest,
-        )
-
-    def _write_metrics(self) -> None:
-        """Derive ``metrics.json`` from the journal's operational fields.
-
-        Kept out of ``aggregate.json`` on purpose: wall-clock numbers
-        differ between an uninterrupted run and an interrupt/resume
-        sequence, and the aggregate's byte-identity guarantee must not.
-        """
-        records, _ = read_journal(self._directory / JOURNAL_FILE)
-        summary = _operational_summary(records)
-        document = {
-            "schema_version": SCHEMA_VERSION,
-            "fingerprint": self._fingerprint,
-            "name": self._manifest.name,
-            **summary,
-        }
-        atomic_write_json(document, self._directory / METRICS_FILE)
 
     def _report_from_aggregate(
-        self, state: _CampaignState, chunks_run: int
+        self, state: CampaignProgress, chunks_run: int
     ) -> CampaignReport:
         document = load_json(self._directory / AGGREGATE_FILE)
         if not isinstance(document, dict):
@@ -572,29 +561,137 @@ class CampaignRunner:
     # Signals
     # ------------------------------------------------------------------
     def _install_signal_handlers(self) -> Optional[dict]:
-        """Install drain-on-signal handlers; ``None`` off the main thread."""
-
-        def handler(signum, frame):  # pragma: no cover - exercised via CLI
-            self.request_stop()
-
-        previous = {}
-        try:
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                previous[signum] = signal.signal(signum, handler)
-        except ValueError:
-            # Not the main thread (e.g. pytest-xdist worker): graceful
-            # drain is only reachable via request_stop() there.
-            for signum, old in previous.items():
-                signal.signal(signum, old)
-            return None
-        return previous
+        return install_drain_handlers(self.request_stop)
 
     @staticmethod
     def _restore_signal_handlers(previous: Optional[dict]) -> None:
-        if previous is None:
-            return
+        restore_drain_handlers(previous)
+
+
+# ----------------------------------------------------------------------
+# Shared drain-on-signal plumbing (runner and shard coordinator)
+# ----------------------------------------------------------------------
+def install_drain_handlers(request_stop: Callable[[], None]) -> Optional[dict]:
+    """Route SIGINT/SIGTERM to ``request_stop``; ``None`` off the main thread."""
+
+    def handler(signum, frame):  # pragma: no cover - exercised via CLI
+        request_stop()
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handler)
+    except ValueError:
+        # Not the main thread (e.g. pytest-xdist worker): graceful
+        # drain is only reachable via request_stop() there.
         for signum, old in previous.items():
             signal.signal(signum, old)
+        return None
+    return previous
+
+
+def restore_drain_handlers(previous: Optional[dict]) -> None:
+    """Undo :func:`install_drain_handlers`."""
+    if previous is None:
+        return
+    for signum, old in previous.items():
+        signal.signal(signum, old)
+
+
+# ----------------------------------------------------------------------
+# Finalisation (shared by CampaignRunner and the shard coordinator)
+# ----------------------------------------------------------------------
+def finalise_campaign(
+    manifest: CampaignManifest,
+    directory: Union[str, Path],
+    state: CampaignProgress,
+    chunks_run: int,
+    journal: JournalWriter,
+) -> CampaignReport:
+    """Aggregate from the on-disk snapshots and journal completion.
+
+    Reading the snapshots back (instead of using in-memory results)
+    means an uninterrupted run, any interrupt/resume sequence, and any
+    worker-count/sharding configuration aggregate from byte-identical
+    inputs — the aggregate document depends only on the manifest.
+    """
+    directory = Path(directory)
+    fingerprint = manifest.fingerprint
+    per_index: List[Optional[dict]] = [None] * manifest.n_sims
+    failures: List[dict] = []
+    for chunk in range(manifest.n_chunks):
+        snapshot = load_chunk_snapshot(directory, chunk, state.completed[chunk])
+        for key, record in snapshot.get("results", {}).items():
+            per_index[int(key)] = record
+        failures.extend(snapshot.get("failures", []))
+    failures.sort(key=lambda f: int(f.get("index", -1)))
+    results_digest = content_digest(per_index)
+    completed = [
+        result_from_dict(record)
+        for record in per_index
+        if record is not None
+    ]
+    aggregate: Optional[dict] = None
+    if completed:
+        stats = AggregateStats.from_results(completed)
+        aggregate = {
+            "n_runs": stats.n_runs,
+            "n_safe": stats.n_safe,
+            "n_reached": stats.n_reached,
+            "mean_reaching_time": stats.mean_reaching_time,
+            "mean_eta": stats.mean_eta,
+            "mean_emergency_frequency": stats.mean_emergency_frequency,
+            "safe_rate": stats.safe_rate,
+        }
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "name": manifest.name,
+        "n_sims": manifest.n_sims,
+        "n_failed": len(failures),
+        "results_digest": results_digest,
+        "aggregate": aggregate,
+        "failures": failures,
+    }
+    atomic_write_json(document, directory / AGGREGATE_FILE)
+    journal.append(
+        "campaign_finished",
+        fingerprint=fingerprint,
+        results_digest=results_digest,
+        n_failed=len(failures),
+    )
+    write_campaign_metrics(manifest, directory)
+    return CampaignReport(
+        status="completed",
+        fingerprint=fingerprint,
+        n_chunks=manifest.n_chunks,
+        completed_chunks=len(state.completed),
+        chunks_run=chunks_run,
+        n_failed=len(failures),
+        aggregate=aggregate,
+        results_digest=results_digest,
+    )
+
+
+def write_campaign_metrics(
+    manifest: CampaignManifest, directory: Union[str, Path]
+) -> None:
+    """Derive ``metrics.json`` from the journal's operational fields.
+
+    Kept out of ``aggregate.json`` on purpose: wall-clock numbers
+    differ between an uninterrupted run and an interrupt/resume
+    sequence, and the aggregate's byte-identity guarantee must not.
+    """
+    directory = Path(directory)
+    records, _ = read_journal(directory / JOURNAL_FILE)
+    summary = _operational_summary(records)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": manifest.fingerprint,
+        "name": manifest.name,
+        **summary,
+    }
+    atomic_write_json(document, directory / METRICS_FILE)
 
 
 # ----------------------------------------------------------------------
@@ -711,7 +808,16 @@ def verify_campaign(directory: Union[str, Path]) -> dict:
                 f"{str(recorded)[:12]}... != manifest {fingerprint[:12]}..."
             )
         if record.get("type") == "chunk_completed":
-            completed[int(record["chunk"])] = str(record["digest"])
+            chunk = int(record["chunk"])
+            digest = str(record["digest"])
+            previous = completed.get(chunk)
+            if previous is not None and previous != digest:
+                problems.append(
+                    f"journal record {record.get('seq')} completes chunk "
+                    f"{chunk} with a digest conflicting with an earlier "
+                    "completion (duplicates must be byte-identical)"
+                )
+            completed[chunk] = digest
         elif record.get("type") == "campaign_finished":
             finished_digest = str(record.get("results_digest"))
     per_index: List[Optional[dict]] = [None] * manifest.n_sims

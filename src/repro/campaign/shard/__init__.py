@@ -1,0 +1,27 @@
+"""Distributed campaign sharding: lease-based coordination of workers.
+
+One coordinator (:class:`~repro.campaign.shard.coordinator.ShardCoordinator`)
+dispatches a manifest's chunk space to N worker subprocesses through
+lease-based claims journaled in the campaign's existing write-ahead
+journal.  Any worker — and the coordinator itself — can be SIGKILLed at
+any byte; after resume the merged aggregate is byte-identical to a
+sequential :class:`~repro.campaign.runner.CampaignRunner` run, because
+chunk ``k`` is content-deterministic and every completion path writes
+the same canonical snapshot.
+
+See ``docs/ROBUSTNESS.md`` (Distribution) for the lease protocol and
+the failure matrix.
+"""
+
+from repro.campaign.shard.coordinator import ShardCoordinator, shard_status
+from repro.campaign.shard.leases import Lease, LeaseTable
+from repro.campaign.shard.protocol import decode_line, encode_message
+
+__all__ = [
+    "Lease",
+    "LeaseTable",
+    "ShardCoordinator",
+    "decode_line",
+    "encode_message",
+    "shard_status",
+]

@@ -1,0 +1,76 @@
+"""The coordinator ↔ worker wire protocol: one JSON object per line.
+
+The shard layer deliberately reuses the journal's framing philosophy:
+every message is a single newline-terminated canonical JSON line, and a
+line that fails to parse is *dropped*, never guessed at.  A SIGKILLed
+worker can leave a torn final line in its stdout pipe; the coordinator
+treats it exactly like the journal treats a torn tail — the chunk the
+worker was running simply has no ``completed`` event, its lease expires,
+and it is re-dispatched.
+
+Commands (coordinator → worker stdin)
+    ``{"cmd": "run", "chunk": k}``   — run chunk ``k`` of the manifest.
+    ``{"cmd": "shutdown"}``          — exit cleanly after the reply.
+
+Events (worker → coordinator stdout)
+    ``ready``      — worker booted and loaded the manifest (carries pid).
+    ``started``    — chunk execution began (implicit first heartbeat).
+    ``heartbeat``  — liveness during a chunk (``done`` = sims finished).
+    ``completed``  — snapshot durably persisted; carries the content
+                     digest the coordinator journals.
+    ``error``      — the chunk attempt failed in the worker's batch
+                     layer; the coordinator re-dispatches with backoff.
+
+Messages are data, not trust: the coordinator validates digests against
+snapshots at finalisation, so a malicious or corrupt event can delay a
+campaign but never alter its aggregate bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "decode_line",
+    "encode_message",
+    "COMMAND_RUN",
+    "COMMAND_SHUTDOWN",
+    "EVENT_READY",
+    "EVENT_STARTED",
+    "EVENT_HEARTBEAT",
+    "EVENT_COMPLETED",
+    "EVENT_ERROR",
+]
+
+COMMAND_RUN = "run"
+COMMAND_SHUTDOWN = "shutdown"
+
+EVENT_READY = "ready"
+EVENT_STARTED = "started"
+EVENT_HEARTBEAT = "heartbeat"
+EVENT_COMPLETED = "completed"
+EVENT_ERROR = "error"
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated UTF-8 JSON line."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Optional[dict]:
+    """Parse one protocol line; ``None`` for anything malformed.
+
+    Torn lines (a SIGKILL mid-write), stray prints from user code, and
+    non-object JSON all map to ``None`` — the caller drops them and
+    relies on lease expiry, never on guessing.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(message, dict):
+        return None
+    return message

@@ -40,7 +40,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.faults.chaos import WorkerChaosOnce
@@ -71,6 +71,7 @@ def run_chunk(
     n_sims: int,
     chaos: Optional[WorkerChaosOnce] = None,
     observer=None,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> List[tuple]:
     """Worker entry point: run the given simulation indices of a batch.
 
@@ -88,6 +89,13 @@ def run_chunk(
     ``observer`` is only ever passed on the in-process fast path —
     observers are not picklable and never cross a process boundary, so
     pool workers always run untraced (which is bit-identical anyway).
+
+    ``progress`` is called with each index as it finishes (ok or error)
+    — the shard worker's liveness hook: heartbeats are emitted *during*
+    a chunk, not just between chunks.  In-process fast path only, like
+    ``observer``; callbacks never cross a process boundary.  Write-only
+    with respect to results: the callback sees only the index, so it
+    cannot perturb the bit-identity contract.
     """
     if chaos is not None and chaos.apply():
         return ["chaos: malformed payload"]  # type: ignore[list-item]
@@ -111,6 +119,8 @@ def run_chunk(
             out.append((index, "ok", result))
         except Exception as exc:  # safelint: disable=SFL003 - returned as tagged error entry
             out.append((index, "error", type(exc).__name__, str(exc)))
+        if progress is not None:
+            progress(index)
     return out
 
 
@@ -253,6 +263,7 @@ class ParallelBatchRunner:
         indices: Sequence[int],
         n_sims: int,
         seed: int = 0,
+        progress: Optional[Callable[[int], None]] = None,
     ) -> ChunkResult:
         """Run a *subset* of a batch's indices with full fault tolerance.
 
@@ -262,6 +273,11 @@ class ParallelBatchRunner:
         running a partition of ``range(n_sims)`` chunk by chunk — across
         processes, interruptions, or machines — concatenates to results
         bit-identical to one uninterrupted batch.
+
+        ``progress`` (optional) is called with each finished index on
+        the in-process fast path only (``n_workers == 1``, no chaos, no
+        timeout); multiprocess rounds ignore it — callbacks never cross
+        a process boundary.
         """
         if n_sims <= 0:
             raise SimulationError(f"n_sims must be > 0, got {n_sims}")
@@ -276,7 +292,9 @@ class ParallelBatchRunner:
                     f"index {index} outside batch of {n_sims}"
                 )
         idx.sort()
-        results, failures = self._run_indices(planner, idx, n_sims, seed)
+        results, failures = self._run_indices(
+            planner, idx, n_sims, seed, progress=progress
+        )
         return ChunkResult(indices=idx, results=results, failures=failures)
 
     # ------------------------------------------------------------------
@@ -288,6 +306,7 @@ class ParallelBatchRunner:
         indices: List[int],
         n_sims: int,
         seed: int,
+        progress: Optional[Callable[[int], None]] = None,
     ) -> Tuple[Dict[int, SimulationResult], List[FailureRecord]]:
         """Run ``indices`` of the batch; results keyed by global index."""
         workers = min(self._n_workers, len(indices))
@@ -307,6 +326,7 @@ class ParallelBatchRunner:
                 indices,
                 n_sims,
                 observer=(self._obs if self._obs.enabled else None),
+                progress=progress,
             )
             results: Dict[int, SimulationResult] = {}
             failures: List[FailureRecord] = []

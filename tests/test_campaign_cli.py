@@ -12,6 +12,7 @@ from repro.campaign.cli import (
     EXIT_VERIFY_FAILED,
     main,
 )
+from repro.campaign.journal import JournalWriter
 from repro.campaign.manifest import CampaignManifest
 
 
@@ -104,6 +105,30 @@ class TestErrorPaths:
         assert code == EXIT_ERROR
         assert "unknown planner kind" in capsys.readouterr().err
 
+    def test_status_on_header_only_journal(self, manifest_path, tmp_path, capsys):
+        """A campaign killed right after the header record still reports."""
+        directory = tmp_path / "campaign"
+        directory.mkdir()
+        manifest = CampaignManifest.load(manifest_path)
+        manifest.save(directory / "manifest.json")
+        with JournalWriter(directory / "journal.jsonl") as journal:
+            journal.append(
+                "campaign_started",
+                fingerprint=manifest.fingerprint,
+                name=manifest.name,
+                n_sims=manifest.n_sims,
+                n_chunks=manifest.n_chunks,
+            )
+        code = main(["status", "--dir", str(directory), "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert code == EXIT_OK
+        assert status["completed_chunks"] == 0
+        assert status["journal_records"] == 1
+        assert status["finished"] is False
+        assert status["interrupted"] is False
+        assert status["total_retries"] == 0
+        assert status["elapsed"] is None  # no chunk carried a duration yet
+
     def test_verify_failure_exit_code(self, manifest_path, tmp_path, capsys):
         directory = tmp_path / "campaign"
         assert (
@@ -129,3 +154,46 @@ class TestErrorPaths:
         assert code == EXIT_VERIFY_FAILED
         assert outcome["ok"] is False
         assert outcome["problems"]
+
+
+class TestFlagValidation:
+    """Nonsensical knob values fail fast, before anything touches disk."""
+
+    @pytest.mark.parametrize(
+        ("command", "flags", "message"),
+        [
+            ("run", ["--workers", "0"], "--workers"),
+            ("run", ["--max-retries", "-1"], "--max-retries"),
+            ("run", ["--chunk-attempts", "0"], "--chunk-attempts"),
+            ("run", ["--chunk-timeout", "0"], "--chunk-timeout"),
+            ("run", ["--chunk-timeout", "-2.5"], "--chunk-timeout"),
+            ("shard-run", ["--lease-ttl", "0"], "--lease-ttl"),
+            ("shard-run", ["--heartbeat-interval", "0"], "--heartbeat-interval"),
+            (
+                "shard-run",
+                ["--lease-ttl", "1", "--heartbeat-interval", "2"],
+                "--heartbeat-interval",
+            ),
+            ("shard-run", ["--straggler-factor", "0.5"], "--straggler-factor"),
+            ("shard-run", ["--workers", "-3"], "--workers"),
+        ],
+    )
+    def test_bad_flag_is_error(
+        self, manifest_path, tmp_path, capsys, command, flags, message
+    ):
+        directory = tmp_path / "campaign"
+        code = main(
+            [
+                command,
+                "--manifest",
+                str(manifest_path),
+                "--dir",
+                str(directory),
+                *flags,
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == EXIT_ERROR
+        assert message in err
+        # validation fired before the campaign directory was created
+        assert not directory.exists()

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.campaign.journal import JournalWriter, read_journal, recover_journal
+from repro.campaign.runner import replay_progress
 from repro.errors import JournalCorruptionError, SerializationError
 from repro.sim.serialization import SCHEMA_VERSION
 
@@ -139,3 +141,86 @@ class TestCorruption:
         path.write_text(canonical_dumps(record) + "\n")
         with pytest.raises(SerializationError, match="major"):
             read_journal(path)
+
+
+FP = "feedface0123abcd" * 4
+
+
+class TestDuplicateReplayFuzz:
+    """Sharded journals may legally repeat ``chunk_completed`` records.
+
+    Speculative re-dispatch means two workers can race the same chunk
+    to completion; both completions are journaled.  Replay must stay
+    idempotent over any interleaving of duplicates, coordinator noise,
+    and failure records — and must refuse conflicting digests.
+    """
+
+    NOISE = (
+        ("lease_claimed", {"worker": "w0", "chunk": 0, "attempt": 1}),
+        ("lease_heartbeat", {"worker": "w1", "chunk": 2, "done": 1}),
+        ("lease_expired", {"worker": "w0", "chunk": 1, "reason": "ttl"}),
+        ("chunk_failed", {"worker": "w1", "chunk": 3, "attempt": 1}),
+        ("worker_spawned", {"worker": "w2", "pid": 12345}),
+        ("worker_exited", {"worker": "w2", "returncode": -9}),
+    )
+
+    def _fuzz_records(self, rng, n_chunks):
+        records = [("campaign_started", {"fingerprint": FP, "n_chunks": n_chunks})]
+        pool = []
+        for chunk in range(n_chunks):
+            payload = {"fingerprint": FP, "chunk": chunk, "digest": f"d{chunk}"}
+            for _ in range(int(rng.integers(1, 4))):  # 1-3 copies of each
+                pool.append(("chunk_completed", dict(payload)))
+        for _ in range(int(rng.integers(2, 9))):
+            record_type, payload = self.NOISE[int(rng.integers(len(self.NOISE)))]
+            pool.append((record_type, dict(payload, fingerprint=FP)))
+        order = rng.permutation(len(pool))
+        records.extend(pool[i] for i in order)
+        return records
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_duplicated_interleaved_records_replay_idempotently(
+        self, tmp_path, seed
+    ):
+        rng = np.random.default_rng(seed)
+        n_chunks = int(rng.integers(1, 7))
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as journal:
+            for record_type, payload in self._fuzz_records(rng, n_chunks):
+                journal.append(record_type, **payload)
+        progress = replay_progress(recover_journal(path), FP)
+        assert progress.completed == {
+            chunk: f"d{chunk}" for chunk in range(n_chunks)
+        }
+        assert not progress.finished
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_torn_tail_then_replay_is_consistent_prefix(self, tmp_path, seed):
+        rng = np.random.default_rng(1000 + seed)
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as journal:
+            for record_type, payload in self._fuzz_records(rng, 4):
+                journal.append(record_type, **payload)
+        data = path.read_bytes()
+        intact, _ = read_journal(path)
+        path.write_bytes(data[: int(rng.integers(1, len(data)))])
+        recovered = recover_journal(path)
+        assert recovered == intact[: len(recovered)]
+        progress = replay_progress(recovered, FP)
+        full = replay_progress(intact, FP)
+        # The survivor set is a subset of the full run, digests intact.
+        for chunk, digest in progress.completed.items():
+            assert full.completed[chunk] == digest
+
+    def test_conflicting_duplicate_digest_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as journal:
+            journal.append("campaign_started", fingerprint=FP, n_chunks=2)
+            journal.append(
+                "chunk_completed", fingerprint=FP, chunk=0, digest="aaa"
+            )
+            journal.append(
+                "chunk_completed", fingerprint=FP, chunk=0, digest="bbb"
+            )
+        with pytest.raises(JournalCorruptionError, match="byte-identical"):
+            replay_progress(recover_journal(path), FP)

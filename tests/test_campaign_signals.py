@@ -1,0 +1,132 @@
+"""SIGINT/SIGTERM drain during an in-flight chunk, through the real CLI.
+
+Satellite contract: the signal lands while a chunk is executing, the
+runner drains (finishes the in-flight chunk), journals an
+``interrupted`` record, the CLI exits with the interrupted code (3),
+and a subsequent resume produces aggregate bytes identical to an
+uninterrupted reference run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.journal import read_journal
+from repro.campaign.runner import AGGREGATE_FILE, JOURNAL_FILE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CLI = [sys.executable, "-m", "repro.campaign"]
+
+EXIT_OK = 0
+EXIT_INTERRUPTED = 3
+
+#: Generous ceiling for the first journaled chunk on a loaded machine.
+FIRST_CHUNK_TIMEOUT = 120.0
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _write_manifest(path: Path, n_sims: int = 16) -> None:
+    manifest = {
+        "schema_version": "1.0",
+        "name": "signal-drain",
+        "scenario": {"kind": "left_turn"},
+        "comm": {"sensor_noise": 0.3},
+        "planner": {"kind": "constant", "acceleration": 2.0},
+        "config": {"max_time": 8.0},
+        "estimator": "filtered",
+        "n_sims": n_sims,
+        "seed": 11,
+        "chunk_size": 2,
+    }
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def _run_cli(*args, expect=EXIT_OK):
+    proc = subprocess.run(
+        CLI + list(args), env=_env(), capture_output=True, text=True,
+        check=False,
+    )
+    assert proc.returncode == expect, (
+        f"exit {proc.returncode} != {expect}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    return proc
+
+
+def _signal_after_first_chunk(manifest_path, directory, signum):
+    """Start a run; deliver ``signum`` once one chunk is journaled."""
+    victim = subprocess.Popen(
+        CLI + ["run", "--manifest", str(manifest_path), "--dir", str(directory)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    journal = directory / JOURNAL_FILE
+    deadline = time.monotonic() + FIRST_CHUNK_TIMEOUT
+    try:
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                pytest.fail("victim finished before the signal landed")
+            if (
+                journal.exists()
+                and b'"type":"chunk_completed"' in journal.read_bytes()
+            ):
+                victim.send_signal(signum)
+                break
+            time.sleep(0.002)
+        else:
+            pytest.fail("victim never journaled a chunk_completed record")
+        return victim.wait(timeout=60), victim.stdout.read()
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_journals_interrupted_and_resumes_bit_identical(
+    tmp_path, signum
+):
+    manifest_path = tmp_path / "manifest.json"
+    _write_manifest(manifest_path)
+
+    reference = tmp_path / "reference"
+    _run_cli("run", "--manifest", str(manifest_path), "--dir", str(reference))
+
+    interrupted = tmp_path / "interrupted"
+    returncode, stdout = _signal_after_first_chunk(
+        manifest_path, interrupted, signum
+    )
+    assert returncode == EXIT_INTERRUPTED
+    assert "interrupted" in stdout
+
+    # The drain is durable: the journal's last record says interrupted,
+    # and every record before it is intact (no torn tail).
+    records, torn = read_journal(interrupted / JOURNAL_FILE)
+    assert not torn
+    assert records[-1]["type"] == "interrupted"
+    completed = [r for r in records if r["type"] == "chunk_completed"]
+    assert 1 <= len(completed) < 8  # in-flight chunk drained, rest pending
+    assert not (interrupted / AGGREGATE_FILE).exists()
+
+    _run_cli("resume", "--dir", str(interrupted))
+    assert (
+        (interrupted / AGGREGATE_FILE).read_bytes()
+        == (reference / AGGREGATE_FILE).read_bytes()
+    )

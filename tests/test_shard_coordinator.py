@@ -1,0 +1,208 @@
+"""Shard coordinator: bit-identity, degradation, duplicates, status.
+
+These tests run real worker subprocesses (spawned via ``python -m
+repro.campaign.shard.worker``) against tiny manifests; the chaos-grade
+kill tests live in ``test_shard_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.journal import JournalWriter, read_journal
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.runner import (
+    AGGREGATE_FILE,
+    JOURNAL_FILE,
+    CampaignProgress,
+    CampaignRunner,
+    replay_progress,
+)
+from repro.campaign.shard import LeaseTable, ShardCoordinator, shard_status
+from repro.campaign.shard.coordinator import _LoopState, _WorkerHandle
+from repro.errors import CampaignError, JournalCorruptionError
+from repro.obs.observer import Observer
+
+
+def _manifest(n_sims=4, chunk_size=1, name="shard-test"):
+    return CampaignManifest(
+        name=name,
+        scenario={"kind": "left_turn"},
+        comm={"sensor_noise": 0.3},
+        planner={"kind": "constant", "acceleration": 2.0},
+        n_sims=n_sims,
+        seed=5,
+        chunk_size=chunk_size,
+        config={"max_time": 8.0},
+    )
+
+
+def _reference_bytes(manifest, tmp_path):
+    ref_dir = tmp_path / "reference"
+    report = CampaignRunner(manifest, ref_dir).run()
+    assert report.status == "completed"
+    return (ref_dir / AGGREGATE_FILE).read_bytes()
+
+
+class TestBitIdentity:
+    def test_sharded_aggregate_matches_sequential(self, tmp_path):
+        manifest = _manifest(n_sims=5)
+        reference = _reference_bytes(manifest, tmp_path)
+        coordinator = ShardCoordinator(
+            manifest,
+            tmp_path / "sharded",
+            n_workers=3,
+            lease_ttl=30.0,
+            heartbeat_interval=0.2,
+        )
+        report = coordinator.run()
+        assert report.status == "completed"
+        assert report.completed_chunks == 5
+        sharded = (tmp_path / "sharded" / AGGREGATE_FILE).read_bytes()
+        assert sharded == reference
+
+    def test_observer_does_not_change_artifacts(self, tmp_path):
+        manifest = _manifest(n_sims=3)
+        reference = _reference_bytes(manifest, tmp_path)
+        observer = Observer()
+        coordinator = ShardCoordinator(
+            manifest,
+            tmp_path / "traced",
+            n_workers=2,
+            heartbeat_interval=0.2,
+            observer=observer,
+        )
+        report = coordinator.run()
+        assert report.status == "completed"
+        assert (tmp_path / "traced" / AGGREGATE_FILE).read_bytes() == reference
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters.get("shard.lease_claims", 0) >= 3
+        assert counters.get("shard.chunks_completed", 0) >= 3
+
+
+class TestDegradation:
+    def test_single_worker_uses_campaign_runner(self, tmp_path):
+        manifest = _manifest(n_sims=3)
+        reference = _reference_bytes(manifest, tmp_path)
+        coordinator = ShardCoordinator(
+            manifest, tmp_path / "solo", n_workers=1
+        )
+        report = coordinator.run()
+        assert report.status == "completed"
+        assert (tmp_path / "solo" / AGGREGATE_FILE).read_bytes() == reference
+        # No shard machinery ran: the journal knows no coordinator epoch.
+        records, _ = read_journal(tmp_path / "solo" / JOURNAL_FILE)
+        types = {record["type"] for record in records}
+        assert "coordinator_started" not in types
+        assert "worker_spawned" not in types
+
+    def test_resume_of_finished_campaign_runs_nothing(self, tmp_path):
+        manifest = _manifest(n_sims=3)
+        directory = tmp_path / "campaign"
+        ShardCoordinator(
+            manifest, directory, n_workers=2, heartbeat_interval=0.2
+        ).run()
+        report = ShardCoordinator(
+            manifest, directory, n_workers=2, heartbeat_interval=0.2
+        ).resume()
+        assert report.status == "completed"
+        assert report.chunks_run == 0
+
+    def test_run_refuses_started_directory(self, tmp_path):
+        manifest = _manifest(n_sims=2)
+        directory = tmp_path / "campaign"
+        ShardCoordinator(
+            manifest, directory, n_workers=2, heartbeat_interval=0.2
+        ).run()
+        with pytest.raises(CampaignError, match="shard-resume"):
+            ShardCoordinator(
+                manifest, directory, n_workers=2, heartbeat_interval=0.2
+            ).run()
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self, tmp_path):
+        manifest = _manifest()
+        with pytest.raises(CampaignError, match="n_workers"):
+            ShardCoordinator(manifest, tmp_path, n_workers=0)
+        with pytest.raises(CampaignError, match="lease_ttl"):
+            ShardCoordinator(manifest, tmp_path, lease_ttl=0.0)
+        with pytest.raises(CampaignError, match="heartbeat_interval"):
+            ShardCoordinator(
+                manifest, tmp_path, lease_ttl=1.0, heartbeat_interval=2.0
+            )
+        with pytest.raises(CampaignError, match="timeout_per_sim"):
+            ShardCoordinator(manifest, tmp_path, timeout_per_sim=0.0)
+
+
+class TestDuplicateCompletions:
+    """The speculative-twin race, driven deterministically."""
+
+    def _state(self, tmp_path, manifest):
+        journal = JournalWriter(tmp_path / JOURNAL_FILE)
+        progress = CampaignProgress(fingerprint=manifest.fingerprint)
+        table = LeaseTable(
+            range(manifest.n_chunks), ["w0", "w1"], manifest.fingerprint
+        )
+        return _LoopState(progress=progress, table=table, journal=journal)
+
+    def test_equal_digest_duplicate_is_idempotent(self, tmp_path):
+        manifest = _manifest(n_sims=2)
+        coordinator = ShardCoordinator(
+            manifest, tmp_path / "c", n_workers=2
+        )
+        state = self._state(tmp_path, manifest)
+        w0 = _WorkerHandle(worker_id="w0", process=None)
+        w1 = _WorkerHandle(worker_id="w1", process=None)
+        event = {"event": "completed", "chunk": 0, "digest": "d" * 64}
+        coordinator._handle_completed(w0, dict(event), state, 0.0)
+        coordinator._handle_completed(w1, dict(event), state, 1.0)
+        state.journal.close()
+        records, _ = read_journal(tmp_path / JOURNAL_FILE)
+        completions = [r for r in records if r["type"] == "chunk_completed"]
+        assert len(completions) == 2
+        assert completions[0]["duplicate"] is False
+        assert completions[1]["duplicate"] is True
+        # Idempotent replay: both records collapse to one completion.
+        progress = replay_progress(records, manifest.fingerprint)
+        assert progress.completed == {0: "d" * 64}
+
+    def test_conflicting_digest_duplicate_raises(self, tmp_path):
+        manifest = _manifest(n_sims=2)
+        coordinator = ShardCoordinator(
+            manifest, tmp_path / "c", n_workers=2
+        )
+        state = self._state(tmp_path, manifest)
+        w0 = _WorkerHandle(worker_id="w0", process=None)
+        w1 = _WorkerHandle(worker_id="w1", process=None)
+        coordinator._handle_completed(
+            w0, {"event": "completed", "chunk": 0, "digest": "a" * 64},
+            state, 0.0,
+        )
+        with pytest.raises(JournalCorruptionError, match="deterministic"):
+            coordinator._handle_completed(
+                w1, {"event": "completed", "chunk": 0, "digest": "b" * 64},
+                state, 1.0,
+            )
+        state.journal.close()
+
+
+class TestShardStatus:
+    def test_per_worker_summary(self, tmp_path):
+        manifest = _manifest(n_sims=4)
+        directory = tmp_path / "campaign"
+        ShardCoordinator(
+            manifest, directory, n_workers=2, heartbeat_interval=0.2
+        ).run()
+        summary = shard_status(directory)
+        assert summary["finished"] is True
+        assert summary["completed_chunks"] == 4
+        assert summary["coordinator_epochs"] == 1
+        assert set(summary["workers"]) == {"w0", "w1"}
+        total_leases = sum(
+            entry["leases"] for entry in summary["workers"].values()
+        )
+        assert total_leases >= 4
+        for entry in summary["workers"].values():
+            assert entry["pid"] is not None
+            assert entry["alive"] is False  # fleet shut down cleanly

@@ -1,0 +1,175 @@
+"""Lease table scheduling: claims, expiry, stealing, speculation.
+
+The :class:`~repro.campaign.shard.LeaseTable` is clock-free, so every
+failure interleaving here runs with a synthetic clock and zero sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.backoff import BackoffPolicy
+from repro.campaign.shard import LeaseTable
+from repro.errors import CampaignError
+
+FP = "deadbeefcafe0123" * 4  # any 64-hex-ish fingerprint works
+
+
+def _table(chunks=range(6), workers=("w0", "w1"), ttl=10.0, **kwargs):
+    return LeaseTable(list(chunks), list(workers), FP, ttl=ttl, **kwargs)
+
+
+class TestClaims:
+    def test_contiguous_ranges_front_first(self):
+        table = _table()
+        # w0 owns [0,1,2], w1 owns [3,4,5]; each drains its own front.
+        assert table.claim("w0", 0.0).chunk == 0
+        assert table.claim("w1", 0.0).chunk == 3
+        assert table.claim("w0", 0.0).chunk == 1
+
+    def test_unknown_worker_rejected(self):
+        with pytest.raises(CampaignError, match="unknown worker"):
+            _table().claim("nobody", 0.0)
+
+    def test_claims_exhaust_then_none(self):
+        table = _table(chunks=range(2), workers=("w0",), straggler_factor=100.0)
+        assert table.claim("w0", 0.0) is not None
+        assert table.claim("w0", 0.0) is not None
+        assert table.claim("w0", 0.0) is None
+
+    def test_attempt_numbers_increment_across_grants(self):
+        table = _table(chunks=[7], workers=("w0", "w1"))
+        first = table.claim("w0", 0.0)
+        assert first.attempt == 1
+        table.expire(20.0)  # ttl=10: the lease is silent past budget
+        second = table.claim("w1", 100.0)
+        assert second.chunk == 7
+        assert second.attempt == 2
+
+
+class TestStealing:
+    def test_idle_worker_steals_from_longest_range_tail(self):
+        table = _table(chunks=range(6), workers=("w0", "w1"))
+        # w0 drains its whole range...
+        for expected in (0, 1, 2):
+            assert table.claim("w0", 0.0).chunk == expected
+        # ...then steals w1's *tail*, leaving w1 its front.
+        lease = table.claim("w0", 0.0)
+        assert lease.chunk == 5
+        assert lease.origin == "steal"
+        assert table.steals == 1
+        assert table.claim("w1", 0.0).chunk == 3
+
+    def test_dead_workers_range_redistributed(self):
+        table = _table(chunks=range(6), workers=("w0", "w1"))
+        released = table.release_worker("w1", 0.0)
+        assert released == []  # held no leases yet
+        # w0 can now claim all six chunks without stealing.
+        claimed = [table.claim("w0", 0.0).chunk for _ in range(6)]
+        assert sorted(claimed) == list(range(6))
+
+
+class TestExpiry:
+    def test_silent_lease_expires_with_deterministic_backoff(self):
+        backoff = BackoffPolicy(max_attempts=5)
+        table = _table(chunks=[0], workers=("w0", "w1"), backoff=backoff)
+        lease = table.claim("w0", 0.0)
+        expired = table.expire(10.0 + 1e-9)
+        assert len(expired) == 1
+        _, delay = expired[0]
+        assert delay == backoff.delay(FP, 0, 1)
+        assert table.expirations == 1
+        # Not claimable until the backoff delay elapses.
+        assert table.claim("w1", 10.0) is None
+        reclaimed = table.claim("w1", 10.0 + delay + 1e-9)
+        assert reclaimed.chunk == lease.chunk
+        assert reclaimed.origin == "retry"
+
+    def test_heartbeat_renews_lease(self):
+        table = _table(chunks=[0], workers=("w0", "w1"))
+        table.claim("w0", 0.0)
+        assert table.heartbeat("w0", 0, 9.0)
+        assert table.expire(15.0) == []  # silence is only 6 s
+        assert table.expire(19.5) != []
+
+    def test_late_heartbeat_after_expiry_is_harmless(self):
+        table = _table(chunks=[0], workers=("w0", "w1"))
+        table.claim("w0", 0.0)
+        table.expire(20.0)
+        assert table.heartbeat("w0", 0, 21.0) is False
+
+
+class TestSpeculation:
+    def test_straggler_gets_speculative_twin(self):
+        table = _table(
+            chunks=[0], workers=("w0", "w1"), ttl=10.0, straggler_factor=2.0
+        )
+        table.claim("w0", 0.0)
+        # Heartbeats keep the lease alive, but it never completes.
+        table.heartbeat("w0", 0, 19.0)
+        assert table.claim("w1", 19.0) is None  # age 19 < 2*ttl
+        table.heartbeat("w0", 0, 21.0)
+        twin = table.claim("w1", 21.0)
+        assert twin is not None and twin.speculative
+        assert twin.chunk == 0 and twin.attempt == 2
+        assert table.speculations == 1
+        # No triple-leasing, and a worker never speculates on itself.
+        assert table.claim("w0", 30.0) is None
+        assert table.claim("w1", 30.0) is None
+
+    def test_first_completion_wins_releases_both(self):
+        table = _table(
+            chunks=[0], workers=("w0", "w1"), ttl=1.0, straggler_factor=1.0
+        )
+        table.claim("w0", 0.0)
+        table.heartbeat("w0", 0, 1.01)
+        twin = table.claim("w1", 1.02)
+        assert twin is not None and twin.speculative
+        released = table.complete(0)
+        assert {lease.worker for lease in released} == {"w0", "w1"}
+        assert table.outstanding() == 0
+        # Duplicate completion (the loser reporting) is a no-op.
+        assert table.complete(0) == []
+
+
+class TestCompletionAndFailure:
+    def test_complete_scrubs_retry_pool_and_ranges(self):
+        table = _table(chunks=range(4), workers=("w0", "w1"))
+        table.claim("w0", 0.0)
+        table.expire(20.0)  # chunk 0 now waits in the retry pool
+        table.complete(0)   # ...but a late twin completed it anyway
+        table.complete(3)   # never claimed: scrubbed from w1's range
+        remaining = set()
+        while True:
+            lease = table.claim("w0", 1000.0)
+            if lease is None:
+                break
+            remaining.add(lease.chunk)
+        assert remaining == {1, 2}
+
+    def test_error_budget_exhaustion_raises(self):
+        backoff = BackoffPolicy(max_attempts=2)
+        table = _table(chunks=[0], workers=("w0", "w1"), backoff=backoff)
+        table.claim("w0", 0.0)
+        delay = table.fail("w0", 0, 1.0)
+        assert delay is not None
+        lease = table.claim("w1", 1.0 + delay + 1e-9)
+        assert lease.attempt == 2
+        with pytest.raises(CampaignError, match="giving up"):
+            table.fail("w1", 0, 5.0)
+
+    def test_fail_without_lease_is_noop(self):
+        table = _table()
+        assert table.fail("w0", 0, 0.0) is None
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CampaignError, match="at least one worker"):
+            LeaseTable([0], [], FP)
+        with pytest.raises(CampaignError, match="unique"):
+            LeaseTable([0], ["w0", "w0"], FP)
+        with pytest.raises(CampaignError, match="ttl"):
+            LeaseTable([0], ["w0"], FP, ttl=0.0)
+        with pytest.raises(CampaignError, match="straggler_factor"):
+            LeaseTable([0], ["w0"], FP, straggler_factor=0.5)
