@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke shard-smoke trace-smoke baseline
+.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke shard-smoke trace-smoke serve-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -93,6 +93,14 @@ shard-smoke:
 # REPRO_TRACE_TOL to widen on noisy machines).  See docs/OBSERVABILITY.md.
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
+
+# Serving chaos smoke (~15 s): streams ~200 decisions through the
+# repro-serve CLI — healthy planner, injected hung planner, SIGKILL
+# mid-stream + restart — and requires every reply at every ladder
+# level to be shield-verified safe with exact serve.* accounting.
+# See docs/ROBUSTNESS.md.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 # Regenerate the safelint baseline (see docs/LINTING.md before using).
 baseline:

@@ -1,0 +1,187 @@
+"""Benchmark: decision-server throughput and degradation-ladder latency.
+
+Runs the shield-as-a-service stack end to end — unix socket, blocking
+client, full compound planner — and prints the ``serve.*`` accounting
+the server keeps: ladder-level counters, p50/p99 decision latency from
+the ``serve.decision_seconds`` histogram, and the shed rate.  Asserts
+the hard serving invariants on every run:
+
+* every reply, at every ladder level, is shield-verified safe
+  (``verify_replaced`` never fires);
+* exact accounting: ``offered == served + degraded + shed``;
+* under an injected always-hung planner every decision still answers
+  at the deadline with the ladder-2 shield action.
+
+Run via ``pytest benchmarks/test_bench_serve.py -s``; recorded into
+``BENCH_serve.json`` by ``make bench-record``.
+"""
+
+import asyncio
+import os
+
+from repro.core.compound import CompoundPlanner
+from repro.core.monitor import RuntimeMonitor
+from repro.faults.planner_wrapper import StallingPlanner
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.idm import IDMPlanner
+from repro.scenarios.car_following import CarFollowingScenario
+from repro.serve.client import ServeClient
+from repro.serve.ladder import LadderPolicy
+from repro.serve.server import DecisionServer, ServeConfig
+from repro.serve.session import DecisionSession
+
+SCENARIO = CarFollowingScenario()
+LEADER = 1
+
+#: Decisions streamed per benchmark; scale with REPRO_BENCH_DECISIONS.
+N_DECISIONS = int(os.environ.get("REPRO_BENCH_DECISIONS", "400"))
+
+
+def _factories(wrap=None):
+    def ladder_factory():
+        compound = CompoundPlanner(
+            nn_planner=IDMPlanner(SCENARIO.ego_limits, leader_index=LEADER),
+            emergency_planner=SCENARIO.emergency_planner(),
+            monitor=RuntimeMonitor(SCENARIO.safety_model()),
+            limits=SCENARIO.ego_limits,
+        )
+        planner = compound if wrap is None else wrap(compound)
+        return LadderPolicy(compound, SCENARIO.ego_limits, planner=planner)
+
+    def session_factory():
+        return DecisionSession(
+            {LEADER: ReachabilityAnalyzer(SCENARIO.leader_limits)},
+            max_state_age=1.0,
+        )
+
+    return ladder_factory, session_factory
+
+
+def _stream(path, n, deadline_ms=None):
+    """Stream ``n`` decisions; returns (ladder tallies, stats payload)."""
+    limits = SCENARIO.ego_limits
+    tallies = {1: 0, 2: 0, 3: 0}
+    with ServeClient(path=path) as client:
+        for i in range(n):
+            t = 1.0 + 0.05 * i
+            response = client.decide(
+                t,
+                {"position": 0.0, "velocity": 20.0},
+                reports=[
+                    {
+                        "vehicle": LEADER,
+                        "stamp": t - 0.01,
+                        "position": 60.0,
+                        "velocity": 15.0,
+                    }
+                ],
+                deadline_ms=deadline_ms,
+            )
+            assert response["safe"] is True, response
+            assert response["verify_replaced"] is False, response
+            action = response["action"]
+            assert limits.a_min - 1e-9 <= action <= limits.a_max + 1e-9
+            tallies[response["ladder"]] += 1
+        stats = client.stats()
+    return tallies, stats
+
+
+def _serve_and_stream(n, config=None, wrap=None, deadline_ms=None, tmp=None):
+    path = str(tmp / "bench-serve.sock")
+    ladder_factory, session_factory = _factories(wrap)
+
+    async def scenario():
+        server = DecisionServer(ladder_factory, session_factory, config=config)
+        await server.start(path=path)
+        try:
+            return await asyncio.to_thread(_stream, path, n, deadline_ms)
+        finally:
+            await server.drain()
+
+    return asyncio.run(scenario())
+
+
+def _print_table(title, n, elapsed, tallies, stats):
+    print()
+    print(title)
+    print(f"  decisions          {n}")
+    print(f"  wall time          {elapsed:.2f} s")
+    print(f"  throughput         {n / elapsed:.0f} decisions/s")
+    print(
+        f"  ladder 1/2/3       "
+        f"{tallies[1]} / {tallies[2]} / {tallies[3]}"
+    )
+    print(
+        f"  offered=served+degraded+shed   "
+        f"{stats['offered']:g} = {stats['served']:g} + "
+        f"{stats['degraded']:g} + {stats['shed']:g}"
+    )
+    print(f"  shed rate          {stats['shed_rate']:.3f}")
+    p50 = stats["p50_ms"]
+    p99 = stats["p99_ms"]
+    print(f"  decision latency   p50 {p50:.2f} ms, p99 {p99:.2f} ms")
+
+
+def _assert_accounting(n, tallies, stats):
+    assert stats["offered"] == n
+    assert (
+        stats["offered"]
+        == stats["served"] + stats["degraded"] + stats["shed"]
+    )
+    assert stats["ladder"] == {
+        "1": tallies[1],
+        "2": tallies[2],
+        "3": tallies[3],
+    }
+    assert stats["verify_replaced"] == 0
+    assert stats["p50_ms"] is not None and stats["p99_ms"] is not None
+
+
+def test_bench_serve_throughput(benchmark, run_once, tmp_path):
+    """Healthy planner: every decision is a full ladder-1 answer."""
+    result = run_once(
+        benchmark,
+        lambda: _serve_and_stream(N_DECISIONS, tmp=tmp_path),
+    )
+    tallies, stats = result
+    elapsed = benchmark.stats.stats.total
+    _print_table(
+        "serve throughput (healthy planner)",
+        N_DECISIONS,
+        elapsed,
+        tallies,
+        stats,
+    )
+    _assert_accounting(N_DECISIONS, tallies, stats)
+    assert tallies[1] == N_DECISIONS  # all full answers
+    assert stats["deadline_misses"] == 0
+
+
+def test_bench_serve_degraded_ladder(benchmark, run_once, tmp_path):
+    """Always-hung planner: every decision answers at the deadline."""
+    n = max(20, N_DECISIONS // 20)
+    deadline_ms = 10.0
+
+    result = run_once(
+        benchmark,
+        lambda: _serve_and_stream(
+            n,
+            config=ServeConfig(deadline_s=deadline_ms / 1000.0, workers=4),
+            wrap=lambda planner: StallingPlanner(planner, 0.5),
+            deadline_ms=deadline_ms,
+            tmp=tmp_path,
+        ),
+    )
+    tallies, stats = result
+    elapsed = benchmark.stats.stats.total
+    _print_table(
+        "serve degraded ladder (hung planner, 10 ms deadline)",
+        n,
+        elapsed,
+        tallies,
+        stats,
+    )
+    _assert_accounting(n, tallies, stats)
+    assert tallies[2] == n  # every answer from the shield rung
+    assert stats["deadline_misses"] == n
+    assert stats["planner_restarts"] == n

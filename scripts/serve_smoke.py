@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""End-to-end chaos smoke test for the decision server.
+
+Exercises the serving contract from the outside, through the
+``repro-serve`` CLI only:
+
+1. start a healthy server and stream laddered decisions — every reply
+   must be a full (ladder-1) answer;
+2. restart with an injected *hung* planner (``--inject-stall-seconds``)
+   and require every decision to still answer, at the deadline, with
+   the ladder-2 shield action;
+3. ``SIGKILL`` the server mid-stream — the client must *know* it got
+   no decision (no silent drops, no fabricated actions) — then restart
+   on the same socket and keep streaming;
+4. require exact accounting on the final server
+   (``offered == served + degraded + shed``) and a clean SIGTERM drain
+   (exit code 0).
+
+Around 200 decisions total; **every reply received at every phase must
+be shield-verified safe** (finite, inside the actuation envelope,
+full brake on ladder >= 2, ``verify_replaced`` never set).
+
+Run via ``make serve-smoke``.  Exits 0 on success, 1 on any violated
+expectation.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ServeError  # noqa: E402
+from repro.scenarios.car_following import CarFollowingScenario  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+LIMITS = CarFollowingScenario().ego_limits
+
+#: Decisions per phase (healthy, hung, pre-kill, post-restart).
+PHASE_DECISIONS = 50
+
+STARTUP_TIMEOUT = 30.0
+
+
+def _fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _start_server(sock, *flags):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--unix-socket",
+            str(sock),
+            "--quiet",
+            *flags,
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            _fail(
+                "server died at startup: "
+                f"{proc.stderr.read().decode(errors='replace')!r}"
+            )
+        try:
+            with ServeClient(path=str(sock), timeout=1.0) as client:
+                client.ping()
+            return proc
+        except ServeError:
+            time.sleep(0.05)
+    proc.kill()
+    _fail("server never became reachable")
+
+
+def _check_safe(response):
+    """The chaos invariant for one reply, any ladder level."""
+    if response.get("safe") is not True:
+        _fail(f"reply not flagged safe: {response}")
+    action = response["action"]
+    if not (LIMITS.a_min - 1e-9 <= action <= LIMITS.a_max + 1e-9):
+        _fail(f"action outside actuation envelope: {response}")
+    if response["ladder"] >= 2 and abs(action - LIMITS.a_min) > 1e-9:
+        _fail(f"degraded reply is not the full-brake command: {response}")
+    if response.get("verify_replaced", False):
+        _fail(f"post-hoc verifier had to replace an action: {response}")
+
+
+def _stream(client, n, t0):
+    """Stream ``n`` decisions; returns per-ladder tallies."""
+    tallies = {1: 0, 2: 0, 3: 0}
+    for i in range(n):
+        t = t0 + 0.05 * i
+        response = client.decide(
+            t,
+            {"position": 0.0, "velocity": 20.0},
+            reports=[
+                {
+                    "vehicle": 1,
+                    "stamp": t - 0.01,
+                    "position": 60.0,
+                    "velocity": 15.0,
+                }
+            ],
+        )
+        _check_safe(response)
+        tallies[response["ladder"]] += 1
+    return tallies
+
+
+def _sigterm(proc):
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=30.0)
+    if code != 0:
+        _fail(f"SIGTERM drain exited {code}, expected 0")
+
+
+def main():
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    sock = tmp / "serve.sock"
+
+    # Phase 1 — healthy planner: all full answers.
+    proc = _start_server(sock)
+    try:
+        with ServeClient(path=str(sock)) as client:
+            tallies = _stream(client, PHASE_DECISIONS, t0=1.0)
+        if tallies[1] != PHASE_DECISIONS:
+            _fail(f"healthy server degraded: {tallies}")
+        _sigterm(proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print(f"serve-smoke: phase 1 ok — {PHASE_DECISIONS} ladder-1 decisions")
+
+    # Phase 2 — hung planner: every decision answers at the deadline
+    # from the shield rung, and the wedged planner is retired each time.
+    os.unlink(sock)
+    proc = _start_server(
+        sock, "--inject-stall-seconds", "0.3", "--deadline-ms", "40"
+    )
+    try:
+        with ServeClient(path=str(sock)) as client:
+            tallies = _stream(client, PHASE_DECISIONS, t0=1.0)
+            stats = client.stats()
+        if tallies[2] != PHASE_DECISIONS:
+            _fail(f"hung planner did not degrade to ladder 2: {tallies}")
+        if stats["deadline_misses"] != PHASE_DECISIONS:
+            _fail(f"deadline misses not counted: {stats}")
+        if stats["planner_restarts"] != PHASE_DECISIONS:
+            _fail(f"wedged planners not retired: {stats}")
+        _sigterm(proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print(
+        f"serve-smoke: phase 2 ok — {PHASE_DECISIONS} hung-planner "
+        "decisions, all ladder-2 at the deadline"
+    )
+
+    # Phase 3 — SIGKILL mid-stream, restart, keep serving.
+    os.unlink(sock)
+    proc = _start_server(sock)
+    try:
+        client = ServeClient(path=str(sock))
+        tallies = _stream(client, PHASE_DECISIONS, t0=1.0)
+        if tallies[1] != PHASE_DECISIONS:
+            _fail(f"pre-kill stream degraded: {tallies}")
+        proc.kill()
+        proc.wait(timeout=30.0)
+        try:
+            _stream(client, 1, t0=10.0)
+        except ServeError:
+            pass  # exactly right: the client knows it got nothing
+        else:
+            _fail("client got a reply from a SIGKILLed server")
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print("serve-smoke: phase 3 ok — SIGKILL surfaced as ServeError")
+
+    os.unlink(sock)
+    proc = _start_server(sock)
+    try:
+        with ServeClient(path=str(sock)) as client:
+            tallies = _stream(client, PHASE_DECISIONS, t0=1.0)
+            stats = client.stats()
+        if tallies[1] != PHASE_DECISIONS:
+            _fail(f"restarted server degraded: {tallies}")
+        if stats["offered"] != PHASE_DECISIONS:
+            _fail(f"restarted server accounting off: {stats}")
+        if stats["offered"] != (
+            stats["served"] + stats["degraded"] + stats["shed"]
+        ):
+            _fail(f"accounting invariant violated: {stats}")
+        if stats["verify_replaced"] != 0:
+            _fail(f"verifier replacements on restarted server: {stats}")
+        _sigterm(proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print(
+        f"serve-smoke: phase 4 ok — restarted server served "
+        f"{PHASE_DECISIONS} decisions with exact accounting"
+    )
+    print("serve-smoke: all phases passed (every reply ladder-safe)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,13 @@ from repro.campaign.runner import (
     verify_campaign,
 )
 from repro.campaign.shard import ShardCoordinator, shard_status
-from repro.errors import CampaignError, ReproError
+from repro.errors import ReproError
+from repro.utils.validation import (
+    check_flag_at_least,
+    check_flag_below,
+    check_flag_count,
+    check_flag_positive,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -161,42 +167,28 @@ def _add_shard_options(sub: argparse.ArgumentParser) -> None:
 
 
 def _validate_exec_options(args: argparse.Namespace) -> None:
-    """Reject nonsensical knob values before anything touches disk."""
-    if args.workers < 1:
-        raise CampaignError(f"--workers must be >= 1, got {args.workers}")
-    if args.max_retries < 0:
-        raise CampaignError(
-            f"--max-retries must be >= 0, got {args.max_retries}"
-        )
-    if args.chunk_attempts < 1:
-        raise CampaignError(
-            f"--chunk-attempts must be >= 1, got {args.chunk_attempts}"
-        )
-    if args.chunk_timeout is not None and args.chunk_timeout <= 0.0:
-        raise CampaignError(
-            f"--chunk-timeout must be > 0 seconds, got {args.chunk_timeout}"
-        )
+    """Reject nonsensical knob values before anything touches disk.
+
+    All numeric knobs go through the shared flag validators in
+    :mod:`repro.utils.validation` — the same helpers the serve CLI
+    uses — so NaN/zero/negative values fail identically everywhere.
+    """
+    check_flag_count(args.workers, "--workers", minimum=1)
+    check_flag_count(args.max_retries, "--max-retries", minimum=0)
+    check_flag_count(args.chunk_attempts, "--chunk-attempts", minimum=1)
+    if args.chunk_timeout is not None:
+        check_flag_positive(args.chunk_timeout, "--chunk-timeout")
     if hasattr(args, "lease_ttl"):
-        if args.lease_ttl <= 0.0:
-            raise CampaignError(
-                f"--lease-ttl must be > 0 seconds, got {args.lease_ttl}"
-            )
-        if args.heartbeat_interval <= 0.0:
-            raise CampaignError(
-                f"--heartbeat-interval must be > 0 seconds, got "
-                f"{args.heartbeat_interval}"
-            )
-        if args.heartbeat_interval >= args.lease_ttl:
-            raise CampaignError(
-                f"--heartbeat-interval ({args.heartbeat_interval}) must be "
-                f"below --lease-ttl ({args.lease_ttl}); every healthy "
-                "lease would expire"
-            )
-        if args.straggler_factor < 1.0:
-            raise CampaignError(
-                f"--straggler-factor must be >= 1, got "
-                f"{args.straggler_factor}"
-            )
+        check_flag_positive(args.lease_ttl, "--lease-ttl")
+        check_flag_positive(args.heartbeat_interval, "--heartbeat-interval")
+        check_flag_below(
+            args.heartbeat_interval,
+            "--heartbeat-interval",
+            args.lease_ttl,
+            "--lease-ttl",
+            reason="every healthy lease would expire",
+        )
+        check_flag_at_least(args.straggler_factor, 1.0, "--straggler-factor")
 
 
 def _runner(args: argparse.Namespace, manifest: CampaignManifest) -> CampaignRunner:

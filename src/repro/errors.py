@@ -52,6 +52,37 @@ class PlannerFaultError(PlannerError):
     """
 
 
+class TransientPlannerFaultError(PlannerFaultError):
+    """An injected planner failure that may clear on retry.
+
+    Models recoverable conditions — a timed-out RPC, a transient
+    resource spike — that a caller with remaining deadline budget may
+    retry once before degrading.  Subclasses
+    :class:`PlannerFaultError`, so every legacy containment path
+    (compound planner, engine watchdog) treats it exactly as before.
+    """
+
+
+class FatalPlannerFaultError(PlannerFaultError):
+    """An injected planner failure that no retry can clear.
+
+    Models a crashed or wedged planner process: retrying burns deadline
+    budget for nothing, so callers that know about the taxonomy (the
+    serve degradation ladder) must degrade to their shield action
+    immediately.  Subclasses :class:`PlannerFaultError`, so legacy
+    containment paths are unchanged.
+    """
+
+
+class ServeError(ReproError):
+    """The decision server was misconfigured or received a bad request.
+
+    Malformed observations never raise out of the request loop — they
+    degrade to a safe braking response — but programmatic misuse of the
+    serve API (invalid limits, a non-finite deadline) surfaces as this.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A fault plan is inconsistent or was applied to an unsupported hook."""
 

@@ -15,11 +15,14 @@ module:
   one, else every user-defined method named ``m`` anywhere in the tree
   (the *method-name index* — a deliberate over-approximation, since a
   receiver's class is rarely knowable syntactically);
-* ``obj.m(...)`` — the method-name index, except that builtin-container
-  mutator names (``append``, ``update``, ...) on a *local* receiver are
-  taken to be genuine container operations and edge nowhere (otherwise
-  every local ``list.append`` would alias every user-defined
-  ``append``).
+* ``obj.m(...)`` — when ``obj`` is a parameter or local with a class
+  annotation (``engine: SimulationEngine``, ``injector:
+  Optional[FaultInjector] = ...``), the call pins to that class's
+  method; otherwise the method-name index, except that
+  builtin-container mutator names (``append``, ``update``, ...) on a
+  *local* receiver are taken to be genuine container operations and
+  edge nowhere (otherwise every local ``list.append`` would alias
+  every user-defined ``append``).
 
 Each edge records whether the call syntactically passes any caller
 parameter (as receiver or argument) — ``mutates-args`` propagates to
@@ -233,7 +236,7 @@ class _CallCollector(ast.NodeVisitor):
         self.params = params
         self.local_names = local_names
         self.edges: List[CallEdge] = []
-        #: Annotated parameter -> class qualname, for typed receivers
+        #: Annotated name -> class qualname, for typed receivers
         #: (``engine: SimulationEngine`` pins ``engine.run()`` to that
         #: class instead of the promiscuous method-name index).
         self.param_types: Dict[str, str] = {}
@@ -246,25 +249,44 @@ class _CallCollector(ast.NodeVisitor):
         ]:
             if arg.annotation is None:
                 continue
-            chain = dotted_chain(_strip_optional(arg.annotation))
-            if not chain:
-                continue
-            if len(chain) == 1:
-                candidates = [
-                    f"{node.module}.{chain[0]}",
-                    imports.get(chain[0], ""),
-                ]
-            else:
-                root_module = imports.get(chain[0])
-                candidates = (
-                    [".".join([root_module, *chain[1:]])]
-                    if root_module
-                    else []
+            self._pin_receiver_type(arg.arg, arg.annotation, imports)
+        # Annotated local assignments pin the same way (``injector:
+        # Optional[FaultInjector] = None`` resolves ``injector.plan``
+        # to that class).  A parameter annotation wins over a local
+        # one of the same name; nested defs are folded into the
+        # enclosing node by the fact extractor, so their annotated
+        # locals land here too.
+        for sub in ast.walk(node.func):
+            if (
+                isinstance(sub, ast.AnnAssign)
+                and isinstance(sub.target, ast.Name)
+                and sub.target.id not in self.param_types
+            ):
+                self._pin_receiver_type(
+                    sub.target.id, sub.annotation, imports
                 )
-            for candidate in candidates:
-                if candidate in graph.class_inits:
-                    self.param_types[arg.arg] = candidate
-                    break
+
+    def _pin_receiver_type(
+        self, name: str, annotation: ast.expr, imports: Mapping[str, str]
+    ) -> None:
+        """Record ``name``'s class qualname if the annotation names one."""
+        chain = dotted_chain(_strip_optional(annotation))
+        if not chain:
+            return
+        if len(chain) == 1:
+            candidates = [
+                f"{self.node.module}.{chain[0]}",
+                imports.get(chain[0], ""),
+            ]
+        else:
+            root_module = imports.get(chain[0])
+            candidates = (
+                [".".join([root_module, *chain[1:]])] if root_module else []
+            )
+        for candidate in candidates:
+            if candidate in self.graph.class_inits:
+                self.param_types[name] = candidate
+                break
 
     # Nested defs are folded into the enclosing function by the fact
     # extractor; their call sites belong to the enclosing node too.

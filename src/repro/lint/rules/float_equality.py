@@ -13,7 +13,9 @@ Exemptions (exact by construction, the codebase's documented idioms):
 * comparison against the literal ``0``/``0.0`` — the clamp-then-check
   idiom ``v = max(v, 0.0); if v == 0.0`` is exact;
 * comparison against ``math.inf``/``math.nan`` attributes or the
-  ``NEVER`` sentinel of the window algebra.
+  ``NEVER`` sentinel of the window algebra;
+* comparison against a ``pytest.approx(...)`` call — that *is* the
+  tolerance comparison this rule asks for.
 """
 
 from __future__ import annotations
@@ -59,6 +61,15 @@ def _is_exempt(node: ast.AST) -> bool:
         return True
     if isinstance(node, ast.Attribute) and node.attr in _SENTINEL_ATTRS:
         return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else getattr(func, "id", "")
+        )
+        if name == "approx":
+            return True
     return False
 
 

@@ -29,7 +29,12 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS", "metric_key"]
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "metric_key",
+    "histogram_quantile",
+]
 
 #: Default histogram bucket upper bounds, seconds-flavoured: spans the
 #: microsecond-to-minute range the instrumented layers produce.
@@ -44,6 +49,37 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     10.0,
     60.0,
 )
+
+
+def histogram_quantile(snapshot: dict, q: float) -> Optional[float]:
+    """Approximate the ``q``-quantile of one histogram snapshot.
+
+    Prometheus-style linear interpolation inside the bucket that
+    contains the rank, with the first bucket's lower edge taken as 0
+    (the instrumented quantities — latencies, delays — are
+    nonnegative).  Ranks falling in the overflow bucket return the
+    observed maximum, which upper-bounds the true quantile.  Returns
+    ``None`` for an empty histogram.
+
+    This is a *reporting* helper (exporters, probes, benchmarks);
+    feeding its output back into planner/filter/dynamics arguments is
+    exactly what safelint rule SFL011 exists to flag.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+    count = snapshot["count"]
+    if not count:
+        return None
+    rank = q * count
+    cumulative = 0
+    lower = 0.0
+    for bound, bucket_count in zip(snapshot["buckets"], snapshot["counts"]):
+        if bucket_count > 0 and cumulative + bucket_count >= rank:
+            fraction = (rank - cumulative) / bucket_count
+            return lower + (bound - lower) * max(fraction, 0.0)
+        cumulative += bucket_count
+        lower = bound
+    return snapshot["max"]
 
 
 def metric_key(name: str, labels: Dict[str, object]) -> str:

@@ -1,0 +1,47 @@
+"""Shield-as-a-service: the deadline-enforced decision server.
+
+Wraps the paper's compound planner (Section III-A) behind a network
+boundary without ever weakening its guarantee: every reply — on time,
+late, degraded, shed, even unparseable — carries an action the safety
+shield verifies before it leaves the process.  The **degradation
+ladder** (:mod:`repro.serve.ladder`) picks the strongest justifiable
+answer: (1) the monitored compound planner within the deadline budget,
+(2) the emergency command on the last verified state after a deadline
+miss or planner fault, (3) the reachability-justified full brake when
+no verified state exists at all.
+
+Layers
+------
+
+``protocol``  — newline-JSON framing, ops/events/status constants.
+``session``   — request parsing, newest-report-wins state store,
+                reachability propagation to the request time.
+``ladder``    — the three rungs plus post-hoc action verification.
+``server``    — asyncio server: deadlines, admission control/shedding,
+                planner retirement, drain, ``serve.*`` metrics.
+``client``    — blocking client used by tests and the smoke script.
+``cli``       — ``repro-serve`` (validated flags, chaos injection).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.ladder import LadderDecision, LadderLevel, LadderPolicy
+from repro.serve.server import DecisionServer, ServeConfig
+from repro.serve.session import (
+    DecisionSession,
+    Observation,
+    RemoteReport,
+    parse_observation,
+)
+
+__all__ = [
+    "ServeClient",
+    "LadderDecision",
+    "LadderLevel",
+    "LadderPolicy",
+    "DecisionServer",
+    "ServeConfig",
+    "DecisionSession",
+    "Observation",
+    "RemoteReport",
+    "parse_observation",
+]

@@ -1,0 +1,328 @@
+"""``repro-serve``: the deadline-enforced decision server command line.
+
+Serves the car-following scenario's compound planner (IDM embedded by
+default) behind the degradation ladder.  The chaos-injection flags
+wrap the *whole compound planner* with the :mod:`repro.faults`
+decorators — ``--inject-stall-seconds`` makes it genuinely hang on
+scheduled calls (what the smoke script uses to force ladder-2
+deadline answers) and ``--inject-error-*`` makes it raise transient
+or fatal planner faults.  Wrapping the outside is deliberate: the
+compound *absorbs* embedded-planner faults by design (the paper's
+shield theorem), so faults that must exercise the ladder's own
+level-2 machinery have to hit the planner unit as a whole.  Whatever
+the injection does, every reply is still ladder-verified safe.
+
+Every numeric flag goes through the shared validators in
+:mod:`repro.utils.validation` — ``--deadline-ms nan``, a zero
+``--max-inflight``, or a negative ``--workers`` fails with exit code 2
+and the flag name on stderr, before a socket is bound.
+
+Exit codes: 0 after a clean drain (SIGINT/SIGTERM); 2 for invalid
+flags or any server error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.compound import CompoundPlanner
+from repro.core.monitor import RuntimeMonitor
+from repro.errors import ConfigurationError, ReproError
+from repro.faults.plan import (
+    PlannerFault,
+    PlannerFaultKind,
+    PlannerFaultSeverity,
+    StepWindow,
+)
+from repro.faults.planner_wrapper import FaultyPlanner, StallingPlanner
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.base import Planner
+from repro.planners.constant import FullBrakePlanner
+from repro.planners.idm import GapChaserPlanner, IDMPlanner
+from repro.scenarios.car_following import CarFollowingScenario
+from repro.serve.ladder import LadderPolicy
+from repro.serve.server import DecisionServer, ServeConfig
+from repro.serve.session import DecisionSession
+from repro.utils.validation import (
+    check_flag_at_least,
+    check_flag_count,
+    check_flag_positive,
+)
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_ERROR = 2
+
+#: Leader vehicle index in the car-following scenario.
+_LEADER = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Shield-as-a-service: laddered, deadline-enforced planner "
+            "decisions over newline JSON."
+        ),
+    )
+    bind = parser.add_argument_group("binding")
+    bind.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    bind.add_argument(
+        "--port", type=int, default=7433, help="TCP port (0 = pick free)"
+    )
+    bind.add_argument(
+        "--unix-socket",
+        default=None,
+        help="serve on a unix socket path instead of TCP",
+    )
+
+    budget = parser.add_argument_group("budgets")
+    budget.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        help="default per-request deadline budget, milliseconds",
+    )
+    budget.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="admission bound on concurrent decisions (excess is shed)",
+    )
+    budget.add_argument(
+        "--workers", type=int, default=2, help="planner worker threads"
+    )
+    budget.add_argument(
+        "--max-state-age-s",
+        type=float,
+        default=1.0,
+        help="freshness bound on V2V reports, seconds",
+    )
+    budget.add_argument(
+        "--transient-retries",
+        type=int,
+        default=1,
+        help="retry budget for transient planner faults per request",
+    )
+    budget.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=5.0,
+        help="seconds to wait for inflight decisions on SIGINT/SIGTERM",
+    )
+
+    workload = parser.add_argument_group("workload")
+    workload.add_argument(
+        "--planner",
+        choices=("idm", "gap-chaser", "full-brake"),
+        default="idm",
+        help="embedded planner inside the shield",
+    )
+    workload.add_argument(
+        "--p-gap",
+        type=float,
+        default=5.0,
+        help="minimum safe gap of the car-following scenario, metres",
+    )
+
+    chaos = parser.add_argument_group("chaos injection (planner unit)")
+    chaos.add_argument(
+        "--inject-stall-seconds",
+        type=float,
+        default=0.0,
+        help="wall-clock hang injected into scheduled planner calls",
+    )
+    chaos.add_argument(
+        "--inject-stall-window",
+        action="append",
+        default=[],
+        metavar="START:STOP",
+        help="planner-call window to stall (repeatable; none = every call)",
+    )
+    chaos.add_argument(
+        "--inject-error-window",
+        action="append",
+        default=[],
+        metavar="START:STOP",
+        help="planner-call window that raises (repeatable)",
+    )
+    chaos.add_argument(
+        "--inject-error-severity",
+        choices=("transient", "fatal"),
+        default="transient",
+        help="severity of injected planner exceptions",
+    )
+
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress startup/drain prints"
+    )
+    return parser
+
+
+def _parse_window(text: str, flag: str) -> StepWindow:
+    """Parse a ``START:STOP`` step window; flag-named errors."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"{flag} must look like START:STOP, got {text!r}"
+        )
+    try:
+        start, stop = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{flag} must hold integers, got {text!r}"
+        ) from exc
+    if start < 0 or stop <= start:
+        raise ConfigurationError(
+            f"{flag} needs 0 <= START < STOP, got {text!r}"
+        )
+    return StepWindow(start=start, stop=stop)
+
+
+def _validate(args: argparse.Namespace) -> None:
+    """Reject nonsensical knob values before binding any socket.
+
+    The same shared helpers back the ``repro-campaign`` flags, so NaN,
+    zero, and negative values fail identically across both CLIs.
+    """
+    check_flag_positive(args.deadline_ms, "--deadline-ms")
+    check_flag_count(args.max_inflight, "--max-inflight", minimum=1)
+    check_flag_count(args.workers, "--workers", minimum=1)
+    check_flag_positive(args.max_state_age_s, "--max-state-age-s")
+    check_flag_count(args.transient_retries, "--transient-retries", minimum=0)
+    check_flag_at_least(args.drain_grace_s, 0.0, "--drain-grace-s")
+    check_flag_at_least(args.inject_stall_seconds, 0.0, "--inject-stall-seconds")
+    check_flag_positive(args.p_gap, "--p-gap")
+    for text in args.inject_stall_window:
+        _parse_window(text, "--inject-stall-window")
+    for text in args.inject_error_window:
+        _parse_window(text, "--inject-error-window")
+
+
+def _embedded_planner(
+    args: argparse.Namespace, scenario: CarFollowingScenario
+) -> Planner:
+    if args.planner == "idm":
+        return IDMPlanner(scenario.ego_limits, leader_index=_LEADER)
+    if args.planner == "gap-chaser":
+        return GapChaserPlanner(scenario.ego_limits, leader_index=_LEADER)
+    return FullBrakePlanner(scenario.ego_limits)
+
+
+def _wrap_chaos(planner: Planner, args: argparse.Namespace) -> Planner:
+    """Apply the ``--inject-*`` decorators to the planner unit."""
+    error_windows = tuple(
+        _parse_window(text, "--inject-error-window")
+        for text in args.inject_error_window
+    )
+    if error_windows:
+        severity = PlannerFaultSeverity(args.inject_error_severity)
+        planner = FaultyPlanner(
+            planner,
+            faults=tuple(
+                PlannerFault(
+                    window=window,
+                    kind=PlannerFaultKind.EXCEPTION,
+                    severity=severity,
+                )
+                for window in error_windows
+            ),
+        )
+    if args.inject_stall_seconds > 0.0:
+        stall_windows = tuple(
+            _parse_window(text, "--inject-stall-window")
+            for text in args.inject_stall_window
+        )
+        planner = StallingPlanner(
+            planner, args.inject_stall_seconds, windows=stall_windows
+        )
+    return planner
+
+
+def build_server(args: argparse.Namespace) -> DecisionServer:
+    """Wire scenario, planner, chaos decorators, and config together."""
+    scenario = CarFollowingScenario(p_gap=args.p_gap)
+
+    def ladder_factory() -> LadderPolicy:
+        compound = CompoundPlanner(
+            nn_planner=_embedded_planner(args, scenario),
+            emergency_planner=scenario.emergency_planner(),
+            monitor=RuntimeMonitor(scenario.safety_model()),
+            limits=scenario.ego_limits,
+        )
+        return LadderPolicy(
+            compound,
+            scenario.ego_limits,
+            planner=_wrap_chaos(compound, args),
+        )
+
+    def session_factory() -> DecisionSession:
+        return DecisionSession(
+            {_LEADER: ReachabilityAnalyzer(scenario.leader_limits)},
+            max_state_age=args.max_state_age_s,
+        )
+
+    config = ServeConfig(
+        deadline_s=args.deadline_ms / 1000.0,
+        max_inflight=args.max_inflight,
+        workers=args.workers,
+        max_state_age=args.max_state_age_s,
+        transient_retries=args.transient_retries,
+        drain_grace=args.drain_grace_s,
+    )
+    return DecisionServer(ladder_factory, session_factory, config=config)
+
+
+async def _serve(server: DecisionServer, args: argparse.Namespace) -> None:
+    await server.start(
+        host=args.host, port=args.port, path=args.unix_socket
+    )
+    if not args.quiet:
+        where = (
+            args.unix_socket
+            if args.unix_socket is not None
+            else f"{args.host}:{server.tcp_port()}"
+        )
+        print(
+            f"repro-serve: pid={os.getpid()} listening on {where} "
+            f"(deadline {args.deadline_ms:g} ms, "
+            f"ladder full->shield->brake)",
+            flush=True,
+        )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await server.serve_until(stop)
+    if not args.quiet:
+        stats = server.stats()
+        print(
+            f"repro-serve: drained — offered={stats['offered']:g} "
+            f"served={stats['served']:g} degraded={stats['degraded']:g} "
+            f"shed={stats['shed']:g}",
+            flush=True,
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        _validate(args)
+        server = build_server(args)
+        asyncio.run(_serve(server, args))
+        return EXIT_OK
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

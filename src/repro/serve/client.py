@@ -1,0 +1,182 @@
+"""A small synchronous client for the decision server.
+
+Used by the chaos/soak tests, the smoke script, and anything that
+wants laddered decisions without running an event loop.  One client is
+one connection; requests are answered in order (the server guarantees
+per-connection ordering), so :meth:`ServeClient.decide` is a plain
+blocking call.
+
+The client is strict about what it accepts back: a closed connection
+or an unparseable reply raises :class:`~repro.errors.ServeError` —
+after a server SIGKILL the caller *knows* it got no decision and can
+fall back to its own full-brake default, exactly like the in-vehicle
+deployment would.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    OP_DECIDE,
+    OP_HEALTH,
+    OP_PING,
+    OP_STATS,
+    decode_line,
+    encode_message,
+)
+from repro.serve.session import RemoteReport
+
+__all__ = ["ServeClient"]
+
+_EgoLike = Union[VehicleState, Mapping[str, float]]
+_ReportLike = Union[RemoteReport, Mapping[str, float]]
+
+
+def _ego_payload(ego: _EgoLike) -> dict:
+    if isinstance(ego, VehicleState):
+        return {
+            "position": ego.position,
+            "velocity": ego.velocity,
+            "acceleration": ego.acceleration,
+        }
+    return dict(ego)
+
+
+def _report_payload(report: _ReportLike) -> dict:
+    if isinstance(report, RemoteReport):
+        return {
+            "vehicle": report.vehicle,
+            "stamp": report.stamp,
+            "position": report.position,
+            "velocity": report.velocity,
+            "acceleration": report.acceleration,
+        }
+    return dict(report)
+
+
+class ServeClient:
+    """Blocking newline-JSON client; context-manager friendly.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint (ignored when ``path`` is given).
+    path:
+        Unix-socket path.
+    timeout:
+        Socket timeout for connect and each reply, seconds.
+        Units: timeout [s]
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+        timeout: float = 5.0,
+    ) -> None:
+        if path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(path)
+            except OSError as exc:
+                sock.close()
+                raise ServeError(
+                    f"cannot connect to decision server at {path!r}: {exc}"
+                ) from exc
+        else:
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to decision server at "
+                    f"{host}:{port}: {exc}"
+                ) from exc
+            sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Raw request/reply
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request line and block for its reply line."""
+        try:
+            self._sock.sendall(encode_message(payload))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServeError(f"decision server connection lost: {exc}") from exc
+        if not line:
+            raise ServeError("decision server closed the connection")
+        message = decode_line(line)
+        if message is None:
+            raise ServeError(f"malformed server reply: {line!r}")
+        return message
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        time: float,
+        ego: _EgoLike,
+        reports: Iterable[_ReportLike] = (),
+        deadline_ms: Optional[float] = None,
+        request_id: Optional[object] = None,
+    ) -> dict:
+        """One decision request; returns the decoded reply event.
+
+        ``deadline_ms`` is the per-request deadline budget in
+        milliseconds (the wire unit of the protocol field).
+
+        Units: time [s]
+        """
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id += 1
+        payload = {
+            "op": OP_DECIDE,
+            "id": request_id,
+            "time": time,
+            "ego": _ego_payload(ego),
+            "messages": [_report_payload(r) for r in reports],
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request(payload)
+
+    def ping(self) -> dict:
+        """Liveness probe."""
+        return self.request({"op": OP_PING})
+
+    def health(self) -> dict:
+        """Readiness probe (inflight, stalled workers, drain state)."""
+        return self.request({"op": OP_HEALTH})
+
+    def stats(self) -> dict:
+        """Ladder/latency counter snapshot."""
+        return self.request({"op": OP_STATS})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            # Closing an already-dead socket; nothing left to release.
+            return
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,306 @@
+"""The guaranteed-safe degradation ladder (serve's core invariant).
+
+Every decision request is answered from the **highest ladder rung that
+can still be justified**:
+
+1. ``FULL`` — the monitored compound planner
+   (:class:`~repro.core.compound.CompoundPlanner`) runs within the
+   request's deadline budget.  The runtime monitor inside it already
+   guards every command (the paper's Theorem 1 shield), so a level-1
+   answer is safe by construction.
+2. ``SHIELD`` — the planner missed its deadline, raised, or kept
+   raising past the retry budget.  The answer is the scenario's
+   emergency command evaluated on the **last verified state** (the
+   same fused context the monitor would have admitted) — exactly the
+   fallback the Eq. (4) induction proves safe from any admitted state.
+3. ``BRAKE`` — there is no verified state at all (required vehicle
+   never reported, report older than the freshness bound, malformed
+   request, shed under overload).  The answer is the physical
+   full-brake command ``a_min``, justified by reachability: braking
+   bounds the ego's future occupancy to a computable stop position
+   regardless of what anything else does.
+
+:meth:`LadderPolicy.verify` re-checks every outgoing action *after*
+the rung chose it — the belt to the ladder's braces.  An action that
+fails verification (out of actuation bounds, or a flagged state whose
+action is not the emergency command) is replaced by full braking and
+flagged ``verify_replaced``, so a bug anywhere above this line degrades
+to safety instead of shipping an unsafe command.  The chaos tests
+assert the flag stays ``False``; the replacement exists so that even
+under bugs those tests *find*, no unsafe action ever leaves the server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.core.compound import CompoundPlanner
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleLimits
+from repro.faults.planner_wrapper import call_contained
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.base import Planner, PlanningContext, clipped
+
+__all__ = [
+    "LadderLevel",
+    "LadderDecision",
+    "LadderPolicy",
+    "CAUSE_NN",
+    "CAUSE_MONITOR",
+    "CAUSE_DEADLINE",
+    "CAUSE_PLANNER_TRANSIENT",
+    "CAUSE_PLANNER_FATAL",
+    "CAUSE_NO_STATE",
+    "CAUSE_STALE_STATE",
+    "CAUSE_MALFORMED",
+    "CAUSE_SHED",
+    "CAUSE_DRAINING",
+]
+
+#: Level 1: the embedded planner's command passed the monitor.
+CAUSE_NN = "nn"
+#: Level 1: the monitor engaged the emergency planner inside the shield.
+CAUSE_MONITOR = "monitor"
+#: Level 2: the planner call did not return within the deadline budget.
+CAUSE_DEADLINE = "deadline"
+#: Level 2: transient planner faults exhausted the retry budget.
+CAUSE_PLANNER_TRANSIENT = "planner-transient"
+#: Level 2: a fatal planner fault — retrying cannot help.
+CAUSE_PLANNER_FATAL = "planner-fatal"
+#: Level 3: a required vehicle has never reported.
+CAUSE_NO_STATE = "no-state"
+#: Level 3: the freshest report is older than the freshness bound.
+CAUSE_STALE_STATE = "stale-state"
+#: Level 3: the request could not be parsed (answered safely anyway).
+CAUSE_MALFORMED = "malformed"
+#: Level 3: admission control refused the request (queue full).
+CAUSE_SHED = "shed"
+#: Level 3: the server is draining and accepts no new decisions.
+CAUSE_DRAINING = "draining"
+
+#: Acceleration comparison tolerance, m/s^2 — float noise only; any
+#: genuine deviation from the emergency command is orders larger.
+_ACTION_TOLERANCE = 1e-9
+
+
+class LadderLevel(IntEnum):
+    """Which rung of the degradation ladder answered."""
+
+    FULL = 1
+    SHIELD = 2
+    BRAKE = 3
+
+
+@dataclass(frozen=True)
+class LadderDecision:
+    """One laddered decision: the action plus its justification.
+
+    Units: action [m/s^2], stop_position [m]
+    """
+
+    level: LadderLevel
+    action: float
+    cause: str
+    #: Level 1 only: did the monitor hand the step to the emergency
+    #: planner inside the shield?
+    monitor_engaged: Optional[bool] = None
+    #: Transient-fault retries spent before this answer.
+    retries: int = 0
+    #: The post-hoc verifier replaced an unsafe action with full brake.
+    verify_replaced: bool = False
+    #: Level 3 only: sound upper bound on how far the ego can still
+    #: travel under the commanded full brake (reachability, Eq. (2)).
+    stop_position: Optional[float] = None
+
+
+class LadderPolicy:
+    """Builds and verifies decisions for one connection.
+
+    Parameters
+    ----------
+    compound:
+        The monitored compound planner (level 1) whose emergency
+        planner also answers level 2.
+    limits:
+        Ego actuation limits; every outgoing action is checked against
+        them and level 3 commands ``limits.a_min``.
+    ego_analyzer:
+        Reachability analyzer over the *ego's* limits, used to attach
+        the sound stop-position bound to level-3 answers.  Defaults to
+        one built from ``limits``.
+    planner:
+        The object level 1 actually invokes; defaults to ``compound``.
+        Chaos injection hands in the compound wrapped with the
+        :mod:`repro.faults` decorators here — the compound *absorbs*
+        embedded-planner faults by design (the paper's shield), so
+        faults that must reach the ladder (a crash or hang of the
+        whole planner unit) have to wrap the outside.
+    """
+
+    def __init__(
+        self,
+        compound: CompoundPlanner,
+        limits: VehicleLimits,
+        ego_analyzer: Optional[ReachabilityAnalyzer] = None,
+        planner: Optional[Planner] = None,
+    ) -> None:
+        self._compound = compound
+        self._limits = limits
+        self._planner: Planner = planner if planner is not None else compound
+        self._analyzer = (
+            ego_analyzer
+            if ego_analyzer is not None
+            else ReachabilityAnalyzer(limits)
+        )
+
+    @property
+    def compound(self) -> CompoundPlanner:
+        """The level-1 planner."""
+        return self._compound
+
+    @property
+    def limits(self) -> VehicleLimits:
+        """Ego actuation limits."""
+        return self._limits
+
+    # ------------------------------------------------------------------
+    # Rungs
+    # ------------------------------------------------------------------
+    def full_attempt(
+        self, context: PlanningContext
+    ) -> Tuple[Optional[LadderDecision], Optional[BaseException]]:
+        """Level 1: one contained compound-planner invocation.
+
+        Runs in a worker thread under the server's deadline; any crash
+        is returned as data (via
+        :func:`~repro.faults.planner_wrapper.call_contained`) for the
+        caller to classify, never raised into the event loop.
+        """
+        command, error = call_contained(self._planner, context)
+        if error is not None or command is None:
+            return None, error
+        last = self._compound.last_decision
+        engaged = bool(last.use_emergency) if last is not None else False
+        return (
+            LadderDecision(
+                level=LadderLevel.FULL,
+                action=command,
+                cause=CAUSE_MONITOR if engaged else CAUSE_NN,
+                monitor_engaged=engaged,
+            ),
+            None,
+        )
+
+    def shield_decision(
+        self, context: PlanningContext, cause: str, retries: int = 0
+    ) -> LadderDecision:
+        """Level 2: the emergency command on the last verified state."""
+        action = clipped(
+            self._compound.emergency_planner.plan(context), self._limits
+        )
+        return LadderDecision(
+            level=LadderLevel.SHIELD,
+            action=action,
+            cause=cause,
+            retries=retries,
+        )
+
+    def brake_decision(
+        self, ego: Optional[VehicleState], cause: str
+    ) -> LadderDecision:
+        """Level 3: reachability-justified full brake.
+
+        When the ego state is known, attaches the Eq. (2) upper bound
+        on the braking ego's final position — the sound "this is where
+        we stop" certificate that holds with no information about any
+        other vehicle.
+        """
+        return LadderDecision(
+            level=LadderLevel.BRAKE,
+            action=self._limits.a_min,
+            cause=cause,
+            stop_position=None if ego is None else self.stop_position(ego),
+        )
+
+    def stop_position(self, ego: VehicleState) -> float:
+        """Upper bound on the braking ego's final position, metres.
+
+        Under the full-brake command the ego's velocity reaches the
+        floor after ``(v - v_min) / |a_min|`` seconds; the reachability
+        analyzer's minimal-position trajectory *is* the full-brake
+        trajectory, so evaluating it at the stop time bounds the total
+        travel.  (With a positive velocity floor the "stop" position is
+        the position at the moment braking saturates.)
+        """
+        brake_time = max(
+            0.0,
+            (ego.velocity - self._limits.v_min) / -self._limits.a_min,
+        )
+        return self._analyzer.min_position(
+            ego.position, ego.velocity, brake_time
+        )
+
+    # ------------------------------------------------------------------
+    # Post-hoc verification
+    # ------------------------------------------------------------------
+    def verify(
+        self, decision: LadderDecision, context: Optional[PlanningContext]
+    ) -> LadderDecision:
+        """Re-check an outgoing action; replace with full brake if unsafe.
+
+        The checks are independent of how the rung computed the action:
+
+        * every level — the action is finite and within actuation
+          limits;
+        * level 3 — the action *is* the full-brake command;
+        * levels 1–2 with a context — if the safety model flags the
+          state (boundary or unsafe set), the action must match the
+          emergency command; level 2 must match it unconditionally.
+
+        A failed check returns a copy commanding ``a_min`` with
+        ``verify_replaced=True`` — full braking is safe from any state
+        the monitor ever admitted (Eq. (4)), so the replacement never
+        makes things worse.
+        """
+        if self._action_verified(decision, context):
+            return decision
+        return replace(
+            decision,
+            action=self._limits.a_min,
+            verify_replaced=True,
+        )
+
+    def _action_verified(
+        self, decision: LadderDecision, context: Optional[PlanningContext]
+    ) -> bool:
+        action = decision.action
+        limits = self._limits
+        if not math.isfinite(action):
+            return False
+        if not (
+            limits.a_min - _ACTION_TOLERANCE
+            <= action
+            <= limits.a_max + _ACTION_TOLERANCE
+        ):
+            return False
+        if decision.level is LadderLevel.BRAKE:
+            return abs(action - limits.a_min) <= _ACTION_TOLERANCE
+        if context is None:
+            # Levels 1-2 are only ever built from a verified context; a
+            # missing one means a server bug — degrade to full brake.
+            return False
+        model = self._compound.monitor.safety_model
+        flagged = model.in_boundary_safe_set(
+            context.time, context.ego, context.estimates
+        ) or model.in_estimated_unsafe_set(
+            context.time, context.ego, context.estimates
+        )
+        if decision.level is LadderLevel.SHIELD or flagged:
+            emergency = clipped(
+                self._compound.emergency_planner.plan(context), limits
+            )
+            return abs(action - emergency) <= _ACTION_TOLERANCE
+        return True

@@ -1,0 +1,97 @@
+"""The decision-server wire protocol: one JSON object per line.
+
+The serve layer reuses the shard protocol's framing philosophy
+(:mod:`repro.campaign.shard.protocol`): every message is a single
+newline-terminated canonical JSON line, and a line that fails to parse
+is never guessed at.  Unlike the shard layer — where a torn line is
+silently dropped and lease expiry recovers — a decision server must
+*answer* everything, so a malformed request line is answered with an
+``error`` event that still carries a guaranteed-safe full-brake action.
+No request, however broken, gets silence or an unsafe command back.
+
+Requests (client → server)
+    ``{"op": "decide", "id": ..., "time": t, "ego": {...},
+    "messages": [...], "deadline_ms": ...}``
+        One observation snapshot; the reply is a ``decision`` event.
+        ``messages`` carries V2V state reports (possibly delayed or
+        lost upstream); ``deadline_ms`` optionally overrides the
+        server's per-request budget.
+    ``{"op": "ping"}``    — liveness probe, answered with ``pong``.
+    ``{"op": "health"}``  — readiness probe (inflight, stalled workers).
+    ``{"op": "stats"}``   — ladder/latency counters snapshot.
+
+Events (server → client)
+    ``decision`` — the laddered, shield-verified acceleration command.
+    ``pong``, ``health``, ``stats`` — probe replies.
+    ``error``    — unparseable or unknown request; carries a safe
+                   full-brake ``action`` anyway.
+
+Replies are data, not trust: every ``decision`` carries the ladder
+level and cause that produced it, so a client (or the chaos tests) can
+audit exactly which rung of the degradation ladder answered.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "decode_line",
+    "encode_message",
+    "OP_DECIDE",
+    "OP_PING",
+    "OP_HEALTH",
+    "OP_STATS",
+    "EVENT_DECISION",
+    "EVENT_PONG",
+    "EVENT_HEALTH",
+    "EVENT_STATS",
+    "EVENT_ERROR",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_SHED",
+]
+
+OP_DECIDE = "decide"
+OP_PING = "ping"
+OP_HEALTH = "health"
+OP_STATS = "stats"
+
+EVENT_DECISION = "decision"
+EVENT_PONG = "pong"
+EVENT_HEALTH = "health"
+EVENT_STATS = "stats"
+EVENT_ERROR = "error"
+
+#: The full compound planner answered within budget (ladder level 1).
+STATUS_OK = "ok"
+#: A lower ladder rung answered (deadline miss, planner fault, stale
+#: or missing state, malformed request).
+STATUS_DEGRADED = "degraded"
+#: Admission control refused the request (queue full or draining); the
+#: reply still carries the ladder-3 safe action.
+STATUS_SHED = "shed"
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated UTF-8 JSON line."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Optional[dict]:
+    """Parse one protocol line; ``None`` for anything malformed.
+
+    Torn lines, stray bytes, and non-object JSON all map to ``None``;
+    the server answers them with a safe-action ``error`` event and the
+    client raises — neither side ever guesses at a broken line.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(message, dict):
+        return None
+    return message

@@ -1,0 +1,627 @@
+"""The deadline-enforced asyncio decision server.
+
+``DecisionServer`` accepts newline-JSON observation streams over TCP
+or a unix socket and answers every ``decide`` request through the
+degradation ladder of :mod:`repro.serve.ladder`:
+
+* the compound planner runs in a worker thread under the request's
+  **deadline budget** (``asyncio.wait_for`` around a
+  ``ThreadPoolExecutor`` call) — a planner that hangs simply never
+  returns into the reply path;
+* a deadline miss or a fatal planner fault answers from the shield
+  (level 2) and **retires the wedged planner**: the connection gets a
+  freshly built compound planner, the moral equivalent of restarting a
+  crashed planner process, while the hung thread is left to die off
+  the reply path (tracked as a *stalled worker* in health probes);
+* admission control bounds concurrent decisions: past
+  ``max_inflight`` a request is **shed**, which still answers with the
+  ladder-3 safe action — load shedding degrades service, never safety.
+
+Ordering is per connection: one connection's requests are answered
+sequentially and in order (a session's state store must see its
+observations in arrival order); concurrency comes from serving many
+connections.
+
+Graceful drain (`SIGINT`/`SIGTERM` via the CLI, or :meth:`drain`)
+stops accepting connections, answers new decisions with the shed/
+draining safe action, waits up to ``drain_grace`` seconds for inflight
+work, then tears down.  A SIGKILL needs no cooperation: the protocol
+is stateless per request, so a restarted server is immediately
+serviceable (clients reconnect and the first fresh observation
+repopulates the state store) — the chaos tests exercise exactly this.
+
+Every counter the server keeps is a ``serve.*`` metric on the injected
+(or internally created) observer; ``benchmarks/test_bench_serve.py``
+turns them into ``BENCH_serve.json``.  The accounting invariant is
+exact: ``serve.offered == serve.served + serve.degraded + serve.shed``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Future as WorkerFuture
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ServeError
+from repro.faults.plan import PlannerFaultSeverity
+from repro.faults.planner_wrapper import classify_planner_failure
+from repro.obs.metrics import histogram_quantile
+from repro.obs.observer import Observer
+from repro.planners.base import PlanningContext
+from repro.serve.ladder import (
+    CAUSE_DEADLINE,
+    CAUSE_DRAINING,
+    CAUSE_MALFORMED,
+    CAUSE_NO_STATE,
+    CAUSE_PLANNER_FATAL,
+    CAUSE_PLANNER_TRANSIENT,
+    CAUSE_SHED,
+    CAUSE_STALE_STATE,
+    LadderDecision,
+    LadderPolicy,
+)
+from repro.serve.protocol import (
+    EVENT_DECISION,
+    EVENT_ERROR,
+    EVENT_HEALTH,
+    EVENT_PONG,
+    EVENT_STATS,
+    OP_DECIDE,
+    OP_HEALTH,
+    OP_PING,
+    OP_STATS,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_SHED,
+    decode_line,
+    encode_message,
+)
+from repro.serve.session import DecisionSession, parse_observation
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ServeConfig", "DecisionServer", "DECISION_LATENCY_BUCKETS"]
+
+#: Histogram bucket bounds for ``serve.decision_seconds`` — sub-ms to
+#: seconds; fixed so snapshots compare across runs (see MetricsRegistry).
+DECISION_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+_OUTCOME_COUNTERS = {
+    STATUS_OK: "serve.served",
+    STATUS_DEGRADED: "serve.degraded",
+    STATUS_SHED: "serve.shed",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Decision-server knobs.
+
+    Units: deadline_s [s], max_state_age [s], drain_grace [s]
+
+    Attributes
+    ----------
+    deadline_s:
+        Default per-request deadline budget (a request's
+        ``deadline_ms`` overrides it).
+    max_inflight:
+        Admission bound on concurrently processed decisions; excess
+        requests are shed with the ladder-3 safe action.
+    workers:
+        Planner worker threads.  Each abandoned (hung) call occupies
+        one until it dies, so this also bounds tolerated concurrent
+        hangs.
+    max_state_age:
+        Freshness bound on stored V2V reports at decision time.
+    transient_retries:
+        Retry budget for transient planner faults within one deadline.
+    drain_grace:
+        How long :meth:`DecisionServer.drain` waits for inflight
+        decisions before forcing connections closed.
+    """
+
+    deadline_s: float = 0.05
+    max_inflight: int = 16
+    workers: int = 2
+    max_state_age: float = 1.0
+    transient_retries: int = 1
+    drain_grace: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.deadline_s, "deadline_s")
+        check_positive(self.max_state_age, "max_state_age")
+        check_nonnegative(self.drain_grace, "drain_grace")
+        if int(self.max_inflight) < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {self.max_inflight!r}"
+            )
+        if int(self.workers) < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers!r}")
+        if int(self.transient_retries) < 0:
+            raise ServeError(
+                f"transient_retries must be >= 0, got "
+                f"{self.transient_retries!r}"
+            )
+
+
+class _Connection:
+    """Per-connection mutable state: the ladder and the session store."""
+
+    __slots__ = ("ladder", "session")
+
+    def __init__(self, ladder: LadderPolicy, session: DecisionSession) -> None:
+        self.ladder = ladder
+        self.session = session
+
+
+class DecisionServer:
+    """Shield-as-a-service: laddered decisions over newline JSON.
+
+    Parameters
+    ----------
+    ladder_factory:
+        Builds a fresh :class:`LadderPolicy` (compound planner +
+        limits).  Called once per connection and again whenever a
+        planner is retired after a hang or fatal fault.
+    session_factory:
+        Builds a fresh :class:`DecisionSession` per connection.
+    config:
+        Knobs; see :class:`ServeConfig`.
+    observer:
+        Metrics sink.  ``None`` creates an internal
+        :class:`~repro.obs.observer.Observer` so ``serve.*`` counters
+        always exist.  The server only ever *writes* metrics on the
+        request path; probes read them as exporters.
+    """
+
+    def __init__(
+        self,
+        ladder_factory: Callable[[], LadderPolicy],
+        session_factory: Callable[[], DecisionSession],
+        config: Optional[ServeConfig] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self._ladder_factory = ladder_factory
+        self._session_factory = session_factory
+        self._config = config if config is not None else ServeConfig()
+        self._obs = observer if observer is not None else Observer()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._connections: Set["asyncio.Task[None]"] = set()
+        self._abandoned: List["WorkerFuture[object]"] = []
+        self._inflight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ServeConfig:
+        """The server's knobs."""
+        return self._config
+
+    @property
+    def observer(self) -> Observer:
+        """The metrics sink (always enabled unless one was injected)."""
+        return self._obs
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server has begun its graceful drain."""
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Decisions currently being processed."""
+        return self._inflight
+
+    def tcp_port(self) -> int:
+        """The bound TCP port (after :meth:`start` with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+    ) -> None:
+        """Bind and begin accepting connections.
+
+        ``path`` selects a unix socket; otherwise TCP on
+        ``host:port`` (``port=0`` picks a free port — read it back via
+        :meth:`tcp_port`).
+        """
+        if self._server is not None:
+            raise ServeError("server already started")
+        if self._obs.enabled:
+            self._obs.metrics.register_histogram(
+                "serve.decision_seconds", DECISION_LATENCY_BUCKETS
+            )
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(self._config.workers),
+            thread_name_prefix="serve-planner",
+        )
+        if path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host, port
+            )
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then drain gracefully."""
+        await stop.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish inflight, tear down.
+
+        New decisions arriving on surviving connections during the
+        drain are answered with the ladder-3 ``draining`` safe action
+        (counted as shed).  After ``drain_grace`` seconds any remaining
+        connection is cancelled; the executor is released without
+        waiting for hung planner threads.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self._config.drain_grace
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        tasks = list(self._connections)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._gauge("serve.connections", len(self._connections))
+        conn = _Connection(self._ladder_factory(), self._session_factory())
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, OSError):
+                    # Oversized line or a connection reset mid-read.
+                    self._count("serve.protocol_errors")
+                    break
+                if not line:
+                    break
+                message = decode_line(line)
+                if message is None:
+                    self._count("serve.protocol_errors")
+                    reply = self._error_payload(conn, "malformed line", None)
+                else:
+                    reply = await self._handle(conn, message)
+                if not await self._send(writer, reply):
+                    break
+        except asyncio.CancelledError:
+            # Drain teardown cancelled this connection.  Exit quietly:
+            # asyncio's per-connection callback re-raises a cancelled
+            # task's exception into the loop logger otherwise.
+            self._count("serve.connections_cancelled")
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            self._gauge("serve.connections", len(self._connections))
+            writer.close()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: dict
+    ) -> bool:
+        try:
+            writer.write(encode_message(payload))
+            await writer.drain()
+            return True
+        except OSError:
+            # The client vanished mid-reply (e.g. SIGKILLed); nothing
+            # to answer anymore — the connection loop exits.
+            self._count("serve.client_gone")
+            return False
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _handle(self, conn: _Connection, message: dict) -> dict:
+        op = message.get("op")
+        if op == OP_DECIDE:
+            return await self._decide(conn, message)
+        if op == OP_PING:
+            return {"event": EVENT_PONG, "id": message.get("id")}
+        if op == OP_HEALTH:
+            return self._health_payload()
+        if op == OP_STATS:
+            return self._stats_payload()
+        self._count("serve.protocol_errors")
+        return self._error_payload(
+            conn, f"unknown op {op!r}", message.get("id")
+        )
+
+    def _error_payload(
+        self, conn: _Connection, reason: str, request_id: object
+    ) -> dict:
+        """An ``error`` event that still carries a verified-safe action."""
+        decision = conn.ladder.verify(
+            conn.ladder.brake_decision(None, CAUSE_MALFORMED), None
+        )
+        return {
+            "event": EVENT_ERROR,
+            "id": request_id,
+            "error": reason,
+            "action": decision.action,
+            "ladder": int(decision.level),
+            "cause": decision.cause,
+            "safe": True,
+        }
+
+    # ------------------------------------------------------------------
+    # The laddered decision path
+    # ------------------------------------------------------------------
+    async def _decide(self, conn: _Connection, message: dict) -> dict:
+        t_start = time.monotonic()
+        self._count("serve.offered")
+        context: Optional[PlanningContext] = None
+        deadline_s = self._config.deadline_s
+        if self._draining:
+            decision = conn.ladder.brake_decision(None, CAUSE_DRAINING)
+            outcome = STATUS_SHED
+        elif self._inflight >= int(self._config.max_inflight):
+            decision = conn.ladder.brake_decision(None, CAUSE_SHED)
+            outcome = STATUS_SHED
+        else:
+            self._inflight += 1
+            self._gauge("serve.inflight", self._inflight)
+            try:
+                decision, outcome, context, deadline_s = await self._laddered(
+                    conn, message, t_start
+                )
+            finally:
+                self._inflight -= 1
+                self._gauge("serve.inflight", self._inflight)
+        verified = conn.ladder.verify(decision, context)
+        if verified.verify_replaced:
+            self._count("serve.verify_replaced")
+        elapsed = time.monotonic() - t_start
+        self._count(_OUTCOME_COUNTERS[outcome])
+        self._count("serve.decisions", ladder=int(verified.level))
+        if self._obs.enabled:
+            self._obs.observe("serve.decision_seconds", elapsed)
+        return {
+            "event": EVENT_DECISION,
+            "id": message.get("id"),
+            "status": outcome,
+            "ladder": int(verified.level),
+            "action": verified.action,
+            "cause": verified.cause,
+            "safe": True,
+            "monitor_engaged": verified.monitor_engaged,
+            "retries": verified.retries,
+            "verify_replaced": verified.verify_replaced,
+            "stop_position": verified.stop_position,
+            "elapsed_ms": elapsed * 1000.0,
+            "deadline_ms": deadline_s * 1000.0,
+        }
+
+    async def _laddered(
+        self, conn: _Connection, message: dict, t_start: float
+    ) -> Tuple[LadderDecision, str, Optional[PlanningContext], float]:
+        """Walk the ladder for one admitted request.
+
+        Returns ``(decision, outcome, context, deadline_s)`` — the
+        context is ``None`` exactly when the answer came from level 3.
+        """
+        cfg = self._config
+        try:
+            observation = parse_observation(message)
+        except ServeError:
+            self._count("serve.malformed")
+            return (
+                conn.ladder.brake_decision(None, CAUSE_MALFORMED),
+                STATUS_DEGRADED,
+                None,
+                cfg.deadline_s,
+            )
+        deadline_s = (
+            observation.deadline_s
+            if observation.deadline_s is not None
+            else cfg.deadline_s
+        )
+        accepted = conn.session.ingest(observation)
+        if accepted:
+            self._count("serve.reports_accepted", accepted)
+        context = conn.session.context_for(observation)
+        if context is None:
+            reported = conn.session.staleness(observation.time) is not None
+            cause = CAUSE_STALE_STATE if reported else CAUSE_NO_STATE
+            return (
+                conn.ladder.brake_decision(observation.ego, cause),
+                STATUS_DEGRADED,
+                None,
+                deadline_s,
+            )
+        retries = 0
+        while True:
+            remaining = deadline_s - (time.monotonic() - t_start)
+            if remaining <= 0.0:
+                self._count("serve.deadline_misses")
+                return (
+                    conn.ladder.shield_decision(
+                        context, CAUSE_DEADLINE, retries
+                    ),
+                    STATUS_DEGRADED,
+                    context,
+                    deadline_s,
+                )
+            # Submit directly (not run_in_executor) to keep the worker
+            # future: a cancelled asyncio wrapper reports done() at
+            # once, but the worker future stays not-done while a hung
+            # thread runs — which is what stalled_workers must see.
+            submitted = self._executor.submit(
+                conn.ladder.full_attempt, context
+            )
+            try:
+                decision, error = await asyncio.wait_for(
+                    asyncio.wrap_future(submitted), remaining
+                )
+            except asyncio.TimeoutError:
+                # The planner is hung (or starved behind hung peers):
+                # abandon the call off the reply path and retire the
+                # planner so the *next* request gets a fresh one.
+                self._abandoned.append(submitted)
+                self._count("serve.deadline_misses")
+                self._restart_planner(conn)
+                return (
+                    conn.ladder.shield_decision(
+                        context, CAUSE_DEADLINE, retries
+                    ),
+                    STATUS_DEGRADED,
+                    context,
+                    deadline_s,
+                )
+            if error is None and decision is not None:
+                if retries:
+                    decision = replace(decision, retries=retries)
+                return decision, STATUS_OK, context, deadline_s
+            severity = classify_planner_failure(error)
+            self._count("serve.planner_errors", severity=severity.value)
+            if severity is PlannerFaultSeverity.FATAL:
+                self._restart_planner(conn)
+                return (
+                    conn.ladder.shield_decision(
+                        context, CAUSE_PLANNER_FATAL, retries
+                    ),
+                    STATUS_DEGRADED,
+                    context,
+                    deadline_s,
+                )
+            if retries >= int(cfg.transient_retries):
+                return (
+                    conn.ladder.shield_decision(
+                        context, CAUSE_PLANNER_TRANSIENT, retries
+                    ),
+                    STATUS_DEGRADED,
+                    context,
+                    deadline_s,
+                )
+            retries += 1
+            self._count("serve.retries")
+
+    def _restart_planner(self, conn: _Connection) -> None:
+        """Retire a wedged/crashed planner: build a fresh ladder."""
+        conn.ladder = self._ladder_factory()
+        self._count("serve.planner_restarts")
+
+    # ------------------------------------------------------------------
+    # Probes (metric reads here are exporter-role, never decision input)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``stats`` probe payload (for the CLI's drain summary)."""
+        return self._stats_payload()
+
+    def stalled_workers(self) -> int:
+        """Abandoned planner calls whose thread has not finished yet."""
+        self._abandoned = [f for f in self._abandoned if not f.done()]
+        return len(self._abandoned)
+
+    def _health_payload(self) -> dict:
+        stalled = self.stalled_workers()
+        cfg = self._config
+        ready = (
+            not self._draining
+            and self._inflight < int(cfg.max_inflight)
+            and stalled < int(cfg.workers)
+        )
+        return {
+            "event": EVENT_HEALTH,
+            "status": "draining" if self._draining else "serving",
+            "ready": ready,
+            "inflight": self._inflight,
+            "max_inflight": int(cfg.max_inflight),
+            "workers": int(cfg.workers),
+            "stalled_workers": stalled,
+            "connections": len(self._connections),
+        }
+
+    def _stats_payload(self) -> dict:
+        if not self._obs.enabled:
+            return {"event": EVENT_STATS, "enabled": False}
+        metrics = self._obs.metrics
+        offered = metrics.counter_value("serve.offered")
+        shed = metrics.counter_value("serve.shed")
+        ladder: Dict[str, float] = {
+            str(level): metrics.counter_value("serve.decisions", ladder=level)
+            for level in (1, 2, 3)
+        }
+        histograms = metrics.snapshot()["histograms"]
+        latency = histograms.get("serve.decision_seconds")
+        p50 = p99 = None
+        if latency is not None:
+            q50 = histogram_quantile(latency, 0.5)
+            q99 = histogram_quantile(latency, 0.99)
+            p50 = None if q50 is None else q50 * 1000.0
+            p99 = None if q99 is None else q99 * 1000.0
+        return {
+            "event": EVENT_STATS,
+            "enabled": True,
+            "offered": offered,
+            "served": metrics.counter_value("serve.served"),
+            "degraded": metrics.counter_value("serve.degraded"),
+            "shed": shed,
+            "shed_rate": (shed / offered) if offered > 0 else 0.0,
+            "ladder": ladder,
+            "deadline_misses": metrics.counter_value("serve.deadline_misses"),
+            "retries": metrics.counter_value("serve.retries"),
+            "planner_restarts": metrics.counter_value(
+                "serve.planner_restarts"
+            ),
+            "verify_replaced": metrics.counter_value("serve.verify_replaced"),
+            "malformed": metrics.counter_value("serve.malformed"),
+            "protocol_errors": metrics.counter_value("serve.protocol_errors"),
+            "p50_ms": p50,
+            "p99_ms": p99,
+        }
+
+    # ------------------------------------------------------------------
+    # Metric write helpers
+    # ------------------------------------------------------------------
+    def _count(self, name: str, value: float = 1, **labels: object) -> None:
+        if self._obs.enabled:
+            self._obs.count(name, value, **labels)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self._obs.enabled:
+            self._obs.gauge(name, value)

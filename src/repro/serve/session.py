@@ -1,0 +1,294 @@
+"""Per-connection observation state: parsing, storage, propagation.
+
+A decision request carries the ego's own (exactly known) state plus
+whatever V2V state reports reached the client — possibly delayed,
+reordered, or lost upstream.  The session keeps the **newest report
+per remote vehicle** (newest *stamp* wins, so an out-of-order stale
+report never overwrites fresher knowledge) and turns that store into
+the :class:`~repro.planners.base.PlanningContext` the compound planner
+consumes, by propagating each stored report to the request time with
+the sound reachability bands of
+:class:`~repro.filtering.reachability.ReachabilityAnalyzer` (Eq. (2)).
+
+Freshness is a safety input, not a tuning knob: a report older than
+``max_state_age`` produces bands so wide the monitor would brake
+anyway, but more importantly a server must *never* pretend it knows a
+vehicle it has effectively lost.  When any required vehicle is missing
+or stale, :meth:`DecisionSession.context_for` returns ``None`` and the
+server answers from ladder level 3 (reachability-justified full
+brake) instead of planning on fiction.
+
+Parsing is strict: a request with a non-finite time, a report stamped
+in the future, or a NaN deadline is *malformed* — the server still
+answers it (with the safe brake action), but nothing malformed ever
+enters the state store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dynamics.state import VehicleState
+from repro.errors import ServeError
+from repro.filtering.fusion import FusedEstimate
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.base import PlanningContext
+
+__all__ = ["RemoteReport", "Observation", "DecisionSession", "parse_observation"]
+
+#: Slack for "stamped in the future" checks, seconds — absorbs the
+#: float noise of a client stamping with the same clock it sends with.
+_STAMP_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class RemoteReport:
+    """One V2V state report about one remote vehicle.
+
+    Units: stamp [s], position [m], velocity [m/s],
+    Units: acceleration [m/s^2]
+    """
+
+    vehicle: int
+    stamp: float
+    position: float
+    velocity: float
+    acceleration: float = 0.0
+
+    def state(self) -> VehicleState:
+        """The reported state as a :class:`VehicleState`."""
+        return VehicleState(
+            position=self.position,
+            velocity=self.velocity,
+            acceleration=self.acceleration,
+        )
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One parsed ``decide`` request.
+
+    Attributes
+    ----------
+    time:
+        The client's timestamp for this decision, seconds.  Requests on
+        one connection need not be monotone — the session tolerates a
+        clock stepping backwards by refusing (not crashing on) reports
+        it cannot propagate to the earlier time.
+    ego:
+        The ego vehicle's own state (exactly known — the ego knows
+        itself).
+    reports:
+        V2V state reports bundled with this request; may be empty.
+    deadline_s:
+        Per-request deadline override, seconds; ``None`` uses the
+        server's configured budget.
+    """
+
+    time: float
+    ego: VehicleState
+    reports: Tuple[RemoteReport, ...] = ()
+    deadline_s: Optional[float] = None
+
+
+def _require_finite(value: object, field: str) -> float:
+    try:
+        v = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"{field} must be a number, got {value!r}") from exc
+    if not math.isfinite(v):
+        raise ServeError(f"{field} must be finite, got {value!r}")
+    return v
+
+
+def _parse_report(entry: object, index: int, now: float) -> RemoteReport:
+    if not isinstance(entry, dict):
+        raise ServeError(f"messages[{index}] must be an object, got {entry!r}")
+    try:
+        vehicle = int(entry["vehicle"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(
+            f"messages[{index}].vehicle must be an integer index"
+        ) from exc
+    stamp = _require_finite(entry.get("stamp"), f"messages[{index}].stamp")
+    if stamp > now + _STAMP_TOLERANCE:
+        raise ServeError(
+            f"messages[{index}] stamped in the future: "
+            f"stamp={stamp!r} > time={now!r}"
+        )
+    return RemoteReport(
+        vehicle=vehicle,
+        stamp=stamp,
+        position=_require_finite(
+            entry.get("position"), f"messages[{index}].position"
+        ),
+        velocity=_require_finite(
+            entry.get("velocity"), f"messages[{index}].velocity"
+        ),
+        acceleration=_require_finite(
+            entry.get("acceleration", 0.0), f"messages[{index}].acceleration"
+        ),
+    )
+
+
+def parse_observation(payload: Mapping[str, object]) -> Observation:
+    """Parse and validate one ``decide`` request payload.
+
+    Raises :class:`~repro.errors.ServeError` for anything malformed:
+    non-finite numbers, future-stamped reports, a non-positive or NaN
+    ``deadline_ms``.  The caller answers such requests with the ladder-3
+    safe action; nothing malformed reaches the session store.
+    """
+    now = _require_finite(payload.get("time"), "time")
+    ego_entry = payload.get("ego")
+    if not isinstance(ego_entry, dict):
+        raise ServeError(f"ego must be an object, got {ego_entry!r}")
+    ego = VehicleState(
+        position=_require_finite(ego_entry.get("position"), "ego.position"),
+        velocity=_require_finite(ego_entry.get("velocity"), "ego.velocity"),
+        acceleration=_require_finite(
+            ego_entry.get("acceleration", 0.0), "ego.acceleration"
+        ),
+    )
+    raw_messages = payload.get("messages", [])
+    if not isinstance(raw_messages, list):
+        raise ServeError(f"messages must be a list, got {raw_messages!r}")
+    reports = tuple(
+        _parse_report(entry, i, now) for i, entry in enumerate(raw_messages)
+    )
+    deadline_s: Optional[float] = None
+    if payload.get("deadline_ms") is not None:
+        deadline_ms = _require_finite(payload["deadline_ms"], "deadline_ms")
+        if deadline_ms <= 0.0:
+            raise ServeError(f"deadline_ms must be > 0, got {deadline_ms!r}")
+        deadline_s = deadline_ms / 1000.0
+    return Observation(time=now, ego=ego, reports=reports, deadline_s=deadline_s)
+
+
+class DecisionSession:
+    """Newest-report-per-vehicle store with reachability propagation.
+
+    Parameters
+    ----------
+    analyzers:
+        One :class:`ReachabilityAnalyzer` per *required* remote
+        vehicle, keyed by vehicle index and built on that vehicle's
+        physical limits.  A decision context exists only when every
+        required vehicle has a fresh report.
+    max_state_age:
+        Maximum acceptable age of a report at decision time, seconds.
+        Units: max_state_age [s]
+    """
+
+    def __init__(
+        self,
+        analyzers: Mapping[int, ReachabilityAnalyzer],
+        max_state_age: float,
+    ) -> None:
+        if not analyzers:
+            raise ServeError("DecisionSession requires >= 1 required vehicle")
+        if not math.isfinite(max_state_age) or max_state_age <= 0.0:
+            raise ServeError(
+                f"max_state_age must be finite and > 0, got {max_state_age!r}"
+            )
+        self._analyzers = dict(analyzers)
+        self._max_age = float(max_state_age)
+        self._reports: Dict[int, RemoteReport] = {}
+        self._accepted = 0
+        self._superseded = 0
+
+    @property
+    def required_vehicles(self) -> Tuple[int, ...]:
+        """Vehicle indices a decision context needs, sorted."""
+        return tuple(sorted(self._analyzers))
+
+    @property
+    def reports_accepted(self) -> int:
+        """Reports that entered (or refreshed) the store."""
+        return self._accepted
+
+    @property
+    def reports_superseded(self) -> int:
+        """Reports discarded because a newer stamp was already stored."""
+        return self._superseded
+
+    def last_stamp(self, vehicle: int) -> Optional[float]:
+        """Stamp of the stored report for ``vehicle``, or ``None``."""
+        report = self._reports.get(vehicle)
+        return None if report is None else report.stamp
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, observation: Observation) -> int:
+        """Merge a request's reports into the store; newest stamp wins.
+
+        Reports about vehicles no analyzer was configured for are
+        ignored (the server cannot reason soundly about a vehicle whose
+        physical limits it does not know).  Returns how many reports
+        were accepted.
+        """
+        accepted = 0
+        for report in observation.reports:
+            if report.vehicle not in self._analyzers:
+                continue
+            stored = self._reports.get(report.vehicle)
+            if stored is not None and stored.stamp >= report.stamp:
+                self._superseded += 1
+                continue
+            self._reports[report.vehicle] = report
+            accepted += 1
+        self._accepted += accepted
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Context construction
+    # ------------------------------------------------------------------
+    def context_for(self, observation: Observation) -> Optional[PlanningContext]:
+        """The planning context at the request time, or ``None``.
+
+        ``None`` means a required vehicle is missing, stale, or stamped
+        after the (regressed) request time — the caller must answer
+        from ladder level 3, never by inventing an estimate.
+        """
+        estimates: Dict[int, FusedEstimate] = {}
+        now = observation.time
+        for vehicle, analyzer in self._analyzers.items():
+            report = self._reports.get(vehicle)
+            if report is None:
+                return None
+            age = now - report.stamp
+            if age < -_STAMP_TOLERANCE or age > self._max_age:
+                return None
+            band = analyzer.band_from_state(report.state(), report.stamp, now)
+            estimates[vehicle] = FusedEstimate(
+                time=now,
+                position=band.position,
+                velocity=band.velocity,
+                nominal=VehicleState(
+                    position=band.position.midpoint,
+                    velocity=band.velocity.midpoint,
+                    acceleration=report.acceleration,
+                ),
+                message_age=max(age, 0.0),
+            )
+        return PlanningContext(
+            time=now, ego=observation.ego, estimates=estimates
+        )
+
+    def staleness(self, now: float) -> Optional[float]:
+        """Age of the oldest required report at ``now``, seconds.
+
+        Units: now [s] -> [s]
+
+        ``None`` when some required vehicle has never reported.
+        """
+        worst = 0.0
+        for vehicle in self._analyzers:
+            report = self._reports.get(vehicle)
+            if report is None:
+                return None
+            worst = max(worst, now - report.stamp)
+        return worst

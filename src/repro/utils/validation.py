@@ -21,6 +21,10 @@ __all__ = [
     "check_probability",
     "check_range",
     "check_multiple",
+    "check_flag_positive",
+    "check_flag_at_least",
+    "check_flag_count",
+    "check_flag_below",
 ]
 
 
@@ -98,3 +102,67 @@ def check_optional_positive(value: Optional[float], name: str) -> Optional[float
     if value is None:
         return None
     return check_positive(value, name)
+
+
+# ---------------------------------------------------------------------------
+# Command-line flag validation.
+#
+# Every CLI in the repo (repro-campaign, repro-serve) funnels its numeric
+# knobs through these helpers so a nonsensical value — NaN smuggled
+# through ``--deadline-ms nan``, a zero queue depth, a negative lease
+# TTL — fails fast with the *flag name* in the message, before anything
+# touches disk or binds a socket.  They raise ConfigurationError, which
+# every CLI maps to its "invalid flag" exit code.
+# ---------------------------------------------------------------------------
+def check_flag_positive(value: float, flag: str) -> float:
+    """Validate a strictly positive, finite command-line flag value.
+
+    Rejects NaN, infinities, zero, and negatives — ``argparse`` happily
+    parses all of them as floats.
+    """
+    v = float(value)
+    if not math.isfinite(v) or v <= 0.0:
+        raise ConfigurationError(
+            f"{flag} must be a finite number > 0, got {value!r}"
+        )
+    return v
+
+
+def check_flag_at_least(value: float, minimum: float, flag: str) -> float:
+    """Validate a finite command-line flag value with a lower bound."""
+    v = float(value)
+    if not math.isfinite(v) or v < minimum:
+        raise ConfigurationError(
+            f"{flag} must be a finite number >= {minimum:g}, got {value!r}"
+        )
+    return v
+
+
+def check_flag_count(value: int, flag: str, minimum: int = 0) -> int:
+    """Validate an integer command-line knob (worker counts, depths)."""
+    v = int(value)
+    if v < minimum:
+        raise ConfigurationError(f"{flag} must be >= {minimum}, got {value!r}")
+    return v
+
+
+def check_flag_below(
+    value: float,
+    flag: str,
+    bound: float,
+    bound_flag: str,
+    reason: str = "",
+) -> float:
+    """Validate that one flag stays strictly below another.
+
+    Used for period-vs-timeout pairs (a heartbeat interval at or above
+    its lease TTL would expire every healthy lease).
+    """
+    v = float(value)
+    if not v < bound:
+        suffix = f"; {reason}" if reason else ""
+        raise ConfigurationError(
+            f"{flag} ({value!r}) must be below {bound_flag} ({bound!r})"
+            f"{suffix}"
+        )
+    return v

@@ -1,0 +1,135 @@
+"""Shared harness for the serve test-suite (not a test module).
+
+Builds the standard car-following serve stack — compound planner with
+an optional chaos-wrapped embedded planner, reachability session —
+and runs a :class:`~repro.serve.server.DecisionServer` on a unix
+socket for the duration of one test coroutine.  The chaos and channel
+tests drive it with the blocking :class:`~repro.serve.client.ServeClient`
+from worker threads, which is exactly how a real (non-asyncio) vehicle
+process would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.core.compound import CompoundPlanner
+from repro.core.monitor import RuntimeMonitor
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.base import Planner
+from repro.planners.idm import IDMPlanner
+from repro.scenarios.car_following import CarFollowingScenario
+from repro.serve.ladder import LadderPolicy
+from repro.serve.server import DecisionServer, ServeConfig
+from repro.serve.session import DecisionSession
+
+#: Leader vehicle index in the car-following scenario.
+LEADER = 1
+
+SCENARIO = CarFollowingScenario()
+
+
+def ladder_factory(
+    embedded_factory: Optional[Callable[[], Planner]] = None,
+    wrap: Optional[Callable[[Planner], Planner]] = None,
+    scenario: CarFollowingScenario = SCENARIO,
+) -> Callable[[], LadderPolicy]:
+    """A factory of fresh ladders over the car-following scenario.
+
+    ``embedded_factory`` swaps the planner *inside* the shield (whose
+    faults the compound absorbs by design); ``wrap`` decorates the
+    compound as a whole — the place to inject the crashes and hangs
+    that must reach the ladder's level-2 machinery.
+    """
+
+    def build() -> LadderPolicy:
+        embedded = (
+            embedded_factory()
+            if embedded_factory is not None
+            else IDMPlanner(scenario.ego_limits, leader_index=LEADER)
+        )
+        compound = CompoundPlanner(
+            nn_planner=embedded,
+            emergency_planner=scenario.emergency_planner(),
+            monitor=RuntimeMonitor(scenario.safety_model()),
+            limits=scenario.ego_limits,
+        )
+        planner = compound if wrap is None else wrap(compound)
+        return LadderPolicy(compound, scenario.ego_limits, planner=planner)
+
+    return build
+
+
+def session_factory(
+    max_state_age: float = 1.0,
+    scenario: CarFollowingScenario = SCENARIO,
+) -> Callable[[], DecisionSession]:
+    """A factory of fresh leader-tracking sessions."""
+
+    def build() -> DecisionSession:
+        return DecisionSession(
+            {LEADER: ReachabilityAnalyzer(scenario.leader_limits)},
+            max_state_age=max_state_age,
+        )
+
+    return build
+
+
+def run_server_test(
+    test_body: Callable[[DecisionServer, str], "asyncio.Future"],
+    tmp_path,
+    config: Optional[ServeConfig] = None,
+    embedded_factory: Optional[Callable[[], Planner]] = None,
+    wrap: Optional[Callable[[Planner], Planner]] = None,
+    max_state_age: float = 1.0,
+) -> None:
+    """Start a server on a unix socket, run ``test_body``, drain.
+
+    ``test_body`` is an async callable receiving ``(server, path)``.
+    """
+    path = str(tmp_path / "serve.sock")
+
+    async def scenario() -> None:
+        server = DecisionServer(
+            ladder_factory(embedded_factory, wrap=wrap),
+            session_factory(max_state_age),
+            config=config,
+        )
+        await server.start(path=path)
+        try:
+            await test_body(server, path)
+        finally:
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def leader_report(stamp: float, position: float, velocity: float) -> dict:
+    """A leader V2V report payload."""
+    return {
+        "vehicle": LEADER,
+        "stamp": stamp,
+        "position": position,
+        "velocity": velocity,
+        "acceleration": 0.0,
+    }
+
+
+def assert_response_safe(response: dict, scenario=SCENARIO) -> None:
+    """The chaos invariant: one reply, any ladder level, must be safe.
+
+    * the action is finite and within the ego's actuation limits;
+    * ladder 2 and 3 answers must be the full-brake command (the
+      car-following emergency planner *is* full brake);
+    * the reply is flagged safe and was not a verifier save
+      (``verify_replaced`` firing would mean a rung computed an unsafe
+      action and only the belt-and-braces check caught it).
+    """
+    limits = scenario.ego_limits
+    action = response["action"]
+    assert response["safe"] is True, response
+    assert limits.a_min - 1e-9 <= action <= limits.a_max + 1e-9, response
+    if response["ladder"] >= 2:
+        assert abs(action - limits.a_min) <= 1e-9, response
+    assert response.get("verify_replaced", False) is False, response

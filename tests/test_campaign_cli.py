@@ -168,7 +168,14 @@ class TestFlagValidation:
             ("run", ["--chunk-timeout", "0"], "--chunk-timeout"),
             ("run", ["--chunk-timeout", "-2.5"], "--chunk-timeout"),
             ("shard-run", ["--lease-ttl", "0"], "--lease-ttl"),
+            ("shard-run", ["--lease-ttl", "nan"], "--lease-ttl"),
+            ("shard-run", ["--lease-ttl", "-3"], "--lease-ttl"),
             ("shard-run", ["--heartbeat-interval", "0"], "--heartbeat-interval"),
+            (
+                "shard-run",
+                ["--heartbeat-interval", "nan"],
+                "--heartbeat-interval",
+            ),
             (
                 "shard-run",
                 ["--lease-ttl", "1", "--heartbeat-interval", "2"],

@@ -104,6 +104,52 @@ def test_typed_receiver_resolves_to_the_annotated_class():
     assert callees == {"repro.sim.fx.Engine.run"}
 
 
+def test_annotated_local_pins_receiver_like_a_parameter():
+    # ``injector: Optional[Engine] = None`` inside the body must pin
+    # ``injector.run`` to Engine.run exactly like a parameter
+    # annotation would, instead of falling back to the method-name
+    # index (which would also alias Runner.run).
+    graph = _graph(
+        fx=(
+            "from typing import Optional\n"
+            "class Engine:\n"
+            "    def run(self, steps):\n"
+            "        return steps\n"
+            "class Runner:\n"
+            "    def run(self, jobs):\n"
+            "        return jobs\n"
+            "def drive(flag):\n"
+            "    injector: Optional[Engine] = None\n"
+            "    if flag:\n"
+            "        injector = Engine()\n"
+            "    if injector is not None:\n"
+            "        return injector.run(3)\n"
+            "    return 0\n"
+        )
+    )
+    callees = {e.callee for e in graph.edges["repro.sim.fx.drive"]}
+    assert "repro.sim.fx.Engine.run" in callees
+    assert "repro.sim.fx.Runner.run" not in callees
+
+
+def test_parameter_annotation_wins_over_annotated_local():
+    graph = _graph(
+        fx=(
+            "class Engine:\n"
+            "    def run(self, steps):\n"
+            "        return steps\n"
+            "class Runner:\n"
+            "    def run(self, jobs):\n"
+            "        return jobs\n"
+            "def drive(worker: Engine, other):\n"
+            "    worker: Runner = other\n"
+            "    return worker.run(3)\n"
+        )
+    )
+    callees = {e.callee for e in graph.edges["repro.sim.fx.drive"]}
+    assert callees == {"repro.sim.fx.Engine.run"}
+
+
 def test_untyped_receiver_over_approximates_via_method_index():
     graph = _graph(
         fx=(

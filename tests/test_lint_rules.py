@@ -105,6 +105,20 @@ def test_float_equality_exempts_zero_and_sentinels():
     assert not [f for f in _lint(clean) if f.rule_id == "SFL001"]
 
 
+def test_float_equality_exempts_pytest_approx():
+    # ``x == pytest.approx(y)`` IS the tolerance comparison the rule
+    # asks for; both the attribute and the bare-import spelling pass.
+    clean = (
+        "import pytest\n"
+        "from pytest import approx\n"
+        "def f(velocity, stamp):\n"
+        "    '''d.'''\n"
+        "    assert velocity == pytest.approx(20.0)\n"
+        "    assert stamp == approx(1.0)\n"
+    )
+    assert not [f for f in _lint(clean) if f.rule_id == "SFL001"]
+
+
 def test_float_equality_flags_chained_comparison():
     source = "def f(t, t_goal, other):\n    '''d.'''\n    return other < t == t_goal\n"
     assert [f for f in _lint(source) if f.rule_id == "SFL001"]

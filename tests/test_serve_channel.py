@@ -1,0 +1,106 @@
+"""End-to-end: observation stream through a Gilbert–Elliott lossy channel.
+
+The leader's V2V broadcasts pass through a :class:`~repro.comm.channel.Channel`
+with burst loss before reaching the decision server — the serve-side
+analogue of the paper's communication-disturbance experiments.  The
+closed loop (server action -> ego dynamics) must stay collision-free
+for the whole episode, with every reply ladder-safe and the server's
+ladder accounting matching the client-side tally exactly.
+
+The channel seed is fixed, so the loss pattern — and therefore every
+assertion — is deterministic.
+"""
+
+import asyncio
+from collections import Counter
+
+from repro.comm.channel import Channel
+from repro.comm.faults import GilbertElliottLoss
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleModel
+from repro.serve.client import ServeClient
+from repro.utils.rng import RngStream
+
+from tests.serve_helpers import (
+    LEADER,
+    SCENARIO,
+    assert_response_safe,
+    run_server_test,
+)
+
+DT = 0.05
+N_STEPS = 200
+#: The leader broadcasts every other control step (dt_m = 0.1 s).
+SEND_EVERY = 2
+MAX_STATE_AGE = 0.4
+
+
+def _leader_accel(t: float) -> float:
+    """The leader cruises, brakes hard from t=2 to t=4, then cruises."""
+    return -3.0 if 2.0 <= t < 4.0 else 0.0
+
+
+def test_lossy_channel_stream_stays_safe(tmp_path):
+    async def body(server, path):
+        def drive():
+            channel = Channel(
+                period=DT * SEND_EVERY,
+                faults=GilbertElliottLoss(
+                    p_enter_burst=0.15, p_exit_burst=0.25
+                ),
+                rng=RngStream(20260808),
+            )
+            ego_model = VehicleModel(SCENARIO.ego_limits)
+            leader_model = VehicleModel(SCENARIO.leader_limits)
+            ego = VehicleState(position=0.0, velocity=20.0)
+            leader = VehicleState(position=40.0, velocity=15.0)
+            tallies = Counter()
+            min_gap = leader.position - ego.position
+            delivered = 0
+            with ServeClient(path=path) as client:
+                for i in range(N_STEPS):
+                    t = i * DT
+                    if i % SEND_EVERY == 0:
+                        channel.send(LEADER, t, leader)
+                    reports = [
+                        {
+                            "vehicle": message.sender,
+                            "stamp": message.stamp,
+                            "position": message.state.position,
+                            "velocity": message.state.velocity,
+                            "acceleration": message.state.acceleration,
+                        }
+                        for message in channel.receive(t)
+                    ]
+                    delivered += len(reports)
+                    response = client.decide(t, ego, reports=reports)
+                    assert_response_safe(response)
+                    tallies[response["ladder"]] += 1
+                    ego = ego_model.step(ego, response["action"], DT)
+                    leader = leader_model.step(leader, _leader_accel(t), DT)
+                    min_gap = min(min_gap, leader.position - ego.position)
+                stats = client.stats()
+            return tallies, min_gap, delivered, stats
+
+        tallies, min_gap, delivered, stats = await asyncio.to_thread(drive)
+        # Zero collisions — in fact the paper's safe gap is never violated.
+        assert min_gap > SCENARIO.p_gap
+        # The channel really was lossy, yet some broadcasts got through.
+        assert 0 < delivered < N_STEPS // SEND_EVERY
+        # Loss bursts outlived the freshness bound at least once, so the
+        # ladder genuinely degraded during the stream.
+        assert tallies[3] > 0
+        assert tallies[1] > 0
+        # Accounting: every request got exactly one outcome ...
+        assert stats["offered"] == N_STEPS
+        assert (
+            stats["offered"]
+            == stats["served"] + stats["degraded"] + stats["shed"]
+        )
+        # ... and the server's ladder counters match the client tally.
+        assert stats["ladder"] == {
+            str(level): tallies.get(level, 0) for level in (1, 2, 3)
+        }
+        assert stats["verify_replaced"] == 0
+
+    run_server_test(body, tmp_path, max_state_age=MAX_STATE_AGE)

@@ -1,0 +1,153 @@
+"""Chaos: SIGKILL the serve process mid-stream; injected hung planners.
+
+These tests run the real ``repro-serve`` CLI as a subprocess and abuse
+it the way an unreliable deployment would: kill -9 with requests in
+flight, restart on the same socket, and planners wedged via the
+``--inject-stall-seconds`` chaos flag.  The invariant under all of it:
+**every reply actually received, at every ladder level, is
+shield-verified safe**, and a killed server never hands the client a
+bogus decision — the client surfaces :class:`~repro.errors.ServeError`
+and the caller falls back to its own full-brake default.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+
+from tests.serve_helpers import assert_response_safe, leader_report
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _start_server(sock_path, *extra_flags):
+    """Launch ``repro-serve`` on a unix socket and wait until it answers."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--unix-socket",
+            str(sock_path),
+            "--quiet",
+            *extra_flags,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 15.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died at startup: {proc.stderr.read().decode()!r}"
+            )
+        try:
+            with ServeClient(path=str(sock_path), timeout=1.0) as client:
+                client.ping()
+            return proc
+        except ServeError:
+            time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server never became reachable")
+
+
+def _stop_server(proc):
+    """SIGTERM and require the graceful-drain exit code."""
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=15.0) == 0
+
+
+def _stream_decisions(client, n, t0=1.0, expect_ladder=None):
+    """Stream ``n`` laddered decisions; every reply must be safe."""
+    seen = set()
+    for i in range(n):
+        t = t0 + 0.05 * i
+        response = client.decide(
+            t,
+            {"position": 0.0, "velocity": 20.0},
+            reports=[leader_report(t - 0.01, 60.0, 15.0)],
+        )
+        assert_response_safe(response)
+        seen.add(response["ladder"])
+    if expect_ladder is not None:
+        assert expect_ladder in seen
+    return seen
+
+
+class TestKillRestart:
+    def test_sigkill_mid_stream_then_restart(self, tmp_path):
+        sock = tmp_path / "serve.sock"
+        proc = _start_server(sock)
+        try:
+            client = ServeClient(path=str(sock))
+            _stream_decisions(client, 30, expect_ladder=1)
+            proc.kill()  # SIGKILL: no drain, no goodbye
+            proc.wait(timeout=15.0)
+            # The client *knows* it got no decision — never a silent
+            # drop or a fabricated action.
+            with pytest.raises(ServeError):
+                _stream_decisions(client, 1, t0=3.0)
+            client.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # The protocol is stateless per request: a restarted server is
+        # immediately serviceable on the same path.
+        os.unlink(sock)
+        proc = _start_server(sock)
+        try:
+            with ServeClient(path=str(sock)) as client:
+                _stream_decisions(client, 30, expect_ladder=1)
+                stats = client.stats()
+                assert stats["offered"] == 30
+                assert (
+                    stats["offered"]
+                    == stats["served"] + stats["degraded"] + stats["shed"]
+                )
+            _stop_server(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestHungPlanner:
+    def test_injected_stall_degrades_every_decision(self, tmp_path):
+        sock = tmp_path / "serve.sock"
+        proc = _start_server(
+            sock,
+            "--inject-stall-seconds",
+            "0.3",
+            "--deadline-ms",
+            "40",
+        )
+        try:
+            with ServeClient(path=str(sock)) as client:
+                for i in range(5):
+                    t = 1.0 + 0.05 * i
+                    response = client.decide(
+                        t,
+                        {"position": 0.0, "velocity": 20.0},
+                        reports=[leader_report(t - 0.01, 60.0, 15.0)],
+                    )
+                    assert_response_safe(response)
+                    assert response["ladder"] == 2
+                    assert response["cause"] == "deadline"
+                    assert response["status"] == "degraded"
+                stats = client.stats()
+                assert stats["deadline_misses"] == 5
+                assert stats["planner_restarts"] == 5
+                assert stats["degraded"] == 5
+            _stop_server(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()

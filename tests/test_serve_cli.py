@@ -1,0 +1,120 @@
+"""The ``repro-serve`` command line: flag validation and wiring.
+
+The validation rows mirror ``test_campaign_cli.TestFlagValidation`` on
+purpose — both CLIs route their numeric knobs through the shared
+helpers in :mod:`repro.utils.validation`, so NaN, zero, and negative
+values fail identically (exit code 2, flag name on stderr) before any
+socket is bound or file touched.
+"""
+
+import pytest
+
+from repro.faults.planner_wrapper import FaultyPlanner, StallingPlanner
+from repro.planners.constant import FullBrakePlanner
+from repro.planners.idm import GapChaserPlanner, IDMPlanner
+from repro.serve.cli import EXIT_ERROR, build_parser, build_server, main
+
+
+def _args(*flags):
+    return build_parser().parse_args([*flags])
+
+
+class TestFlagValidation:
+    """Nonsensical knob values fail fast, before any socket is bound."""
+
+    @pytest.mark.parametrize(
+        ("flags", "message"),
+        [
+            (["--deadline-ms", "nan"], "--deadline-ms"),
+            (["--deadline-ms", "0"], "--deadline-ms"),
+            (["--deadline-ms", "-5"], "--deadline-ms"),
+            (["--max-inflight", "0"], "--max-inflight"),
+            (["--max-inflight", "-2"], "--max-inflight"),
+            (["--workers", "0"], "--workers"),
+            (["--max-state-age-s", "nan"], "--max-state-age-s"),
+            (["--max-state-age-s", "0"], "--max-state-age-s"),
+            (["--transient-retries", "-1"], "--transient-retries"),
+            (["--drain-grace-s", "-1"], "--drain-grace-s"),
+            (["--drain-grace-s", "nan"], "--drain-grace-s"),
+            (["--p-gap", "0"], "--p-gap"),
+            (["--inject-stall-seconds", "-0.5"], "--inject-stall-seconds"),
+            (["--inject-stall-window", "5"], "--inject-stall-window"),
+            (["--inject-stall-window", "a:b"], "--inject-stall-window"),
+            (["--inject-stall-window", "7:3"], "--inject-stall-window"),
+            (["--inject-error-window=-1:4"], "--inject-error-window"),
+            (["--inject-error-window", "2:2"], "--inject-error-window"),
+        ],
+    )
+    def test_bad_flag_is_error(self, capsys, flags, message):
+        code = main([*flags])
+        err = capsys.readouterr().err
+        assert code == EXIT_ERROR
+        assert message in err
+
+
+class TestWiring:
+    def test_defaults_build_a_clean_server(self):
+        server = build_server(_args())
+        assert server.config.deadline_s == pytest.approx(0.05)
+        assert server.config.max_inflight == 16
+        ladder = server._ladder_factory()
+        # no chaos flags -> the ladder invokes the bare compound
+        assert ladder._planner is ladder.compound
+        assert isinstance(ladder.compound.nn_planner, IDMPlanner)
+
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [
+            ("idm", IDMPlanner),
+            ("gap-chaser", GapChaserPlanner),
+            ("full-brake", FullBrakePlanner),
+        ],
+    )
+    def test_planner_choices(self, name, cls):
+        server = build_server(_args("--planner", name))
+        assert isinstance(server._ladder_factory().compound.nn_planner, cls)
+
+    def test_budget_flags_reach_config(self):
+        server = build_server(
+            _args(
+                "--deadline-ms",
+                "25",
+                "--max-inflight",
+                "3",
+                "--workers",
+                "4",
+                "--max-state-age-s",
+                "0.7",
+                "--transient-retries",
+                "2",
+                "--drain-grace-s",
+                "1.5",
+            )
+        )
+        cfg = server.config
+        assert cfg.deadline_s == pytest.approx(0.025)
+        assert cfg.max_inflight == 3
+        assert cfg.workers == 4
+        assert cfg.max_state_age == pytest.approx(0.7)
+        assert cfg.transient_retries == 2
+        assert cfg.drain_grace == pytest.approx(1.5)
+
+    def test_chaos_flags_wrap_the_planner_unit(self):
+        server = build_server(
+            _args(
+                "--inject-stall-seconds",
+                "0.2",
+                "--inject-stall-window",
+                "0:3",
+                "--inject-error-window",
+                "1:2",
+                "--inject-error-severity",
+                "fatal",
+            )
+        )
+        ladder = server._ladder_factory()
+        # outermost: the stall; inside it: the raiser; inside: compound
+        stack = ladder._planner
+        assert isinstance(stack, StallingPlanner)
+        assert isinstance(stack.inner, FaultyPlanner)
+        assert stack.inner.inner is ladder.compound

@@ -1,0 +1,213 @@
+"""The degradation ladder's rungs and its post-hoc safety verifier."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.errors import FatalPlannerFaultError
+from repro.faults.plan import (
+    PlannerFault,
+    PlannerFaultKind,
+    PlannerFaultSeverity,
+    StepWindow,
+)
+from repro.faults.planner_wrapper import FaultyPlanner
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.planners.idm import IDMPlanner
+from repro.serve.ladder import (
+    CAUSE_DEADLINE,
+    CAUSE_MONITOR,
+    CAUSE_NN,
+    CAUSE_NO_STATE,
+    LadderDecision,
+    LadderLevel,
+)
+from repro.serve.session import DecisionSession, Observation, RemoteReport
+
+from tests.serve_helpers import LEADER, SCENARIO, ladder_factory
+
+LIMITS = SCENARIO.ego_limits
+
+
+def _context(ego_position=0.0, ego_velocity=20.0, gap=40.0):
+    session = DecisionSession(
+        {LEADER: ReachabilityAnalyzer(SCENARIO.leader_limits)},
+        max_state_age=1.0,
+    )
+    ego = VehicleState(position=ego_position, velocity=ego_velocity)
+    obs = Observation(
+        time=1.0,
+        ego=ego,
+        reports=(
+            RemoteReport(
+                LEADER,
+                stamp=1.0,
+                position=ego_position + gap,
+                velocity=15.0,
+            ),
+        ),
+    )
+    session.ingest(obs)
+    context = session.context_for(obs)
+    assert context is not None
+    return context
+
+
+class TestRungs:
+    def test_full_attempt_interior_state_is_nn(self):
+        policy = ladder_factory()()
+        decision, error = policy.full_attempt(_context(gap=60.0))
+        assert error is None
+        assert decision.level is LadderLevel.FULL
+        assert decision.cause == CAUSE_NN
+        assert decision.monitor_engaged is False
+        assert LIMITS.a_min <= decision.action <= LIMITS.a_max
+
+    def test_full_attempt_flagged_state_engages_monitor(self):
+        policy = ladder_factory()()
+        decision, error = policy.full_attempt(_context(gap=7.0))
+        assert error is None
+        assert decision.cause == CAUSE_MONITOR
+        assert decision.monitor_engaged is True
+        assert decision.action == pytest.approx(LIMITS.a_min)
+
+    def test_full_attempt_contains_planner_unit_crash(self):
+        def crashing(compound):
+            return FaultyPlanner(
+                compound,
+                faults=(
+                    PlannerFault(
+                        window=StepWindow(0, 1000),
+                        kind=PlannerFaultKind.EXCEPTION,
+                        severity=PlannerFaultSeverity.FATAL,
+                    ),
+                ),
+            )
+
+        policy = ladder_factory(wrap=crashing)()
+        decision, error = policy.full_attempt(_context(gap=60.0))
+        assert decision is None
+        assert isinstance(error, FatalPlannerFaultError)
+
+    def test_embedded_fault_absorbed_by_shield(self):
+        # Faults *inside* the compound are the paper's Theorem 1 case:
+        # the shield falls back to the emergency command and the ladder
+        # still sees a clean level-1 answer.
+        def exploding():
+            return FaultyPlanner(
+                IDMPlanner(SCENARIO.ego_limits, leader_index=LEADER),
+                faults=(
+                    PlannerFault(
+                        window=StepWindow(0, 1000),
+                        kind=PlannerFaultKind.EXCEPTION,
+                        severity=PlannerFaultSeverity.FATAL,
+                    ),
+                ),
+            )
+
+        policy = ladder_factory(embedded_factory=exploding)()
+        decision, error = policy.full_attempt(_context(gap=60.0))
+        assert error is None
+        assert decision.level is LadderLevel.FULL
+        assert decision.action == pytest.approx(LIMITS.a_min)
+
+    def test_shield_decision_is_emergency_command(self):
+        policy = ladder_factory()()
+        decision = policy.shield_decision(
+            _context(gap=60.0), CAUSE_DEADLINE, retries=1
+        )
+        assert decision.level is LadderLevel.SHIELD
+        assert decision.cause == CAUSE_DEADLINE
+        assert decision.retries == 1
+        assert decision.action == pytest.approx(LIMITS.a_min)
+
+    def test_brake_decision_attaches_stop_position(self):
+        policy = ladder_factory()()
+        ego = VehicleState(position=10.0, velocity=18.0)
+        decision = policy.brake_decision(ego, CAUSE_NO_STATE)
+        assert decision.level is LadderLevel.BRAKE
+        assert decision.action == pytest.approx(LIMITS.a_min)
+        expected = 10.0 + 18.0**2 / (2.0 * -LIMITS.a_min)
+        assert decision.stop_position == pytest.approx(expected)
+
+    def test_brake_decision_without_ego_has_no_stop_position(self):
+        policy = ladder_factory()()
+        decision = policy.brake_decision(None, CAUSE_NO_STATE)
+        assert decision.stop_position is None
+
+    def test_stop_position_at_rest_is_current_position(self):
+        policy = ladder_factory()()
+        ego = VehicleState(position=5.0, velocity=0.0)
+        assert policy.stop_position(ego) == pytest.approx(5.0)
+
+
+class TestVerify:
+    def _decision(self, **overrides):
+        base = dict(
+            level=LadderLevel.FULL,
+            action=1.0,
+            cause=CAUSE_NN,
+            monitor_engaged=False,
+        )
+        base.update(overrides)
+        return LadderDecision(**base)
+
+    def test_interior_nn_action_passes_unchanged(self):
+        policy = ladder_factory()()
+        decision = self._decision()
+        verified = policy.verify(decision, _context(gap=60.0))
+        assert verified is decision
+        assert not verified.verify_replaced
+
+    @pytest.mark.parametrize("action", [math.nan, math.inf, 99.0, -99.0])
+    def test_out_of_envelope_action_replaced(self, action):
+        policy = ladder_factory()()
+        verified = policy.verify(
+            self._decision(action=action), _context(gap=60.0)
+        )
+        assert verified.verify_replaced
+        assert verified.action == pytest.approx(LIMITS.a_min)
+
+    def test_flagged_state_requires_emergency_command(self):
+        policy = ladder_factory()()
+        # A level-1 decision claiming a cruise command in a state the
+        # safety model flags must be replaced by the emergency action.
+        verified = policy.verify(
+            self._decision(action=1.0), _context(gap=7.0)
+        )
+        assert verified.verify_replaced
+        assert verified.action == pytest.approx(LIMITS.a_min)
+
+    def test_shield_level_must_match_emergency(self):
+        policy = ladder_factory()()
+        bad = self._decision(
+            level=LadderLevel.SHIELD, action=0.5, cause=CAUSE_DEADLINE
+        )
+        verified = policy.verify(bad, _context(gap=60.0))
+        assert verified.verify_replaced
+        assert verified.action == pytest.approx(LIMITS.a_min)
+
+    def test_brake_level_must_be_full_brake(self):
+        policy = ladder_factory()()
+        bad = self._decision(
+            level=LadderLevel.BRAKE, action=-1.0, cause=CAUSE_NO_STATE
+        )
+        verified = policy.verify(bad, None)
+        assert verified.verify_replaced
+        assert verified.action == pytest.approx(LIMITS.a_min)
+
+    def test_full_level_without_context_degrades(self):
+        policy = ladder_factory()()
+        verified = policy.verify(self._decision(action=1.0), None)
+        assert verified.verify_replaced
+        assert verified.action == pytest.approx(LIMITS.a_min)
+
+    def test_replacement_preserves_metadata(self):
+        policy = ladder_factory()()
+        bad = self._decision(action=99.0, retries=2)
+        verified = policy.verify(bad, _context(gap=60.0))
+        assert verified.retries == 2
+        assert verified.cause == bad.cause
+        assert replace(verified, action=bad.action, verify_replaced=False) == bad

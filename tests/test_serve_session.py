@@ -1,0 +1,178 @@
+"""Observation parsing and the per-connection decision session."""
+
+import math
+
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.dynamics.vehicle import VehicleModel
+from repro.errors import ServeError
+from repro.filtering.reachability import ReachabilityAnalyzer
+from repro.scenarios.car_following import CarFollowingScenario
+from repro.serve.session import (
+    DecisionSession,
+    Observation,
+    RemoteReport,
+    parse_observation,
+)
+
+SCENARIO = CarFollowingScenario()
+
+
+def _session(max_age=1.0):
+    return DecisionSession(
+        {1: ReachabilityAnalyzer(SCENARIO.leader_limits)},
+        max_state_age=max_age,
+    )
+
+
+def _payload(**overrides):
+    payload = {
+        "op": "decide",
+        "time": 1.0,
+        "ego": {"position": 0.0, "velocity": 20.0},
+        "messages": [
+            {"vehicle": 1, "stamp": 0.9, "position": 40.0, "velocity": 15.0}
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestParseObservation:
+    def test_minimal_valid(self):
+        obs = parse_observation(_payload())
+        assert obs.time == pytest.approx(1.0)
+        assert obs.ego.velocity == pytest.approx(20.0)
+        assert len(obs.reports) == 1
+        assert obs.reports[0].vehicle == 1
+        assert obs.deadline_s is None
+
+    def test_deadline_ms_converts_to_seconds(self):
+        obs = parse_observation(_payload(deadline_ms=25.0))
+        assert obs.deadline_s == pytest.approx(0.025)
+
+    def test_acceleration_defaults_to_zero(self):
+        obs = parse_observation(_payload())
+        assert obs.reports[0].acceleration == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"time": None},
+            {"time": math.nan},
+            {"time": "soon"},
+            {"ego": None},
+            {"ego": {"position": math.inf, "velocity": 1.0}},
+            {"ego": {"position": 0.0, "velocity": math.nan}},
+            {"messages": "not-a-list"},
+            {"messages": [{"stamp": 0.5}]},
+            {"messages": [{"vehicle": 1, "stamp": math.nan, "position": 1.0, "velocity": 1.0}]},
+            {"deadline_ms": math.nan},
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -10.0},
+        ],
+    )
+    def test_malformed_rejected(self, mutation):
+        with pytest.raises(ServeError):
+            parse_observation(_payload(**mutation))
+
+    def test_future_stamped_report_rejected(self):
+        bad = _payload(
+            messages=[
+                {"vehicle": 1, "stamp": 2.0, "position": 1.0, "velocity": 1.0}
+            ]
+        )
+        with pytest.raises(ServeError, match="future"):
+            parse_observation(bad)
+
+
+class TestDecisionSession:
+    def test_requires_vehicles_and_sane_age(self):
+        with pytest.raises(ServeError):
+            DecisionSession({}, max_state_age=1.0)
+        with pytest.raises(ServeError):
+            _session(max_age=0.0)
+        with pytest.raises(ServeError):
+            _session(max_age=math.nan)
+
+    def test_no_report_means_no_context(self):
+        session = _session()
+        obs = parse_observation(_payload(messages=[]))
+        assert session.context_for(obs) is None
+        assert session.staleness(obs.time) is None
+
+    def test_fresh_report_builds_context(self):
+        session = _session()
+        obs = parse_observation(_payload())
+        assert session.ingest(obs) == 1
+        context = session.context_for(obs)
+        assert context is not None
+        estimate = context.estimates[1]
+        assert estimate.message_age == pytest.approx(0.1)
+        # The band must contain every dynamically reachable leader
+        # state: simulate the leader coasting and braking to the
+        # request time and check containment (soundness, not shape).
+        model = VehicleModel(SCENARIO.leader_limits)
+        start = VehicleState(position=40.0, velocity=15.0)
+        for accel in (-6.0, -2.0, 0.0, 3.0):
+            reached = model.step(start, accel, 0.1)
+            assert estimate.position.contains(reached.position)
+            assert estimate.velocity.contains(reached.velocity)
+
+    def test_newest_stamp_wins_out_of_order(self):
+        session = _session()
+        fresh = Observation(
+            time=1.0,
+            ego=VehicleState(0.0, 20.0),
+            reports=(RemoteReport(1, stamp=0.9, position=40.0, velocity=15.0),),
+        )
+        stale = Observation(
+            time=1.1,
+            ego=VehicleState(0.0, 20.0),
+            reports=(RemoteReport(1, stamp=0.4, position=35.0, velocity=14.0),),
+        )
+        assert session.ingest(fresh) == 1
+        assert session.ingest(stale) == 0  # older stamp never overwrites
+        assert session.reports_superseded == 1
+        assert session.last_stamp(1) == pytest.approx(0.9)
+
+    def test_unknown_vehicle_ignored(self):
+        session = _session()
+        obs = Observation(
+            time=1.0,
+            ego=VehicleState(0.0, 20.0),
+            reports=(RemoteReport(7, stamp=0.9, position=1.0, velocity=1.0),),
+        )
+        assert session.ingest(obs) == 0
+        assert session.context_for(obs) is None
+
+    def test_stale_report_yields_no_context(self):
+        session = _session(max_age=0.5)
+        first = parse_observation(_payload())
+        session.ingest(first)
+        later = Observation(time=2.0, ego=VehicleState(0.0, 20.0))
+        assert session.context_for(later) is None
+        # but staleness is reported (vehicle *has* spoken)
+        assert session.staleness(2.0) == pytest.approx(1.1)
+
+    def test_clock_regression_yields_no_context(self):
+        session = _session()
+        session.ingest(parse_observation(_payload()))
+        earlier = Observation(time=0.5, ego=VehicleState(0.0, 20.0))
+        assert session.context_for(earlier) is None
+
+    def test_band_widens_with_age(self):
+        session = _session()
+        session.ingest(parse_observation(_payload()))
+        near = session.context_for(
+            Observation(time=1.0, ego=VehicleState(0.0, 20.0))
+        )
+        far = session.context_for(
+            Observation(time=1.5, ego=VehicleState(0.0, 20.0))
+        )
+        assert near is not None and far is not None
+        assert (
+            far.estimates[1].position.width
+            > near.estimates[1].position.width
+        )
