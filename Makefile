@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record chaos campaign-smoke shard-smoke trace-smoke serve-smoke baseline
+.PHONY: lint safelint safedim lint-shape lint-flow gates ruff mypy precommit test benchmarks bench-record bench-compare slo chaos campaign-smoke shard-smoke trace-smoke serve-smoke baseline
 
 lint: safelint ruff mypy
 
@@ -59,6 +59,20 @@ benchmarks:
 # BENCH_<area>.json per benchmark file (see docs/OBSERVABILITY.md).
 bench-record:
 	REPRO_BENCH_RECORD=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Structural comparison of a fresh recording (REPRO_BENCH_DIR, default
+# /tmp/repro-bench) against the checked-in baselines; what CI's
+# bench-record job runs.  See docs/OBSERVABILITY.md.
+BENCH_DIR ?= /tmp/repro-bench
+bench-compare:
+	$(PYTHON) scripts/bench_compare.py --recorded $(BENCH_DIR)
+
+# SLO gate over the freshly recorded serve benchmark (run bench-record
+# with REPRO_BENCH_DIR=$(BENCH_DIR) first); exit 1 on any violated
+# objective.  See the SLO section of docs/OBSERVABILITY.md.
+slo:
+	$(PYTHON) -m repro.obs.obs_cli slo check $(BENCH_DIR)/BENCH_serve.json \
+		--spec slo/serve_bench.json
 
 # Chaos suite (~30 s): fault-model, fault-plan and crash-tolerance tests
 # plus the chaos certification benchmark (zero collisions for the

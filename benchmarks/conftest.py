@@ -15,6 +15,12 @@ per benchmark file (``REPRO_BENCH_DIR`` overrides the output directory,
 default ``benchmarks/``), giving later PRs a machine-readable baseline
 to regress against — the trace-smoke overhead gate reads
 ``BENCH_trace_smoke.json`` this way.
+
+Benchmarks can attach domain numbers beyond wall time via the
+``bench_extra`` fixture (``bench_extra(p99_ms=1.7, shed=0.0)``); the
+values land in the entry's ``extra`` mapping, where the SLO layer
+(``repro-obs slo check``) reads them as ``bench.<field>{test=...}``
+gauges.
 """
 
 from __future__ import annotations
@@ -32,17 +38,38 @@ BENCH_SIMS = int(os.environ.get("REPRO_BENCH_SIMS", "120"))
 _RECORDING = os.environ.get("REPRO_BENCH_RECORD") == "1"
 _RECORDED_ENTRIES: list = []
 
+#: Per-nodeid extra measurements attached by the ``bench_extra`` fixture.
+_BENCH_EXTRAS: dict = {}
+
 
 def pytest_runtest_logreport(report):
     """Collect one ``(nodeid, outcome, duration)`` entry per test call."""
     if _RECORDING and report.when == "call":
-        _RECORDED_ENTRIES.append(
-            {
-                "nodeid": report.nodeid,
-                "outcome": report.outcome,
-                "duration_seconds": round(report.duration, 6),
-            }
-        )
+        entry = {
+            "nodeid": report.nodeid,
+            "outcome": report.outcome,
+            "duration_seconds": round(report.duration, 6),
+        }
+        extra = _BENCH_EXTRAS.get(report.nodeid)
+        if extra:
+            entry["extra"] = dict(extra)
+        _RECORDED_ENTRIES.append(entry)
+
+
+@pytest.fixture
+def bench_extra(request):
+    """Attach named measurements to this test's bench-record entry.
+
+    Call it with keyword numbers (latencies, counters, rates); repeated
+    calls merge.  A no-op unless ``REPRO_BENCH_RECORD=1``, so tests can
+    call it unconditionally.
+    """
+
+    def _attach(**values):
+        extras = _BENCH_EXTRAS.setdefault(request.node.nodeid, {})
+        extras.update(values)
+
+    return _attach
 
 
 def pytest_sessionfinish(session, exitstatus):

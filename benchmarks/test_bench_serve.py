@@ -137,7 +137,19 @@ def _assert_accounting(n, tallies, stats):
     assert stats["p50_ms"] is not None and stats["p99_ms"] is not None
 
 
-def test_bench_serve_throughput(benchmark, run_once, tmp_path):
+def _record_extras(bench_extra, stats):
+    """Persist the serve accounting for the SLO gate (bench-record)."""
+    bench_extra(
+        p50_ms=stats["p50_ms"],
+        p99_ms=stats["p99_ms"],
+        shed_rate=stats["shed_rate"],
+        verify_replaced=stats["verify_replaced"],
+        shed=stats["shed"],
+        offered=stats["offered"],
+    )
+
+
+def test_bench_serve_throughput(benchmark, run_once, tmp_path, bench_extra):
     """Healthy planner: every decision is a full ladder-1 answer."""
     result = run_once(
         benchmark,
@@ -153,11 +165,12 @@ def test_bench_serve_throughput(benchmark, run_once, tmp_path):
         stats,
     )
     _assert_accounting(N_DECISIONS, tallies, stats)
+    _record_extras(bench_extra, stats)
     assert tallies[1] == N_DECISIONS  # all full answers
     assert stats["deadline_misses"] == 0
 
 
-def test_bench_serve_degraded_ladder(benchmark, run_once, tmp_path):
+def test_bench_serve_degraded_ladder(benchmark, run_once, tmp_path, bench_extra):
     """Always-hung planner: every decision answers at the deadline."""
     n = max(20, N_DECISIONS // 20)
     deadline_ms = 10.0
@@ -182,6 +195,7 @@ def test_bench_serve_degraded_ladder(benchmark, run_once, tmp_path):
         stats,
     )
     _assert_accounting(n, tallies, stats)
+    _record_extras(bench_extra, stats)
     assert tallies[2] == n  # every answer from the shield rung
     assert stats["deadline_misses"] == n
     assert stats["planner_restarts"] == n

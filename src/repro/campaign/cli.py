@@ -19,7 +19,10 @@ Subcommands
     coordinator; progress is replayed purely from the journal.
 ``shard-status``
     Read-only per-worker summary: leases, heartbeats, steals,
-    speculative dispatches, duplicate completions.
+    speculative dispatches, duplicate completions — plus the newest
+    fleet telemetry frame when the coordinator wrote a
+    ``telemetry.jsonl`` sidecar (``--expo`` renders it as Prometheus
+    text instead).
 
 Exit codes: 0 success; 1 verification found problems; 2 campaign error
 (bad manifest, fingerprint mismatch, corrupt journal, invalid flag);
@@ -117,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     shard_stat.add_argument("--dir", required=True, help="campaign directory")
     shard_stat.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+    shard_stat.add_argument(
+        "--expo",
+        action="store_true",
+        help="print the newest telemetry frame as Prometheus text",
     )
     return parser
 
@@ -265,6 +273,32 @@ def _print_shard_status(summary: dict) -> None:
             f"completions={entry['completions']} "
             f"expirations={entry['expirations']} errors={entry['errors']}"
         )
+    telemetry = summary.get("telemetry")
+    if telemetry is not None:
+        print(
+            f"telemetry: {telemetry['frames']} frames "
+            f"(last wall {telemetry['last_wall']})"
+        )
+        for name, value in sorted(telemetry["counters"].items()):
+            if name.startswith("fleet.") and "{" not in name:
+                print(f"  {name}: {value}")
+
+
+def _print_shard_expo(summary: dict) -> int:
+    """Render the newest telemetry frame as Prometheus text; exit code."""
+    from repro.obs.expo import render_prometheus
+
+    telemetry = summary.get("telemetry")
+    if telemetry is None:
+        print("error: no telemetry frames recorded yet", file=sys.stderr)
+        return EXIT_ERROR
+    snapshot = {
+        "counters": telemetry["counters"],
+        "gauges": telemetry["gauges"],
+        "histograms": telemetry["histograms"],
+    }
+    sys.stdout.write(render_prometheus(snapshot))
+    return EXIT_OK
 
 
 def _report_exit(report: CampaignReport) -> int:
@@ -302,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return EXIT_OK
         if args.command == "shard-status":
             summary = shard_status(args.dir)
+            if args.expo:
+                return _print_shard_expo(summary)
             if args.json:
                 print(json.dumps(summary, indent=2, sort_keys=True))
             else:

@@ -47,7 +47,9 @@ from repro.errors import (
     JournalCorruptionError,
     SerializationError,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import resolve_observer
+from repro.obs.recorder import TELEMETRY_FILE, FlightRecorder
 from repro.obs.trace import perf_now
 from repro.sim.parallel import ParallelBatchRunner
 from repro.sim.results import AggregateStats, ChunkResult
@@ -293,6 +295,12 @@ class CampaignRunner:
         self._executor = chunk_executor
         self._obs = resolve_observer(observer)
         self._stop_requested = False
+        self._recorder: Optional[FlightRecorder] = None
+
+    @property
+    def telemetry_recorder(self) -> Optional[FlightRecorder]:
+        """The run's flight recorder (``None`` before :meth:`run`)."""
+        return self._recorder
 
     @property
     def manifest(self) -> CampaignManifest:
@@ -414,6 +422,20 @@ class CampaignRunner:
             return self._report_from_aggregate(state, chunks_run=0)
         previous_handlers = self._install_signal_handlers()
         chunks_run = 0
+        # Telemetry sidecar: per-run operational frames (see
+        # repro.obs.recorder).  Shares the observer's registry when one
+        # is attached, so frames carry engine/channel/shield series
+        # too; the campaign.* progress counters below are written
+        # unconditionally either way.  Sidecar bytes are never part of
+        # the aggregate's bit-identity contract.
+        telemetry = (
+            self._obs.metrics if self._obs.enabled else MetricsRegistry()
+        )
+        self._recorder = FlightRecorder(
+            telemetry,
+            sidecar=self._directory / TELEMETRY_FILE,
+            min_interval=1.0,
+        )
         try:
             for chunk in range(manifest.n_chunks):
                 if chunk in state.completed:
@@ -458,8 +480,18 @@ class CampaignRunner:
                 )
                 state.completed[chunk] = digest
                 chunks_run += 1
+                telemetry.count("campaign.chunks_completed")
+                telemetry.count(
+                    "campaign.sims_completed", len(chunk_result.results)
+                )
+                telemetry.count(
+                    "campaign.sim_failures", chunk_result.n_failed
+                )
+                self._recorder.tick()
         finally:
             self._restore_signal_handlers(previous_handlers)
+            # Final frame regardless of how the loop ended.
+            self._recorder.tick(force=True)
         report = self._finalise(state, chunks_run, journal)
         return report
 

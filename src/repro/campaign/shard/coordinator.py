@@ -80,7 +80,10 @@ from repro.errors import (
     FingerprintMismatchError,
     JournalCorruptionError,
 )
+from repro.obs.fleet import merge_delta
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import resolve_observer
+from repro.obs.recorder import TELEMETRY_FILE, FlightRecorder, read_telemetry
 from repro.obs.trace import perf_now
 
 __all__ = ["ShardCoordinator", "shard_status"]
@@ -198,6 +201,14 @@ class ShardCoordinator:
         self._tick_hook = tick_hook
         self._stop_requested = False
         self._workers: Dict[str, _WorkerHandle] = {}
+        # The fleet registry is always on (independent of the optional
+        # observer): workers stream metric deltas on their heartbeats
+        # and the coordinator merges them here with exact-sum semantics
+        # (see repro.obs.fleet).  The flight recorder snapshots it into
+        # the telemetry.jsonl sidecar — a per-run operational artifact,
+        # never part of the aggregate's bit-identity contract.
+        self._fleet = MetricsRegistry()
+        self._recorder: Optional[FlightRecorder] = None
 
     # ------------------------------------------------------------------
     # Introspection (tests and the tick hook)
@@ -224,6 +235,16 @@ class ShardCoordinator:
         """Drain: stop dispatching, let in-flight chunks finish, journal
         an ``interrupted`` marker, and return an interrupted report."""
         self._stop_requested = True
+
+    @property
+    def fleet_registry(self) -> MetricsRegistry:
+        """The always-on fleet registry (merged worker deltas)."""
+        return self._fleet
+
+    @property
+    def telemetry_recorder(self) -> Optional[FlightRecorder]:
+        """The flight recorder of the current run (``None`` when idle)."""
+        return self._recorder
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -364,6 +385,11 @@ class ShardCoordinator:
         previous_handlers = install_drain_handlers(self.request_stop)
         self._workers = {}
         chunks_before = len(progress.completed)
+        self._recorder = FlightRecorder(
+            self._fleet,
+            sidecar=self._directory / TELEMETRY_FILE,
+            min_interval=max(self._heartbeat_interval, 0.5),
+        )
         try:
             for worker_id in worker_ids:
                 self._spawn_worker(worker_id, selector, journal)
@@ -394,6 +420,9 @@ class ShardCoordinator:
             restore_drain_handlers(previous_handlers)
             self._kill_remaining_workers()
             selector.close()
+            # Flush a final frame so shard-status sees the end state
+            # however the run ended (finished, drained, or crashed).
+            self._recorder.tick(force=True)
 
     def _loop(self, state: _LoopState, selector: selectors.DefaultSelector) -> None:
         poll = max(0.01, min(self._heartbeat_interval, self._lease_ttl / 4.0))
@@ -413,6 +442,8 @@ class ShardCoordinator:
                 return
             if not self._stop_requested:
                 self._dispatch(state, now)
+            if self._recorder is not None:
+                self._recorder.tick()
             if self._tick_hook is not None:
                 self._tick_hook(self, now)
 
@@ -522,6 +553,7 @@ class ShardCoordinator:
             self._journal_lease_release(
                 state, lease, delay, now, reason="worker_exited"
             )
+        self._fleet.gauge("fleet.worker_up", 0.0, worker=handle.worker_id)
         if self._obs.enabled:
             self._obs.count("shard.worker_deaths")
 
@@ -549,6 +581,9 @@ class ShardCoordinator:
                 handle.process.kill()
                 returncode = handle.process.wait()
             handle.alive = False
+            self._fleet.gauge(
+                "fleet.worker_up", 0.0, worker=handle.worker_id
+            )
             try:
                 selector.unregister(handle.process.stdout.fileno())
             except (KeyError, ValueError):  # safelint: disable=SFL010 - EOF already unregistered this pipe; nothing to clean up
@@ -577,8 +612,12 @@ class ShardCoordinator:
     ) -> None:
         kind = event.get("event")
         now = perf_now()
+        self._absorb_worker_metrics(handle, event)
         if kind == EVENT_READY:
             handle.ready = True
+            self._fleet.gauge(
+                "fleet.worker_up", 1.0, worker=handle.worker_id
+            )
         elif kind in (EVENT_STARTED, EVENT_HEARTBEAT):
             chunk = int(event.get("chunk", -1))
             handle.heartbeats += 1
@@ -594,6 +633,24 @@ class ShardCoordinator:
             self._handle_completed(handle, event, state, now)
         elif kind == EVENT_ERROR:
             self._handle_error(handle, event, state, now)
+
+    def _absorb_worker_metrics(
+        self, handle: _WorkerHandle, event: dict
+    ) -> None:
+        """Merge a piggybacked metric delta into the fleet registry.
+
+        Every merged counter lands twice — in the unlabelled fleet
+        total and in a ``worker=<id>`` labelled series — which is the
+        structural form of the exact-sum acceptance invariant:
+        ``fleet.x == sum over workers of fleet.x{worker=w}``.
+        """
+        delta = event.get("metrics")
+        if not isinstance(delta, dict):
+            return
+        merge_delta(self._fleet, delta, worker=handle.worker_id)
+        self._fleet.count("fleet.metric_reports")
+        self._fleet.count("fleet.metric_reports", worker=handle.worker_id)
+        self._fleet.gauge("fleet.worker_up", 1.0, worker=handle.worker_id)
 
     def _handle_completed(
         self,
@@ -845,4 +902,27 @@ def shard_status(directory: Union[str, Path]) -> dict:
         "journal_records": len(records),
         "torn_tail": torn,
         "finished": finished,
+        "telemetry": _telemetry_summary(directory),
+    }
+
+
+def _telemetry_summary(directory: Path) -> Optional[dict]:
+    """Summarise the telemetry sidecar for ``shard-status``.
+
+    ``None`` when the campaign never wrote one (pre-telemetry runs,
+    single-worker degradation without an observer).  Otherwise the
+    newest frame's fleet counters and per-worker liveness gauges plus
+    the frame count — everything the status CLI and the exposition
+    flag need without re-reading the journal.
+    """
+    frames = read_telemetry(directory / TELEMETRY_FILE)
+    if not frames:
+        return None
+    newest = frames[-1]
+    return {
+        "frames": len(frames),
+        "last_wall": newest.get("wall"),
+        "counters": dict(newest.get("counters", {})),
+        "gauges": dict(newest.get("gauges", {})),
+        "histograms": dict(newest.get("histograms", {})),
     }

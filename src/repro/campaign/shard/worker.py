@@ -45,6 +45,8 @@ from repro.campaign.shard.protocol import (
     decode_line,
     encode_message,
 )
+from repro.obs.fleet import delta_is_empty, empty_snapshot, snapshot_delta
+from repro.obs.observer import MetricsOnlyObserver, Observer
 from repro.obs.trace import perf_now
 from repro.sim.parallel import ParallelBatchRunner
 
@@ -59,10 +61,12 @@ class _ChunkRunner:
         manifest: CampaignManifest,
         max_retries: int,
         timeout_per_sim: Optional[float],
+        observer: Optional[Observer] = None,
     ) -> None:
         self._manifest = manifest
         self._max_retries = max_retries
         self._timeout_per_sim = timeout_per_sim
+        self._observer = observer
         self._runner: Optional[ParallelBatchRunner] = None
         self._planner = None
 
@@ -81,6 +85,7 @@ class _ChunkRunner:
                 n_workers=1,
                 max_retries=self._max_retries,
                 timeout_per_sim=self._timeout_per_sim,
+                observer=self._observer,
             )
         indices = self._manifest.chunk_indices(chunk)
         started = perf_now()
@@ -109,7 +114,32 @@ def worker_main(
     """Run the worker loop until shutdown or stdin EOF; returns 0."""
     manifest = CampaignManifest.load(directory / MANIFEST_FILE)
     fingerprint = manifest.fingerprint
-    runner = _ChunkRunner(manifest, max_retries, timeout_per_sim)
+    # The worker's own registry: engine/channel/shield series via the
+    # in-process batch path plus worker.* bookkeeping.  Deltas against
+    # the last reported snapshot piggyback on heartbeat/completed
+    # events so the coordinator can merge a fleet-wide view without a
+    # second channel (see repro.obs.fleet).  Metrics-only: a tracer
+    # would grow one record per engine step for the campaign's
+    # lifetime.
+    observer = MetricsOnlyObserver()
+    reported = empty_snapshot()
+
+    def metric_delta() -> Optional[dict]:
+        nonlocal reported
+        current = observer.metrics.snapshot()
+        delta = snapshot_delta(reported, current)
+        reported = current
+        return None if delta_is_empty(delta) else delta
+
+    def emit_with_metrics(message: dict) -> None:
+        delta = metric_delta()
+        if delta is not None:
+            message["metrics"] = delta
+        _emit(message)
+
+    runner = _ChunkRunner(
+        manifest, max_retries, timeout_per_sim, observer=observer
+    )
     _emit(
         {
             "event": EVENT_READY,
@@ -140,10 +170,11 @@ def worker_main(
         def progress(index: int) -> None:
             nonlocal done, last_beat
             done += 1
+            observer.count("worker.sims_completed")
             now = perf_now()
             if now - last_beat >= heartbeat_interval:
                 last_beat = now
-                _emit(
+                emit_with_metrics(
                     {
                         "event": EVENT_HEARTBEAT,
                         "worker": worker_id,
@@ -161,7 +192,8 @@ def worker_main(
                 failed = sorted(
                     {failure.index for failure in result.transient_failures}
                 )
-                _emit(
+                observer.count("worker.chunk_errors")
+                emit_with_metrics(
                     {
                         "event": EVENT_ERROR,
                         "worker": worker_id,
@@ -174,7 +206,9 @@ def worker_main(
             digest = persist_chunk_snapshot(
                 directory, fingerprint, chunk, result
             )
-            _emit(
+            observer.count("worker.chunks_completed")
+            observer.observe("worker.chunk_seconds", elapsed)
+            emit_with_metrics(
                 {
                     "event": EVENT_COMPLETED,
                     "worker": worker_id,
@@ -186,7 +220,8 @@ def worker_main(
                 }
             )
         except Exception as exc:  # safelint: disable=SFL003 - reported as error event; coordinator re-dispatches
-            _emit(
+            observer.count("worker.chunk_errors")
+            emit_with_metrics(
                 {
                     "event": EVENT_ERROR,
                     "worker": worker_id,

@@ -127,6 +127,16 @@ class JournalCorruptionError(CampaignError):
     """
 
 
+class SloError(ReproError):
+    """An SLO specification is invalid or cannot be evaluated.
+
+    Raised for malformed spec files (unknown rule types, missing
+    fields) and for documents whose shape no adapter recognises.  Rule
+    *violations* are never exceptions — they are report entries the
+    ``repro-obs slo check`` gate turns into an exit code.
+    """
+
+
 class LintError(ReproError):
     """The safelint static-analysis pass could not run as configured.
 

@@ -15,7 +15,16 @@ layers:
   JSON (Perfetto-loadable);
 * :mod:`repro.obs.bench_record` — ``BENCH_<area>.json`` benchmark
   trajectories;
-* :mod:`repro.obs.cli` — the ``repro-trace`` command line.
+* :mod:`repro.obs.expo` — Prometheus text exposition (v0.0.4) over
+  snapshots;
+* :mod:`repro.obs.recorder` — the ring-buffer flight recorder and the
+  ``telemetry.jsonl`` sidecar;
+* :mod:`repro.obs.fleet` — exact-sum merging of per-worker metric
+  deltas into a fleet registry;
+* :mod:`repro.obs.slo` — declarative SLO specs and their evaluator;
+* :mod:`repro.obs.cli` — the ``repro-trace`` command line;
+* :mod:`repro.obs.obs_cli` — the ``repro-obs`` command line (top /
+  expo / slo check).
 
 The contract, enforced by tests and safelint rule SFL011: observation
 is write-only from the system's point of view — a traced run produces a
@@ -23,7 +32,32 @@ bit-identical :class:`~repro.sim.results.SimulationResult` to an
 untraced one.  See ``docs/OBSERVABILITY.md``.
 """
 
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.expo import CONTENT_TYPE, render_prometheus, render_registry
+from repro.obs.fleet import (
+    FLEET_PREFIX,
+    merge_delta,
+    snapshot_delta,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    metric_key,
+    parse_series_key,
+    series_sort_key,
+)
+from repro.obs.recorder import (
+    TELEMETRY_FILE,
+    FlightRecorder,
+    frame_rates,
+    read_telemetry,
+)
+from repro.obs.slo import (
+    SloReport,
+    SloSpec,
+    evaluate_slo,
+    load_slo_spec,
+)
 from repro.obs.observer import (
     NULL_OBSERVER,
     NullObserver,
@@ -62,10 +96,28 @@ __all__ = [
     "wall_now",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "metric_key",
+    "parse_series_key",
+    "series_sort_key",
+    "histogram_quantile",
     "Observer",
     "NullObserver",
     "NULL_OBSERVER",
     "resolve_observer",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "render_registry",
+    "FLEET_PREFIX",
+    "snapshot_delta",
+    "merge_delta",
+    "TELEMETRY_FILE",
+    "FlightRecorder",
+    "frame_rates",
+    "read_telemetry",
+    "SloSpec",
+    "SloReport",
+    "load_slo_spec",
+    "evaluate_slo",
     "write_jsonl",
     "read_jsonl",
     "to_chrome_trace",

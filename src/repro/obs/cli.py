@@ -9,7 +9,7 @@ Subcommands
     event stream and the Chrome trace-event JSON next to each other.
 ``summarize``
     Per-name event counts, span timing statistics, and metric totals
-    from a JSONL stream.
+    from a JSONL stream (``--json`` for a machine-readable document).
 ``convert``
     JSONL stream -> Chrome trace-event JSON (Perfetto-loadable).
 ``margins``
@@ -178,8 +178,40 @@ def _event_counts(events: List[dict]) -> List[tuple]:
     return sorted(counts.items())
 
 
+def _summary_document(
+    stream: str, header: dict, events: List[dict], snapshot: dict
+) -> dict:
+    """The ``summarize --json`` payload: counts, spans, metric totals."""
+    return {
+        "stream": str(stream),
+        "schema_version": header.get("schema_version"),
+        "n_events": len(events),
+        "event_counts": [
+            {"kind": kind, "name": name, "count": count}
+            for (kind, name), count in _event_counts(events)
+        ],
+        "spans": [
+            {
+                "name": name,
+                "count": count,
+                "total_seconds": total,
+                "mean_seconds": mean,
+                "max_seconds": peak,
+            }
+            for name, count, total, mean, peak in _span_stats(events)
+        ],
+        "counters": dict(snapshot.get("counters", {})) if snapshot else {},
+        "gauges": dict(snapshot.get("gauges", {})) if snapshot else {},
+        "histograms": dict(snapshot.get("histograms", {})) if snapshot else {},
+    }
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     header, events, snapshot = read_jsonl(args.stream)
+    if args.json:
+        document = _summary_document(args.stream, header, events, snapshot)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return EXIT_OK
     print(f"stream: {args.stream} (schema {header.get('schema_version')})")
     print(f"events: {len(events)}")
     print()
@@ -331,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sum = sub.add_parser("summarize", help="event counts and span timing")
     p_sum.add_argument("stream", help="trace.jsonl path")
+    p_sum.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     p_sum.set_defaults(func=_cmd_summarize)
 
     p_conv = sub.add_parser(

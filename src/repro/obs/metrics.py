@@ -33,6 +33,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "metric_key",
+    "parse_series_key",
+    "series_sort_key",
     "histogram_quantile",
 ]
 
@@ -58,8 +60,11 @@ def histogram_quantile(snapshot: dict, q: float) -> Optional[float]:
     contains the rank, with the first bucket's lower edge taken as 0
     (the instrumented quantities — latencies, delays — are
     nonnegative).  Ranks falling in the overflow bucket return the
-    observed maximum, which upper-bounds the true quantile.  Returns
-    ``None`` for an empty histogram.
+    observed maximum, which upper-bounds the true quantile.  The result
+    is clamped into the observed ``[min, max]`` envelope, so ``q=0``
+    yields the observed minimum, ``q=1`` the observed maximum, and a
+    rank interpolated inside a wide first bucket can never undershoot
+    any value actually seen.  Returns ``None`` for an empty histogram.
 
     This is a *reporting* helper (exporters, probes, benchmarks);
     feeding its output back into planner/filter/dynamics arguments is
@@ -70,16 +75,34 @@ def histogram_quantile(snapshot: dict, q: float) -> Optional[float]:
     count = snapshot["count"]
     if not count:
         return None
+    observed_min = snapshot.get("min")
+    observed_max = snapshot.get("max")
+    if q <= 0.0 and observed_min is not None:
+        return observed_min
+    if q >= 1.0 and observed_max is not None:
+        return observed_max
     rank = q * count
     cumulative = 0
     lower = 0.0
+    value: Optional[float] = None
     for bound, bucket_count in zip(snapshot["buckets"], snapshot["counts"]):
         if bucket_count > 0 and cumulative + bucket_count >= rank:
             fraction = (rank - cumulative) / bucket_count
-            return lower + (bound - lower) * max(fraction, 0.0)
+            value = lower + (bound - lower) * max(fraction, 0.0)
+            break
         cumulative += bucket_count
         lower = bound
-    return snapshot["max"]
+    if value is None:
+        # The rank fell past every finite bucket: the overflow (+inf)
+        # slot.  The observed maximum is the tightest upper bound.
+        value = observed_max
+    if value is None:
+        return None
+    if observed_min is not None and value < observed_min:
+        value = observed_min
+    if observed_max is not None and value > observed_max:
+        value = observed_max
+    return value
 
 
 def metric_key(name: str, labels: Dict[str, object]) -> str:
@@ -88,6 +111,41 @@ def metric_key(name: str, labels: Dict[str, object]) -> str:
         return name
     parts = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{parts}}}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Split a series key back into ``(name, ((label, value), ...))``.
+
+    The inverse of :func:`metric_key` for the label shapes the
+    instrumented layers emit (scalar values without ``,``/``=`` in
+    them).  A key that does not parse as ``name{k=v,...}`` is returned
+    whole as the name with no labels — the function is total, which is
+    what the deterministic-ordering and fleet-merge layers need.
+    """
+    if "{" not in key or not key.endswith("}"):
+        return key, ()
+    name, _, rest = key.partition("{")
+    body = rest[:-1]
+    if not body:
+        return name, ()
+    labels = []
+    for part in body.split(","):
+        label, sep, value = part.partition("=")
+        if not sep:
+            return key, ()
+        labels.append((label, value))
+    return name, tuple(labels)
+
+
+def series_sort_key(key: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Deterministic sort key: metric name first, then label items.
+
+    Plain string order would interleave differently-labelled series of
+    the same metric with unrelated metrics (``{`` sorts above
+    alphanumerics), so snapshots — and the byte-stable exposition
+    format built on them — sort by ``(name, labels)`` instead.
+    """
+    return parse_series_key(key)
 
 
 class _Histogram:
@@ -187,6 +245,38 @@ class MetricsRegistry:
             series = self._histograms[key] = _Histogram(buckets)
         series.observe(float(value))
 
+    def absorb_histogram(self, name: str, snapshot: dict, **labels) -> None:
+        """Merge one histogram *snapshot* into a series of this registry.
+
+        Exact-sum semantics: bucket counts, total count, and sum add;
+        min/max fold with ``min``/``max`` (idempotent, so re-absorbing
+        a worker's cumulative snapshot after a counter-style delta
+        converges to the true envelope).  The snapshot's bucket bounds
+        must match any bounds already fixed for ``name`` — the fleet
+        aggregation layer relies on this to refuse mixing incompatible
+        histograms.
+        """
+        bounds = tuple(float(b) for b in snapshot["buckets"])
+        self.register_histogram(name, bounds)
+        key = metric_key(name, labels)
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = _Histogram(bounds)
+        counts = snapshot["counts"]
+        if len(counts) != len(series.counts):
+            raise ConfigurationError(
+                f"histogram {name!r} snapshot has {len(counts)} bucket "
+                f"counts, series expects {len(series.counts)}"
+            )
+        for i, bucket_count in enumerate(counts):
+            series.counts[i] += int(bucket_count)
+        series.count += int(snapshot["count"])
+        series.sum += float(snapshot["sum"])
+        if snapshot.get("min") is not None:
+            series.min = min(series.min, float(snapshot["min"]))
+        if snapshot.get("max") is not None:
+            series.max = max(series.max, float(snapshot["max"]))
+
     # ------------------------------------------------------------------
     # Reading (exporters and reports only — see SFL011)
     # ------------------------------------------------------------------
@@ -199,21 +289,32 @@ class MetricsRegistry:
         return self._gauges.get(metric_key(name, labels))
 
     def snapshot(self) -> dict:
-        """Deterministically ordered dump of every series."""
+        """Dump of every series, ordered by (name, label items).
+
+        The ordering is a contract: it is what makes the Prometheus
+        exposition built on snapshots byte-stable regardless of the
+        order in which series were first written.
+        """
         return {
-            "counters": {k: self._counters[k] for k in sorted(self._counters)},
-            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "counters": {
+                k: self._counters[k]
+                for k in sorted(self._counters, key=series_sort_key)
+            },
+            "gauges": {
+                k: self._gauges[k]
+                for k in sorted(self._gauges, key=series_sort_key)
+            },
             "histograms": {
                 k: self._histograms[k].snapshot()
-                for k in sorted(self._histograms)
+                for k in sorted(self._histograms, key=series_sort_key)
             },
         }
 
     def counter_series(self, prefix: str) -> Dict[str, float]:
         """Counter series whose key starts with ``prefix`` (reports)."""
         return {
-            key: value
-            for key, value in sorted(self._counters.items())
+            key: self._counters[key]
+            for key in sorted(self._counters, key=series_sort_key)
             if key.startswith(prefix)
         }
 

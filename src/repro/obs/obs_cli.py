@@ -1,0 +1,257 @@
+"""The ``repro-obs`` command line: dashboard, exposition, SLO gate.
+
+Three subcommands over the fleet telemetry plane:
+
+``repro-obs top``
+    Live terminal dashboard (see :mod:`repro.obs.top`) over either a
+    campaign/shard telemetry sidecar (``--dir``/``--file``) or a
+    running decision server polled through its ``metrics`` probe
+    (``--socket``/``--connect``).  ``--follow`` refreshes in place.
+
+``repro-obs expo``
+    Print one document (telemetry sidecar, metrics snapshot JSON, or
+    serve stats payload) as Prometheus text exposition v0.0.4.
+
+``repro-obs slo check``
+    Evaluate a declarative SLO spec (see :mod:`repro.obs.slo`) against
+    a document and exit 0 (pass) / 1 (violation) / 2 (error) — the CI
+    gate over ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional
+
+from repro.errors import ReproError, SloError
+from repro.obs.expo import render_prometheus
+from repro.obs.recorder import (
+    TELEMETRY_FILE,
+    TELEMETRY_FORMAT,
+    read_telemetry,
+)
+from repro.obs.slo import (
+    evaluate_slo,
+    load_slo_spec,
+    measurements_from_document,
+    render_report,
+)
+from repro.obs.top import render_dashboard
+from repro.obs.trace import perf_now, wall_now
+
+__all__ = ["main", "EXIT_OK", "EXIT_FAIL", "EXIT_ERROR"]
+
+#: Every check passed (or the dashboard rendered).
+EXIT_OK = 0
+#: At least one SLO check failed.
+EXIT_FAIL = 1
+#: Bad spec, unreadable document, unreachable server.
+EXIT_ERROR = 2
+
+#: ANSI clear-screen + home, used by ``top --follow``.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _load_document(path: Path) -> dict:
+    """Read one JSON document, or the newest frame of a JSONL sidecar."""
+    if path.suffix == ".jsonl":
+        frames = read_telemetry(path)
+        if not frames:
+            raise SloError(f"no telemetry frames in {path}")
+        return frames[-1]
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SloError(f"cannot read document {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SloError(f"document {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise SloError(f"document {path} must hold a JSON object")
+    return raw
+
+
+def _probe_frame(args: argparse.Namespace) -> dict:
+    """One recorder-shaped frame from a live server's metrics probe."""
+    from repro.serve.client import ServeClient
+
+    if args.socket:
+        client = ServeClient(path=args.socket, timeout=args.timeout)
+    else:
+        host, _, port = args.connect.partition(":")
+        client = ServeClient(
+            host=host or "127.0.0.1",
+            port=int(port or 0),
+            timeout=args.timeout,
+        )
+    try:
+        payload = client.metrics()
+    finally:
+        client.close()
+    snapshot = payload.get("snapshot") or {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    return {
+        "format": TELEMETRY_FORMAT,
+        "t": perf_now(),
+        "wall": wall_now(),
+        "counters": snapshot.get("counters", {}),
+        "gauges": snapshot.get("gauges", {}),
+        "histograms": snapshot.get("histograms", {}),
+    }
+
+
+def _telemetry_path(args: argparse.Namespace) -> Path:
+    if args.file:
+        return Path(args.file)
+    return Path(args.dir) / TELEMETRY_FILE
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    live = bool(args.socket or args.connect)
+    frames: Deque[dict] = deque(maxlen=args.window)
+    if live:
+        frames.append(_probe_frame(args))
+
+    def refresh() -> List[dict]:
+        if live:
+            frames.append(_probe_frame(args))
+            return list(frames)
+        return read_telemetry(_telemetry_path(args))[-args.window :]
+
+    if not args.follow:
+        if live:
+            # Two samples give the dashboard one rate window.
+            time.sleep(args.interval)
+        print(render_dashboard(refresh()))
+        return EXIT_OK
+    try:
+        while True:
+            screen = render_dashboard(refresh())
+            sys.stdout.write(_CLEAR + screen + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
+def _cmd_expo(args: argparse.Namespace) -> int:
+    document = _load_document(Path(args.document))
+    measurements = measurements_from_document(document)
+    sys.stdout.write(
+        render_prometheus(measurements, namespace=args.namespace)
+    )
+    return EXIT_OK
+
+
+def _cmd_slo_check(args: argparse.Namespace) -> int:
+    spec = load_slo_spec(args.spec)
+    document = _load_document(Path(args.document))
+    report = evaluate_slo(spec, document)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return EXIT_OK if report.passed else EXIT_FAIL
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Fleet telemetry: dashboard, exposition, SLO gates.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard over telemetry frames"
+    )
+    source = top.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dir", help="campaign/shard directory holding telemetry.jsonl"
+    )
+    source.add_argument("--file", help="telemetry sidecar path")
+    source.add_argument("--socket", help="decision-server unix socket")
+    source.add_argument(
+        "--connect", help="decision-server host:port to poll"
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="refresh in place until interrupted",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh/poll period, seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--window",
+        type=int,
+        default=120,
+        help="frames kept for the rate sparklines (default 120)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="server probe timeout, seconds",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    expo = sub.add_parser(
+        "expo", help="render a document as Prometheus text exposition"
+    )
+    expo.add_argument(
+        "document",
+        help="telemetry .jsonl (newest frame), snapshot/stats/bench .json",
+    )
+    expo.add_argument(
+        "--namespace",
+        default="repro",
+        help="metric name prefix (default: repro)",
+    )
+    expo.set_defaults(func=_cmd_expo)
+
+    slo = sub.add_parser("slo", help="SLO spec operations")
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    check = slo_sub.add_parser(
+        "check", help="evaluate a spec against a document"
+    )
+    check.add_argument(
+        "document",
+        help="metrics snapshot / BENCH_*.json / stats payload / .jsonl",
+    )
+    check.add_argument(
+        "--spec", required=True, help="SLO spec JSON file"
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout",
+    )
+    check.set_defaults(func=_cmd_slo_check)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-obs: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

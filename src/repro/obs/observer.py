@@ -27,7 +27,13 @@ from typing import Iterator, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["Observer", "NullObserver", "NULL_OBSERVER", "resolve_observer"]
+__all__ = [
+    "Observer",
+    "MetricsOnlyObserver",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "resolve_observer",
+]
 
 
 class NullObserver:
@@ -138,6 +144,42 @@ class Observer:
     def observe(self, name: str, value: float, **labels) -> None:
         """Record a histogram observation."""
         self.metrics.observe(name, value, **labels)
+
+
+class MetricsOnlyObserver(Observer):
+    """An enabled observer that aggregates metrics but keeps no events.
+
+    Counters, gauges, and histograms aggregate in O(1) memory, while
+    the :class:`Tracer` appends one record per span/instant — unbounded
+    over a long run.  Long-lived processes that only need the metric
+    side (shard workers streaming deltas to the coordinator, servers
+    exposing the ``metrics`` probe for days) use this variant: every
+    tracing operation is a no-op, every metric operation aggregates as
+    usual.  Still write-only (SFL011 applies unchanged).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(tracer=Tracer(), metrics=metrics)
+
+    def begin(self, name: str, **attrs) -> int:
+        """No-op; returns an invalid span handle."""
+        return -1
+
+    def end(self, handle: int, **attrs) -> None:
+        """No-op."""
+
+    def instant(self, name: str, **attrs) -> None:
+        """No-op."""
+
+    def sample(self, name: str, value: float, **attrs) -> None:
+        """No-op."""
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[int]:
+        """No-op context manager."""
+        yield -1
 
 
 def resolve_observer(observer) -> object:

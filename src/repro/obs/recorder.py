@@ -1,0 +1,196 @@
+"""Ring-buffer flight recorder: periodic metric snapshots and rates.
+
+A :class:`FlightRecorder` watches one
+:class:`~repro.obs.metrics.MetricsRegistry` and takes timestamped
+snapshot *frames* on demand (:meth:`FlightRecorder.record`) or on a
+throttled cadence (:meth:`FlightRecorder.tick`).  Frames live in a
+bounded ring buffer — the last ``capacity`` frames are always
+available for the ``repro-obs top`` dashboard — and can additionally
+be appended to a JSONL *sidecar* file, the telemetry stream campaign
+and shard runs leave next to their journal.
+
+Like the journal's ``elapsed`` fields, telemetry frames are per-run
+operational artifacts: they carry wall-clock values and are **never**
+part of the cross-run bit-identity contract (``aggregate.json`` and
+chunk snapshots stay byte-deterministic with or without a sidecar).
+The recorder only *reads* registry snapshots — it lives on the read
+side of the write-only observation contract (safelint SFL011).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import perf_now, wall_now
+
+__all__ = [
+    "TELEMETRY_FILE",
+    "TELEMETRY_FORMAT",
+    "FlightRecorder",
+    "frame_rates",
+    "read_telemetry",
+]
+
+#: Conventional sidecar filename inside a campaign/shard directory.
+TELEMETRY_FILE = "telemetry.jsonl"
+
+#: Frame format tag; bump on incompatible frame-shape changes.
+TELEMETRY_FORMAT = "repro-telemetry/1"
+
+
+def frame_rates(older: dict, newer: dict) -> Dict[str, float]:
+    """Per-second counter rates between two frames.
+
+    Returns ``{series_key: rate}`` for every counter present in the
+    newer frame.  A counter that went backwards (a restarted source)
+    contributes its absolute newer value over the window, mirroring
+    Prometheus ``rate()`` reset handling.  An empty dict when the
+    frames are not at least a microsecond apart.
+    """
+    dt = float(newer["t"]) - float(older["t"])
+    if dt < 1e-6:
+        return {}
+    old_counters = older.get("counters", {})
+    rates: Dict[str, float] = {}
+    for key, value in newer.get("counters", {}).items():
+        delta = float(value) - float(old_counters.get(key, 0.0))
+        if delta < 0:
+            delta = float(value)
+        rates[key] = delta / dt
+    return rates
+
+
+class FlightRecorder:
+    """Bounded snapshot history over one metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot (read-only access).
+    capacity:
+        Ring-buffer depth; the default keeps ~4 minutes of history at
+        a one-second cadence.
+    sidecar:
+        Optional JSONL path; every recorded frame is appended as one
+        line (the file is created on first write).
+    min_interval:
+        Throttle for :meth:`tick`: seconds that must elapse since the
+        last frame before a new one is recorded.
+        Units: min_interval [s]
+    """
+
+    def __init__(
+        self,
+        registry,
+        capacity: int = 240,
+        sidecar: Optional[Union[str, Path]] = None,
+        min_interval: float = 0.0,
+    ) -> None:
+        if capacity < 2:
+            raise ConfigurationError("FlightRecorder needs capacity >= 2")
+        self._registry = registry
+        self._frames: Deque[dict] = deque(maxlen=int(capacity))
+        self._sidecar = Path(sidecar) if sidecar is not None else None
+        self._min_interval = float(min_interval)
+        self._last_t: Optional[float] = None
+
+    @property
+    def registry(self):
+        """The registry this recorder snapshots."""
+        return self._registry
+
+    @property
+    def sidecar(self) -> Optional[Path]:
+        """The JSONL sidecar path, when frames are persisted."""
+        return self._sidecar
+
+    def record(self) -> dict:
+        """Take one frame now, unconditionally, and return it."""
+        now = perf_now()
+        snapshot = self._registry.snapshot()
+        frame = {
+            "format": TELEMETRY_FORMAT,
+            "t": now,
+            "wall": wall_now(),
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+        }
+        self._frames.append(frame)
+        self._last_t = now
+        if self._sidecar is not None:
+            line = json.dumps(frame, sort_keys=True) + "\n"
+            with open(self._sidecar, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        return frame
+
+    def tick(self, force: bool = False) -> Optional[dict]:
+        """Record a frame if ``min_interval`` has elapsed (or forced)."""
+        if (
+            not force
+            and self._last_t is not None
+            and perf_now() - self._last_t < self._min_interval
+        ):
+            return None
+        return self.record()
+
+    def frames(self) -> List[dict]:
+        """The buffered frames, oldest first."""
+        return list(self._frames)
+
+    def latest(self) -> Optional[dict]:
+        """The newest frame, or ``None`` before the first record."""
+        return self._frames[-1] if self._frames else None
+
+    def window_seconds(self) -> float:
+        """Elapsed time covered by the buffered frames.
+
+        Units: return [s]
+        """
+        if len(self._frames) < 2:
+            return 0.0
+        return float(self._frames[-1]["t"]) - float(self._frames[0]["t"])
+
+    def window_rates(self) -> Dict[str, float]:
+        """Counter rates across the whole buffered window.
+
+        ``{series_key: per-second rate}`` between the oldest and newest
+        buffered frames (empty with fewer than two frames).
+        """
+        if len(self._frames) < 2:
+            return {}
+        return frame_rates(self._frames[0], self._frames[-1])
+
+
+def read_telemetry(path: Union[str, Path]) -> List[dict]:
+    """Load the frames of one telemetry sidecar, oldest first.
+
+    Torn or malformed lines (a recorder killed mid-write) and frames
+    with an unknown format tag are skipped, mirroring the journal's
+    crash-tolerant read path — a partially written sidecar still
+    renders.
+    """
+    path = Path(path)
+    frames: List[dict] = []
+    if not path.exists():
+        return frames
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                frame = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(frame, dict)
+                and frame.get("format") == TELEMETRY_FORMAT
+                and "t" in frame
+            ):
+                frames.append(frame)
+    return frames

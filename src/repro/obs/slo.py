@@ -1,0 +1,390 @@
+"""Declarative SLO specs evaluated over metric documents.
+
+An SLO spec is a small JSON document pinning the operational
+invariants the docs promise — p99 decision latency, ladder-mix
+ceilings, ``serve.verify_replaced == 0``, zero collisions — so CI and
+operators can *enforce* them instead of eyeballing dashboards::
+
+    {
+      "name": "serve-bench",
+      "rules": [
+        {"type": "gauge_max", "metric": "bench.p99_ms{test=...}",
+         "max": 50.0, "description": "p99 decision latency"},
+        {"type": "counter_max", "metric": "bench.verify_replaced{...}",
+         "max": 0, "description": "shield verify never replaces"}
+      ]
+    }
+
+:func:`evaluate_slo` runs a spec against any supported *document*:
+
+* a :meth:`MetricsRegistry.snapshot` dict or flight-recorder frame
+  (``counters``/``gauges``/``histograms`` sections);
+* a ``BENCH_<area>.json`` benchmark document (entries become
+  ``bench.duration_seconds{test=...}`` gauges, recorded ``extra``
+  fields become ``bench.<field>{test=...}`` gauges, and
+  ``bench.recorded`` / ``bench.failed`` counters summarise outcomes);
+* a decision-server ``stats`` probe reply (its scalar fields map onto
+  ``serve.*`` counters and ``serve.p50_ms``/``serve.p99_ms`` gauges).
+
+Rule semantics: counters that were never written read as 0 (counter
+semantics); absent gauges/histograms fail the rule unless it sets
+``"absent_ok": true``.  Violations are report entries, never
+exceptions — :class:`~repro.errors.SloError` is reserved for malformed
+specs and unrecognisable documents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SloError
+from repro.obs.metrics import histogram_quantile, metric_key, parse_series_key
+
+__all__ = [
+    "RULE_TYPES",
+    "SloRule",
+    "SloSpec",
+    "SloCheck",
+    "SloReport",
+    "load_slo_spec",
+    "spec_from_dict",
+    "measurements_from_document",
+    "evaluate_slo",
+    "render_report",
+]
+
+#: The rule vocabulary; anything else in a spec is an :class:`SloError`.
+RULE_TYPES = (
+    "counter_max",
+    "counter_min",
+    "gauge_max",
+    "gauge_min",
+    "quantile_max",
+    "ratio_max",
+)
+
+
+def _canonical_metric(metric: str) -> str:
+    """Normalise label order so spec authors need not sort labels."""
+    name, labels = parse_series_key(metric)
+    return metric_key(name, {k: v for k, v in labels})
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative bound over a metric document."""
+
+    rule_type: str
+    description: str
+    metric: str = ""
+    bound: float = 0.0
+    q: float = 0.99
+    numerator: str = ""
+    denominator: str = ""
+    absent_ok: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate the rule against the known vocabulary."""
+        if self.rule_type not in RULE_TYPES:
+            raise SloError(
+                f"unknown SLO rule type {self.rule_type!r}; "
+                f"expected one of {', '.join(RULE_TYPES)}"
+            )
+        if self.rule_type == "ratio_max":
+            if not self.numerator or not self.denominator:
+                raise SloError(
+                    "ratio_max rules need 'numerator' and 'denominator'"
+                )
+        elif not self.metric:
+            raise SloError(f"{self.rule_type} rules need a 'metric'")
+        if self.rule_type == "quantile_max" and not 0.0 <= self.q <= 1.0:
+            raise SloError(f"quantile q must be in [0, 1], got {self.q!r}")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A named collection of SLO rules."""
+
+    name: str
+    rules: Tuple[SloRule, ...]
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SloCheck:
+    """The outcome of one rule against one document."""
+
+    rule: SloRule
+    ok: bool
+    value: Optional[float]
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for ``repro-obs slo check --json``."""
+        return {
+            "type": self.rule.rule_type,
+            "description": self.rule.description,
+            "metric": self.rule.metric
+            or f"{self.rule.numerator}/{self.rule.denominator}",
+            "bound": self.rule.bound,
+            "ok": self.ok,
+            "value": self.value,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every check of one spec over one document."""
+
+    spec: str
+    checks: Tuple[SloCheck, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(check.ok for check in self.checks)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for ``repro-obs slo check --json``."""
+        return {
+            "spec": self.spec,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+
+def _rule_from_dict(raw: dict) -> SloRule:
+    if not isinstance(raw, dict):
+        raise SloError(f"SLO rule must be an object, got {type(raw).__name__}")
+    known = {
+        "type",
+        "metric",
+        "max",
+        "min",
+        "q",
+        "numerator",
+        "denominator",
+        "absent_ok",
+        "description",
+    }
+    unknown = set(raw) - known
+    if unknown:
+        raise SloError(f"unknown SLO rule fields: {sorted(unknown)}")
+    rule_type = raw.get("type", "")
+    if rule_type.endswith("_min"):
+        if "min" not in raw:
+            raise SloError(f"{rule_type} rules need a 'min' bound")
+        bound = float(raw["min"])
+    else:
+        if "max" not in raw:
+            raise SloError(f"{rule_type or '<missing type>'} rules need a 'max' bound")
+        bound = float(raw["max"])
+    return SloRule(
+        rule_type=rule_type,
+        description=str(raw.get("description", "")) or rule_type,
+        metric=_canonical_metric(str(raw.get("metric", ""))),
+        bound=bound,
+        q=float(raw.get("q", 0.99)),
+        numerator=_canonical_metric(str(raw.get("numerator", ""))),
+        denominator=_canonical_metric(str(raw.get("denominator", ""))),
+        absent_ok=bool(raw.get("absent_ok", False)),
+    )
+
+
+def spec_from_dict(raw: dict) -> SloSpec:
+    """Build and validate a spec from its JSON form."""
+    if not isinstance(raw, dict):
+        raise SloError("SLO spec must be a JSON object")
+    rules = raw.get("rules")
+    if not isinstance(rules, list) or not rules:
+        raise SloError("SLO spec needs a non-empty 'rules' list")
+    return SloSpec(
+        name=str(raw.get("name", "unnamed")),
+        description=str(raw.get("description", "")),
+        rules=tuple(_rule_from_dict(rule) for rule in rules),
+    )
+
+
+def load_slo_spec(path: Union[str, Path]) -> SloSpec:
+    """Load one spec file, raising :class:`SloError` on bad content."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SloError(f"cannot read SLO spec {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SloError(f"SLO spec {path} is not valid JSON: {exc}") from exc
+    return spec_from_dict(raw)
+
+
+# ---------------------------------------------------------------------------
+# Document adapters
+# ---------------------------------------------------------------------------
+def _bench_measurements(document: dict) -> dict:
+    counters: Dict[str, float] = {"bench.recorded": 0, "bench.failed": 0}
+    gauges: Dict[str, float] = {}
+    for entry in document.get("benchmarks", []):
+        nodeid = str(entry.get("nodeid", ""))
+        test = nodeid.rsplit("::", 1)[-1] or "unknown"
+        counters["bench.recorded"] += 1
+        if entry.get("outcome") != "passed":
+            counters["bench.failed"] += 1
+        duration = entry.get("duration_seconds")
+        if duration is not None:
+            gauges[metric_key("bench.duration_seconds", {"test": test})] = (
+                float(duration)
+            )
+        extra = entry.get("extra")
+        if isinstance(extra, dict):
+            for name, value in extra.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    gauges[metric_key(f"bench.{name}", {"test": test})] = (
+                        float(value)
+                    )
+    return {"counters": counters, "gauges": gauges, "histograms": {}}
+
+
+_STATS_COUNTERS = (
+    "offered",
+    "served",
+    "degraded",
+    "shed",
+    "deadline_misses",
+    "retries",
+    "planner_restarts",
+    "verify_replaced",
+    "malformed",
+    "protocol_errors",
+)
+
+_STATS_GAUGES = ("shed_rate", "p50_ms", "p99_ms")
+
+
+def _stats_measurements(document: dict) -> dict:
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    for name in _STATS_COUNTERS:
+        value = document.get(name)
+        if isinstance(value, (int, float)):
+            counters[f"serve.{name}"] = float(value)
+    ladder = document.get("ladder")
+    if isinstance(ladder, dict):
+        for level, value in ladder.items():
+            counters[
+                metric_key("serve.decisions", {"ladder": level})
+            ] = float(value)
+    for name in _STATS_GAUGES:
+        value = document.get(name)
+        if isinstance(value, (int, float)):
+            gauges[f"serve.{name}"] = float(value)
+    return {"counters": counters, "gauges": gauges, "histograms": {}}
+
+
+def measurements_from_document(document: dict) -> dict:
+    """Normalise any supported document into a snapshot-shaped dict."""
+    if not isinstance(document, dict):
+        raise SloError("SLO document must be a JSON object")
+    if "counters" in document or "histograms" in document:
+        return {
+            "counters": dict(document.get("counters", {})),
+            "gauges": dict(document.get("gauges", {})),
+            "histograms": dict(document.get("histograms", {})),
+        }
+    if "benchmarks" in document:
+        return _bench_measurements(document)
+    if document.get("event") == "stats":
+        return _stats_measurements(document)
+    raise SloError(
+        "unrecognised SLO document: expected a metrics snapshot, a "
+        "BENCH_<area>.json document, or a serve stats payload"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+def _check_bound(
+    rule: SloRule, value: Optional[float], upper: bool
+) -> SloCheck:
+    if value is None:
+        if rule.absent_ok:
+            return SloCheck(rule, True, None, "absent (allowed)")
+        return SloCheck(rule, False, None, "metric absent")
+    if upper:
+        ok = value <= rule.bound
+        relation = "<="
+    else:
+        ok = value >= rule.bound
+        relation = ">="
+    return SloCheck(
+        rule, ok, value, f"{value!r} {relation} {rule.bound!r}"
+        if ok
+        else f"{value!r} violates {relation} {rule.bound!r}"
+    )
+
+
+def _evaluate_rule(rule: SloRule, measurements: dict) -> SloCheck:
+    counters = measurements["counters"]
+    gauges = measurements["gauges"]
+    histograms = measurements["histograms"]
+    if rule.rule_type in ("counter_max", "counter_min"):
+        value = float(counters.get(rule.metric, 0.0))
+        return _check_bound(rule, value, rule.rule_type == "counter_max")
+    if rule.rule_type in ("gauge_max", "gauge_min"):
+        raw = gauges.get(rule.metric)
+        value = None if raw is None else float(raw)
+        return _check_bound(rule, value, rule.rule_type == "gauge_max")
+    if rule.rule_type == "quantile_max":
+        hist = histograms.get(rule.metric)
+        quantile = (
+            None if hist is None else histogram_quantile(hist, rule.q)
+        )
+        return _check_bound(rule, quantile, True)
+    # ratio_max — the only remaining type after rule validation.
+    numerator = float(counters.get(rule.numerator, 0.0))
+    denominator = float(counters.get(rule.denominator, 0.0))
+    if denominator <= 0.0:
+        ok = numerator <= 0.0
+        return SloCheck(
+            rule,
+            ok,
+            0.0 if ok else None,
+            "denominator is 0" + ("" if ok else " with nonzero numerator"),
+        )
+    return _check_bound(rule, numerator / denominator, True)
+
+
+def evaluate_slo(spec: SloSpec, document: dict) -> SloReport:
+    """Run every rule of ``spec`` against one document."""
+    measurements = measurements_from_document(document)
+    return SloReport(
+        spec=spec.name,
+        checks=tuple(
+            _evaluate_rule(rule, measurements) for rule in spec.rules
+        ),
+    )
+
+
+def render_report(report: SloReport) -> str:
+    """Human-readable multi-line report for the CLI."""
+    lines = [f"SLO spec: {report.spec}"]
+    for check in report.checks:
+        verdict = "PASS" if check.ok else "FAIL"
+        metric = check.rule.metric or (
+            f"{check.rule.numerator}/{check.rule.denominator}"
+        )
+        lines.append(
+            f"  [{verdict}] {check.rule.description} "
+            f"({check.rule.rule_type} {metric}): {check.detail}"
+        )
+    lines.append(
+        f"result: {'PASS' if report.passed else 'FAIL'} "
+        f"({sum(c.ok for c in report.checks)}/{len(report.checks)} checks)"
+    )
+    return "\n".join(lines)

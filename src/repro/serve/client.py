@@ -23,6 +23,7 @@ from repro.errors import ServeError
 from repro.serve.protocol import (
     OP_DECIDE,
     OP_HEALTH,
+    OP_METRICS,
     OP_PING,
     OP_STATS,
     decode_line,
@@ -162,6 +163,10 @@ class ServeClient:
     def stats(self) -> dict:
         """Ladder/latency counter snapshot."""
         return self.request({"op": OP_STATS})
+
+    def metrics(self) -> dict:
+        """Registry snapshot plus Prometheus text exposition."""
+        return self.request({"op": OP_METRICS})
 
     # ------------------------------------------------------------------
     # Lifecycle

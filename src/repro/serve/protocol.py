@@ -19,10 +19,12 @@ Requests (client → server)
     ``{"op": "ping"}``    — liveness probe, answered with ``pong``.
     ``{"op": "health"}``  — readiness probe (inflight, stalled workers).
     ``{"op": "stats"}``   — ladder/latency counters snapshot.
+    ``{"op": "metrics"}`` — full registry snapshot plus its Prometheus
+    text exposition (v0.0.4), for scrapers and ``repro-obs top``.
 
 Events (server → client)
     ``decision`` — the laddered, shield-verified acceleration command.
-    ``pong``, ``health``, ``stats`` — probe replies.
+    ``pong``, ``health``, ``stats``, ``metrics`` — probe replies.
     ``error``    — unparseable or unknown request; carries a safe
                    full-brake ``action`` anyway.
 
@@ -43,10 +45,12 @@ __all__ = [
     "OP_PING",
     "OP_HEALTH",
     "OP_STATS",
+    "OP_METRICS",
     "EVENT_DECISION",
     "EVENT_PONG",
     "EVENT_HEALTH",
     "EVENT_STATS",
+    "EVENT_METRICS",
     "EVENT_ERROR",
     "STATUS_OK",
     "STATUS_DEGRADED",
@@ -57,11 +61,13 @@ OP_DECIDE = "decide"
 OP_PING = "ping"
 OP_HEALTH = "health"
 OP_STATS = "stats"
+OP_METRICS = "metrics"
 
 EVENT_DECISION = "decision"
 EVENT_PONG = "pong"
 EVENT_HEALTH = "health"
 EVENT_STATS = "stats"
+EVENT_METRICS = "metrics"
 EVENT_ERROR = "error"
 
 #: The full compound planner answered within budget (ladder level 1).

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.errors import ServeError
 from repro.faults.plan import PlannerFaultSeverity
 from repro.faults.planner_wrapper import classify_planner_failure
+from repro.obs.expo import CONTENT_TYPE, render_prometheus
 from repro.obs.metrics import histogram_quantile
 from repro.obs.observer import Observer
 from repro.planners.base import PlanningContext
@@ -67,10 +68,12 @@ from repro.serve.protocol import (
     EVENT_DECISION,
     EVENT_ERROR,
     EVENT_HEALTH,
+    EVENT_METRICS,
     EVENT_PONG,
     EVENT_STATS,
     OP_DECIDE,
     OP_HEALTH,
+    OP_METRICS,
     OP_PING,
     OP_STATS,
     STATUS_DEGRADED,
@@ -366,6 +369,8 @@ class DecisionServer:
             return self._health_payload()
         if op == OP_STATS:
             return self._stats_payload()
+        if op == OP_METRICS:
+            return self._metrics_payload()
         self._count("serve.protocol_errors")
         return self._error_payload(
             conn, f"unknown op {op!r}", message.get("id")
@@ -552,6 +557,10 @@ class DecisionServer:
         """The ``stats`` probe payload (for the CLI's drain summary)."""
         return self._stats_payload()
 
+    def metrics_exposition(self) -> dict:
+        """The ``metrics`` probe payload (exposition + raw snapshot)."""
+        return self._metrics_payload()
+
     def stalled_workers(self) -> int:
         """Abandoned planner calls whose thread has not finished yet."""
         self._abandoned = [f for f in self._abandoned if not f.done()]
@@ -613,6 +622,32 @@ class DecisionServer:
             "protocol_errors": metrics.counter_value("serve.protocol_errors"),
             "p50_ms": p50,
             "p99_ms": p99,
+        }
+
+    def _metrics_payload(self) -> dict:
+        """Full registry snapshot plus its Prometheus text exposition.
+
+        Exporter-role read, like ``_stats_payload``: the snapshot is
+        rendered and shipped to the client, never fed back into the
+        ladder.  A server running with the null observer answers
+        ``enabled: false`` with an empty exposition rather than
+        erroring, so scrapers degrade gracefully.
+        """
+        if not self._obs.enabled:
+            return {
+                "event": EVENT_METRICS,
+                "enabled": False,
+                "content_type": CONTENT_TYPE,
+                "text": "",
+                "snapshot": None,
+            }
+        snapshot = self._obs.metrics.snapshot()
+        return {
+            "event": EVENT_METRICS,
+            "enabled": True,
+            "content_type": CONTENT_TYPE,
+            "text": render_prometheus(snapshot),
+            "snapshot": snapshot,
         }
 
     # ------------------------------------------------------------------

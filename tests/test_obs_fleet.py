@@ -1,0 +1,228 @@
+"""Flight recorder frames/sidecars and exact-sum fleet aggregation.
+
+The unit half of the fleet telemetry plane: delta computation against
+registry snapshots, monotonic merging on the coordinator side, and the
+crash-tolerant sidecar read path.  The end-to-end half (real worker
+subprocesses) lives in ``test_shard_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.fleet import (
+    FLEET_PREFIX,
+    delta_is_empty,
+    empty_snapshot,
+    merge_delta,
+    snapshot_delta,
+)
+from repro.obs.metrics import MetricsRegistry, metric_key
+from repro.obs.recorder import (
+    TELEMETRY_FORMAT,
+    FlightRecorder,
+    frame_rates,
+    read_telemetry,
+)
+
+
+class TestSnapshotDelta:
+    def test_counter_difference_omits_unchanged(self):
+        registry = MetricsRegistry()
+        registry.count("a", 3)
+        registry.count("b", 1)
+        before = registry.snapshot()
+        registry.count("a", 2)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"a": 2}
+
+    def test_empty_delta_detection(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert delta_is_empty(snapshot_delta(snapshot, snapshot))
+        assert not delta_is_empty({"counters": {"a": 1}})
+
+    def test_histogram_delta_diffs_counts_keeps_envelope(self):
+        registry = MetricsRegistry()
+        registry.register_histogram("h", (1.0, 2.0))
+        registry.observe("h", 0.5)
+        before = registry.snapshot()
+        registry.observe("h", 1.5)
+        delta = snapshot_delta(before, registry.snapshot())
+        hist = delta["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["sum"] == pytest.approx(1.5)
+        # min/max stay cumulative: re-absorbing them is idempotent.
+        assert hist["min"] == 0.5
+        assert hist["max"] == 1.5
+
+    def test_unchanged_histogram_omitted(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.5)
+        snapshot = registry.snapshot()
+        assert "h" not in snapshot_delta(snapshot, snapshot)["histograms"]
+
+
+class TestMergeDelta:
+    def test_exact_sum_across_workers(self):
+        fleet = MetricsRegistry()
+        per_worker = {"w0": 5, "w1": 3, "w2": 7}
+        for worker, n in per_worker.items():
+            merge_delta(
+                fleet, {"counters": {"engine.runs": n}}, worker=worker
+            )
+        total = fleet.counter_value("fleet.engine.runs")
+        assert total == sum(per_worker.values())
+        assert total == sum(
+            fleet.counter_value("fleet.engine.runs", worker=w)
+            for w in per_worker
+        )
+
+    def test_negative_deltas_are_dropped(self):
+        fleet = MetricsRegistry()
+        merge_delta(fleet, {"counters": {"x": 4}}, worker="w0")
+        merge_delta(fleet, {"counters": {"x": -2}}, worker="w0")
+        assert fleet.counter_value("fleet.x") == 4
+        assert fleet.counter_value("fleet.x", worker="w0") == 4
+
+    def test_labelled_counters_keep_their_labels(self):
+        fleet = MetricsRegistry()
+        key = metric_key("serve.decisions", {"ladder": "2"})
+        merge_delta(fleet, {"counters": {key: 3}}, worker="w1")
+        assert fleet.counter_value("fleet.serve.decisions", ladder="2") == 3
+        assert (
+            fleet.counter_value(
+                "fleet.serve.decisions", ladder="2", worker="w1"
+            )
+            == 3
+        )
+
+    def test_gauges_are_per_worker_only(self):
+        fleet = MetricsRegistry()
+        merge_delta(fleet, {"gauges": {"filter.width": 0.4}}, worker="w0")
+        assert fleet.gauge_value("fleet.filter.width", worker="w0") == 0.4
+        assert fleet.gauge_value("fleet.filter.width") is None
+
+    def test_histograms_absorb_bucketwise(self):
+        source = MetricsRegistry()
+        source.register_histogram("h", (1.0,))
+        source.observe("h", 0.5)
+        source.observe("h", 2.0)
+        hist = source.snapshot()["histograms"]["h"]
+        fleet = MetricsRegistry()
+        merge_delta(fleet, {"histograms": {"h": hist}}, worker="w0")
+        merge_delta(fleet, {"histograms": {"h": hist}}, worker="w1")
+        merged = fleet.snapshot()["histograms"][FLEET_PREFIX + "h"]
+        assert merged["count"] == 4
+        assert merged["counts"] == [2, 2]
+
+    def test_empty_snapshot_shape(self):
+        snapshot = empty_snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestFlightRecorder:
+    def test_ring_buffer_bounded(self):
+        recorder = FlightRecorder(MetricsRegistry(), capacity=3)
+        for _ in range(5):
+            recorder.record()
+        assert len(recorder.frames()) == 3
+        assert recorder.latest() is recorder.frames()[-1]
+
+    def test_capacity_must_hold_a_window(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(MetricsRegistry(), capacity=1)
+
+    def test_frames_carry_format_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.count("engine.runs", 2)
+        frame = FlightRecorder(registry).record()
+        assert frame["format"] == TELEMETRY_FORMAT
+        assert frame["counters"] == {"engine.runs": 2}
+        assert frame["t"] >= 0.0
+        assert frame["wall"] > 0.0
+
+    def test_tick_throttles_and_force_overrides(self):
+        recorder = FlightRecorder(MetricsRegistry(), min_interval=3600.0)
+        assert recorder.tick() is not None  # first frame always records
+        assert recorder.tick() is None
+        assert recorder.tick(force=True) is not None
+
+    def test_window_rates(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry)
+        recorder.record()
+        registry.count("engine.runs", 10)
+        recorder.record()
+        rates = recorder.window_rates()
+        assert rates["engine.runs"] > 0.0
+        assert recorder.window_seconds() > 0.0
+
+    def test_sidecar_appends_one_line_per_frame(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry, sidecar=path)
+        recorder.record()
+        registry.count("x")
+        recorder.record()
+        frames = read_telemetry(path)
+        assert len(frames) == 2
+        assert frames[1]["counters"] == {"x": 1}
+        assert recorder.sidecar == path
+
+
+class TestFrameRates:
+    def _frame(self, t, counters):
+        return {
+            "format": TELEMETRY_FORMAT,
+            "t": t,
+            "wall": t,
+            "counters": counters,
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_rate_per_second(self):
+        rates = frame_rates(
+            self._frame(0.0, {"a": 10}), self._frame(2.0, {"a": 16})
+        )
+        assert rates["a"] == pytest.approx(3.0)
+
+    def test_reset_uses_absolute_newer_value(self):
+        rates = frame_rates(
+            self._frame(0.0, {"a": 100}), self._frame(2.0, {"a": 6})
+        )
+        assert rates["a"] == pytest.approx(3.0)
+
+    def test_zero_window_is_empty(self):
+        frame = self._frame(1.0, {"a": 1})
+        assert frame_rates(frame, frame) == {}
+
+
+class TestReadTelemetry:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_telemetry(tmp_path / "nope.jsonl") == []
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        good = {
+            "format": TELEMETRY_FORMAT,
+            "t": 1.0,
+            "wall": 1.0,
+            "counters": {"a": 1},
+            "gauges": {},
+            "histograms": {},
+        }
+        lines = [
+            json.dumps(good),
+            '{"format": "other/1", "t": 2.0}',  # foreign format
+            '{"torn": ',  # killed mid-write
+            "",
+            json.dumps({**good, "t": 3.0}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        frames = read_telemetry(path)
+        assert [frame["t"] for frame in frames] == [1.0, 3.0]

@@ -144,6 +144,28 @@ class TestCli:
         assert "shield switches" in text
         assert "safety margin" in text
 
+    def test_summarize_json_document(self, recording, capsys):
+        out_dir, report = recording
+        code = trace_main(
+            ["summarize", str(out_dir / "trace.jsonl"), "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_events"] == report["n_events"]
+        counts = {
+            (entry["kind"], entry["name"]): entry["count"]
+            for entry in document["event_counts"]
+        }
+        assert counts[("span", "engine.step")] >= 1
+        span_names = {entry["name"] for entry in document["spans"]}
+        assert "engine.step" in span_names
+        for entry in document["spans"]:
+            assert entry["total_seconds"] >= entry["max_seconds"]
+        assert (
+            document["counters"]
+            == report["observer"].metrics.snapshot()["counters"]
+        )
+
     def test_missing_stream_is_a_clean_error(self, tmp_path, capsys):
         code = trace_main(["summarize", str(tmp_path / "absent.jsonl")])
         assert code == 2

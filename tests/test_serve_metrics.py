@@ -1,0 +1,223 @@
+"""The decision server's ``metrics`` probe: exposition under load.
+
+The probe ships the full registry snapshot plus its Prometheus text
+rendering.  These tests pin the probe's shape, its behaviour with a
+disabled observer, and — the part operators actually depend on — that
+the exposition reflects the exact ladder accounting invariant
+``serve.offered == served + degraded + shed`` at idle, including after
+load shedding and across a drain.
+"""
+
+import asyncio
+
+from repro.faults.planner_wrapper import StallingPlanner
+from repro.obs.expo import CONTENT_TYPE
+from repro.obs.observer import NULL_OBSERVER
+from repro.serve.client import ServeClient
+from repro.serve.server import DecisionServer, ServeConfig
+
+from tests.serve_helpers import (
+    assert_response_safe,
+    ladder_factory,
+    leader_report,
+    run_server_test,
+    session_factory,
+)
+
+EGO = {"position": 0.0, "velocity": 20.0}
+
+
+def _stalling_wrap(seconds):
+    def wrap(planner):
+        return StallingPlanner(planner, seconds)
+
+    return wrap
+
+
+def _exposed_values(text: str) -> dict:
+    """Parse ``name{labels} value`` exposition lines into a dict."""
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, value = line.rpartition(" ")
+        values[key] = float(value)
+    return values
+
+
+def _assert_idle_invariant(payload: dict) -> None:
+    """offered == served + degraded + shed, in snapshot AND exposition."""
+    counters = payload["snapshot"]["counters"]
+    offered = counters.get("serve.offered", 0)
+    served = counters.get("serve.served", 0)
+    degraded = counters.get("serve.degraded", 0)
+    shed = counters.get("serve.shed", 0)
+    assert offered == served + degraded + shed
+    exposed = _exposed_values(payload["text"])
+    assert exposed["repro_serve_offered"] == offered
+    assert exposed.get("repro_serve_served", 0) == served
+    assert exposed.get("repro_serve_degraded", 0) == degraded
+    assert exposed.get("repro_serve_shed", 0) == shed
+
+
+class TestMetricsProbe:
+    def test_probe_shape_and_exposition(self, tmp_path):
+        async def body(server, path):
+            def work():
+                with ServeClient(path=path) as client:
+                    response = client.decide(
+                        1.0, EGO, reports=[leader_report(0.95, 60.0, 15.0)]
+                    )
+                    assert_response_safe(response)
+                    return client.metrics()
+
+            payload = await asyncio.to_thread(work)
+            assert payload["event"] == "metrics"
+            assert payload["enabled"] is True
+            assert payload["content_type"] == CONTENT_TYPE
+            assert payload["snapshot"]["counters"]["serve.offered"] == 1
+            text = payload["text"]
+            assert "# TYPE repro_serve_offered counter" in text
+            assert "repro_serve_offered 1" in text
+            # The latency histogram renders with cumulative buckets.
+            assert "repro_serve_decision_seconds_count 1" in text
+            assert 'repro_serve_decision_seconds_bucket{le="+Inf"} 1' in text
+            _assert_idle_invariant(payload)
+            # The probe matches the server-side public read.  Counters
+            # only: the connection gauge legitimately drops to zero
+            # once the client above disconnects.
+            server_side = server.metrics_exposition()
+            assert (
+                server_side["snapshot"]["counters"]
+                == payload["snapshot"]["counters"]
+            )
+
+        run_server_test(body, tmp_path)
+
+    def test_disabled_observer_degrades_gracefully(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+
+        async def scenario():
+            server = DecisionServer(
+                ladder_factory(),
+                session_factory(),
+                observer=NULL_OBSERVER,
+            )
+            await server.start(path=path)
+            try:
+
+                def work():
+                    with ServeClient(path=path) as client:
+                        return client.metrics()
+
+                payload = await asyncio.to_thread(work)
+                assert payload["enabled"] is False
+                assert payload["text"] == ""
+                assert payload["snapshot"] is None
+                assert payload["content_type"] == CONTENT_TYPE
+            finally:
+                await server.drain()
+
+        asyncio.run(scenario())
+
+    def test_exposition_reflects_shed_accounting(self, tmp_path):
+        async def body(server, path):
+            first = await asyncio.to_thread(lambda: ServeClient(path=path))
+            second = await asyncio.to_thread(lambda: ServeClient(path=path))
+            try:
+                slow = asyncio.create_task(
+                    asyncio.to_thread(
+                        lambda: first.decide(
+                            1.0,
+                            EGO,
+                            reports=[leader_report(0.95, 60.0, 15.0)],
+                            deadline_ms=400.0,
+                        )
+                    )
+                )
+                await asyncio.sleep(0.15)
+                assert server.inflight == 1
+                shed = await asyncio.to_thread(
+                    lambda: second.decide(
+                        1.0, EGO, reports=[leader_report(0.95, 60.0, 15.0)]
+                    )
+                )
+                assert shed["status"] == "shed"
+                assert_response_safe(shed)
+                slow_response = await slow
+                assert_response_safe(slow_response)
+                # Both requests settled: the server is idle again and
+                # the exposition must balance exactly.
+                payload = await asyncio.to_thread(second.metrics)
+                counters = payload["snapshot"]["counters"]
+                assert counters["serve.offered"] == 2
+                assert counters["serve.shed"] == 1
+                # Every offered decide lands in exactly one ladder
+                # series; the shed reply resolved at ladder 3.
+                decisions = {
+                    key: value
+                    for key, value in counters.items()
+                    if key.startswith("serve.decisions{")
+                }
+                assert sum(decisions.values()) == 2
+                assert decisions["serve.decisions{ladder=3}"] >= 1
+                _assert_idle_invariant(payload)
+                exposed = _exposed_values(payload["text"])
+                assert exposed['repro_serve_decisions{ladder="3"}'] >= 1
+            finally:
+                first.close()
+                second.close()
+
+        run_server_test(
+            body,
+            tmp_path,
+            config=ServeConfig(max_inflight=1),
+            wrap=_stalling_wrap(1.0),
+        )
+
+    def test_exposition_across_drain(self, tmp_path):
+        async def body(server, path):
+            first = await asyncio.to_thread(lambda: ServeClient(path=path))
+            second = await asyncio.to_thread(lambda: ServeClient(path=path))
+            try:
+                slow = asyncio.create_task(
+                    asyncio.to_thread(
+                        lambda: first.decide(
+                            1.0,
+                            EGO,
+                            reports=[leader_report(0.95, 60.0, 15.0)],
+                            deadline_ms=700.0,
+                        )
+                    )
+                )
+                await asyncio.sleep(0.2)
+                drain = asyncio.create_task(server.drain())
+                await asyncio.sleep(0.1)
+                assert server.draining
+                refused = await asyncio.to_thread(
+                    lambda: second.decide(1.5, EGO)
+                )
+                assert refused["cause"] == "draining"
+                assert_response_safe(refused)
+                # The probe still answers while draining.
+                payload = await asyncio.to_thread(second.metrics)
+                assert payload["enabled"] is True
+                assert payload["snapshot"]["counters"]["serve.shed"] == 1
+                slow_response = await slow
+                assert_response_safe(slow_response)
+                await drain
+                # Fully drained == idle: the accounting must balance in
+                # the server-side payload too.
+                final = server.metrics_exposition()
+                assert final["snapshot"]["counters"]["serve.offered"] == 2
+                _assert_idle_invariant(final)
+            finally:
+                first.close()
+                second.close()
+
+        run_server_test(
+            body,
+            tmp_path,
+            config=ServeConfig(drain_grace=5.0),
+            wrap=_stalling_wrap(5.0),
+        )
